@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation. Datasets are the Table 3 synthetic stand-ins generated
+ * at HECTOR_SCALE (default 1/256) with a matching scaled device spec,
+ * so reported numbers are directly comparable across systems and in
+ * *shape* (ratios, crossovers, OOM pattern) to the paper; absolute
+ * milliseconds are scaled-model time, not wall-clock.
+ */
+
+#ifndef HECTOR_BENCH_COMMON_HH
+#define HECTOR_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hh"
+#include "graph/compaction.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+#include "models/reference.hh"
+#include "sim/runtime.hh"
+
+namespace hector::bench
+{
+
+/** Dataset order used by the paper's figures. */
+inline const std::vector<std::string> kDatasets = {
+    "wikikg2", "mutag", "mag", "fb15k", "biokg", "bgs", "am", "aifb"};
+
+inline const std::vector<models::ModelKind> kModels = {
+    models::ModelKind::Rgcn, models::ModelKind::Rgat,
+    models::ModelKind::Hgt};
+
+/** Scale factor from HECTOR_SCALE; default 1/256. */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("HECTOR_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return 1.0 / 256.0;
+}
+
+/** Feature dimension from HECTOR_DIM; default 64 as in Sec. 4.1. */
+inline std::int64_t
+benchDim()
+{
+    if (const char *env = std::getenv("HECTOR_DIM")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return v;
+    }
+    return 64;
+}
+
+/** One dataset loaded with everything a run needs. */
+struct BenchGraph
+{
+    std::string name;
+    graph::HeteroGraph g;
+    graph::CompactionMap cmap;
+
+    BenchGraph(std::string n, graph::HeteroGraph graph)
+        : name(std::move(n)), g(std::move(graph)), cmap(g)
+    {}
+};
+
+inline BenchGraph
+loadGraph(const std::string &name, double scale)
+{
+    return BenchGraph(name,
+                      graph::generate(graph::datasetSpec(name), scale));
+}
+
+/** Deterministic weights + features for (model, graph, dim). */
+struct ModelInputs
+{
+    models::WeightMap weights;
+    tensor::Tensor feature;
+};
+
+inline ModelInputs
+makeInputs(models::ModelKind m, const graph::HeteroGraph &g,
+           std::int64_t din, std::int64_t dout)
+{
+    std::mt19937_64 rng(0xbeef ^ static_cast<unsigned>(m) ^
+                        static_cast<unsigned>(g.numEdges()));
+    core::Program p = models::buildModel(m, g, din, dout);
+    ModelInputs in;
+    in.weights = models::initWeights(p, g, rng);
+    in.feature = tensor::Tensor::uniform({g.numNodes(), din}, rng, 0.5f);
+    return in;
+}
+
+/** Fresh runtime calibrated to the bench scale. */
+inline sim::Runtime
+makeRuntime(double scale)
+{
+    return sim::Runtime(sim::makeScaledSpec(scale));
+}
+
+/**
+ * Run one (system, model, graph) measurement. Times are converted to
+ * full-size-equivalent milliseconds by dividing modeled time by the
+ * scale factor, so magnitudes are comparable with the paper's axes.
+ */
+inline baselines::RunResult
+measure(const baselines::System &sys, models::ModelKind m,
+        const BenchGraph &bg, const ModelInputs &in, double scale,
+        bool training)
+{
+    sim::Runtime rt = makeRuntime(scale);
+    baselines::RunResult res =
+        sys.run(m, bg.g, in.weights, in.feature, rt, training);
+    res.timeMs /= scale;
+    return res;
+}
+
+/** The four Hector optimization configurations of Table 5. */
+inline const std::vector<std::string> kHectorTags = {"", "C", "R", "C+R"};
+
+/**
+ * Best-optimized Hector result: minimum time over the four
+ * optimization combinations (the paper's "Hector best optimized").
+ * Returns the best non-OOM result, or an OOM result if all OOM.
+ */
+inline baselines::RunResult
+measureHectorBest(models::ModelKind m, const BenchGraph &bg,
+                  const ModelInputs &in, double scale, bool training)
+{
+    baselines::RunResult best;
+    best.oom = true;
+    for (const auto &tag : kHectorTags) {
+        auto sys = baselines::hectorSystem(tag);
+        const auto r = measure(*sys, m, bg, in, scale, training);
+        if (r.oom)
+            continue;
+        if (best.oom || r.timeMs < best.timeMs)
+            best = r;
+    }
+    return best;
+}
+
+/** Format a result cell: time or "OOM". */
+inline std::string
+cell(const baselines::RunResult &r)
+{
+    if (r.oom)
+        return "OOM";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", r.timeMs);
+    return buf;
+}
+
+/** Fixed-width table row printing. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 12)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+/** Geometric mean ignoring non-positive entries. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    int n = 0;
+    for (double x : v) {
+        if (x > 0.0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0.0;
+}
+
+} // namespace hector::bench
+
+#endif // HECTOR_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 10: device-memory footprint of Hector running HGT,
+ * (b) unoptimized inference/training memory in MB (full-size
+ * equivalent), (a) the ratio of compact-materialization memory to
+ * unoptimized memory, against each dataset's entity compaction ratio,
+ * node/edge counts, and average degree. The paper's shape: footprint
+ * is proportional to edge count; the compaction memory ratio tracks
+ * (and upper-bounds) the entity compaction ratio, approaching it as
+ * average degree grows.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    std::printf("== Fig 10: HGT memory footprint, dim=%lld ==\n",
+                static_cast<long long>(dim));
+    printRow({"dataset", "infer-MB", "train-MB", "C/U-mem", "compaction",
+              "avg-deg"},
+             12);
+
+    auto unopt = baselines::hectorSystem("");
+    auto compact = baselines::hectorSystem("C");
+
+    for (const auto &ds : kDatasets) {
+        BenchGraph bg = loadGraph(ds, scale);
+        ModelInputs in = makeInputs(models::ModelKind::Hgt, bg.g, dim, dim);
+
+        const auto inf_u =
+            measure(*unopt, models::ModelKind::Hgt, bg, in, scale, false);
+        const auto trn_u =
+            measure(*unopt, models::ModelKind::Hgt, bg, in, scale, true);
+        const auto inf_c = measure(*compact, models::ModelKind::Hgt, bg,
+                                   in, scale, false);
+
+        // Full-size-equivalent MB: scaled bytes divided by scale.
+        auto mb = [&](std::size_t bytes) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f",
+                          static_cast<double>(bytes) / scale / 1e6);
+            return std::string(buf);
+        };
+        char ratio[32], comp[32], deg[32];
+        std::snprintf(ratio, sizeof(ratio), "%.2f",
+                      static_cast<double>(inf_c.peakBytes) /
+                          static_cast<double>(inf_u.peakBytes));
+        std::snprintf(comp, sizeof(comp), "%.2f", bg.cmap.ratio());
+        std::snprintf(deg, sizeof(deg), "%.1f", bg.g.avgDegree());
+        printRow({ds, inf_u.oom ? "OOM" : mb(inf_u.peakBytes),
+                  trn_u.oom ? "OOM" : mb(trn_u.peakBytes), ratio, comp,
+                  deg},
+                 12);
+    }
+    return 0;
+}

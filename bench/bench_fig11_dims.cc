@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 11: unoptimized Hector inference and training time
+ * for every (model, dataset) pair at square feature dimensions 32, 64
+ * and 128. The paper's observation to reproduce: time grows
+ * sublinearly in the 4x work increase per dimension doubling, because
+ * larger launches achieve higher device utilization.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    std::printf("== Fig 11: unoptimized Hector vs feature dimension "
+                "(ms, full-size equivalent) ==\n");
+
+    auto unopt = baselines::hectorSystem("");
+    const std::vector<std::int64_t> dims = {32, 64, 128};
+
+    for (models::ModelKind m : kModels) {
+        std::printf("\n-- %s --\n", models::toString(m));
+        printRow({"dataset", "inf d=32", "inf d=64", "inf d=128",
+                  "train d=32", "train d=64", "train d=128"});
+        for (const auto &ds : kDatasets) {
+            BenchGraph bg = loadGraph(ds, scale);
+            std::vector<std::string> row = {ds};
+            std::vector<double> inf_times;
+            for (bool training : {false, true}) {
+                for (std::int64_t d : dims) {
+                    ModelInputs in = makeInputs(m, bg.g, d, d);
+                    const auto r =
+                        measure(*unopt, m, bg, in, scale, training);
+                    row.push_back(cell(r));
+                    if (!training && !r.oom)
+                        inf_times.push_back(r.timeMs);
+                }
+            }
+            printRow(row);
+            if (inf_times.size() == 3) {
+                std::printf(
+                    "    growth per dim doubling: %.2fx, %.2fx "
+                    "(sublinear < 4x expected)\n",
+                    inf_times[1] / inf_times[0],
+                    inf_times[2] / inf_times[1]);
+            }
+        }
+    }
+    return 0;
+}

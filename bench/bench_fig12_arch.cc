@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Fig. 12: architectural metrics of Hector's generated
+ * kernels running RGAT on bgs and am, with (C) and without (U)
+ * compact materialization, at dims 32/64/128: per-category duration,
+ * achieved GFLOP/s, IPC proxy, LSU utilization and DRAM throughput,
+ * split into forward and backward. The paper's shape: traversal
+ * kernels are latency-bound (IPC well below the ideal 4); backward
+ * kernels have lower throughput than forward due to atomics and
+ * outer products; throughput rises with feature dimension and graph
+ * size.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    std::printf("== Fig 12: architectural metrics, Hector RGAT "
+                "training ==\n");
+
+    for (const auto &ds : {std::string("bgs"), std::string("am")}) {
+        BenchGraph bg = loadGraph(ds, scale);
+        for (std::int64_t d : {32, 64, 128}) {
+            ModelInputs in =
+                makeInputs(models::ModelKind::Rgat, bg.g, d, d);
+            for (const std::string tag : {"", "C"}) {
+                sim::Runtime rt = makeRuntime(scale);
+                auto sys = baselines::hectorSystem(tag);
+                const auto r = sys->run(models::ModelKind::Rgat, bg.g,
+                                        in.weights, in.feature, rt, true);
+                std::printf("\n-- %s dim=%lld %s %s--\n", ds.c_str(),
+                            static_cast<long long>(d),
+                            tag.empty() ? "U" : "C",
+                            r.oom ? "(OOM) " : "");
+                if (r.oom)
+                    continue;
+                printRow({"category", "phase", "dur-ms", "GFLOPs", "IPC",
+                          "LSU%", "DRAM%"}, 10);
+                for (sim::KernelCategory k :
+                     {sim::KernelCategory::Gemm,
+                      sim::KernelCategory::Traversal}) {
+                    for (sim::Phase ph :
+                         {sim::Phase::Forward, sim::Phase::Backward}) {
+                        const auto &b = rt.counters().bucket(k, ph);
+                        if (b.launches == 0)
+                            continue;
+                        const auto met = sim::Counters::deriveMetrics(
+                            b, rt.spec());
+                        char c0[32], c1[32], c2[32], c3[32], c4[32];
+                        std::snprintf(c0, sizeof(c0), "%.3f",
+                                      b.timeSec * 1e3 / scale);
+                        std::snprintf(c1, sizeof(c1), "%.0f",
+                                      met.achievedGflops);
+                        std::snprintf(c2, sizeof(c2), "%.2f", met.avgIpc);
+                        std::snprintf(c3, sizeof(c3), "%.1f", met.lsuPct);
+                        std::snprintf(c4, sizeof(c4), "%.1f",
+                                      met.dramTptPct);
+                        printRow({toString(k), toString(ph), c0, c1, c2,
+                                  c3, c4},
+                                 10);
+                    }
+                }
+            }
+        }
+    }
+    return 0;
+}

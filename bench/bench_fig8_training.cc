@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 8(a): single-layer training-step time (forward +
+ * NLL-style loss + backward) of RGCN, RGAT, HGT across the Table 3
+ * datasets for DGL, PyG, Seastar, HGL and Hector (best-optimized).
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    std::printf("== Fig 8(a): training time (model ms, full-size "
+                "equivalent), dim=%lld, scale=1/%.0f ==\n",
+                static_cast<long long>(dim), 1.0 / scale);
+
+    auto systems = baselines::priorSystems();
+
+    for (models::ModelKind m : kModels) {
+        std::printf("\n-- %s training --\n", models::toString(m));
+        std::vector<std::string> header = {"dataset"};
+        for (const auto &s : systems)
+            if (s->supports(m, true))
+                header.push_back(s->name());
+        header.push_back("Hector(best)");
+        header.push_back("speedup");
+        printRow(header);
+
+        std::vector<double> speedups;
+        for (const auto &ds : kDatasets) {
+            BenchGraph bg = loadGraph(ds, scale);
+            ModelInputs in = makeInputs(m, bg.g, dim, dim);
+
+            std::vector<std::string> row = {ds};
+            double best_prior = 0.0;
+            for (const auto &s : systems) {
+                if (!s->supports(m, true))
+                    continue;
+                const auto r = measure(*s, m, bg, in, scale, true);
+                row.push_back(cell(r));
+                if (!r.oom && (best_prior == 0.0 || r.timeMs < best_prior))
+                    best_prior = r.timeMs;
+            }
+            const auto h = measureHectorBest(m, bg, in, scale, true);
+            row.push_back(cell(h));
+            if (!h.oom && best_prior > 0.0) {
+                const double sp = best_prior / h.timeMs;
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.2fx", sp);
+                row.push_back(buf);
+                speedups.push_back(sp);
+            } else {
+                row.push_back("-");
+            }
+            printRow(row);
+        }
+        std::printf("geomean speedup vs best prior system: %.2fx\n",
+                    geomean(speedups));
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 9: kernel-category breakdown (GEMM / traversal /
+ * others) of Hector RGAT inference on am and fb15k under the four
+ * optimization settings. The paper's shape: on am (57% compaction
+ * ratio) compaction sharply cuts GEMM time; on fb15k (26%) the GEMM
+ * reduction is proportionally smaller.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    std::printf("== Fig 9: Hector RGAT inference breakdown by kernel "
+                "category (ms, full-size equivalent), dim=%lld ==\n",
+                static_cast<long long>(dim));
+
+    for (const auto &ds : {std::string("am"), std::string("fb15k")}) {
+        BenchGraph bg = loadGraph(ds, scale);
+        ModelInputs in =
+            makeInputs(models::ModelKind::Rgat, bg.g, dim, dim);
+        std::printf("\n-- %s (entity compaction ratio %.0f%%) --\n",
+                    ds.c_str(), 100.0 * bg.cmap.ratio());
+        printRow({"config", "GEMM", "Traversal", "Others", "total"});
+        const std::map<std::string, std::string> labels = {
+            {"", "U"}, {"C", "C"}, {"R", "R"}, {"C+R", "C+R"}};
+        for (const auto &tag : kHectorTags) {
+            sim::Runtime rt = makeRuntime(scale);
+            auto sys = baselines::hectorSystem(tag);
+            const auto r = sys->run(models::ModelKind::Rgat, bg.g,
+                                    in.weights, in.feature, rt, false);
+            if (r.oom) {
+                printRow({labels.at(tag), "OOM", "", "", ""});
+                continue;
+            }
+            const auto &c = rt.counters();
+            auto ms = [&](sim::KernelCategory k) {
+                return c.categoryTotal(k).timeSec * 1e3 / scale;
+            };
+            const double gemm = ms(sim::KernelCategory::Gemm);
+            const double trav = ms(sim::KernelCategory::Traversal);
+            const double others = ms(sim::KernelCategory::Index) +
+                                  ms(sim::KernelCategory::Elementwise) +
+                                  ms(sim::KernelCategory::Fallback) +
+                                  rt.hostTimeMs() / scale;
+            char b1[32], b2[32], b3[32], b4[32];
+            std::snprintf(b1, sizeof(b1), "%.3f", gemm);
+            std::snprintf(b2, sizeof(b2), "%.3f", trav);
+            std::snprintf(b3, sizeof(b3), "%.3f", others);
+            std::snprintf(b4, sizeof(b4), "%.3f", gemm + trav + others);
+            printRow({labels.at(tag), b1, b2, b3, b4});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the host math kernels the whole
+ * reproduction rests on (wall-clock, not modeled time): GEMM, segment
+ * MM, the gathered segment MM that implements the GEMM template's
+ * on-the-fly access schemes, and the compaction-map construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/compaction.hh"
+#include "graph/datasets.hh"
+#include "tensor/ops.hh"
+
+namespace
+{
+
+using namespace hector;
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    std::mt19937_64 rng(1);
+    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
+    tensor::Tensor w = tensor::Tensor::uniform({64, 64}, rng);
+    tensor::Tensor y({n, 64});
+    for (auto _ : state) {
+        tensor::gemm(x, w, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(1024)->Arg(16384);
+
+void
+BM_SegmentMm(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    const int types = 32;
+    std::mt19937_64 rng(2);
+    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
+    tensor::Tensor w = tensor::Tensor::uniform({types, 64, 64}, rng);
+    tensor::Tensor y({n, 64});
+    std::vector<std::int64_t> seg(types + 1);
+    for (int t = 0; t <= types; ++t)
+        seg[static_cast<std::size_t>(t)] = n * t / types;
+    for (auto _ : state) {
+        tensor::segmentMm(x, w, y, seg);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_SegmentMm)->Arg(1024)->Arg(16384);
+
+void
+BM_GatherSegmentMm(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    const int types = 32;
+    std::mt19937_64 rng(3);
+    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
+    tensor::Tensor w = tensor::Tensor::uniform({types, 64, 64}, rng);
+    tensor::Tensor y({n, 64});
+    std::vector<std::int64_t> seg(types + 1);
+    for (int t = 0; t <= types; ++t)
+        seg[static_cast<std::size_t>(t)] = n * t / types;
+    std::vector<std::int64_t> gather(static_cast<std::size_t>(n));
+    std::uniform_int_distribution<std::int64_t> pick(0, n - 1);
+    for (auto &gi : gather)
+        gi = pick(rng);
+    for (auto _ : state) {
+        tensor::gatherSegmentMm(x, w, y, seg, gather, {});
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_GatherSegmentMm)->Arg(1024)->Arg(16384);
+
+void
+BM_CompactionMap(benchmark::State &state)
+{
+    graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("fb15k"), 1.0 / 64.0);
+    for (auto _ : state) {
+        graph::CompactionMap cmap(g);
+        benchmark::DoNotOptimize(cmap.numUnique());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_CompactionMap);
+
+} // namespace
+
+BENCHMARK_MAIN();

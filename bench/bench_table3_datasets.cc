@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table 3: statistics of the eight heterogeneous datasets
+ * (here: their synthetic stand-ins at the bench scale), extended with
+ * the entity compaction ratio used in Fig. 10 and Table 5 analysis.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    std::printf("== Table 3: datasets (synthetic stand-ins at "
+                "scale=1/%.0f) ==\n",
+                1.0 / scale);
+    printRow({"name", "#nodes", "(#types)", "#edges", "(#types)",
+              "avg-deg", "compaction"});
+    for (const auto &spec : graph::table3Specs()) {
+        BenchGraph bg = loadGraph(spec.name, scale);
+        bg.g.validate();
+        bg.cmap.validate(bg.g);
+        char deg[32];
+        char ratio[32];
+        std::snprintf(deg, sizeof(deg), "%.1f", bg.g.avgDegree());
+        std::snprintf(ratio, sizeof(ratio), "%.0f%%",
+                      100.0 * bg.cmap.ratio());
+        printRow({spec.name, std::to_string(bg.g.numNodes()),
+                  "(" + std::to_string(bg.g.numNodeTypes()) + ")",
+                  std::to_string(bg.g.numEdges()),
+                  "(" + std::to_string(bg.g.numEdgeTypes()) + ")", deg,
+                  ratio});
+    }
+    std::printf("\nFull-size statistics these stand-ins are matched to "
+                "(paper Table 3):\n");
+    printRow({"name", "#nodes", "(#types)", "#edges", "(#types)",
+              "target-compaction"});
+    for (const auto &spec : graph::table3Specs()) {
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.0f%%",
+                      100.0 * spec.compactionTarget);
+        printRow({spec.name, std::to_string(spec.numNodes),
+                  "(" + std::to_string(spec.numNodeTypes) + ")",
+                  std::to_string(spec.numEdges),
+                  "(" + std::to_string(spec.numEdgeTypes) + ")", ratio});
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Table 5: speedup of compact materialization (C), linear
+ * operator reordering (R) and C+R over unoptimized Hector, for RGAT
+ * and HGT, training and inference, across the eight datasets. Rows
+ * where the unoptimized code OOMs are normalized against the C
+ * configuration, exactly as the paper footnotes.
+ */
+
+#include "bench_common.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    std::printf("== Table 5: speedup over unoptimized Hector from C / R "
+                "/ C+R (dim=%lld) ==\n",
+                static_cast<long long>(dim));
+
+    for (models::ModelKind m :
+         {models::ModelKind::Rgat, models::ModelKind::Hgt}) {
+        for (bool training : {true, false}) {
+            std::printf("\n-- %s %s --\n", models::toString(m),
+                        training ? "training" : "inference");
+            printRow({"dataset", "C", "R", "C+R"});
+            std::map<std::string, std::vector<double>> per_tag;
+            for (const auto &ds : kDatasets) {
+                BenchGraph bg = loadGraph(ds, scale);
+                ModelInputs in = makeInputs(m, bg.g, dim, dim);
+
+                std::map<std::string, baselines::RunResult> res;
+                for (const auto &tag : kHectorTags) {
+                    auto sys = baselines::hectorSystem(tag);
+                    res[tag] = measure(*sys, m, bg, in, scale, training);
+                }
+                // Baseline for normalization: unopt, or C when unopt
+                // OOMs (paper's asterisked rows).
+                const bool base_is_c = res[""].oom;
+                const auto &base = base_is_c ? res["C"] : res[""];
+                std::vector<std::string> row = {ds};
+                for (const std::string tag : {"C", "R", "C+R"}) {
+                    const auto &r = res[tag];
+                    if (r.oom || base.oom) {
+                        row.push_back("OOM");
+                        continue;
+                    }
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "%.2f%s",
+                                  base.timeMs / r.timeMs,
+                                  base_is_c ? "*" : "");
+                    row.push_back(buf);
+                    per_tag[tag].push_back(base.timeMs / r.timeMs);
+                }
+                printRow(row);
+            }
+            std::vector<std::string> avg = {"AVERAGE"};
+            for (const std::string tag : {"C", "R", "C+R"}) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.2f",
+                              geomean(per_tag[tag]));
+                avg.push_back(buf);
+            }
+            printRow(avg);
+        }
+    }
+    std::printf("\n* normalized against the C configuration because the "
+                "unoptimized code OOMs (as in the paper).\n");
+    return 0;
+}

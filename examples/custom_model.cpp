@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Defining a custom RGNN layer directly in the inter-operator IR.
+ *
+ * The paper's framing is that Hector is a *programming* framework:
+ * models beyond the three evaluated ones can be expressed as loops
+ * over graph entities and compiled through the same passes. This
+ * example builds a "typed GraphSAGE-like" layer that is none of
+ * RGCN / RGAT / HGT:
+ *
+ *   msg_e   = relu(h_src * W_rel[etype])
+ *   h_agg_v = mean over incoming e of msg_e    (via 1/deg norm data)
+ *   h_out_v = relu(h_v * W_self[ntype] + h_agg_v)
+ *
+ * and shows that compact materialization applies to msg automatically
+ * because it depends only on (source node, edge type).
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/compiler.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+
+using namespace hector;
+using core::Access;
+using core::Loop;
+using core::LoopDomain;
+using core::Materialization;
+using core::OpKind;
+using core::Stmt;
+using core::TypeBy;
+using core::VarSpace;
+
+namespace
+{
+
+core::Program
+buildTypedSage(std::int64_t din, std::int64_t dout)
+{
+    core::Program p;
+    p.name = "typed_sage";
+    p.declareVar("feature", {VarSpace::NodeInput, din, false,
+                             Materialization::Vanilla});
+    p.declareVar("norm", {VarSpace::EdgeData, 1, false,
+                          Materialization::Vanilla});
+    p.declareVar("proj", {VarSpace::EdgeData, dout, false,
+                          Materialization::Vanilla});
+    p.declareVar("msg", {VarSpace::EdgeData, dout, false,
+                         Materialization::Vanilla});
+    p.declareVar("h_agg", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareVar("h_self", {VarSpace::NodeData, dout, false,
+                            Materialization::Vanilla});
+    p.declareVar("h_sum", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareVar("h_out", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareWeight("W_rel", {TypeBy::Etype, din, dout, false, true});
+    p.declareWeight("W_self", {TypeBy::Ntype, din, dout, false, true});
+
+    auto stmt = [](OpKind k, const char *out,
+                   std::vector<core::VarRef> ins, const char *w = "",
+                   TypeBy by = TypeBy::Etype, float alpha = 0.0f) {
+        Stmt s;
+        s.kind = k;
+        s.out = {out, Access::Direct};
+        s.ins = std::move(ins);
+        s.weight = w;
+        s.typeBy = by;
+        s.alpha = alpha;
+        return s;
+    };
+
+    Loop gen{LoopDomain::Edges, {}, {}};
+    gen.body.push_back(stmt(OpKind::TypedLinear, "proj",
+                            {{"feature", Access::ViaSrc}}, "W_rel"));
+    gen.body.push_back(stmt(OpKind::Relu, "msg",
+                            {{"proj", Access::Direct}}));
+    p.loops.push_back(std::move(gen));
+
+    Loop agg{LoopDomain::DstNodes, {}, {}};
+    Loop inner{LoopDomain::IncomingEdges, {}, {}};
+    inner.body.push_back(stmt(OpKind::AccumulateScaled, "h_agg",
+                              {{"norm", Access::Direct},
+                               {"msg", Access::Direct}}));
+    agg.inner.push_back(std::move(inner));
+    p.loops.push_back(std::move(agg));
+
+    Loop self{LoopDomain::Nodes, {}, {}};
+    self.body.push_back(stmt(OpKind::TypedLinear, "h_self",
+                             {{"feature", Access::Direct}}, "W_self",
+                             TypeBy::Ntype));
+    self.body.push_back(stmt(OpKind::Add, "h_sum",
+                             {{"h_self", Access::Direct},
+                              {"h_agg", Access::Direct}}));
+    self.body.push_back(stmt(OpKind::Relu, "h_out",
+                             {{"h_sum", Access::Direct}}));
+    p.loops.push_back(std::move(self));
+
+    p.validate();
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("bgs"), 1.0 / 512.0, 5);
+    const std::int64_t dim = 16;
+
+    core::Program program = buildTypedSage(dim, dim);
+    std::printf("custom model IR:\n%s\n", program.dump().c_str());
+
+    for (bool compact : {false, true}) {
+        core::CompileOptions opts;
+        opts.compactMaterialization = compact;
+        const auto compiled = core::compile(program, opts);
+
+        std::mt19937_64 rng(11);
+        models::WeightMap weights =
+            models::initWeights(compiled.forwardProgram, g, rng);
+        tensor::Tensor feature =
+            tensor::Tensor::uniform({g.numNodes(), dim}, rng, 0.5f);
+
+        graph::CompactionMap cmap(g);
+        sim::Runtime rt;
+        core::ExecutionContext ctx;
+        ctx.g = &g;
+        ctx.cmap = &cmap;
+        ctx.rt = &rt;
+        models::WeightMap grads;
+        ctx.weights = &weights;
+        ctx.weightGrads = &grads;
+
+        auto scope = rt.memoryScope();
+        core::bindInputs(compiled, ctx, feature);
+        // The custom model reuses RGCN-style mean normalization data.
+        tensor::Tensor norm({g.numEdges(), 1});
+        for (std::int64_t e = 0; e < g.numEdges(); ++e)
+            norm.at(e, 0) = g.rgcnNorm()[static_cast<std::size_t>(e)];
+        ctx.tensors.insert_or_assign("norm", std::move(norm));
+
+        tensor::Tensor out = compiled.forward(ctx);
+        std::printf("%s: %zu kernels, %d compacted vars, modeled "
+                    "%.3f us, peak %zu B, out[0][0..3] = "
+                    "%.4f %.4f %.4f %.4f\n",
+                    compact ? "compact" : "vanilla",
+                    compiled.forwardKernels(),
+                    compiled.passStats.compactedVars,
+                    rt.totalTimeMs() * 1e3, rt.tracker().peakBytes(),
+                    out.at(0, 0), out.at(0, 1), out.at(0, 2),
+                    out.at(0, 3));
+    }
+    std::printf("\nBoth configurations produce identical outputs; the "
+                "compact one materializes msg per unique (src, etype) "
+                "pair.\n");
+    return 0;
+}

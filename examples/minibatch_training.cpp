@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minibatch training with neighbor sampling (paper Sec. 6).
+ *
+ * The full graph and its features stay "in host memory"; every step
+ * samples a typed one-hop neighborhood, pays the modeled PCIe
+ * transfer for the subgraph + features, and runs a Hector-compiled
+ * RGCN training step on the device. Demonstrates that generated
+ * kernels are graph-agnostic: the same CompiledModel executes on
+ * every sampled subgraph without recompilation.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/compiler.hh"
+#include "graph/datasets.hh"
+#include "graph/sampler.hh"
+#include "models/models.hh"
+
+int
+main()
+{
+    using namespace hector;
+
+    // A graph too large to train full-batch on the modeled device.
+    graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("biokg"), 1.0 / 128.0, 17);
+    const std::int64_t dim = 32;
+    std::printf("host graph: %lld nodes, %lld edges, %d relations\n",
+                static_cast<long long>(g.numNodes()),
+                static_cast<long long>(g.numEdges()), g.numEdgeTypes());
+
+    std::mt19937_64 rng(17);
+    tensor::Tensor host_features =
+        tensor::Tensor::uniform({g.numNodes(), dim}, rng, 0.5f);
+
+    // Compile once; the generated kernels take any graph.
+    core::Program program = models::buildRgcn(g.numEdgeTypes(), dim, dim);
+    core::CompileOptions opts;
+    opts.training = true;
+    const core::CompiledModel compiled = core::compile(program, opts);
+    models::WeightMap weights = models::initWeights(program, g, rng);
+
+    sim::Runtime rt(sim::makeScaledSpec(1.0 / 128.0));
+
+    std::printf("\nstep  seeds  sub-nodes  sub-edges  transfer+step-ms\n");
+    for (int step = 0; step < 8; ++step) {
+        rt.resetCounters();
+        graph::SampleSpec spec;
+        spec.numSeeds = 128;
+        spec.fanout = 8;
+        const graph::Minibatch mb = graph::sampleNeighbors(g, spec, rng);
+
+        auto scope = rt.memoryScope();
+        tensor::Tensor feat =
+            graph::transferFeatures(mb, host_features, rt);
+
+        core::ExecutionContext ctx;
+        graph::CompactionMap cmap(mb.subgraph);
+        ctx.g = &mb.subgraph;
+        ctx.cmap = &cmap;
+        ctx.rt = &rt;
+        models::WeightMap grads;
+        ctx.weights = &weights;
+        ctx.weightGrads = &grads;
+        core::trainStep(compiled, ctx, feat);
+
+        // SGD on the shared weights.
+        for (auto &[name, grad] : grads) {
+            tensor::Tensor &w = weights.at(name);
+            for (std::size_t i = 0; i < w.numel(); ++i)
+                w.data()[i] -= 0.05f * grad.data()[i];
+        }
+        std::printf("%4d  %5lld  %9lld  %9lld  %10.4f\n", step,
+                    static_cast<long long>(spec.numSeeds),
+                    static_cast<long long>(mb.subgraph.numNodes()),
+                    static_cast<long long>(mb.subgraph.numEdges()),
+                    rt.totalTimeMs());
+    }
+    std::printf("\nEach step paid the modeled host-to-device transfer "
+                "before Hector's kernels ran on the sampled subgraph.\n");
+    return 0;
+}

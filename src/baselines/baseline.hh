@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface for the execution systems the paper compares.
+ *
+ * Each baseline reproduces the *execution strategy* of one published
+ * system — its kernel-launch structure, data movement, and
+ * materialization behaviour — on the shared tensor / simulated-device
+ * substrate. Forward outputs are computed with the independent
+ * reference implementations so every system is numerically identical;
+ * what differs (and what the benchmarks measure) is the cost the
+ * simulated device is charged and the memory the strategy allocates.
+ * Training runs additionally charge each system's backward kernel
+ * sequence and allocate its gradient buffers.
+ */
+
+#ifndef HECTOR_BASELINES_BASELINE_HH
+#define HECTOR_BASELINES_BASELINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/compaction.hh"
+#include "graph/hetero_graph.hh"
+#include "models/models.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace hector::baselines
+{
+
+/** Outcome of one measured run. */
+struct RunResult
+{
+    tensor::Tensor output;
+    bool oom = false;
+    /** Modeled execution time in milliseconds. */
+    double timeMs = 0.0;
+    /** Peak simulated device memory in bytes. */
+    std::size_t peakBytes = 0;
+    /** Total kernel launches. */
+    std::uint64_t launches = 0;
+};
+
+/** One execution system (a baseline or a Hector configuration). */
+class System
+{
+  public:
+    virtual ~System() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Systems can lack model / training support (Sec. 4.1). */
+    virtual bool supports(models::ModelKind m, bool training) const = 0;
+
+    /**
+     * Run one inference (or one training step when @p training) and
+     * report modeled time / memory. OOM is reported, not thrown.
+     */
+    virtual RunResult run(models::ModelKind m, const graph::HeteroGraph &g,
+                          const models::WeightMap &w,
+                          const tensor::Tensor &feature, sim::Runtime &rt,
+                          bool training) const = 0;
+};
+
+/** The five prior systems of the paper's evaluation. */
+std::vector<std::unique_ptr<System>> priorSystems();
+
+/**
+ * Hector under a given optimization setting. Naming follows Table 5:
+ * "" (unopt), "C", "R", or "C+R".
+ */
+std::unique_ptr<System> hectorSystem(const std::string &opt_tag);
+
+} // namespace hector::baselines
+
+#endif // HECTOR_BASELINES_BASELINE_HH

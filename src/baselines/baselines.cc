@@ -1,0 +1,719 @@
+#include "baselines/baseline.hh"
+
+#include <functional>
+
+#include "baselines/charge.hh"
+#include "models/reference.hh"
+
+namespace hector::baselines
+{
+
+using graph::HeteroGraph;
+using models::ModelKind;
+using models::WeightMap;
+using sim::Phase;
+using tensor::Tensor;
+
+namespace
+{
+
+/**
+ * Shared run harness: open the device memory scope, execute the
+ * strategy body (which allocates temporaries and charges kernels),
+ * then compute the numerically-correct output with the reference
+ * implementation outside memory accounting. OOM is caught and
+ * reported the way the paper's tables do.
+ */
+RunResult
+runGuarded(sim::Runtime &rt,
+           const std::function<void()> &strategy_body,
+           const std::function<Tensor()> &reference_output)
+{
+    rt.resetCounters();
+    RunResult res;
+    {
+        auto scope = rt.memoryScope();
+        try {
+            strategy_body();
+        } catch (const tensor::OomError &) {
+            res.oom = true;
+        }
+    }
+    if (!res.oom) {
+        tensor::TrackerScope untracked(nullptr);
+        res.output = reference_output();
+    }
+    res.timeMs = rt.totalTimeMs();
+    res.peakBytes = rt.tracker().peakBytes();
+    res.launches = rt.counters().total().launches;
+    return res;
+}
+
+/** Weight shapes used for temporary allocation decisions. */
+struct Dims
+{
+    double din;
+    double dout;
+};
+
+Dims
+dimsOf(ModelKind m, const WeightMap &w)
+{
+    switch (m) {
+      case ModelKind::Rgcn:
+      case ModelKind::Rgat: {
+        const Tensor &t = w.at("W");
+        return {static_cast<double>(t.dim(1)),
+                static_cast<double>(t.dim(2))};
+      }
+      case ModelKind::Hgt: {
+        const Tensor &t = w.at("K");
+        return {static_cast<double>(t.dim(1)),
+                static_cast<double>(t.dim(2))};
+      }
+    }
+    return {0, 0};
+}
+
+/**
+ * DGL-style execution (Sec. 4.2): segment-MM based RGCN / HGT
+ * primitives are its fast path; RGAT runs as a per-relation Python
+ * loop launching small kernels for every edge type.
+ */
+class DglSystem : public System
+{
+  public:
+    std::string name() const override { return "DGL"; }
+
+    bool
+    supports(ModelKind, bool) const override
+    {
+        return true;
+    }
+
+    RunResult
+    run(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+        const Tensor &feature, sim::Runtime &rt,
+        bool training) const override
+    {
+        const Dims d = dimsOf(m, w);
+        const double e = static_cast<double>(g.numEdges());
+        const double n = static_cast<double>(g.numNodes());
+
+        auto body = [&]() {
+            switch (m) {
+              case ModelKind::Rgcn: {
+                Tensor gathered({g.numEdges(),
+                                 static_cast<std::int64_t>(d.din)});
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                Tensor out({g.numNodes(),
+                            static_cast<std::int64_t>(d.dout)});
+                chargeCopy(rt, Phase::Forward, "gather_src", e, d.din);
+                chargeGemm(rt, Phase::Forward, "segment_mm", e, d.din,
+                           d.dout);
+                chargeTraversal(rt, Phase::Forward, "spmm_agg", e, d.dout,
+                                false, g);
+                chargeGemm(rt, Phase::Forward, "self_loop", n, d.din,
+                           d.dout);
+                chargeElementwise(rt, Phase::Forward, "add", n * d.dout);
+                frameworkOp(rt, 6);
+                if (training) {
+                    Tensor dmsg({g.numEdges(),
+                                 static_cast<std::int64_t>(d.dout)});
+                    chargeTraversal(rt, Phase::Backward, "spmm_bwd", e,
+                                    d.dout, false, g);
+                    chargeGemm(rt, Phase::Backward, "segment_mm_dx", e,
+                               d.dout, d.din);
+                    chargeGemm(rt, Phase::Backward, "segment_mm_dw", e,
+                               d.din, d.dout);
+                    chargeTraversal(rt, Phase::Backward, "scatter_dx", e,
+                                    d.din, true, g);
+                    chargeGemm(rt, Phase::Backward, "self_loop_dw", n,
+                               d.din, d.dout);
+                    frameworkOp(rt, 6);
+                }
+                break;
+              }
+              case ModelKind::Rgat: {
+                // HeteroConv-style per-relation loop: 2 GEMMs plus
+                // gather / dot / activation kernels per edge type.
+                // Gathered endpoint features are materialized per
+                // relation before the GEMMs.
+                Tensor gathered({g.numEdges(),
+                                 static_cast<std::int64_t>(d.din)});
+                Tensor hs({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                Tensor ht({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                Tensor att({g.numEdges(), 1});
+                // HeteroConv collects per-relation outputs and then
+                // torch.cat's them into a fresh buffer while the
+                // per-relation results are still alive.
+                Tensor concat_buf({g.numEdges(),
+                                   static_cast<std::int64_t>(d.dout)});
+                chargeCopy(rt, Phase::Forward, "concat_outputs",
+                           static_cast<double>(g.numEdges()), d.dout);
+                chargePerRelationGemms(rt, Phase::Forward, "rgat_hs", g,
+                                       d.din, d.dout, 2);
+                for (int r = 0; r < g.numEdgeTypes(); ++r) {
+                    const double rows =
+                        static_cast<double>(g.numEdgesOfType(r));
+                    if (rows == 0.0)
+                        continue;
+                    chargeCopy(rt, Phase::Forward, "gather", rows, d.din);
+                    chargeElementwise(rt, Phase::Forward, "dot+lrelu",
+                                      rows * d.dout);
+                    frameworkOp(rt, 4);
+                }
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                if (training) {
+                    // Autograd re-runs the per-relation Python loop
+                    // with gradient kernels for every forward op,
+                    // plus per-relation gather/scatter of gradients.
+                    Tensor dhs({g.numEdges(),
+                                static_cast<std::int64_t>(d.dout)});
+                    Tensor dht({g.numEdges(),
+                                static_cast<std::int64_t>(d.dout)});
+                    chargePerRelationGemms(rt, Phase::Backward, "rgat_bwd",
+                                           g, d.din, d.dout, 6);
+                    for (int r = 0; r < g.numEdgeTypes(); ++r) {
+                        const double rows =
+                            static_cast<double>(g.numEdgesOfType(r));
+                        if (rows == 0.0)
+                            continue;
+                        chargeCopy(rt, Phase::Backward, "grad_gather",
+                                   rows, d.din);
+                        chargeCopy(rt, Phase::Backward, "grad_scatter",
+                                   rows, d.dout);
+                        frameworkOp(rt, 2);
+                    }
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "att_wvec_grads",
+                                    e, 2.0 * d.dout, true, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                    chargeTraversal(rt, Phase::Backward, "dx_scatter", e,
+                                    d.din, true, g);
+                }
+                break;
+              }
+              case ModelKind::Hgt: {
+                // Segment-MM based HGTConv: typed projections then
+                // segmented edge ops.
+                Tensor kqv({3 * g.numNodes(),
+                            static_cast<std::int64_t>(d.dout)});
+                Tensor gathered({2 * g.numEdges(),
+                                 static_cast<std::int64_t>(d.dout)});
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                Tensor att({g.numEdges(), 1});
+                // Per-head attention/message assembly workspace
+                // (torch.cat of per-segment outputs).
+                Tensor workspace({g.numEdges(),
+                                  static_cast<std::int64_t>(d.dout)});
+                chargeCopy(rt, Phase::Forward, "assemble_outputs",
+                           static_cast<double>(g.numEdges()), d.dout);
+                for (int i = 0; i < 3; ++i)
+                    chargeGemm(rt, Phase::Forward, "proj_kqv", n, d.din,
+                               d.dout);
+                chargeCopy(rt, Phase::Forward, "gather_kv", 2.0 * e,
+                           d.dout);
+                chargeGemm(rt, Phase::Forward, "segment_mm_att", e, d.dout,
+                           d.dout);
+                chargeGemm(rt, Phase::Forward, "segment_mm_msg", e, d.dout,
+                           d.dout);
+                chargeTraversal(rt, Phase::Forward, "att_dot", e, d.dout,
+                                false, g);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 12);
+                if (training) {
+                    // Gradients of the gathered k/v copies and of both
+                    // segmented edge operators are materialized
+                    // edgewise before the weight-gradient GEMMs.
+                    Tensor dmsg({2 * g.numEdges(),
+                                 static_cast<std::int64_t>(d.dout)});
+                    Tensor dgathered({2 * g.numEdges(),
+                                      static_cast<std::int64_t>(d.dout)});
+                    for (int i = 0; i < 6; ++i)
+                        chargeGemm(rt, Phase::Backward, "segment_mm_bwd", e,
+                                   d.dout, d.dout);
+                    chargeCopy(rt, Phase::Backward, "grad_gather",
+                               2.0 * e, d.dout);
+                    chargeCopy(rt, Phase::Backward, "grad_scatter",
+                               2.0 * e, d.dout);
+                    for (int i = 0; i < 3; ++i)
+                        chargeGemm(rt, Phase::Backward, "proj_bwd", n,
+                                   d.din, d.dout);
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                    chargeTraversal(rt, Phase::Backward, "dkv_scatter", e,
+                                    d.dout, true, g);
+                    frameworkOp(rt, 18);
+                }
+                break;
+              }
+            }
+        };
+        return runGuarded(
+            rt, body, [&]() { return referenceForward(m, g, w, feature); });
+    }
+};
+
+/**
+ * PyG-style execution: FastRGCNConv materializes a per-edge weight
+ * tensor W'[i] = W[T[i]] (the Sec. 2.3 case study) and runs bmm();
+ * RGAT / HGT follow the same replication pattern for edgewise typed
+ * operators. Fast, until the replicated tensor blows device memory.
+ */
+class PygSystem : public System
+{
+  public:
+    std::string name() const override { return "PyG"; }
+
+    bool
+    supports(ModelKind, bool) const override
+    {
+        return true;
+    }
+
+    RunResult
+    run(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+        const Tensor &feature, sim::Runtime &rt,
+        bool training) const override
+    {
+        const Dims d = dimsOf(m, w);
+        const double e = static_cast<double>(g.numEdges());
+        const double n = static_cast<double>(g.numNodes());
+
+        auto replicate = [&](double rows, double rdin, double rdout,
+                             Phase ph) {
+            // Materialize W'[i, :, :] = W[T[i], :, :].
+            Tensor rep({static_cast<std::int64_t>(rows),
+                        static_cast<std::int64_t>(rdin),
+                        static_cast<std::int64_t>(rdout)});
+            chargeCopy(rt, ph, "replicate_weights", rows, rdin * rdout);
+            return rep;
+        };
+
+        auto body = [&]() {
+            switch (m) {
+              case ModelKind::Rgcn: {
+                Tensor rep = replicate(e, d.din, d.dout, Phase::Forward);
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Forward, "bmm", e, d.din,
+                                    d.dout);
+                chargeTraversal(rt, Phase::Forward, "scatter_agg", e,
+                                d.dout, true, g);
+                chargeGemm(rt, Phase::Forward, "self_loop", n, d.din,
+                           d.dout);
+                frameworkOp(rt, 5);
+                if (training) {
+                    // Per-copy weight gradients before reduction.
+                    Tensor drep =
+                        replicate(e, d.din, d.dout, Phase::Backward);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_dx", e,
+                                        d.dout, d.din);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_dw", e,
+                                        d.din, d.dout);
+                    chargeTraversal(rt, Phase::Backward, "reduce_dw", e,
+                                    d.din * d.dout / 8.0, true, g);
+                    frameworkOp(rt, 5);
+                }
+                break;
+              }
+              case ModelKind::Rgat: {
+                Tensor rep = replicate(e, d.din, d.dout, Phase::Forward);
+                Tensor hs({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                Tensor ht({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_hs", e, d.din,
+                                    d.dout);
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_ht", e, d.din,
+                                    d.dout);
+                chargeElementwise(rt, Phase::Forward, "att_dots",
+                                  2.0 * e * d.dout);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 8);
+                if (training) {
+                    Tensor drep =
+                        replicate(e, d.din, d.dout, Phase::Backward);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd1", e,
+                                        d.dout, d.din);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd2", e,
+                                        d.din, d.dout);
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                    chargeTraversal(rt, Phase::Backward, "reduce_dw", e,
+                                    d.din * d.dout / 8.0, true, g);
+                    frameworkOp(rt, 8);
+                }
+                break;
+              }
+              case ModelKind::Hgt: {
+                // Per-node-type projections then replicated edge ops.
+                for (int t = 0; t < g.numNodeTypes(); ++t)
+                    for (int i = 0; i < 3; ++i) {
+                        const double rows = static_cast<double>(
+                            g.ntypePtr()[static_cast<std::size_t>(t) + 1] -
+                            g.ntypePtr()[static_cast<std::size_t>(t)]);
+                        if (rows > 0.0)
+                            chargeGemm(rt, Phase::Forward, "proj", rows,
+                                       d.din, d.dout);
+                    }
+                frameworkOp(rt, 3 * g.numNodeTypes());
+                Tensor rep = replicate(e, d.dout, d.dout, Phase::Forward);
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_att", e,
+                                    d.dout, d.dout);
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_msg", e,
+                                    d.dout, d.dout);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 6);
+                if (training) {
+                    Tensor drep =
+                        replicate(e, d.dout, d.dout, Phase::Backward);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd", e,
+                                        d.dout, d.dout);
+                    chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd2", e,
+                                        d.dout, d.dout);
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                    frameworkOp(rt, 8);
+                }
+                break;
+              }
+            }
+        };
+        return runGuarded(
+            rt, body, [&]() { return referenceForward(m, g, w, feature); });
+    }
+};
+
+/**
+ * Seastar-style execution: a vertex-centric compiler that lowers the
+ * whole layer to a handful of fused sparse kernels — few launches and
+ * small footprint, but typed linear transforms run at traversal-
+ * kernel efficiency instead of GEMM efficiency (the paper's "lower
+ * to GEMM as much as possible" comparison point).
+ */
+class SeastarSystem : public System
+{
+  public:
+    std::string name() const override { return "Seastar"; }
+
+    bool
+    supports(ModelKind, bool) const override
+    {
+        return true;
+    }
+
+    RunResult
+    run(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+        const Tensor &feature, sim::Runtime &rt,
+        bool training) const override
+    {
+        const Dims d = dimsOf(m, w);
+        const double e = static_cast<double>(g.numEdges());
+        const double n = static_cast<double>(g.numNodes());
+
+        auto fusedSparseLinear = [&](const std::string &nm, double rows,
+                                     double rdin, double rdout, Phase ph) {
+            sim::KernelDesc kd;
+            kd.name = nm;
+            kd.category = sim::KernelCategory::Traversal;
+            kd.phase = ph;
+            kd.flops = 2.0 * rows * rdin * rdout;
+            kd.bytesRead = 4.0 * rows * rdin + 4.0 * rdin * rdout +
+                           16.0 * rows;
+            kd.bytesWritten = 4.0 * rows * rdout;
+            kd.workItems = rows * rdout;
+            // Vertex-centric generated code performs the dense
+            // transform as per-thread scalar GEMV with no shared-
+            // memory tiling; sustained FP32 is a small fraction of
+            // peak (this is the paper's "lower to GEMM as much as
+            // possible" finding).
+            kd.computeEff = 0.025;
+            rt.launch(kd, nullptr);
+        };
+
+        auto body = [&]() {
+            switch (m) {
+              case ModelKind::Rgcn: {
+                // One fused vertex-centric kernel + self loop.
+                fusedSparseLinear("seastar_rgcn", e, d.din, d.dout,
+                                  Phase::Forward);
+                fusedSparseLinear("seastar_selfloop", n, d.din, d.dout,
+                                  Phase::Forward);
+                frameworkOp(rt, 2);
+                if (training) {
+                    fusedSparseLinear("seastar_rgcn_bwd", 2.0 * e, d.din,
+                                      d.dout, Phase::Backward);
+                    fusedSparseLinear("seastar_selfloop_bwd", n, d.din,
+                                      d.dout, Phase::Backward);
+                    chargeTraversal(rt, Phase::Backward, "dx_scatter", e,
+                                    d.din, true, g);
+                }
+                break;
+              }
+              case ModelKind::Rgat: {
+                Tensor att({g.numEdges(), 1});
+                fusedSparseLinear("seastar_msg_att", 2.0 * e, d.din, d.dout,
+                                  Phase::Forward);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 3);
+                if (training) {
+                    fusedSparseLinear("seastar_bwd", 4.0 * e, d.din, d.dout,
+                                      Phase::Backward);
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                }
+                break;
+              }
+              case ModelKind::Hgt: {
+                Tensor att({g.numEdges(), 1});
+                fusedSparseLinear("seastar_proj", 3.0 * n, d.din, d.dout,
+                                  Phase::Forward);
+                fusedSparseLinear("seastar_edge", 2.0 * e, d.dout, d.dout,
+                                  Phase::Forward);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 4);
+                if (training) {
+                    fusedSparseLinear("seastar_bwd", 4.0 * e, d.dout,
+                                      d.dout, Phase::Backward);
+                    fusedSparseLinear("seastar_proj_bwd", 3.0 * n, d.din,
+                                      d.dout, Phase::Backward);
+                    chargeEdgeSoftmax(rt, Phase::Backward, g);
+                    chargeTraversal(rt, Phase::Backward, "agg_bwd", e,
+                                    d.dout, true, g);
+                }
+                break;
+              }
+            }
+        };
+        return runGuarded(
+            rt, body, [&]() { return referenceForward(m, g, w, feature); });
+    }
+};
+
+/**
+ * Graphiler-style execution (inference only): compiled TorchScript
+ * with pre-programmed fused kernels. Strong on RGCN / HGT; RGAT hits
+ * the non-exhaustive fused-kernel set and falls back to unfused
+ * edgewise operators with heavy indexing / copying (Fig. 3).
+ */
+class GraphilerSystem : public System
+{
+  public:
+    std::string name() const override { return "Graphiler"; }
+
+    bool
+    supports(ModelKind, bool training) const override
+    {
+        return !training; // TorchScript autodiff limitation (Sec. 4.2)
+    }
+
+    RunResult
+    run(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+        const Tensor &feature, sim::Runtime &rt,
+        bool training) const override
+    {
+        (void)training;
+        const Dims d = dimsOf(m, w);
+        const double e = static_cast<double>(g.numEdges());
+        const double n = static_cast<double>(g.numNodes());
+
+        auto body = [&]() {
+            switch (m) {
+              case ModelKind::Rgcn: {
+                Tensor gathered({g.numEdges(),
+                                 static_cast<std::int64_t>(d.din)});
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                chargeCopy(rt, Phase::Forward, "gather_src", e, d.din);
+                chargeGemm(rt, Phase::Forward, "segment_mm", e, d.din,
+                           d.dout);
+                chargeTraversal(rt, Phase::Forward, "fused_agg", e, d.dout,
+                                false, g);
+                chargeGemm(rt, Phase::Forward, "self_loop", n, d.din,
+                           d.dout);
+                frameworkOp(rt, 2); // compiled: little dispatch overhead
+                break;
+              }
+              case ModelKind::Rgat: {
+                // Fallback path: unfused edgewise ops + required
+                // data copies + per-edge weight broadcast.
+                Tensor gathered({2 * g.numEdges(),
+                                 static_cast<std::int64_t>(d.din)});
+                Tensor rep({g.numEdges(),
+                            static_cast<std::int64_t>(d.din),
+                            static_cast<std::int64_t>(d.dout)});
+                Tensor hs({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                Tensor ht({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                chargeCopy(rt, Phase::Forward, "gather_src", e, d.din);
+                chargeCopy(rt, Phase::Forward, "gather_dst", e, d.din);
+                chargeCopy(rt, Phase::Forward, "broadcast_w", e,
+                           d.din * d.dout);
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_hs", e, d.din,
+                                    d.dout);
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_ht", e, d.din,
+                                    d.dout);
+                chargeCopy(rt, Phase::Forward, "gather_wvec", 2.0 * e,
+                           d.dout);
+                chargeElementwise(rt, Phase::Forward, "dots+lrelu",
+                                  2.0 * e * d.dout);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "agg", e, d.dout, true,
+                                g);
+                frameworkOp(rt, 6);
+                break;
+              }
+              case ModelKind::Hgt: {
+                Tensor kqv({3 * g.numNodes(),
+                            static_cast<std::int64_t>(d.dout)});
+                Tensor gathered({2 * g.numEdges(),
+                                 static_cast<std::int64_t>(d.dout)});
+                Tensor msg({g.numEdges(),
+                            static_cast<std::int64_t>(d.dout)});
+                for (int i = 0; i < 3; ++i)
+                    chargeGemm(rt, Phase::Forward, "proj", n, d.din,
+                               d.dout);
+                chargeCopy(rt, Phase::Forward, "gather_kv", 2.0 * e,
+                           d.dout);
+                chargeGemm(rt, Phase::Forward, "segment_mm_att", e, d.dout,
+                           d.dout);
+                chargeGemm(rt, Phase::Forward, "segment_mm_msg", e, d.dout,
+                           d.dout);
+                chargeTraversal(rt, Phase::Forward, "fused_att_softmax_agg",
+                                3.0 * e, d.dout, false, g);
+                frameworkOp(rt, 3);
+                break;
+              }
+            }
+        };
+        return runGuarded(
+            rt, body, [&]() { return referenceForward(m, g, w, feature); });
+    }
+};
+
+/**
+ * HGL-style execution (training-oriented RGNN compiler): holistic
+ * inter-operator optimization reduces launch counts below DGL's, but
+ * typed linear layers still replicate weights, which costs memory and
+ * bandwidth (HGL's frequent OOMs in Fig. 8a).
+ */
+class HglSystem : public System
+{
+  public:
+    std::string name() const override { return "HGL"; }
+
+    bool
+    supports(ModelKind m, bool training) const override
+    {
+        return training && m != ModelKind::Hgt; // no HGT support
+    }
+
+    RunResult
+    run(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+        const Tensor &feature, sim::Runtime &rt,
+        bool training) const override
+    {
+        (void)training;
+        const Dims d = dimsOf(m, w);
+        const double e = static_cast<double>(g.numEdges());
+        const double n = static_cast<double>(g.numNodes());
+
+        auto body = [&]() {
+            Tensor rep({g.numEdges(), static_cast<std::int64_t>(d.din),
+                        static_cast<std::int64_t>(d.dout)});
+            chargeCopy(rt, Phase::Forward, "replicate_weights", e,
+                       d.din * d.dout);
+            if (m == ModelKind::Rgcn) {
+                chargeBmmReplicated(rt, Phase::Forward, "bmm", e, d.din,
+                                    d.dout);
+                chargeTraversal(rt, Phase::Forward, "fused_agg", e, d.dout,
+                                false, g);
+                chargeGemm(rt, Phase::Forward, "self_loop", n, d.din,
+                           d.dout);
+                frameworkOp(rt, 3);
+                Tensor drep({g.numEdges(),
+                             static_cast<std::int64_t>(d.din),
+                             static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd", e,
+                                    d.dout, d.din);
+                chargeBmmReplicated(rt, Phase::Backward, "bmm_dw", e, d.din,
+                                    d.dout);
+                chargeTraversal(rt, Phase::Backward, "reduce_dw", e,
+                                d.din * d.dout / 8.0, true, g);
+                frameworkOp(rt, 3);
+            } else {
+                Tensor hs({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                Tensor ht({g.numEdges(),
+                           static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_hs", e, d.din,
+                                    d.dout);
+                chargeBmmReplicated(rt, Phase::Forward, "bmm_ht", e, d.din,
+                                    d.dout);
+                chargeElementwise(rt, Phase::Forward, "dots",
+                                  2.0 * e * d.dout);
+                chargeEdgeSoftmax(rt, Phase::Forward, g);
+                chargeTraversal(rt, Phase::Forward, "fused_agg", e, d.dout,
+                                false, g);
+                frameworkOp(rt, 4);
+                Tensor drep({g.numEdges(),
+                             static_cast<std::int64_t>(d.din),
+                             static_cast<std::int64_t>(d.dout)});
+                chargeBmmReplicated(rt, Phase::Backward, "bmm_bwd", e,
+                                    d.dout, d.din);
+                chargeBmmReplicated(rt, Phase::Backward, "bmm_dw", e, d.din,
+                                    d.dout);
+                chargeEdgeSoftmax(rt, Phase::Backward, g);
+                chargeTraversal(rt, Phase::Backward, "agg_bwd", e, d.dout,
+                                true, g);
+                chargeTraversal(rt, Phase::Backward, "reduce_dw", e,
+                                d.din * d.dout / 8.0, true, g);
+                frameworkOp(rt, 4);
+            }
+        };
+        return runGuarded(
+            rt, body, [&]() { return referenceForward(m, g, w, feature); });
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<System>>
+priorSystems()
+{
+    std::vector<std::unique_ptr<System>> out;
+    out.push_back(std::make_unique<DglSystem>());
+    out.push_back(std::make_unique<PygSystem>());
+    out.push_back(std::make_unique<SeastarSystem>());
+    out.push_back(std::make_unique<GraphilerSystem>());
+    out.push_back(std::make_unique<HglSystem>());
+    return out;
+}
+
+} // namespace hector::baselines

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cost-charging helpers shared by the baseline system models.
+ *
+ * Every helper issues one (or a fixed number of) kernel launches on
+ * the simulated device with FLOP / byte / atomic counts derived from
+ * the documented behaviour of the system being modeled. Framework-
+ * level operator dispatch cost (the CUDA API overhead the paper
+ * profiles at ~22% of the critical path for Graphiler) is charged via
+ * frameworkOp().
+ */
+
+#ifndef HECTOR_BASELINES_CHARGE_HH
+#define HECTOR_BASELINES_CHARGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/hetero_graph.hh"
+#include "sim/runtime.hh"
+
+namespace hector::baselines
+{
+
+/** Per-operator framework (PyTorch-like) dispatch overhead. */
+inline constexpr double kFrameworkOpSeconds = 4.0e-6;
+
+/** Charge a framework operator dispatch. */
+void frameworkOp(sim::Runtime &rt, int count = 1);
+
+/** One dense GEMM: rows x din times din x dout. */
+void chargeGemm(sim::Runtime &rt, sim::Phase phase, const std::string &name,
+                double rows, double din, double dout,
+                double extra_read_bytes = 0.0);
+
+/**
+ * Batched matrix multiply over per-row replicated weights (the PyG
+ * FastRGCNConv strategy): same FLOPs as a segment MM but every row
+ * re-reads its own din x dout weight slice, making it bandwidth
+ * bound.
+ */
+void chargeBmmReplicated(sim::Runtime &rt, sim::Phase phase,
+                         const std::string &name, double rows, double din,
+                         double dout);
+
+/** Indexing / copy kernel moving rows*cols floats. */
+void chargeCopy(sim::Runtime &rt, sim::Phase phase, const std::string &name,
+                double rows, double cols);
+
+/** Pointwise kernel over n elements. */
+void chargeElementwise(sim::Runtime &rt, sim::Phase phase,
+                       const std::string &name, double n);
+
+/** Edge-parallel traversal with optional atomic node aggregation. */
+void chargeTraversal(sim::Runtime &rt, sim::Phase phase,
+                     const std::string &name, double edges, double cols,
+                     bool atomic, const graph::HeteroGraph &g);
+
+/** Edge-softmax as the usual 3-kernel sequence. */
+void chargeEdgeSoftmax(sim::Runtime &rt, sim::Phase phase,
+                       const graph::HeteroGraph &g);
+
+/**
+ * A per-relation Python-level loop (the DGL HeteroConv pattern):
+ * launches @p kernels_per_rel small kernels for each relation
+ * segment, each sized to that segment.
+ */
+void chargePerRelationGemms(sim::Runtime &rt, sim::Phase phase,
+                            const std::string &name,
+                            const graph::HeteroGraph &g, double din,
+                            double dout, int kernels_per_rel);
+
+} // namespace hector::baselines
+
+#endif // HECTOR_BASELINES_CHARGE_HH

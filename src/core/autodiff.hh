@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Inter-operator level auto-differentiation (paper Sec. 3.5).
+ *
+ * Hector emits backward propagation as a second inter-operator level
+ * program, then removes unused gradients and their computation
+ * (dead-gradient elimination). The backward program is subsequently
+ * lowered through exactly the same passes and templates as forward,
+ * which is how the paper's backward GEMM (outer product) and backward
+ * traversal (atomic-update) kernels arise.
+ */
+
+#ifndef HECTOR_CORE_AUTODIFF_HH
+#define HECTOR_CORE_AUTODIFF_HH
+
+#include <set>
+#include <string>
+
+#include "core/inter_op_ir.hh"
+
+namespace hector::core
+{
+
+/** Name of the gradient variable of @p var. */
+std::string gradOf(const std::string &var);
+
+/**
+ * Set of variables whose gradient must be computed: those on a path
+ * from a trainable parameter (or the input feature when
+ * @p feature_grad) to the program output.
+ */
+std::set<std::string> gradRequiredVars(const Program &p, bool feature_grad);
+
+/**
+ * Build the backward program of @p fwd.
+ *
+ * The returned program reads the forward program's intermediate
+ * values (same variable names) plus the seed gradient
+ * gradOf(fwd.outputVar), and accumulates:
+ *  - gradOf(v) for every intermediate v that requires grad,
+ *  - weight gradients via OuterAccumulate / WeightVecGrad statements,
+ *  - composed-weight chain rules in Program::weightBackward.
+ *
+ * Gradients of variables outside gradRequiredVars() are never
+ * computed (dead-gradient elimination).
+ */
+Program buildBackward(const Program &fwd, bool feature_grad);
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_AUTODIFF_HH

@@ -1,0 +1,492 @@
+#include "core/codegen.hh"
+
+#include <sstream>
+
+namespace hector::core
+{
+
+namespace
+{
+
+int
+countLines(const std::string &s)
+{
+    int n = 0;
+    for (char c : s)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+const char *
+gatherExpr(AccessScheme s)
+{
+    switch (s) {
+      case AccessScheme::Identity:
+        return "r";
+      case AccessScheme::GatherSrc:
+        return "row_idx[r]";
+      case AccessScheme::GatherDst:
+        return "col_idx[r]";
+      case AccessScheme::GatherUniqueSrc:
+        return "unique_row_idx[r]";
+      case AccessScheme::GatherEdgeToUnique:
+        return "edge_to_unique[r]";
+      case AccessScheme::ScatterDstAtomic:
+        return "col_idx[r]";
+      case AccessScheme::ScatterSrcAtomic:
+        return "row_idx[r]";
+      case AccessScheme::ScatterUniqueAtomic:
+        return "edge_to_unique[r]";
+    }
+    return "r";
+}
+
+const char *
+segPtrName(RowDomain d, TypeBy by)
+{
+    if (by == TypeBy::Single)
+        return "full_range_ptr";
+    switch (d) {
+      case RowDomain::Edges:
+        return "etype_ptr";
+      case RowDomain::UniquePairs:
+        return "unique_etype_ptr";
+      case RowDomain::Nodes:
+        return "ntype_ptr";
+    }
+    return "etype_ptr";
+}
+
+/** Renders one traversal-statement as CUDA C. */
+std::string
+stmtToCuda(const Program &p, const Stmt &s, const std::string &ent)
+{
+    auto ref = [&](const VarRef &v) -> std::string {
+        const auto &vi = p.varInfo(v.name);
+        std::string idx;
+        if (vi.space == VarSpace::EdgeData) {
+            if (vi.mat == Materialization::Virtual)
+                return v.name + "_reg";
+            idx = vi.mat == Materialization::Compact
+                      ? "edge_to_unique[" + ent + "]"
+                      : ent;
+        } else {
+            switch (v.access) {
+              case Access::ViaSrc:
+                idx = "row_idx[" + ent + "]";
+                break;
+              case Access::ViaDst:
+                idx = "col_idx[" + ent + "]";
+                break;
+              case Access::Direct:
+                idx = "n";
+                break;
+            }
+        }
+        if (vi.cols == 1)
+            return v.name + "[" + idx + "]";
+        return v.name + "[" + idx + " * " + std::to_string(vi.cols) +
+               " + f]";
+    };
+
+    std::ostringstream os;
+    auto assign = [&](const std::string &expr) {
+        const std::string out = ref(s.out);
+        if (s.accumulateOut || s.kind == OpKind::AccumulateSum ||
+            s.kind == OpKind::AccumulateScaled) {
+            if ((s.out.access != Access::Direct &&
+                 p.varInfo(s.out.name).space != VarSpace::EdgeData) ||
+                (p.varInfo(s.out.name).space == VarSpace::EdgeData &&
+                 p.varInfo(s.out.name).mat == Materialization::Compact)) {
+                os << "atomicAdd(&" << out << ", " << expr << ");";
+                return;
+            }
+            os << out << " += " << expr << ";";
+        } else {
+            os << out << " = " << expr << ";";
+        }
+    };
+
+    switch (s.kind) {
+      case OpKind::DotProduct:
+        assign("warp_dot(" + ref(s.ins[0]) + ", " +
+               (s.weight.empty() ? ref(s.ins[1])
+                                 : s.weight + "[etype * dim + f]") +
+               ")");
+        break;
+      case OpKind::Add:
+        assign(ref(s.ins[0]) + " + " + ref(s.ins[1]));
+        break;
+      case OpKind::Mul:
+        assign(ref(s.ins[0]) + " * " + ref(s.ins[1]));
+        break;
+      case OpKind::LeakyRelu:
+        assign("leaky_relu(" + ref(s.ins[0]) + ", " +
+               std::to_string(s.alpha) + "f)");
+        break;
+      case OpKind::Relu:
+        assign("fmaxf(" + ref(s.ins[0]) + ", 0.f)");
+        break;
+      case OpKind::Exp:
+        assign("__expf(" + ref(s.ins[0]) + ")");
+        break;
+      case OpKind::Divide:
+        assign(ref(s.ins[0]) + " / " + ref(s.ins[1]));
+        break;
+      case OpKind::Scale:
+        assign(std::to_string(s.alpha) + "f * " + ref(s.ins[0]));
+        break;
+      case OpKind::Copy:
+      case OpKind::AccumulateSum:
+        assign(ref(s.ins[0]));
+        break;
+      case OpKind::AccumulateScaled:
+        assign(ref(s.ins[0]) + " * " +
+               (s.weight.empty() ? ref(s.ins[1])
+                                 : s.weight + "[etype * dim + f]"));
+        break;
+      case OpKind::LeakyReluBwd:
+        assign(ref(s.ins[0]) + " * (" + ref(s.ins[1]) + " > 0.f ? 1.f : " +
+               std::to_string(s.alpha) + "f)");
+        break;
+      case OpKind::ReluBwd:
+        assign(ref(s.ins[0]) + " * (" + ref(s.ins[1]) + " > 0.f)");
+        break;
+      case OpKind::DivGradDenom:
+        assign("-" + ref(s.ins[0]) + " * " + ref(s.ins[1]) + " / (" +
+               ref(s.ins[2]) + " * " + ref(s.ins[2]) + ")");
+        break;
+      case OpKind::WeightVecGrad:
+        os << "atomicAdd(&" << s.weight << "_grad[etype * dim + f], "
+           << ref(s.ins[0]) << " * " << ref(s.ins[1]) << ");";
+        break;
+      default:
+        os << "/* unsupported in traversal: " << toString(s.kind) << " */";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+emitGemmKernel(const Program &p, const GemmInstance &gi)
+{
+    (void)p;
+    std::ostringstream os;
+    const std::string ts = std::to_string(gi.sched.tileSz);
+    os << "// ---- GEMM template instance kid=" << gi.kid << " ----\n";
+    os << "// Y: (" << toString(gi.rows) << ", \"" << gi.yVar
+       << "\") [" << toString(gi.yAccess) << "]\n";
+    os << "// X: (\"" << gi.xVar << "\") [" << toString(gi.xAccess)
+       << (gi.transW ? ", TRANSPOSE_W" : ", NO_TRANSPOSE") << "]\n";
+    os << "// W: (" << gi.wVar << ", typed)"
+       << (gi.kind == GemmKind::Outer ? "  [outer-product gradient]" : "")
+       << "\n";
+    os << "// schedule: {tile_sz: " << ts
+       << ", coarsening: " << gi.sched.coarsening << ", launch_bounds: "
+       << (gi.sched.launchBounds ? "true" : "false") << "}\n";
+    if (gi.sched.launchBounds)
+        os << "__launch_bounds__(" << gi.sched.tileSz * gi.sched.tileSz
+           << ", 4)\n";
+    os << "__global__ void " << gi.name << "(\n"
+       << "    const float *__restrict__ X, const float *__restrict__ W,\n"
+       << "    float *__restrict__ Y, const int64_t *__restrict__ "
+       << segPtrName(gi.rows, gi.typeBy) << ",\n"
+       << "    const int64_t *__restrict__ row_idx,\n"
+       << "    const int64_t *__restrict__ col_idx,\n"
+       << "    const int64_t *__restrict__ unique_row_idx,\n"
+       << "    const int64_t *__restrict__ edge_to_unique,\n"
+       << "    const float *__restrict__ per_row_scalar,\n"
+       << "    int num_types, int din, int dout)\n"
+       << "{\n"
+       << "    __shared__ float x_shmem[" << ts << "][" << ts << "];\n"
+       << "    __shared__ float w_shmem[" << ts << "][" << ts << "];\n"
+       << "    // GetRange<" << gi.kid << ">: tile assignment over the\n"
+       << "    // per-type segments of " << segPtrName(gi.rows, gi.typeBy)
+       << ".\n"
+       << "    GemmRange range = get_range_" << gi.kid
+       << "(blockIdx, num_types);\n"
+       << "    for (int tile_row = range.row_begin; tile_row < "
+          "range.row_end;\n"
+       << "         tile_row += gridDim.x) {\n"
+       << "        for (int tile_col = range.col_begin; tile_col < "
+          "range.col_end;\n"
+       << "             tile_col += gridDim.y) {\n"
+       << "            float y_reg[" << gi.sched.coarsening
+       << "] = {0.f};\n"
+       << "            for (int kk = 0; kk < din; kk += " << ts << ") {\n"
+       << "                // LoadXToShmemIfInRange<" << gi.kid << ">\n"
+       << "                {\n"
+       << "                    int r = tile_row * " << ts
+       << " + threadIdx.y;\n"
+       << "                    int g = " << gatherExpr(gi.xAccess) << ";\n"
+       << "                    x_shmem[threadIdx.y][threadIdx.x] =\n"
+       << "                        X[g * din + kk + threadIdx.x];\n"
+       << "                }\n"
+       << "                // LoadWToShmemOrRegistersIfInRange<" << gi.kid
+       << ">\n"
+       << "                w_shmem[threadIdx.y][threadIdx.x] =\n"
+       << "                    W[(type_of(tile_row) * din + kk +\n"
+       << "                       threadIdx." << (gi.transW ? "x" : "y")
+       << ") * dout + tile_col * " << ts << " + threadIdx."
+       << (gi.transW ? "y" : "x") << "];\n"
+       << "                __syncthreads();\n"
+       << "                #pragma unroll\n"
+       << "                for (int k2 = 0; k2 < " << ts << "; ++k2)\n"
+       << "                    for (int c = 0; c < "
+       << gi.sched.coarsening << "; ++c)\n"
+       << "                        y_reg[c] += "
+          "x_shmem[threadIdx.y][k2] *\n"
+       << "                                    w_shmem[k2][threadIdx.x];\n"
+       << "                __syncthreads();\n"
+       << "            }\n";
+    if (!gi.perRowScalarVar.empty()) {
+        os << "            // Per-row scalar (" << gi.perRowScalarVar
+           << ") fused into the store stage.\n"
+           << "            for (int c = 0; c < " << gi.sched.coarsening
+           << "; ++c)\n"
+           << "                y_reg[c] *= per_row_scalar[tile_row * " << ts
+           << " + threadIdx.y];\n";
+    }
+    os << "            // StoreYIfInRange<" << gi.kid << ">\n"
+       << "            {\n"
+       << "                int r = tile_row * " << ts
+       << " + threadIdx.y;\n"
+       << "                int sidx = " << gatherExpr(gi.yAccess) << ";\n";
+    const bool atomic = gi.yAccess == AccessScheme::ScatterDstAtomic ||
+                        gi.yAccess == AccessScheme::ScatterSrcAtomic ||
+                        gi.yAccess == AccessScheme::ScatterUniqueAtomic ||
+                        (gi.yAccumulate && gi.yAccess !=
+                         AccessScheme::Identity);
+    if (atomic) {
+        os << "                for (int c = 0; c < " << gi.sched.coarsening
+           << "; ++c)\n"
+           << "                    atomicAdd(&Y[sidx * dout + tile_col * "
+           << ts << " +\n"
+           << "                               threadIdx.x + c], "
+              "y_reg[c]);\n";
+    } else {
+        os << "                for (int c = 0; c < " << gi.sched.coarsening
+           << "; ++c)\n"
+           << "                    Y[sidx * dout + tile_col * " << ts
+           << " + threadIdx.x + c] " << (gi.yAccumulate ? "+= " : "= ")
+           << "y_reg[c];\n";
+    }
+    os << "            }\n"
+       << "        }\n"
+       << "    }\n"
+       << "}\n\n";
+    return os.str();
+}
+
+std::string
+emitTraversalKernel(const Program &p, const TraversalInstance &ti)
+{
+    std::ostringstream os;
+    os << "// ---- traversal template instance kid=" << ti.kid << " ----\n";
+    os << "// adjacency: " << (ti.adj == AdjEncoding::Csr ? "CSR" : "COO")
+       << ", domain: " << toString(ti.domain)
+       << (ti.nodeCentric ? ", node-centric" : ", edge-centric") << "\n";
+    if (!ti.virtualVars.empty()) {
+        os << "// fused temporaries kept in registers:";
+        for (const auto &v : ti.virtualVars)
+            os << " " << v;
+        os << "\n";
+    }
+    os << "__global__ void " << ti.name << "(\n"
+       << "    KernelArgs<" << ti.kid << "> args)\n"
+       << "{\n";
+    for (const auto &v : ti.virtualVars)
+        os << "    float " << v << "_reg;\n";
+    if (ti.nodeCentric) {
+        os << "    // GetRange<" << ti.kid
+           << ">: one destination node per block.\n"
+           << "    for (int n = blockIdx.x; n < args.num_nodes;\n"
+           << "         n += gridDim.x) {\n";
+        for (const auto &ss : ti.stmts) {
+            if (ss.hoistLevel != 1)
+                continue;
+            os << "        // hoisted before edge loop\n";
+            os << "        " << stmtToCuda(p, ss.stmt, "e") << "\n";
+        }
+        os << "        for (int i = args.in_ptr[n] + threadIdx.y;\n"
+           << "             i < args.in_ptr[n + 1]; i += blockDim.y) {\n"
+           << "            int e = args.in_edge_ids[i];\n"
+           << "            int etype = GetEType<" << ti.kid << ">(e);\n"
+           << "            int f = threadIdx.x;\n";
+        for (const auto &ss : ti.stmts) {
+            if (ss.hoistLevel != 0)
+                continue;
+            os << "            " << stmtToCuda(p, ss.stmt, "e") << "\n";
+        }
+        if (ti.partialAggregation)
+            os << "            // partial per-thread/warp aggregation\n"
+               << "            warp_reduce_partial(args);\n";
+        os << "        }\n";
+        for (const auto &ss : ti.stmts) {
+            if (ss.hoistLevel != 2)
+                continue;
+            os << "        " << stmtToCuda(p, ss.stmt, "e") << "\n";
+        }
+        os << "    }\n";
+    } else {
+        const char *count = ti.domain == RowDomain::UniquePairs
+                                ? "args.num_unique"
+                                : (ti.domain == RowDomain::Nodes
+                                       ? "args.num_nodes"
+                                       : "args.num_edges");
+        const char *ent = ti.domain == RowDomain::Nodes ? "n" : "e";
+        os << "    for (int " << ent
+           << " = blockIdx.x * blockDim.y + threadIdx.y; " << ent << " < "
+           << count << ";\n"
+           << "         " << ent << " += gridDim.x * blockDim.y) {\n";
+        if (ti.domain != RowDomain::Nodes) {
+            os << "        int etype = GetEType<" << ti.kid << ">(" << ent
+               << ");  // "
+               << (ti.adj == AdjEncoding::Csr
+                       ? "binary search in row pointer"
+                       : "segment lookup via etype_ptr")
+               << "\n"
+               << "        int src = GetSrcId<" << ti.kid << ">(" << ent
+               << ");\n"
+               << "        int dst = GetDstId<" << ti.kid << ">(" << ent
+               << ");\n";
+        } else {
+            os << "        int ntype = args.node_type[n];\n";
+        }
+        os << "        int f = threadIdx.x;\n";
+        for (const auto &ss : ti.stmts)
+            os << "        " << stmtToCuda(p, ss.stmt, ent) << "\n";
+        os << "    }\n";
+    }
+    os << "}\n\n";
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+emitHostWrapper(const std::string &kernel, const char *kind)
+{
+    std::ostringstream os;
+    os << "void " << kernel << "_wrap(torch::Tensor x, torch::Tensor w,\n"
+       << "                          torch::Tensor y, HectorGraphArgs g)\n"
+       << "{\n"
+       << "    // " << kind << " host wrapper: configure grid/block,\n"
+       << "    // extract raw pointers from at::Tensor, launch.\n"
+       << "    auto stream = at::cuda::getCurrentCUDAStream();\n"
+       << "    dim3 block(16, 16);\n"
+       << "    dim3 grid(ceil_div(g.num_rows, 16),\n"
+       << "              ceil_div(y.size(1), 16));\n"
+       << "    " << kernel << "<<<grid, block, 0, stream>>>(\n"
+       << "        x.data_ptr<float>(), w.data_ptr<float>(),\n"
+       << "        y.data_ptr<float>(), g.etype_ptr, g.row_idx,\n"
+       << "        g.col_idx, g.unique_row_idx, g.edge_to_unique,\n"
+       << "        g.per_row_scalar, g.num_types, x.size(1), y.size(1));\n"
+       << "    C10_CUDA_KERNEL_LAUNCH_CHECK();\n"
+       << "}\n\n";
+    return os.str();
+}
+
+} // namespace
+
+GeneratedCode
+generateCode(const Program &fwd, const LoweredFunction &ffn,
+             const Program *bwd, const LoweredFunction *bfn)
+{
+    GeneratedCode out;
+    std::ostringstream cuda;
+    std::ostringstream host;
+    std::ostringstream py;
+
+    cuda << "// Generated by the Hector code generator for model '"
+         << fwd.name << "'.\n"
+         << "// Two base constructs: the GEMM template (Algorithm 1) and\n"
+         << "// the node/edge traversal template (Algorithm 2).\n\n"
+         << "#include <cuda_runtime.h>\n"
+         << "#include \"hector_device_utils.cuh\"\n\n";
+    host << "// Generated host code: wrappers + registration.\n"
+         << "#include <torch/extension.h>\n\n";
+
+    auto emitFn = [&](const Program &p, const LoweredFunction &fn,
+                      const char *tag) {
+        cuda << "// ======== " << tag << " ========\n";
+        for (const auto &gi : fn.gemms) {
+            cuda << emitGemmKernel(p, gi);
+            host << emitHostWrapper(gi.name, "GEMM");
+        }
+        for (const auto &ti : fn.traversals) {
+            cuda << emitTraversalKernel(p, ti);
+            host << emitHostWrapper(ti.name, "traversal");
+        }
+        for (const auto &fi : fn.fallbacks) {
+            host << "// fallback (framework BMM + slicing): " << fi.name
+                 << "\n"
+                 << "torch::Tensor " << fi.name
+                 << "_wrap(torch::Tensor a, torch::Tensor b)\n"
+                 << "{\n    return torch::bmm(a, b);\n}\n\n";
+        }
+    };
+    emitFn(fwd, ffn, "forward");
+    if (bwd && bfn)
+        emitFn(*bwd, *bfn, "backward");
+
+    host << "TORCH_LIBRARY_FRAGMENT(hector, m)\n{\n";
+    for (const auto &gi : ffn.gemms)
+        host << "    m.def(\"" << gi.name << "\", " << gi.name
+             << "_wrap);\n";
+    for (const auto &ti : ffn.traversals)
+        host << "    m.def(\"" << ti.name << "\", " << ti.name
+             << "_wrap);\n";
+    host << "}\n\n";
+    host << "// Preprocessing required by the generated kernels\n"
+         << "// (collected by the post-generation scan, Sec. 3.6):\n"
+         << "//   - presort edges by type (etype_ptr)\n"
+         << "//   - build CSR by destination (in_ptr / in_edge_ids)\n";
+    if (bwd)
+        host << "//   - transpose weight views for backward GEMMs\n";
+    bool uses_compact = false;
+    for (const auto &[name, vi] : fwd.vars)
+        if (vi.mat == Materialization::Compact)
+            uses_compact = true;
+    if (uses_compact)
+        host << "//   - build unique (src, etype) map "
+                "(unique_row_idx / unique_etype_ptr / edge_to_unique)\n";
+
+    py << "# Generated autograd bindings for model '" << fwd.name
+       << "'.\n"
+       << "import torch\n\n\n"
+       << "class " << fwd.name << "Function(torch.autograd.Function):\n"
+       << "    @staticmethod\n"
+       << "    def forward(ctx, feature, *weights):\n";
+    for (const auto &step : ffn.order) {
+        (void)step;
+    }
+    for (const auto &gi : ffn.gemms)
+        py << "        torch.ops.hector." << gi.name << "(...)\n";
+    for (const auto &ti : ffn.traversals)
+        py << "        torch.ops.hector." << ti.name << "(...)\n";
+    py << "        return h_out\n\n"
+       << "    @staticmethod\n"
+       << "    def backward(ctx, grad_out):\n";
+    if (bfn) {
+        for (const auto &gi : bfn->gemms)
+            py << "        torch.ops.hector." << gi.name << "(...)\n";
+        for (const auto &ti : bfn->traversals)
+            py << "        torch.ops.hector." << ti.name << "(...)\n";
+    }
+    py << "        return tuple(grads)\n";
+
+    out.cudaSource = cuda.str();
+    out.hostSource = host.str();
+    out.pythonSource = py.str();
+    out.cudaLines = countLines(out.cudaSource);
+    out.hostLines = countLines(out.hostSource);
+    out.pythonLines = countLines(out.pythonSource);
+    return out;
+}
+
+} // namespace hector::core

@@ -1,0 +1,117 @@
+#include "core/compiler.hh"
+
+#include <stdexcept>
+
+namespace hector::core
+{
+
+CompiledModel
+compile(Program program, const CompileOptions &options)
+{
+    CompiledModel m;
+    m.options = options;
+
+    if (options.linearReorder) {
+        const PassStats s = linearOperatorReordering(program);
+        m.passStats.reorderedLinears += s.reorderedLinears;
+        m.passStats.composedWeights += s.composedWeights;
+    }
+    if (options.compactMaterialization) {
+        const PassStats s = compactMaterialization(program);
+        m.passStats.compactedVars += s.compactedVars;
+    }
+
+    // Backward is derived before fusion so no variable it reads can
+    // be virtualized away.
+    if (options.training)
+        m.backwardProgram = buildBackward(program, options.featureGrad);
+
+    if (options.fuseTraversalLoops) {
+        const PassStats s = fuseLoops(program, !options.training);
+        m.passStats.fusedLoops += s.fusedLoops;
+        m.passStats.virtualizedVars += s.virtualizedVars;
+    }
+
+    LowerOptions lopts;
+    lopts.fuseGemmScatter = options.fuseGemmScatter;
+    lopts.sched = options.sched;
+
+    m.forwardFn = lower(program, lopts, sim::Phase::Forward);
+    if (options.training) {
+        if (options.fuseTraversalLoops) {
+            // Merging the backward's many flat edge loops reduces
+            // kernel count; virtualization is never applied backward.
+            fuseLoops(m.backwardProgram, false);
+        }
+        m.backwardFn = lower(m.backwardProgram, lopts, sim::Phase::Backward);
+    }
+
+    m.forwardProgram = std::move(program);
+    m.code = generateCode(m.forwardProgram, m.forwardFn,
+                          options.training ? &m.backwardProgram : nullptr,
+                          options.training ? &m.backwardFn : nullptr);
+    return m;
+}
+
+tensor::Tensor
+CompiledModel::forward(ExecutionContext &ctx) const
+{
+    execute(forwardProgram, forwardFn, ctx);
+    return ctx.ensureTensor(forwardProgram, forwardProgram.outputVar);
+}
+
+void
+CompiledModel::backward(ExecutionContext &ctx) const
+{
+    if (!options.training)
+        throw std::runtime_error("model compiled without training support");
+    execute(backwardProgram, backwardFn, ctx);
+}
+
+void
+bindInputs(const CompiledModel &m, ExecutionContext &ctx,
+           const tensor::Tensor &feature)
+{
+    ctx.tensors.insert_or_assign(m.forwardProgram.inputVar, feature);
+    if (m.forwardProgram.vars.count("norm")) {
+        const auto norm = ctx.g->rgcnNorm();
+        tensor::Tensor t({ctx.g->numEdges(), 1});
+        for (std::int64_t e = 0; e < ctx.g->numEdges(); ++e)
+            t.at(e, 0) = norm[static_cast<std::size_t>(e)];
+        ctx.tensors.insert_or_assign("norm", std::move(t));
+    }
+}
+
+tensor::Tensor
+trainStep(const CompiledModel &m, ExecutionContext &ctx,
+          const tensor::Tensor &feature)
+{
+    bindInputs(m, ctx, feature);
+    tensor::Tensor out = m.forward(ctx);
+
+    // Negative-log-likelihood-style loss against fixed labels reduces
+    // to a dense seed gradient; charge one elementwise kernel for it
+    // as the paper's measured loop does.
+    const std::string seed = gradOf(m.forwardProgram.outputVar);
+    tensor::Tensor g(out.shape());
+    const float scale =
+        1.0f / static_cast<float>(std::max<std::int64_t>(1, out.dim(0)));
+    for (std::size_t i = 0; i < g.numel(); ++i)
+        g.data()[i] = scale;
+    ctx.tensors.insert_or_assign(seed, std::move(g));
+
+    sim::KernelDesc loss;
+    loss.name = "nll_loss";
+    loss.category = sim::KernelCategory::Elementwise;
+    loss.phase = sim::Phase::Forward;
+    loss.flops = static_cast<double>(out.numel());
+    loss.bytesRead = 4.0 * static_cast<double>(out.numel());
+    loss.bytesWritten = loss.bytesRead;
+    loss.workItems = static_cast<double>(out.numel());
+    ctx.rt->launch(loss, nullptr);
+
+    m.backward(ctx);
+    return out;
+}
+
+} // namespace hector::core

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Executor for lowered kernel instances.
+ *
+ * Each instance is executed on the CPU for bit-exact results while the
+ * simulated device (sim::Runtime) is charged a launch with the
+ * instance's FLOP / byte / atomic counts. The executor is the
+ * counterpart of the paper's generated CUDA kernels plus host code:
+ * it consumes exactly the intra-operator IR the code generator emits
+ * text from, so executed semantics and emitted code cannot diverge.
+ */
+
+#ifndef HECTOR_CORE_EXECUTOR_HH
+#define HECTOR_CORE_EXECUTOR_HH
+
+#include <map>
+#include <string>
+
+#include "core/inter_op_ir.hh"
+#include "core/intra_op_ir.hh"
+#include "graph/compaction.hh"
+#include "graph/hetero_graph.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace hector::core
+{
+
+/** All state one forward/backward execution reads and writes. */
+struct ExecutionContext
+{
+    const graph::HeteroGraph *g = nullptr;
+    /** Required when any instance uses a UniquePairs domain. */
+    const graph::CompactionMap *cmap = nullptr;
+    sim::Runtime *rt = nullptr;
+
+    /** Parameters by name (includes composed weights once computed). */
+    std::map<std::string, tensor::Tensor> *weights = nullptr;
+    /** Parameter gradients, allocated on first accumulation. */
+    std::map<std::string, tensor::Tensor> *weightGrads = nullptr;
+
+    /** Variable storage: feature, norm, intermediates, gradients. */
+    std::map<std::string, tensor::Tensor> tensors;
+
+    /** Rows of a domain on the bound graph. */
+    std::int64_t rowsOf(RowDomain d) const;
+
+    /**
+     * Get-or-allocate the tensor backing @p var according to its
+     * VarInfo in @p p (allocation is tracked by the runtime's
+     * memory scope; Virtual variables may not be materialized).
+     */
+    tensor::Tensor &ensureTensor(const Program &p, const std::string &var);
+};
+
+/** Execute every instance of @p fn in order. */
+void execute(const Program &p, const LoweredFunction &fn,
+             ExecutionContext &ctx);
+
+/** Execute a single GEMM-template instance. */
+void execGemm(const Program &p, const GemmInstance &gi,
+              ExecutionContext &ctx);
+
+/** Execute a single traversal-template instance. */
+void execTraversal(const Program &p, const TraversalInstance &ti,
+                   ExecutionContext &ctx);
+
+/** Execute a framework-fallback instance (weight composition). */
+void execFallback(const Program &p, const FallbackInstance &fi,
+                  ExecutionContext &ctx);
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_EXECUTOR_HH

@@ -1,0 +1,463 @@
+#include "core/frontend.hh"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace hector::core
+{
+
+namespace
+{
+
+/** Lexical helpers over one trimmed line. */
+std::vector<std::string>
+splitWs(const std::string &s)
+{
+    std::istringstream is(s);
+    std::vector<std::string> out;
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+int
+indentOf(const std::string &s)
+{
+    int n = 0;
+    for (char c : s) {
+        if (c == ' ')
+            ++n;
+        else
+            break;
+    }
+    return n;
+}
+
+/** A parsed argument: variable reference, typed weight, or constant. */
+struct Arg
+{
+    enum class Kind
+    {
+        Var,
+        Weight,
+        Constant
+    } kind;
+    VarRef ref;       ///< Kind::Var
+    std::string weight;
+    TypeBy typeBy = TypeBy::Single;
+    float constant = 0.0f; ///< Kind::Constant
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string &source, std::int64_t din, std::int64_t dout)
+        : source_(source), din_(din), dout_(dout)
+    {}
+
+    Program
+    run()
+    {
+        std::istringstream is(source_);
+        std::string raw;
+        while (std::getline(is, raw)) {
+            ++line_;
+            const std::string body = trim(raw);
+            if (body.empty())
+                continue;
+            handleLine(indentOf(raw), body);
+        }
+        flushLoop();
+        if (p_.outputVar.empty() || !p_.vars.count(p_.outputVar))
+            fail("missing or undeclared output variable");
+        p_.validate();
+        return std::move(p_);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError(line_, msg);
+    }
+
+    std::int64_t
+    dim(const std::string &tok) const
+    {
+        if (tok == "din")
+            return din_;
+        if (tok == "dout")
+            return dout_;
+        for (char c : tok)
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                fail("bad dimension token '" + tok + "'");
+        return std::stoll(tok);
+    }
+
+    void
+    flushLoop()
+    {
+        if (!open_)
+            return;
+        p_.loops.push_back(std::move(loop_));
+        open_ = false;
+        inInner_ = false;
+    }
+
+    void
+    handleLine(int indent, const std::string &body)
+    {
+        const auto toks = splitWs(body);
+        const std::string &head = toks.front();
+
+        if (head == "model") {
+            p_.name = toks.at(1);
+            return;
+        }
+        if (head == "weight" || head == "weightvec") {
+            flushLoop();
+            const bool vec = head == "weightvec";
+            if (toks.size() != (vec ? 4u : 5u))
+                fail("bad weight declaration");
+            WeightInfo wi;
+            const std::string &by = toks.at(2);
+            wi.typeBy = by == "etype"
+                            ? TypeBy::Etype
+                            : (by == "ntype" ? TypeBy::Ntype
+                                             : TypeBy::Single);
+            if (by != "etype" && by != "ntype" && by != "single")
+                fail("weight type must be etype/ntype/single");
+            wi.isVector = vec;
+            wi.rows = vec ? 1 : dim(toks.at(3));
+            wi.cols = dim(toks.at(vec ? 3 : 4));
+            p_.declareWeight(toks.at(1), wi);
+            return;
+        }
+        if (head == "input") {
+            flushLoop();
+            p_.declareVar(toks.at(1), {VarSpace::NodeInput,
+                                       dim(toks.at(2)), false,
+                                       Materialization::Vanilla});
+            return;
+        }
+        if (head == "output") {
+            flushLoop();
+            p_.outputVar = toks.at(1);
+            return;
+        }
+        if (head == "edge_softmax") {
+            flushLoop();
+            if (toks.size() != 4 || toks.at(2) != "->")
+                fail("edge_softmax expects: edge_softmax <att> -> <out>");
+            expandEdgeSoftmax(toks.at(1), toks.at(3));
+            return;
+        }
+        if (head == "for") {
+            handleFor(indent, body);
+            return;
+        }
+        handleStmt(body);
+    }
+
+    void
+    handleFor(int indent, const std::string &body)
+    {
+        if (body.find("g.edges()") != std::string::npos) {
+            flushLoop();
+            loop_ = Loop{LoopDomain::Edges, {}, {}};
+            open_ = true;
+        } else if (body.find("g.dst_nodes()") != std::string::npos) {
+            flushLoop();
+            loop_ = Loop{LoopDomain::DstNodes, {}, {}};
+            open_ = true;
+        } else if (body.find("g.nodes()") != std::string::npos) {
+            flushLoop();
+            loop_ = Loop{LoopDomain::Nodes, {}, {}};
+            open_ = true;
+        } else if (body.find("incoming_edges()") != std::string::npos) {
+            if (!open_ || loop_.domain != LoopDomain::DstNodes ||
+                indent == 0)
+                fail("incoming_edges loop must nest in dst_nodes");
+            loop_.inner.push_back(Loop{LoopDomain::IncomingEdges, {}, {}});
+            inInner_ = true;
+        } else {
+            fail("unrecognized loop header");
+        }
+    }
+
+    /** Parse "e.src.feature" / "e.hs" / "n.k" / bare name. */
+    VarRef
+    parseRef(const std::string &tok) const
+    {
+        if (tok.rfind("e.src.", 0) == 0)
+            return {tok.substr(6), Access::ViaSrc};
+        if (tok.rfind("e.dst.", 0) == 0)
+            return {tok.substr(6), Access::ViaDst};
+        if (tok.rfind("e.", 0) == 0)
+            return {tok.substr(2), Access::Direct};
+        if (tok.rfind("n.", 0) == 0)
+            return {tok.substr(2), Access::Direct};
+        return {tok, Access::Direct};
+    }
+
+    Arg
+    parseArg(const std::string &raw) const
+    {
+        const std::string tok = trim(raw);
+        if (tok == "rsqrt_dout") {
+            Arg a;
+            a.kind = Arg::Kind::Constant;
+            a.constant =
+                1.0f / std::sqrt(static_cast<float>(dout_));
+            return a;
+        }
+        const auto lb = tok.find('[');
+        if (lb != std::string::npos) {
+            Arg a;
+            a.kind = Arg::Kind::Weight;
+            a.weight = tok.substr(0, lb);
+            const std::string idx =
+                tok.substr(lb + 1, tok.find(']') - lb - 1);
+            if (idx == "e.etype")
+                a.typeBy = TypeBy::Etype;
+            else if (idx == "n.ntype")
+                a.typeBy = TypeBy::Ntype;
+            else
+                fail("bad weight index '" + idx + "'");
+            return a;
+        }
+        if (p_.weights.count(tok)) {
+            Arg a;
+            a.kind = Arg::Kind::Weight;
+            a.weight = tok;
+            a.typeBy = TypeBy::Single;
+            return a;
+        }
+        Arg a;
+        a.kind = Arg::Kind::Var;
+        a.ref = parseRef(tok);
+        return a;
+    }
+
+    /** Implicitly declare graph-provided scalar edge data (e.norm). */
+    void
+    ensureDeclared(const VarRef &ref)
+    {
+        if (p_.vars.count(ref.name))
+            return;
+        p_.declareVar(ref.name, {VarSpace::EdgeData, 1, false,
+                                 Materialization::Vanilla});
+    }
+
+    std::int64_t
+    colsOf(const Arg &a) const
+    {
+        if (a.kind == Arg::Kind::Weight)
+            return p_.weightInfo(a.weight).cols;
+        return p_.varInfo(a.ref.name).cols;
+    }
+
+    void
+    handleStmt(const std::string &body)
+    {
+        if (!open_)
+            fail("statement outside a loop");
+
+        // <out> = op(args) | <out> += op(args)
+        std::string lhs;
+        std::string rhs;
+        bool accum = false;
+        auto pos = body.find("+=");
+        if (pos != std::string::npos) {
+            accum = true;
+            lhs = trim(body.substr(0, pos));
+            rhs = trim(body.substr(pos + 2));
+        } else {
+            pos = body.find('=');
+            if (pos == std::string::npos)
+                fail("expected assignment");
+            lhs = trim(body.substr(0, pos));
+            rhs = trim(body.substr(pos + 1));
+        }
+        const auto lp = rhs.find('(');
+        if (lp == std::string::npos || rhs.back() != ')')
+            fail("expected <op>(<args>)");
+        const std::string op = trim(rhs.substr(0, lp));
+        std::vector<Arg> args;
+        {
+            const std::string inner =
+                rhs.substr(lp + 1, rhs.size() - lp - 2);
+            std::string cur;
+            for (char c : inner) {
+                if (c == ',') {
+                    args.push_back(parseArg(cur));
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+            if (!trim(cur).empty())
+                args.push_back(parseArg(cur));
+        }
+        for (const auto &a : args)
+            if (a.kind == Arg::Kind::Var)
+                ensureDeclared(a.ref);
+
+        Stmt s;
+        s.out = parseRef(lhs);
+        std::int64_t out_cols = 1;
+
+        if (op == "typed_linear") {
+            if (args.size() != 2 || args[1].kind != Arg::Kind::Weight)
+                fail("typed_linear(<ref>, <weight>)");
+            s.kind = OpKind::TypedLinear;
+            s.ins = {args[0].ref};
+            s.weight = args[1].weight;
+            s.typeBy = args[1].typeBy;
+            out_cols = p_.weightInfo(s.weight).cols;
+        } else if (op == "dot_prd") {
+            s.kind = OpKind::DotProduct;
+            if (args.size() == 2 && args[1].kind == Arg::Kind::Weight) {
+                s.ins = {args[0].ref};
+                s.weight = args[1].weight;
+                s.typeBy = args[1].typeBy;
+            } else if (args.size() == 2) {
+                s.ins = {args[0].ref, args[1].ref};
+            } else {
+                fail("dot_prd takes two arguments");
+            }
+            out_cols = 1;
+        } else if (op == "add" || op == "mul" || op == "div") {
+            s.kind = op == "add" ? OpKind::Add
+                                 : (op == "mul" ? OpKind::Mul
+                                                : OpKind::Divide);
+            if (args.size() != 2)
+                fail(op + " takes two arguments");
+            s.ins = {args[0].ref, args[1].ref};
+            out_cols = colsOf(args[0]);
+        } else if (op == "leakyrelu" || op == "relu" || op == "exp" ||
+                   op == "copy") {
+            s.kind = op == "leakyrelu"
+                         ? OpKind::LeakyRelu
+                         : (op == "relu" ? OpKind::Relu
+                                         : (op == "exp" ? OpKind::Exp
+                                                        : OpKind::Copy));
+            s.alpha = 0.01f;
+            s.ins = {args[0].ref};
+            out_cols = colsOf(args[0]);
+        } else if (op == "scale") {
+            if (args.size() != 2 || args[1].kind != Arg::Kind::Constant)
+                fail("scale(<ref>, <constant>)");
+            s.kind = OpKind::Scale;
+            s.ins = {args[0].ref};
+            s.alpha = args[1].constant;
+            out_cols = colsOf(args[0]);
+        } else if (op == "accumulate_scaled") {
+            if (!accum)
+                fail("accumulate_scaled requires +=");
+            s.kind = OpKind::AccumulateScaled;
+            s.ins = {args[0].ref, args[1].ref};
+            out_cols = colsOf(args[1]);
+        } else if (op == "accumulate_sum") {
+            if (!accum)
+                fail("accumulate_sum requires +=");
+            s.kind = OpKind::AccumulateSum;
+            s.ins = {args[0].ref};
+            out_cols = colsOf(args[0]);
+        } else {
+            fail("unknown operator '" + op + "'");
+        }
+
+        // Implicit declaration of the output.
+        if (!p_.vars.count(s.out.name)) {
+            const bool node_space =
+                loop_.domain == LoopDomain::Nodes ||
+                s.kind == OpKind::AccumulateScaled ||
+                s.kind == OpKind::AccumulateSum;
+            p_.declareVar(s.out.name,
+                          {node_space ? VarSpace::NodeData
+                                      : VarSpace::EdgeData,
+                           out_cols, false, Materialization::Vanilla});
+        }
+
+        if (inInner_)
+            loop_.inner.back().body.push_back(std::move(s));
+        else
+            loop_.body.push_back(std::move(s));
+    }
+
+    void
+    expandEdgeSoftmax(const std::string &att, const std::string &out)
+    {
+        if (!p_.vars.count(att))
+            fail("edge_softmax over undeclared variable " + att);
+        p_.declareVar(att + "_exp", {VarSpace::EdgeData, 1, false,
+                                     Materialization::Vanilla});
+        p_.declareVar(att + "_sum", {VarSpace::NodeData, 1, false,
+                                     Materialization::Vanilla});
+        p_.declareVar(out, {VarSpace::EdgeData, 1, false,
+                            Materialization::Vanilla});
+
+        Loop exp_loop{LoopDomain::Edges, {}, {}};
+        Stmt e;
+        e.kind = OpKind::Exp;
+        e.out = {att + "_exp", Access::Direct};
+        e.ins = {{att, Access::Direct}};
+        exp_loop.body.push_back(std::move(e));
+        p_.loops.push_back(std::move(exp_loop));
+
+        Loop sum_outer{LoopDomain::DstNodes, {}, {}};
+        Loop sum_inner{LoopDomain::IncomingEdges, {}, {}};
+        Stmt a;
+        a.kind = OpKind::AccumulateSum;
+        a.out = {att + "_sum", Access::Direct};
+        a.ins = {{att + "_exp", Access::Direct}};
+        sum_inner.body.push_back(std::move(a));
+        sum_outer.inner.push_back(std::move(sum_inner));
+        p_.loops.push_back(std::move(sum_outer));
+
+        Loop div_loop{LoopDomain::Edges, {}, {}};
+        Stmt d;
+        d.kind = OpKind::Divide;
+        d.out = {out, Access::Direct};
+        d.ins = {{att + "_exp", Access::Direct},
+                 {att + "_sum", Access::ViaDst}};
+        div_loop.body.push_back(std::move(d));
+        p_.loops.push_back(std::move(div_loop));
+    }
+
+    const std::string &source_;
+    std::int64_t din_;
+    std::int64_t dout_;
+    Program p_;
+    Loop loop_{LoopDomain::Edges, {}, {}};
+    bool open_ = false;
+    bool inInner_ = false;
+    int line_ = 0;
+};
+
+} // namespace
+
+Program
+parseModel(const std::string &source, std::int64_t din, std::int64_t dout)
+{
+    Parser parser(source, din, dout);
+    return parser.run();
+}
+
+} // namespace hector::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Textual frontend for the inter-operator IR (paper Sec. 3.2.1).
+ *
+ * The paper's programming interface accepts Listing-1-style Python
+ * code under a @hector.compile decorator. This reproduction provides
+ * the equivalent as a small indentation-sensitive DSL:
+ *
+ *   model <name>
+ *   weight <name> <etype|ntype|single> <rows> <cols>
+ *   weightvec <name> etype <cols>
+ *   input <name> <cols>
+ *   for e in g.edges():
+ *       <var> = <op>(<ref>[, <ref> | <weight>[e.etype]] ...)
+ *   for n in g.nodes():
+ *       ...
+ *   for n in g.dst_nodes():
+ *       for e in n.incoming_edges():
+ *           <var> += accumulate_scaled(<scalar>, <vector>)
+ *   edge_softmax <att> -> <att_norm>
+ *   output <var>
+ *
+ * Dimensions are symbolic ("din", "dout", or integers); `rsqrt_dout`
+ * is the 1/sqrt(dout) scaling constant HGT uses. References take the
+ * forms e.src.<v>, e.dst.<v>, e.<v>, n.<v>, or a bare name.
+ *
+ * parseModel() produces exactly the same Program the C++ builders in
+ * models/models.cc construct (asserted by tests), so the "51 lines"
+ * of DSL in model_sources.hh are a real, executable model definition.
+ */
+
+#ifndef HECTOR_CORE_FRONTEND_HH
+#define HECTOR_CORE_FRONTEND_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/inter_op_ir.hh"
+
+namespace hector::core
+{
+
+/** Parse error with a 1-based source line number. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(int line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          line(line)
+    {}
+
+    int line;
+};
+
+/**
+ * Parse a DSL model definition into an inter-operator Program.
+ *
+ * @param source DSL text
+ * @param din    value bound to the symbolic dimension "din"
+ * @param dout   value bound to the symbolic dimension "dout"
+ * @throws ParseError on malformed input
+ */
+Program parseModel(const std::string &source, std::int64_t din,
+                   std::int64_t dout);
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_FRONTEND_HH

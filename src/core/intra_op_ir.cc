@@ -1,0 +1,44 @@
+#include "core/intra_op_ir.hh"
+
+namespace hector::core
+{
+
+const char *
+toString(RowDomain d)
+{
+    switch (d) {
+      case RowDomain::Edges:
+        return "EDGEWISE";
+      case RowDomain::UniquePairs:
+        return "UNIQUE_NODE_ETYPE";
+      case RowDomain::Nodes:
+        return "NODEWISE";
+    }
+    return "?";
+}
+
+const char *
+toString(AccessScheme s)
+{
+    switch (s) {
+      case AccessScheme::Identity:
+        return "IDENTITY";
+      case AccessScheme::GatherSrc:
+        return "GATHER(row_idx)";
+      case AccessScheme::GatherDst:
+        return "GATHER(col_idx)";
+      case AccessScheme::GatherUniqueSrc:
+        return "GATHER(unique_row_idx)";
+      case AccessScheme::GatherEdgeToUnique:
+        return "GATHER(edge_to_unique)";
+      case AccessScheme::ScatterDstAtomic:
+        return "SCATTER_ATOMIC(col_idx)";
+      case AccessScheme::ScatterSrcAtomic:
+        return "SCATTER_ATOMIC(row_idx)";
+      case AccessScheme::ScatterUniqueAtomic:
+        return "SCATTER_ATOMIC(unique_row_idx)";
+    }
+    return "?";
+}
+
+} // namespace hector::core

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Hector intra-operator level IR (paper Sec. 3.3).
+ *
+ * Every operator the compiler keeps (i.e., does not fall back to the
+ * framework for) is lowered onto one of two kernel templates:
+ *
+ *  - the GEMM template (Algorithm 1): a tiled matrix multiply
+ *    augmented with custom gather / scatter / transpose access
+ *    schemes applied on the fly, an optional per-row scalar, and a
+ *    schedule (tile size, coarsening factor, launch bounds);
+ *
+ *  - the traversal template (Algorithm 2): a generic node- or
+ *    edge-centric loop nest executing pointwise statements, with
+ *    statement hoisting, adjacency-encoding-specific index retrieval,
+ *    and partial-result aggregation before atomics.
+ *
+ * Instances carry exactly the information the code generator needs to
+ * emit a CUDA kernel and the interpreter needs to execute + price it.
+ */
+
+#ifndef HECTOR_CORE_INTRA_OP_IR_HH
+#define HECTOR_CORE_INTRA_OP_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/inter_op_ir.hh"
+#include "sim/device.hh"
+
+namespace hector::core
+{
+
+/** Row domain an instance iterates over (the GEMM M dimension). */
+enum class RowDomain
+{
+    Edges,       ///< one row per edge
+    UniquePairs, ///< one row per unique (src, etype) pair (compact)
+    Nodes,       ///< one row per node
+};
+
+/** Access scheme used to locate a row of an operand on the fly. */
+enum class AccessScheme
+{
+    Identity,     ///< row i of the backing tensor
+    GatherSrc,    ///< row_idx: source node of edge i
+    GatherDst,    ///< col_idx: destination node of edge i
+    GatherUniqueSrc, ///< unique_row_idx: source node of unique pair i
+    GatherEdgeToUnique, ///< compact row of edge i
+    ScatterDstAtomic,   ///< atomically accumulate into dst-node row
+    ScatterSrcAtomic,   ///< atomically accumulate into src-node row
+    ScatterUniqueAtomic, ///< atomically accumulate into unique row
+};
+
+const char *toString(RowDomain d);
+const char *toString(AccessScheme s);
+
+/** Schedule knobs of a GEMM-template instance (Sec. 3.4.1). */
+struct GemmSchedule
+{
+    int tileSz = 16;
+    /** Elements per thread in load/compute/store stages: 1, 2 or 4. */
+    int coarsening = 1;
+    /** Apply __launch_bounds__ to cap registers for occupancy. */
+    bool launchBounds = false;
+};
+
+/** What the GEMM instance computes. */
+enum class GemmKind
+{
+    Linear, ///< Y[S] = X[G] * W[T] (+ optional per-row scalar)
+    Outer,  ///< dW[T] += sum_rows X[G]^T (x) dY[G2] (backward)
+};
+
+/**
+ * One instance derived from the GEMM template.
+ *
+ * Semantics (Linear): for each row r in the domain (segmented by
+ * type), y[scatter(r)] (+)= scalar(r) * x[gather(r)] * op(W[type(r)]).
+ */
+struct GemmInstance
+{
+    int kid = 0;
+    std::string name;
+    sim::Phase phase = sim::Phase::Forward;
+    GemmKind kind = GemmKind::Linear;
+
+    RowDomain rows = RowDomain::Edges;
+    TypeBy typeBy = TypeBy::Etype;
+
+    /** Input variable (node/edge data or "feature"). */
+    std::string xVar;
+    AccessScheme xAccess = AccessScheme::Identity;
+    /** Weight parameter name. */
+    std::string wVar;
+    bool transW = false;
+    /** Output variable (Linear) or weight-gradient name (Outer). */
+    std::string yVar;
+    AccessScheme yAccess = AccessScheme::Identity;
+    bool yAccumulate = false;
+
+    /** Optional edgewise scalar multiplied into each output row. */
+    std::string perRowScalarVar;
+    /** Second input (Outer kind): the gradient rows. */
+    std::string y2Var;
+    AccessScheme y2Access = AccessScheme::Identity;
+
+    std::int64_t din = 0;
+    std::int64_t dout = 0;
+
+    GemmSchedule sched;
+};
+
+/** Adjacency encoding a traversal instance is specialized for. */
+enum class AdjEncoding
+{
+    Coo, ///< GetSrcId = row_idx[e]; GetEType = segment lookup
+    Csr, ///< node-centric: in_ptr / in_edge_ids
+};
+
+/** One statement scheduled inside a traversal instance. */
+struct ScheduledStmt
+{
+    Stmt stmt;
+    /**
+     * Hoist level: 0 = innermost (per edge), 1 = per destination
+     * node before the edge loop, 2 = per destination node after the
+     * edge loop. Only meaningful for node-centric instances.
+     */
+    int hoistLevel = 0;
+};
+
+/**
+ * One instance derived from the node/edge traversal template.
+ *
+ * Edge-centric instances assign edges to blocks; node-centric
+ * instances assign destination nodes to blocks and loop over each
+ * node's incoming edges, enabling atomic-free aggregation and
+ * partial-result accumulation (Sec. 3.4.1).
+ */
+struct TraversalInstance
+{
+    int kid = 0;
+    std::string name;
+    sim::Phase phase = sim::Phase::Forward;
+
+    bool nodeCentric = false;
+    AdjEncoding adj = AdjEncoding::Coo;
+    /**
+     * Iteration domain. Edges for vanilla edgewise work (and all
+     * backward accumulation), UniquePairs for forward statements that
+     * depend only on (src, etype) under compact materialization,
+     * Nodes for nodewise loops.
+     */
+    RowDomain domain = RowDomain::Edges;
+    std::vector<ScheduledStmt> stmts;
+
+    /** Aggregate per-thread/warp partial results before atomics. */
+    bool partialAggregation = true;
+
+    /** Variables fused away into registers (never materialized). */
+    std::vector<std::string> virtualVars;
+};
+
+/** Operations left to the framework (paper: PyTorch fallback). */
+struct FallbackInstance
+{
+    int kid = 0;
+    std::string name;
+    sim::Phase phase = sim::Phase::Forward;
+    Stmt stmt;
+};
+
+/** A lowered kernel sequence for one direction of one model. */
+struct LoweredFunction
+{
+    sim::Phase phase = sim::Phase::Forward;
+    /** Execution order across the three instance vectors. */
+    struct Step
+    {
+        enum class Kind
+        {
+            Gemm,
+            Traversal,
+            Fallback
+        } kind;
+        std::size_t index;
+    };
+    std::vector<Step> order;
+    std::vector<GemmInstance> gemms;
+    std::vector<TraversalInstance> traversals;
+    std::vector<FallbackInstance> fallbacks;
+
+    std::size_t
+    kernelCount() const
+    {
+        return gemms.size() + traversals.size() + fallbacks.size();
+    }
+};
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_INTRA_OP_IR_HH

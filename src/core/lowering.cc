@@ -1,0 +1,412 @@
+#include "core/lowering.hh"
+
+#include <set>
+#include <stdexcept>
+
+#include "core/passes.hh"
+
+namespace hector::core
+{
+
+namespace
+{
+
+/** Compact-materialized variable set of @p p. */
+std::map<std::string, bool>
+compactVars(const Program &p)
+{
+    std::map<std::string, bool> out;
+    for (const auto &[name, info] : p.vars)
+        if (info.mat == Materialization::Compact)
+            out[name] = true;
+    return out;
+}
+
+/** True when every input row is determined by (src node, etype). */
+bool
+insOnlySrcEtype(const Program &p, const Stmt &s,
+                const std::map<std::string, bool> &compact)
+{
+    for (const auto &in : s.ins) {
+        const auto &vi = p.varInfo(in.name);
+        switch (vi.space) {
+          case VarSpace::NodeInput:
+          case VarSpace::NodeData:
+            if (in.access != Access::ViaSrc)
+                return false;
+            break;
+          case VarSpace::EdgeData: {
+            auto it = compact.find(in.name);
+            if (it == compact.end() || !it->second)
+                return false;
+            break;
+          }
+          case VarSpace::Param:
+            break;
+        }
+    }
+    return true;
+}
+
+bool
+isWeightOut(const Program &p, const Stmt &s)
+{
+    return s.kind == OpKind::OuterAccumulate ||
+           s.kind == OpKind::WeightVecGrad || p.weights.count(s.out.name);
+}
+
+} // namespace
+
+RowDomain
+stmtDomain(const Program &p, const Stmt &s, LoopDomain loop)
+{
+    if (loop == LoopDomain::Nodes)
+        return RowDomain::Nodes;
+    const auto compact = compactVars(p);
+    if (!insOnlySrcEtype(p, s, compact))
+        return RowDomain::Edges;
+    if (isWeightOut(p, s))
+        return RowDomain::UniquePairs;
+    if (p.vars.count(s.out.name)) {
+        const auto &oi = p.varInfo(s.out.name);
+        if (oi.space == VarSpace::EdgeData &&
+            oi.mat == Materialization::Compact)
+            return RowDomain::UniquePairs;
+        if ((oi.space == VarSpace::NodeData ||
+             oi.space == VarSpace::NodeInput) &&
+            s.out.access == Access::ViaSrc)
+            return RowDomain::UniquePairs;
+    }
+    return RowDomain::Edges;
+}
+
+namespace
+{
+
+/** Builds instances while walking the program. */
+class Lowerer
+{
+  public:
+    Lowerer(const Program &p, const LowerOptions &opts, sim::Phase phase)
+        : p_(p), opts_(opts), phase_(phase), ca_(p)
+    {}
+
+    LoweredFunction
+    run()
+    {
+        if (opts_.fuseGemmScatter && phase_ == sim::Phase::Forward)
+            findGemmScatterFusions();
+
+        for (const auto &s : p_.weightPrecompute)
+            emitFallback(s, phase_);
+
+        for (const auto &loop : p_.loops)
+            lowerLoop(loop);
+
+        for (const auto &s : p_.weightBackward)
+            emitFallback(s, sim::Phase::Backward);
+
+        return std::move(fn_);
+    }
+
+  private:
+    AccessScheme
+    inputAccess(const VarRef &ref, RowDomain domain) const
+    {
+        const auto &vi = p_.varInfo(ref.name);
+        if (vi.space == VarSpace::NodeInput ||
+            vi.space == VarSpace::NodeData) {
+            switch (ref.access) {
+              case Access::ViaSrc:
+                return domain == RowDomain::UniquePairs
+                           ? AccessScheme::GatherUniqueSrc
+                           : AccessScheme::GatherSrc;
+              case Access::ViaDst:
+                return AccessScheme::GatherDst;
+              case Access::Direct:
+                return AccessScheme::Identity;
+            }
+        }
+        if (vi.mat == Materialization::Compact &&
+            domain == RowDomain::Edges)
+            return AccessScheme::GatherEdgeToUnique;
+        return AccessScheme::Identity;
+    }
+
+    AccessScheme
+    outputAccess(const VarRef &ref, RowDomain domain) const
+    {
+        const auto &vi = p_.varInfo(ref.name);
+        if (vi.space == VarSpace::NodeData ||
+            vi.space == VarSpace::NodeInput) {
+            switch (ref.access) {
+              case Access::ViaSrc:
+                return AccessScheme::ScatterSrcAtomic;
+              case Access::ViaDst:
+                return AccessScheme::ScatterDstAtomic;
+              case Access::Direct:
+                return AccessScheme::Identity;
+            }
+        }
+        if (vi.mat == Materialization::Compact &&
+            domain == RowDomain::Edges)
+            return AccessScheme::ScatterUniqueAtomic;
+        return AccessScheme::Identity;
+    }
+
+    /**
+     * Detect typed-linear outputs consumed by exactly one gradient-
+     * free scalar-weighted aggregation; those pairs fuse into a
+     * single scatter-GEMM (the RGCN one-kernel path).
+     */
+    void
+    findGemmScatterFusions()
+    {
+        // Producers may sit in a flat edge loop or may already have
+        // been fused into an aggregation nest by the loop-fusion pass.
+        std::vector<const std::vector<Stmt> *> bodies;
+        for (const auto &loop : p_.loops) {
+            if (loop.domain == LoopDomain::Edges)
+                bodies.push_back(&loop.body);
+            for (const auto &inner : loop.inner)
+                bodies.push_back(&inner.body);
+        }
+        for (const auto *body : bodies) {
+            for (const auto &s : *body) {
+                if (s.kind != OpKind::TypedLinear || s.accumulateOut)
+                    continue;
+                const auto &oi = p_.varInfo(s.out.name);
+                if (oi.mat != Materialization::Vanilla ||
+                    ca_.isProgramOutput(s.out.name))
+                    continue;
+                const auto &readers = ca_.readers(s.out.name);
+                if (readers.size() != 1)
+                    continue;
+                const Stmt *c = readers[0];
+                if (c->kind != OpKind::AccumulateScaled ||
+                    c->ins.size() != 2 || c->ins[1].name != s.out.name)
+                    continue;
+                const auto &sc = p_.varInfo(c->ins[0].name);
+                if (sc.requiresGrad || hasProducer(c->ins[0].name))
+                    continue;
+                fusedProducer_[&s] = c;
+                fusedConsumer_.insert(c);
+            }
+        }
+    }
+
+    bool
+    hasProducer(const std::string &var) const
+    {
+        bool found = false;
+        auto visit = [&](const Loop &l, auto &&self) -> void {
+            for (const auto &s : l.body)
+                if (s.out.name == var)
+                    found = true;
+            for (const auto &in : l.inner)
+                self(in, self);
+        };
+        for (const auto &l : p_.loops)
+            visit(l, visit);
+        return found;
+    }
+
+    void
+    lowerLoop(const Loop &loop)
+    {
+        if (loop.domain == LoopDomain::DstNodes) {
+            lowerDstNodesNest(loop);
+            return;
+        }
+        // Walk the body emitting GEMM instances for typed linears and
+        // grouping consecutive leftover statements (per domain) into
+        // traversal instances.
+        std::vector<ScheduledStmt> run;
+        RowDomain run_domain = RowDomain::Edges;
+        auto flush = [&]() {
+            if (run.empty())
+                return;
+            emitTraversal(std::move(run), run_domain, false);
+            run.clear();
+        };
+        for (const auto &s : loop.body) {
+            if (fusedConsumer_.count(&s))
+                continue;
+            if (isGemmEligible(s)) {
+                flush();
+                emitGemm(s, loop.domain);
+                continue;
+            }
+            const RowDomain d = stmtDomain(p_, s, loop.domain);
+            if (!run.empty() && d != run_domain)
+                flush();
+            run_domain = d;
+            run.push_back({s, 0});
+        }
+        flush();
+    }
+
+    void
+    lowerDstNodesNest(const Loop &loop)
+    {
+        std::vector<ScheduledStmt> stmts;
+        for (const auto &s : loop.body)
+            stmts.push_back({s, 1});
+        for (const auto &inner : loop.inner) {
+            for (const auto &s : inner.body) {
+                if (fusedConsumer_.count(&s))
+                    continue;
+                if (isGemmEligible(s)) {
+                    // Typed linears inside an aggregation nest are
+                    // extracted ahead of the traversal (greedy pass 1).
+                    emitGemm(s, LoopDomain::Edges);
+                    continue;
+                }
+                stmts.push_back({s, 0});
+            }
+        }
+        if (stmts.empty())
+            return;
+        TraversalInstance ti;
+        ti.kid = nextKid_++;
+        ti.name = "traversal_" + std::to_string(ti.kid);
+        ti.phase = phase_;
+        ti.nodeCentric = true;
+        ti.adj = AdjEncoding::Csr;
+        ti.domain = RowDomain::Edges;
+        ti.stmts = std::move(stmts);
+        collectVirtualVars(ti);
+        fn_.order.push_back(
+            {LoweredFunction::Step::Kind::Traversal, fn_.traversals.size()});
+        fn_.traversals.push_back(std::move(ti));
+    }
+
+    bool
+    isGemmEligible(const Stmt &s) const
+    {
+        return s.kind == OpKind::TypedLinear ||
+               s.kind == OpKind::OuterAccumulate;
+    }
+
+    void
+    emitGemm(const Stmt &s, LoopDomain loop)
+    {
+        GemmInstance gi;
+        gi.kid = nextKid_++;
+        gi.phase = phase_;
+        gi.typeBy = s.typeBy;
+        gi.sched = opts_.sched;
+        const RowDomain domain = stmtDomain(p_, s, loop);
+        gi.rows = domain;
+
+        if (s.kind == OpKind::OuterAccumulate) {
+            gi.kind = GemmKind::Outer;
+            gi.name = "gemm_outer_" + std::to_string(gi.kid) + "_" +
+                      s.weight;
+            gi.xVar = s.ins[0].name;
+            gi.xAccess = inputAccess(s.ins[0], domain);
+            gi.y2Var = s.ins[1].name;
+            gi.y2Access = inputAccess(s.ins[1], domain);
+            gi.yVar = s.weight;
+            gi.wVar = s.weight;
+            gi.yAccumulate = true;
+            gi.din = p_.varInfo(s.ins[0].name).cols;
+            gi.dout = p_.varInfo(s.ins[1].name).cols;
+        } else {
+            gi.kind = GemmKind::Linear;
+            gi.name = "gemm_" + std::to_string(gi.kid) + "_" + s.out.name;
+            gi.xVar = s.ins[0].name;
+            gi.xAccess = inputAccess(s.ins[0], domain);
+            gi.wVar = s.weight;
+            gi.transW = s.transW;
+            gi.din = p_.varInfo(s.ins[0].name).cols;
+            const auto &wi = p_.weightInfo(s.weight);
+            gi.dout = s.transW ? wi.rows : wi.cols;
+
+            auto fused = fusedProducer_.find(&s);
+            if (fused != fusedProducer_.end()) {
+                const Stmt *agg = fused->second;
+                gi.perRowScalarVar = agg->ins[0].name;
+                gi.yVar = agg->out.name;
+                gi.yAccess = AccessScheme::ScatterDstAtomic;
+                gi.yAccumulate = true;
+                gi.name += "_fused_scatter";
+            } else {
+                gi.yVar = s.out.name;
+                gi.yAccess = outputAccess(s.out, domain);
+                gi.yAccumulate =
+                    s.accumulateOut ||
+                    gi.yAccess != AccessScheme::Identity;
+            }
+        }
+        fn_.order.push_back(
+            {LoweredFunction::Step::Kind::Gemm, fn_.gemms.size()});
+        fn_.gemms.push_back(std::move(gi));
+    }
+
+    void
+    emitTraversal(std::vector<ScheduledStmt> stmts, RowDomain domain,
+                  bool node_centric)
+    {
+        TraversalInstance ti;
+        ti.kid = nextKid_++;
+        ti.name = "traversal_" + std::to_string(ti.kid);
+        ti.phase = phase_;
+        ti.nodeCentric = node_centric;
+        ti.adj = node_centric ? AdjEncoding::Csr : AdjEncoding::Coo;
+        ti.domain = domain;
+        ti.stmts = std::move(stmts);
+        collectVirtualVars(ti);
+        fn_.order.push_back(
+            {LoweredFunction::Step::Kind::Traversal, fn_.traversals.size()});
+        fn_.traversals.push_back(std::move(ti));
+    }
+
+    void
+    collectVirtualVars(TraversalInstance &ti) const
+    {
+        for (const auto &ss : ti.stmts) {
+            if (p_.vars.count(ss.stmt.out.name)) {
+                const auto &vi = p_.varInfo(ss.stmt.out.name);
+                if (vi.mat == Materialization::Virtual)
+                    ti.virtualVars.push_back(ss.stmt.out.name);
+            }
+        }
+    }
+
+    void
+    emitFallback(const Stmt &s, sim::Phase phase)
+    {
+        FallbackInstance fi;
+        fi.kid = nextKid_++;
+        fi.name = std::string(toString(s.kind)) + "_" +
+                  std::to_string(fi.kid);
+        fi.phase = phase;
+        fi.stmt = s;
+        fn_.order.push_back(
+            {LoweredFunction::Step::Kind::Fallback, fn_.fallbacks.size()});
+        fn_.fallbacks.push_back(std::move(fi));
+    }
+
+    const Program &p_;
+    const LowerOptions &opts_;
+    sim::Phase phase_;
+    ConsumerAnalysis ca_;
+    LoweredFunction fn_;
+    int nextKid_ = 1;
+    std::map<const Stmt *, const Stmt *> fusedProducer_;
+    std::set<const Stmt *> fusedConsumer_;
+};
+
+} // namespace
+
+LoweredFunction
+lower(const Program &p, const LowerOptions &opts, sim::Phase phase)
+{
+    Lowerer l(p, opts, phase);
+    LoweredFunction fn = l.run();
+    fn.phase = phase;
+    return fn;
+}
+
+} // namespace hector::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lowering from the inter-operator IR onto the two kernel templates
+ * (paper Sec. 3.2.5): a greedy multi-pass scheme that prefers the
+ * GEMM template, then fuses what remains into as few traversal
+ * instances as possible, and finally leaves weight-space precompute
+ * to framework-fallback calls.
+ */
+
+#ifndef HECTOR_CORE_LOWERING_HH
+#define HECTOR_CORE_LOWERING_HH
+
+#include "core/inter_op_ir.hh"
+#include "core/intra_op_ir.hh"
+#include "sim/device.hh"
+
+namespace hector::core
+{
+
+/** Options controlling lowering decisions. */
+struct LowerOptions
+{
+    /**
+     * Fuse a typed-linear + scalar-weighted aggregation pair into a
+     * single GEMM instance with a per-row scalar and an atomic
+     * scatter to destination nodes (the Sec. 3.4.1 per-row-scalar +
+     * flexible-scatter path; this is what turns RGCN's message
+     * generation + aggregation into one kernel). Only applied when
+     * the scalar carries no gradient.
+     */
+    bool fuseGemmScatter = true;
+    GemmSchedule sched;
+};
+
+/**
+ * Iteration domain of a statement under the current materialization
+ * annotations: UniquePairs when the output is compact and the
+ * statement depends only on (src, etype); Nodes inside node loops;
+ * Edges otherwise.
+ */
+RowDomain stmtDomain(const Program &p, const Stmt &s, LoopDomain loop);
+
+/** Lower one program (forward or backward) to kernel instances. */
+LoweredFunction lower(const Program &p, const LowerOptions &opts,
+                      sim::Phase phase);
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_LOWERING_HH

@@ -1,0 +1,71 @@
+#include "graph/compaction.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hector::graph
+{
+
+CompactionMap::CompactionMap(const HeteroGraph &g)
+    : numEdges_(g.numEdges())
+{
+    const auto src = g.src();
+    const auto etype_ptr = g.etypePtr();
+    const int r_count = g.numEdgeTypes();
+
+    edgeToUnique_.resize(static_cast<std::size_t>(numEdges_));
+    uniqueEtypePtr_.assign(static_cast<std::size_t>(r_count) + 1, 0);
+
+    // Edges are presorted by etype, so unique pairs can be assigned
+    // per segment; unique rows inherit the segment order, giving the
+    // CSR-like layout of Fig. 7(b).
+    for (int r = 0; r < r_count; ++r) {
+        std::unordered_map<std::int64_t, std::int64_t> seen;
+        for (std::int64_t e = etype_ptr[static_cast<std::size_t>(r)];
+             e < etype_ptr[static_cast<std::size_t>(r) + 1]; ++e) {
+            const std::int64_t s = src[static_cast<std::size_t>(e)];
+            auto [it, inserted] = seen.try_emplace(s, numUnique_);
+            if (inserted) {
+                uniqueSrc_.push_back(s);
+                ++numUnique_;
+            }
+            edgeToUnique_[static_cast<std::size_t>(e)] = it->second;
+        }
+        uniqueEtypePtr_[static_cast<std::size_t>(r) + 1] = numUnique_;
+    }
+}
+
+void
+CompactionMap::validate(const HeteroGraph &g) const
+{
+    if (g.numEdges() != numEdges_)
+        throw std::runtime_error("CompactionMap: edge count mismatch");
+    const auto src = g.src();
+    const auto etype = g.etype();
+    for (std::int64_t e = 0; e < numEdges_; ++e) {
+        const std::int64_t u = edgeToUnique_[static_cast<std::size_t>(e)];
+        if (u < 0 || u >= numUnique_)
+            throw std::runtime_error("CompactionMap: unique id range");
+        if (uniqueSrc_[static_cast<std::size_t>(u)] !=
+            src[static_cast<std::size_t>(e)])
+            throw std::runtime_error("CompactionMap: src mismatch");
+        const std::int32_t r = etype[static_cast<std::size_t>(e)];
+        if (u < uniqueEtypePtr_[static_cast<std::size_t>(r)] ||
+            u >= uniqueEtypePtr_[static_cast<std::size_t>(r) + 1])
+            throw std::runtime_error("CompactionMap: etype segment");
+    }
+    // Bijectivity: within an etype segment, unique rows map to
+    // distinct source nodes.
+    for (int r = 0; r < g.numEdgeTypes(); ++r) {
+        std::vector<std::int64_t> seg(
+            uniqueSrc_.begin() + uniqueEtypePtr_[static_cast<std::size_t>(r)],
+            uniqueSrc_.begin() +
+                uniqueEtypePtr_[static_cast<std::size_t>(r) + 1]);
+        std::sort(seg.begin(), seg.end());
+        if (std::adjacent_find(seg.begin(), seg.end()) != seg.end())
+            throw std::runtime_error("CompactionMap: duplicate unique pair");
+    }
+}
+
+} // namespace hector::graph

@@ -1,0 +1,123 @@
+#include "graph/sampler.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace hector::graph
+{
+
+Minibatch
+sampleNeighbors(const HeteroGraph &g, const SampleSpec &spec,
+                std::mt19937_64 &rng)
+{
+    // Seed candidates: nodes with incoming edges.
+    std::vector<std::int64_t> candidates;
+    for (std::int64_t v = 0; v < g.numNodes(); ++v)
+        if (g.inDegree(v) > 0)
+            candidates.push_back(v);
+    std::shuffle(candidates.begin(), candidates.end(), rng);
+    const std::int64_t n_seeds = std::min<std::int64_t>(
+        spec.numSeeds, static_cast<std::int64_t>(candidates.size()));
+    std::vector<std::int64_t> seeds(candidates.begin(),
+                                    candidates.begin() + n_seeds);
+
+    // Keep at most `fanout` incoming edges per (seed, etype).
+    std::vector<std::int64_t> kept_edges;
+    for (std::int64_t s : seeds) {
+        // Group this seed's in-edges by type (they are not sorted by
+        // type within the CSR row).
+        std::map<std::int32_t, std::vector<std::int64_t>> by_type;
+        for (std::int64_t i = g.inPtr()[static_cast<std::size_t>(s)];
+             i < g.inPtr()[static_cast<std::size_t>(s) + 1]; ++i) {
+            const std::int64_t e =
+                g.inEdgeIds()[static_cast<std::size_t>(i)];
+            by_type[g.etype()[static_cast<std::size_t>(e)]].push_back(e);
+        }
+        for (auto &[etype, edges] : by_type) {
+            std::shuffle(edges.begin(), edges.end(), rng);
+            const std::size_t keep = std::min<std::size_t>(
+                static_cast<std::size_t>(spec.fanout), edges.size());
+            kept_edges.insert(kept_edges.end(), edges.begin(),
+                              edges.begin() + static_cast<long>(keep));
+        }
+    }
+
+    // Collect subgraph nodes: endpoints of kept edges plus seeds,
+    // sorted by (node type, id) to keep the type-segment invariant.
+    std::vector<std::int64_t> nodes = seeds;
+    for (std::int64_t e : kept_edges) {
+        nodes.push_back(g.src()[static_cast<std::size_t>(e)]);
+        nodes.push_back(g.dst()[static_cast<std::size_t>(e)]);
+    }
+    std::sort(nodes.begin(), nodes.end(), [&](std::int64_t a,
+                                              std::int64_t b) {
+        const auto ta = g.nodeType()[static_cast<std::size_t>(a)];
+        const auto tb = g.nodeType()[static_cast<std::size_t>(b)];
+        return ta != tb ? ta < tb : a < b;
+    });
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+    std::unordered_map<std::int64_t, std::int64_t> remap;
+    std::vector<std::int32_t> node_type;
+    node_type.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        remap[nodes[i]] = static_cast<std::int64_t>(i);
+        node_type.push_back(
+            g.nodeType()[static_cast<std::size_t>(nodes[i])]);
+    }
+
+    std::vector<EdgeTriple> edges;
+    edges.reserve(kept_edges.size());
+    for (std::int64_t e : kept_edges) {
+        edges.push_back(
+            {remap.at(g.src()[static_cast<std::size_t>(e)]),
+             remap.at(g.dst()[static_cast<std::size_t>(e)]),
+             g.etype()[static_cast<std::size_t>(e)]});
+    }
+
+    std::vector<std::int32_t> src_nt;
+    std::vector<std::int32_t> dst_nt;
+    for (int r = 0; r < g.numEdgeTypes(); ++r) {
+        src_nt.push_back(g.etypeSrcNtype(r));
+        dst_nt.push_back(g.etypeDstNtype(r));
+    }
+
+    HeteroGraph sub(std::move(node_type), g.numNodeTypes(),
+                    g.numEdgeTypes(), std::move(src_nt), std::move(dst_nt),
+                    std::move(edges));
+
+    std::vector<std::int64_t> seed_local;
+    seed_local.reserve(seeds.size());
+    for (std::int64_t s : seeds)
+        seed_local.push_back(remap.at(s));
+
+    return Minibatch(std::move(sub), std::move(nodes),
+                     std::move(seed_local));
+}
+
+tensor::Tensor
+transferFeatures(const Minibatch &mb, const tensor::Tensor &host_features,
+                 sim::Runtime &rt)
+{
+    const std::int64_t dim = host_features.dim(1);
+    tensor::Tensor device({mb.subgraph.numNodes(), dim});
+    for (std::int64_t i = 0; i < mb.subgraph.numNodes(); ++i) {
+        const float *src = host_features.row(
+            mb.nodeMap[static_cast<std::size_t>(i)]);
+        float *dst = device.row(i);
+        for (std::int64_t j = 0; j < dim; ++j)
+            dst[j] = src[j];
+    }
+    // Host-to-device copy over a PCIe-like link (~25 GB/s effective),
+    // plus adjacency structure transfer.
+    const double bytes =
+        static_cast<double>(device.bytes()) +
+        static_cast<double>(mb.subgraph.structureBytes());
+    const double pcie_bandwidth = 25.0e9;
+    rt.hostOverhead(bytes / pcie_bandwidth +
+                    10.0e-6 * rt.spec().overheadScale);
+    return device;
+}
+
+} // namespace hector::graph

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Neighbor sampling for minibatch RGNN training (paper Sec. 6).
+ *
+ * Graphs that do not fit on the device stay in host memory; each
+ * training step samples a seed set, extracts the one-hop typed
+ * neighborhood with a per-edge-type fanout cap, and transfers the
+ * subgraph plus the features it needs to the device. This module
+ * implements the sampler and the transfer-cost accounting so the
+ * minibatch example/benchmarks can model the paper's proposed
+ * host-to-device data-movement optimization point.
+ */
+
+#ifndef HECTOR_GRAPH_SAMPLER_HH
+#define HECTOR_GRAPH_SAMPLER_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/hetero_graph.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace hector::graph
+{
+
+/** Sampling parameters for one minibatch. */
+struct SampleSpec
+{
+    /** Number of destination seed nodes. */
+    std::int64_t numSeeds = 64;
+    /** Max incoming edges kept per (seed, edge type). */
+    std::int64_t fanout = 8;
+};
+
+/** A sampled subgraph with its mapping back to the full graph. */
+struct Minibatch
+{
+    HeteroGraph subgraph;
+    /** Original node id of each subgraph node. */
+    std::vector<std::int64_t> nodeMap;
+    /** Subgraph node ids of the seeds. */
+    std::vector<std::int64_t> seedLocalIds;
+
+    Minibatch(HeteroGraph g, std::vector<std::int64_t> node_map,
+              std::vector<std::int64_t> seeds)
+        : subgraph(std::move(g)), nodeMap(std::move(node_map)),
+          seedLocalIds(std::move(seeds))
+    {}
+};
+
+/**
+ * Sample a one-hop typed neighborhood minibatch.
+ *
+ * Seeds are drawn uniformly from nodes with at least one incoming
+ * edge; for each seed and edge type, at most spec.fanout incoming
+ * edges are kept (uniform without replacement). The subgraph's nodes
+ * are renumbered, keeping the sorted-by-node-type invariant.
+ */
+Minibatch sampleNeighbors(const HeteroGraph &g, const SampleSpec &spec,
+                          std::mt19937_64 &rng);
+
+/**
+ * Gather the features of a minibatch's nodes from the host-resident
+ * full feature tensor and charge the simulated device for the
+ * host-to-device transfer (PCIe-like bandwidth).
+ *
+ * @return device-side feature tensor [subgraph nodes, dim]
+ */
+tensor::Tensor transferFeatures(const Minibatch &mb,
+                                const tensor::Tensor &host_features,
+                                sim::Runtime &rt);
+
+} // namespace hector::graph
+
+#endif // HECTOR_GRAPH_SAMPLER_HH

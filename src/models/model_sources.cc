@@ -1,0 +1,38 @@
+#include "models/model_sources.hh"
+
+#include <sstream>
+#include <string>
+
+namespace hector::models
+{
+
+namespace
+{
+
+int
+nonEmptyLines(const char *src)
+{
+    std::istringstream is(src);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        bool blank = true;
+        for (char c : line)
+            if (!isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (!blank)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+int
+modelSourceLineCount()
+{
+    return nonEmptyLines(kRgcnSource) + nonEmptyLines(kRgatSource) +
+           nonEmptyLines(kHgtSource);
+}
+
+} // namespace hector::models

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The three models in Hector's textual inter-operator DSL, following
+ * the paper's Listing 1. These strings are (a) parsed by the frontend
+ * (frontend.hh) into the same Programs the builders construct, and
+ * (b) the input-size side of the paper's Sec. 4.1 programming-effort
+ * measurement ("51 lines of code expressing the three models").
+ */
+
+#ifndef HECTOR_MODELS_MODEL_SOURCES_HH
+#define HECTOR_MODELS_MODEL_SOURCES_HH
+
+namespace hector::models
+{
+
+/** RGCN layer (paper Formula 1 / Fig. 1). */
+inline constexpr const char *kRgcnSource = R"(model rgcn
+weight W etype din dout
+weight W0 single din dout
+input feature din
+for e in g.edges():
+    msg = typed_linear(e.src.feature, W[e.etype])
+for n in g.dst_nodes():
+    for e in n.incoming_edges():
+        h_agg += accumulate_scaled(e.norm, e.msg)
+for n in g.nodes():
+    h_self = typed_linear(n.feature, W0)
+for n in g.nodes():
+    h_out = add(n.h_agg, n.h_self)
+output h_out
+)";
+
+/** Single-headed RGAT layer (paper Fig. 2 / Listing 1). */
+inline constexpr const char *kRgatSource = R"(model rgat
+weight W etype din dout
+weightvec w_s etype dout
+weightvec w_t etype dout
+input feature din
+for e in g.edges():
+    hs = typed_linear(e.src.feature, W[e.etype])
+    atts = dot_prd(e.hs, w_s[e.etype])
+    ht = typed_linear(e.dst.feature, W[e.etype])
+    attt = dot_prd(e.ht, w_t[e.etype])
+    att_raw = add(e.atts, e.attt)
+    att = leakyrelu(e.att_raw)
+edge_softmax att -> att_n
+for n in g.dst_nodes():
+    for e in n.incoming_edges():
+        h_out += accumulate_scaled(e.att_n, e.hs)
+output h_out
+)";
+
+/** Single-headed HGT layer (paper Fig. 2). */
+inline constexpr const char *kHgtSource = R"(model hgt
+weight K ntype din dout
+weight Q ntype din dout
+weight V ntype din dout
+weight W_att etype dout dout
+weight W_msg etype dout dout
+input feature din
+for n in g.nodes():
+    k = typed_linear(n.feature, K[n.ntype])
+    q = typed_linear(n.feature, Q[n.ntype])
+    v = typed_linear(n.feature, V[n.ntype])
+for e in g.edges():
+    ka = typed_linear(e.src.k, W_att[e.etype])
+    att_dot = dot_prd(e.ka, e.dst.q)
+    att = scale(e.att_dot, rsqrt_dout)
+    msg = typed_linear(e.src.v, W_msg[e.etype])
+edge_softmax att -> att_n
+for n in g.dst_nodes():
+    for e in n.incoming_edges():
+        h_out += accumulate_scaled(e.att_n, e.msg)
+output h_out
+)";
+
+/** Number of non-empty source lines across the three models. */
+int modelSourceLineCount();
+
+} // namespace hector::models
+
+#endif // HECTOR_MODELS_MODEL_SOURCES_HH

@@ -1,0 +1,329 @@
+#include "models/models.hh"
+
+#include <cmath>
+
+namespace hector::models
+{
+
+using core::Access;
+using core::Loop;
+using core::LoopDomain;
+using core::Materialization;
+using core::OpKind;
+using core::Program;
+using core::Stmt;
+using core::TypeBy;
+using core::VarInfo;
+using core::VarRef;
+using core::VarSpace;
+using core::WeightInfo;
+
+const char *
+toString(ModelKind m)
+{
+    switch (m) {
+      case ModelKind::Rgcn:
+        return "RGCN";
+      case ModelKind::Rgat:
+        return "RGAT";
+      case ModelKind::Hgt:
+        return "HGT";
+    }
+    return "?";
+}
+
+namespace
+{
+
+VarRef
+direct(const std::string &n)
+{
+    return {n, Access::Direct};
+}
+
+VarRef
+viaSrc(const std::string &n)
+{
+    return {n, Access::ViaSrc};
+}
+
+VarRef
+viaDst(const std::string &n)
+{
+    return {n, Access::ViaDst};
+}
+
+/** Statement factory keeping builders robust to Stmt layout changes. */
+Stmt
+mk(OpKind kind, VarRef out, std::vector<VarRef> ins,
+   const std::string &weight = "", TypeBy type_by = TypeBy::Etype,
+   float alpha = 0.0f)
+{
+    Stmt s;
+    s.kind = kind;
+    s.out = std::move(out);
+    s.ins = std::move(ins);
+    s.weight = weight;
+    s.typeBy = type_by;
+    s.alpha = alpha;
+    return s;
+}
+
+/** Appends the three edge-softmax loops of Listing 1 over @p att. */
+void
+appendEdgeSoftmax(Program &p, const std::string &att,
+                  const std::string &att_norm)
+{
+    p.declareVar(att + "_exp", {VarSpace::EdgeData, 1, false,
+                                Materialization::Vanilla});
+    p.declareVar(att + "_sum", {VarSpace::NodeData, 1, false,
+                                Materialization::Vanilla});
+    p.declareVar(att_norm, {VarSpace::EdgeData, 1, false,
+                            Materialization::Vanilla});
+
+    Loop exp_loop{LoopDomain::Edges, {}, {}};
+    exp_loop.body.push_back(mk(OpKind::Exp, direct(att + "_exp"), {direct(att)}, "",
+         TypeBy::Etype, 0.0f));
+    p.loops.push_back(std::move(exp_loop));
+
+    Loop sum_outer{LoopDomain::DstNodes, {}, {}};
+    Loop sum_inner{LoopDomain::IncomingEdges, {}, {}};
+    sum_inner.body.push_back(mk(OpKind::AccumulateSum, direct(att + "_sum"),
+                              {direct(att + "_exp")}, "", TypeBy::Etype,
+                              0.0f));
+    sum_outer.inner.push_back(std::move(sum_inner));
+    p.loops.push_back(std::move(sum_outer));
+
+    Loop div_loop{LoopDomain::Edges, {}, {}};
+    div_loop.body.push_back(mk(OpKind::Divide, direct(att_norm),
+                             {direct(att + "_exp"), viaDst(att + "_sum")},
+                             "", TypeBy::Etype, 0.0f));
+    p.loops.push_back(std::move(div_loop));
+}
+
+/** Appends the weighted-aggregation loop h_out += att * msg. */
+void
+appendWeightedAggregation(Program &p, const std::string &att,
+                          const std::string &msg, const std::string &out)
+{
+    Loop outer{LoopDomain::DstNodes, {}, {}};
+    Loop inner{LoopDomain::IncomingEdges, {}, {}};
+    inner.body.push_back(mk(OpKind::AccumulateScaled, direct(out),
+                          {direct(att), direct(msg)}, "", TypeBy::Etype,
+                          0.0f));
+    outer.inner.push_back(std::move(inner));
+    p.loops.push_back(std::move(outer));
+}
+
+} // namespace
+
+Program
+buildRgcn(int num_etypes, std::int64_t din, std::int64_t dout)
+{
+    Program p;
+    p.name = "rgcn";
+    p.declareVar("feature", {VarSpace::NodeInput, din, false,
+                             Materialization::Vanilla});
+    // Per-edge 1/c_{v,r} normalization is graph data, not learned.
+    p.declareVar("norm", {VarSpace::EdgeData, 1, false,
+                          Materialization::Vanilla});
+    p.declareVar("msg", {VarSpace::EdgeData, dout, false,
+                         Materialization::Vanilla});
+    p.declareVar("h_agg", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareVar("h_self", {VarSpace::NodeData, dout, false,
+                            Materialization::Vanilla});
+    p.declareVar("h_out", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareWeight("W", {TypeBy::Etype, din, dout, false, true});
+    p.declareWeight("W0", {TypeBy::Single, din, dout, false, true});
+
+    Loop msg_loop{LoopDomain::Edges, {}, {}};
+    msg_loop.body.push_back(mk(OpKind::TypedLinear, direct("msg"),
+                             {viaSrc("feature")}, "W", TypeBy::Etype, 0.0f));
+    p.loops.push_back(std::move(msg_loop));
+
+    Loop agg_outer{LoopDomain::DstNodes, {}, {}};
+    Loop agg_inner{LoopDomain::IncomingEdges, {}, {}};
+    agg_inner.body.push_back(mk(OpKind::AccumulateScaled, direct("h_agg"),
+                              {direct("norm"), direct("msg")}, "",
+                              TypeBy::Etype, 0.0f));
+    agg_outer.inner.push_back(std::move(agg_inner));
+    p.loops.push_back(std::move(agg_outer));
+
+    Loop self_loop{LoopDomain::Nodes, {}, {}};
+    self_loop.body.push_back(mk(OpKind::TypedLinear, direct("h_self"),
+                              {direct("feature")}, "W0", TypeBy::Single,
+                              0.0f));
+    p.loops.push_back(std::move(self_loop));
+
+    Loop add_loop{LoopDomain::Nodes, {}, {}};
+    add_loop.body.push_back(mk(OpKind::Add, direct("h_out"),
+                             {direct("h_agg"), direct("h_self")}, "",
+                             TypeBy::Etype, 0.0f));
+    p.loops.push_back(std::move(add_loop));
+
+    (void)num_etypes;
+    p.validate();
+    return p;
+}
+
+Program
+buildRgat(int num_etypes, std::int64_t din, std::int64_t dout)
+{
+    (void)num_etypes;
+    Program p;
+    p.name = "rgat";
+    p.declareVar("feature", {VarSpace::NodeInput, din, false,
+                             Materialization::Vanilla});
+    p.declareVar("hs", {VarSpace::EdgeData, dout, false,
+                        Materialization::Vanilla});
+    p.declareVar("ht", {VarSpace::EdgeData, dout, false,
+                        Materialization::Vanilla});
+    p.declareVar("atts", {VarSpace::EdgeData, 1, false,
+                          Materialization::Vanilla});
+    p.declareVar("attt", {VarSpace::EdgeData, 1, false,
+                          Materialization::Vanilla});
+    p.declareVar("att_raw", {VarSpace::EdgeData, 1, false,
+                             Materialization::Vanilla});
+    p.declareVar("att", {VarSpace::EdgeData, 1, false,
+                         Materialization::Vanilla});
+    p.declareVar("h_out", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareWeight("W", {TypeBy::Etype, din, dout, false, true});
+    p.declareWeight("w_s", {TypeBy::Etype, 1, dout, true, true});
+    p.declareWeight("w_t", {TypeBy::Etype, 1, dout, true, true});
+
+    Loop gen{LoopDomain::Edges, {}, {}};
+    gen.body.push_back(mk(OpKind::TypedLinear, direct("hs"),
+                        {viaSrc("feature")}, "W", TypeBy::Etype, 0.0f));
+    gen.body.push_back(mk(OpKind::DotProduct, direct("atts"), {direct("hs")},
+                        "w_s", TypeBy::Etype, 0.0f));
+    gen.body.push_back(mk(OpKind::TypedLinear, direct("ht"),
+                        {viaDst("feature")}, "W", TypeBy::Etype, 0.0f));
+    gen.body.push_back(mk(OpKind::DotProduct, direct("attt"), {direct("ht")},
+                        "w_t", TypeBy::Etype, 0.0f));
+    gen.body.push_back(mk(OpKind::Add, direct("att_raw"),
+                        {direct("atts"), direct("attt")}, "", TypeBy::Etype,
+                        0.0f));
+    gen.body.push_back(mk(OpKind::LeakyRelu, direct("att"),
+                        {direct("att_raw")}, "", TypeBy::Etype, 0.01f));
+    p.loops.push_back(std::move(gen));
+
+    appendEdgeSoftmax(p, "att", "att_n");
+    appendWeightedAggregation(p, "att_n", "hs", "h_out");
+
+    p.validate();
+    return p;
+}
+
+Program
+buildHgt(int num_ntypes, int num_etypes, std::int64_t din, std::int64_t dout)
+{
+    (void)num_ntypes;
+    (void)num_etypes;
+    Program p;
+    p.name = "hgt";
+    p.declareVar("feature", {VarSpace::NodeInput, din, false,
+                             Materialization::Vanilla});
+    p.declareVar("k", {VarSpace::NodeData, dout, false,
+                       Materialization::Vanilla});
+    p.declareVar("q", {VarSpace::NodeData, dout, false,
+                       Materialization::Vanilla});
+    p.declareVar("v", {VarSpace::NodeData, dout, false,
+                       Materialization::Vanilla});
+    p.declareVar("ka", {VarSpace::EdgeData, dout, false,
+                        Materialization::Vanilla});
+    p.declareVar("msg", {VarSpace::EdgeData, dout, false,
+                         Materialization::Vanilla});
+    p.declareVar("att_dot", {VarSpace::EdgeData, 1, false,
+                             Materialization::Vanilla});
+    p.declareVar("att", {VarSpace::EdgeData, 1, false,
+                         Materialization::Vanilla});
+    p.declareVar("h_out", {VarSpace::NodeData, dout, false,
+                           Materialization::Vanilla});
+    p.declareWeight("K", {TypeBy::Ntype, din, dout, false, true});
+    p.declareWeight("Q", {TypeBy::Ntype, din, dout, false, true});
+    p.declareWeight("V", {TypeBy::Ntype, din, dout, false, true});
+    p.declareWeight("W_att", {TypeBy::Etype, dout, dout, false, true});
+    p.declareWeight("W_msg", {TypeBy::Etype, dout, dout, false, true});
+
+    Loop proj{LoopDomain::Nodes, {}, {}};
+    proj.body.push_back(mk(OpKind::TypedLinear, direct("k"),
+                         {direct("feature")}, "K", TypeBy::Ntype, 0.0f));
+    proj.body.push_back(mk(OpKind::TypedLinear, direct("q"),
+                         {direct("feature")}, "Q", TypeBy::Ntype, 0.0f));
+    proj.body.push_back(mk(OpKind::TypedLinear, direct("v"),
+                         {direct("feature")}, "V", TypeBy::Ntype, 0.0f));
+    p.loops.push_back(std::move(proj));
+
+    Loop gen{LoopDomain::Edges, {}, {}};
+    gen.body.push_back(mk(OpKind::TypedLinear, direct("ka"), {viaSrc("k")},
+                        "W_att", TypeBy::Etype, 0.0f));
+    gen.body.push_back(mk(OpKind::DotProduct, direct("att_dot"),
+                        {direct("ka"), viaDst("q")}, "", TypeBy::Etype,
+                        0.0f));
+    gen.body.push_back(mk(OpKind::Scale, direct("att"), {direct("att_dot")},
+                        "", TypeBy::Etype,
+                        1.0f / std::sqrt(static_cast<float>(dout))));
+    gen.body.push_back(mk(OpKind::TypedLinear, direct("msg"), {viaSrc("v")},
+                        "W_msg", TypeBy::Etype, 0.0f));
+    p.loops.push_back(std::move(gen));
+
+    appendEdgeSoftmax(p, "att", "att_n");
+    appendWeightedAggregation(p, "att_n", "msg", "h_out");
+
+    p.validate();
+    return p;
+}
+
+Program
+buildModel(ModelKind m, const graph::HeteroGraph &g, std::int64_t din,
+           std::int64_t dout)
+{
+    switch (m) {
+      case ModelKind::Rgcn:
+        return buildRgcn(g.numEdgeTypes(), din, dout);
+      case ModelKind::Rgat:
+        return buildRgat(g.numEdgeTypes(), din, dout);
+      case ModelKind::Hgt:
+        return buildHgt(g.numNodeTypes(), g.numEdgeTypes(), din, dout);
+    }
+    throw std::runtime_error("unknown model kind");
+}
+
+std::int64_t
+typeCount(core::TypeBy by, const graph::HeteroGraph &g)
+{
+    switch (by) {
+      case TypeBy::Etype:
+        return g.numEdgeTypes();
+      case TypeBy::Ntype:
+      case TypeBy::SrcNtype:
+      case TypeBy::DstNtype:
+        return g.numNodeTypes();
+      case TypeBy::Single:
+        return 1;
+    }
+    return 1;
+}
+
+WeightMap
+initWeights(const core::Program &p, const graph::HeteroGraph &g,
+            std::mt19937_64 &rng)
+{
+    WeightMap out;
+    for (const auto &[name, info] : p.weights) {
+        const std::int64_t t = typeCount(info.typeBy, g);
+        if (info.isVector) {
+            out.emplace(name,
+                        tensor::Tensor::uniform({t, info.cols}, rng, 0.2f));
+        } else {
+            out.emplace(name, tensor::Tensor::uniform(
+                                  {t, info.rows, info.cols}, rng, 0.2f));
+        }
+    }
+    return out;
+}
+
+} // namespace hector::models

@@ -1,0 +1,214 @@
+#include "models/reference.hh"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hector::models
+{
+
+using graph::HeteroGraph;
+using tensor::Tensor;
+
+namespace
+{
+
+/** y[dout] = x[din] * W[t] for one weight slice. */
+void
+applyWeight(const Tensor &w, std::int64_t t, const float *x, float *y)
+{
+    const std::int64_t din = w.dim(1);
+    const std::int64_t dout = w.dim(2);
+    const float *wt = w.data() + t * din * dout;
+    for (std::int64_t j = 0; j < dout; ++j)
+        y[j] = 0.0f;
+    for (std::int64_t i = 0; i < din; ++i) {
+        const float xv = x[i];
+        const float *wrow = wt + i * dout;
+        for (std::int64_t j = 0; j < dout; ++j)
+            y[j] += xv * wrow[j];
+    }
+}
+
+float
+dotRow(const float *a, const float *b, std::int64_t d)
+{
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+/** Edge softmax over raw attention logits, per destination node. */
+std::vector<float>
+edgeSoftmax(const HeteroGraph &g, const std::vector<float> &logits)
+{
+    std::vector<float> out(logits.size());
+    const auto in_ptr = g.inPtr();
+    const auto in_eid = g.inEdgeIds();
+    for (std::int64_t v = 0; v < g.numNodes(); ++v) {
+        double denom = 0.0;
+        for (std::int64_t i = in_ptr[static_cast<std::size_t>(v)];
+             i < in_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+            const auto e = static_cast<std::size_t>(
+                in_eid[static_cast<std::size_t>(i)]);
+            denom += std::exp(static_cast<double>(logits[e]));
+        }
+        for (std::int64_t i = in_ptr[static_cast<std::size_t>(v)];
+             i < in_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+            const auto e = static_cast<std::size_t>(
+                in_eid[static_cast<std::size_t>(i)]);
+            out[e] = static_cast<float>(
+                std::exp(static_cast<double>(logits[e])) / denom);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+referenceRgcn(const HeteroGraph &g, const WeightMap &w,
+              const Tensor &feature)
+{
+    const Tensor &wt = w.at("W");
+    const Tensor &w0 = w.at("W0");
+    const std::int64_t din = wt.dim(1);
+    const std::int64_t dout = wt.dim(2);
+    if (feature.dim(1) != din)
+        throw std::runtime_error("referenceRgcn: bad feature width");
+
+    Tensor out({g.numNodes(), dout});
+    std::vector<float> msg(static_cast<std::size_t>(dout));
+    const auto src = g.src();
+    const auto dst = g.dst();
+    const auto etype = g.etype();
+    const auto norm = g.rgcnNorm();
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        applyWeight(wt, etype[static_cast<std::size_t>(e)],
+                    feature.row(src[static_cast<std::size_t>(e)]),
+                    msg.data());
+        float *dst_row = out.row(dst[static_cast<std::size_t>(e)]);
+        const float c = norm[static_cast<std::size_t>(e)];
+        for (std::int64_t j = 0; j < dout; ++j)
+            dst_row[j] += c * msg[j];
+    }
+    for (std::int64_t v = 0; v < g.numNodes(); ++v) {
+        applyWeight(w0, 0, feature.row(v), msg.data());
+        float *r = out.row(v);
+        for (std::int64_t j = 0; j < dout; ++j)
+            r[j] += msg[j];
+    }
+    return out;
+}
+
+Tensor
+referenceRgat(const HeteroGraph &g, const WeightMap &w,
+              const Tensor &feature, float leaky_slope)
+{
+    const Tensor &wt = w.at("W");
+    const Tensor &ws = w.at("w_s");
+    const Tensor &wvt = w.at("w_t");
+    const std::int64_t dout = wt.dim(2);
+
+    const auto src = g.src();
+    const auto dst = g.dst();
+    const auto etype = g.etype();
+
+    Tensor hs({g.numEdges(), dout});
+    std::vector<float> logits(static_cast<std::size_t>(g.numEdges()));
+    std::vector<float> ht(static_cast<std::size_t>(dout));
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        const std::int64_t r = etype[static_cast<std::size_t>(e)];
+        applyWeight(wt, r, feature.row(src[static_cast<std::size_t>(e)]),
+                    hs.row(e));
+        applyWeight(wt, r, feature.row(dst[static_cast<std::size_t>(e)]),
+                    ht.data());
+        const float atts = dotRow(hs.row(e), ws.row(r), dout);
+        const float attt = dotRow(ht.data(), wvt.row(r), dout);
+        const float raw = atts + attt;
+        logits[static_cast<std::size_t>(e)] =
+            raw > 0.0f ? raw : leaky_slope * raw;
+    }
+    const auto att = edgeSoftmax(g, logits);
+
+    Tensor out({g.numNodes(), dout});
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        float *dst_row = out.row(dst[static_cast<std::size_t>(e)]);
+        const float a = att[static_cast<std::size_t>(e)];
+        const float *m = hs.row(e);
+        for (std::int64_t j = 0; j < dout; ++j)
+            dst_row[j] += a * m[j];
+    }
+    return out;
+}
+
+Tensor
+referenceHgt(const HeteroGraph &g, const WeightMap &w, const Tensor &feature)
+{
+    const Tensor &wk = w.at("K");
+    const Tensor &wq = w.at("Q");
+    const Tensor &wv = w.at("V");
+    const Tensor &wa = w.at("W_att");
+    const Tensor &wm = w.at("W_msg");
+    const std::int64_t dout = wk.dim(2);
+
+    Tensor k({g.numNodes(), dout});
+    Tensor q({g.numNodes(), dout});
+    Tensor v({g.numNodes(), dout});
+    const auto ntype = g.nodeType();
+    for (std::int64_t n = 0; n < g.numNodes(); ++n) {
+        const std::int64_t t = ntype[static_cast<std::size_t>(n)];
+        applyWeight(wk, t, feature.row(n), k.row(n));
+        applyWeight(wq, t, feature.row(n), q.row(n));
+        applyWeight(wv, t, feature.row(n), v.row(n));
+    }
+
+    const auto src = g.src();
+    const auto dst = g.dst();
+    const auto etype = g.etype();
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dout));
+
+    Tensor msg({g.numEdges(), dout});
+    std::vector<float> logits(static_cast<std::size_t>(g.numEdges()));
+    std::vector<float> ka(static_cast<std::size_t>(dout));
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        const std::int64_t r = etype[static_cast<std::size_t>(e)];
+        applyWeight(wa, r, k.row(src[static_cast<std::size_t>(e)]),
+                    ka.data());
+        logits[static_cast<std::size_t>(e)] =
+            dotRow(ka.data(), q.row(dst[static_cast<std::size_t>(e)]),
+                   dout) *
+            inv_sqrt_d;
+        applyWeight(wm, r, v.row(src[static_cast<std::size_t>(e)]),
+                    msg.row(e));
+    }
+    const auto att = edgeSoftmax(g, logits);
+
+    Tensor out({g.numNodes(), dout});
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        float *dst_row = out.row(dst[static_cast<std::size_t>(e)]);
+        const float a = att[static_cast<std::size_t>(e)];
+        const float *m = msg.row(e);
+        for (std::int64_t j = 0; j < dout; ++j)
+            dst_row[j] += a * m[j];
+    }
+    return out;
+}
+
+Tensor
+referenceForward(ModelKind m, const HeteroGraph &g, const WeightMap &w,
+                 const Tensor &feature)
+{
+    switch (m) {
+      case ModelKind::Rgcn:
+        return referenceRgcn(g, w, feature);
+      case ModelKind::Rgat:
+        return referenceRgat(g, w, feature);
+      case ModelKind::Hgt:
+        return referenceHgt(g, w, feature);
+    }
+    throw std::runtime_error("unknown model kind");
+}
+
+} // namespace hector::models

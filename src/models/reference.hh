@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain, obviously-correct CPU implementations of RGCN / RGAT / HGT.
+ *
+ * These are deliberately written against the graph structure directly,
+ * with no IR, no passes, and no shared kernels, so they serve as an
+ * independent oracle: every execution strategy in the repo (Hector
+ * with any optimization combination, and each baseline) must
+ * reproduce these outputs bit-for-bit up to float tolerance.
+ */
+
+#ifndef HECTOR_MODELS_REFERENCE_HH
+#define HECTOR_MODELS_REFERENCE_HH
+
+#include "graph/hetero_graph.hh"
+#include "models/models.hh"
+#include "tensor/tensor.hh"
+
+namespace hector::models
+{
+
+/** RGCN forward (Formula 1): returns [N, dout]. */
+tensor::Tensor referenceRgcn(const graph::HeteroGraph &g,
+                             const WeightMap &w,
+                             const tensor::Tensor &feature);
+
+/** Single-headed RGAT forward: returns [N, dout]. */
+tensor::Tensor referenceRgat(const graph::HeteroGraph &g,
+                             const WeightMap &w,
+                             const tensor::Tensor &feature,
+                             float leaky_slope = 0.01f);
+
+/** Single-headed HGT forward: returns [N, dout]. */
+tensor::Tensor referenceHgt(const graph::HeteroGraph &g, const WeightMap &w,
+                            const tensor::Tensor &feature);
+
+/** Dispatch over ModelKind. */
+tensor::Tensor referenceForward(ModelKind m, const graph::HeteroGraph &g,
+                                const WeightMap &w,
+                                const tensor::Tensor &feature);
+
+} // namespace hector::models
+
+#endif // HECTOR_MODELS_REFERENCE_HH

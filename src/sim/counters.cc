@@ -1,0 +1,53 @@
+#include "sim/counters.hh"
+
+#include <algorithm>
+
+namespace hector::sim
+{
+
+CounterBucket
+Counters::categoryTotal(KernelCategory c) const
+{
+    CounterBucket out;
+    out.add(bucket(c, Phase::Forward));
+    out.add(bucket(c, Phase::Backward));
+    return out;
+}
+
+CounterBucket
+Counters::total() const
+{
+    CounterBucket out;
+    for (const auto &b : buckets_)
+        out.add(b);
+    return out;
+}
+
+ArchMetrics
+Counters::deriveMetrics(const CounterBucket &b, const DeviceSpec &spec)
+{
+    ArchMetrics m;
+    if (b.timeSec <= 0.0)
+        return m;
+    m.achievedGflops = b.flops / b.timeSec / 1e9;
+    const double bytes = b.bytesRead + b.bytesWritten;
+    m.dramTptPct = 100.0 * bytes / b.timeSec / spec.dramBandwidth;
+
+    // IPC proxy: count one FMA instruction per two FLOPs plus one
+    // memory instruction per 32B sector touched per thread, then
+    // compare the implied issue rate against the device's aggregate
+    // scheduler issue rate (4 per SM per cycle ideal, as in the
+    // paper's Fig. 12 discussion).
+    const double instr = b.flops / 2.0 + bytes / 32.0 + b.atomics * 4.0;
+    const double issue_rate =
+        instr / b.timeSec / (spec.smCount * spec.clockGhz * 1e9);
+    m.avgIpc = std::min(4.0, issue_rate);
+
+    const double mem_instr = bytes / 32.0 + b.atomics;
+    const double lsu_rate =
+        mem_instr / b.timeSec / (spec.smCount * spec.clockGhz * 1e9);
+    m.lsuPct = std::min(100.0, 100.0 * lsu_rate);
+    return m;
+}
+
+} // namespace hector::sim

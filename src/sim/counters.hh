@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Aggregated execution counters for the simulated device.
+ *
+ * Counters are grouped by (KernelCategory, Phase); from them the
+ * reporting helpers derive the architectural metrics plotted in the
+ * paper's Fig. 12 (achieved GFLOP/s, an IPC proxy, and DRAM
+ * throughput utilization) and the time breakdowns of Fig. 3 / Fig. 9.
+ */
+
+#ifndef HECTOR_SIM_COUNTERS_HH
+#define HECTOR_SIM_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.hh"
+
+namespace hector::sim
+{
+
+/** Accumulated totals for one (category, phase) bucket. */
+struct CounterBucket
+{
+    double timeSec = 0.0;
+    double flops = 0.0;
+    double bytesRead = 0.0;
+    double bytesWritten = 0.0;
+    double atomics = 0.0;
+    std::uint64_t launches = 0;
+
+    void
+    add(const CounterBucket &o)
+    {
+        timeSec += o.timeSec;
+        flops += o.flops;
+        bytesRead += o.bytesRead;
+        bytesWritten += o.bytesWritten;
+        atomics += o.atomics;
+        launches += o.launches;
+    }
+};
+
+/** Derived architectural metrics for Fig. 12-style reporting. */
+struct ArchMetrics
+{
+    double achievedGflops = 0.0;
+    /** Instructions-per-cycle proxy per SM scheduler (ideal 4). */
+    double avgIpc = 0.0;
+    /** DRAM throughput as % of peak. */
+    double dramTptPct = 0.0;
+    /** Load-store unit utilization proxy, %. */
+    double lsuPct = 0.0;
+};
+
+/** Full counter set: 5 categories x 2 phases. */
+class Counters
+{
+  public:
+    static constexpr int numCategories = 5;
+    static constexpr int numPhases = 2;
+
+    CounterBucket &
+    bucket(KernelCategory c, Phase p)
+    {
+        return buckets_[index(c, p)];
+    }
+
+    const CounterBucket &
+    bucket(KernelCategory c, Phase p) const
+    {
+        return buckets_[index(c, p)];
+    }
+
+    /** Total over both phases for one category. */
+    CounterBucket categoryTotal(KernelCategory c) const;
+
+    /** Total over everything. */
+    CounterBucket total() const;
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = CounterBucket{};
+    }
+
+    /** Derive Fig. 12-style metrics for one bucket on a device. */
+    static ArchMetrics deriveMetrics(const CounterBucket &b,
+                                     const DeviceSpec &spec);
+
+  private:
+    static int
+    index(KernelCategory c, Phase p)
+    {
+        return static_cast<int>(c) * numPhases + static_cast<int>(p);
+    }
+
+    std::array<CounterBucket, numCategories * numPhases> buckets_{};
+};
+
+} // namespace hector::sim
+
+#endif // HECTOR_SIM_COUNTERS_HH

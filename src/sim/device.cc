@@ -1,0 +1,121 @@
+#include "sim/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hector::sim
+{
+
+DeviceSpec
+makeScaledSpec(double scale)
+{
+    DeviceSpec spec;
+    spec.memoryScale = scale;
+    spec.overheadScale = scale;
+    spec.datasetScale = scale;
+    spec.occupancyHalfSaturation *= scale;
+    return spec;
+}
+
+const char *
+toString(KernelCategory c)
+{
+    switch (c) {
+      case KernelCategory::Gemm:
+        return "GEMM";
+      case KernelCategory::Traversal:
+        return "Traversal";
+      case KernelCategory::Index:
+        return "Index";
+      case KernelCategory::Elementwise:
+        return "Elementwise";
+      case KernelCategory::Fallback:
+        return "Fallback";
+    }
+    return "?";
+}
+
+const char *
+toString(Phase p)
+{
+    return p == Phase::Forward ? "Forward" : "Backward";
+}
+
+double
+DeviceModel::computeEfficiency(KernelCategory c)
+{
+    switch (c) {
+      case KernelCategory::Gemm:
+        return 0.55;
+      case KernelCategory::Traversal:
+        return 0.06;
+      case KernelCategory::Index:
+        return 0.05;
+      case KernelCategory::Elementwise:
+        return 0.10;
+      case KernelCategory::Fallback:
+        return 0.08;
+    }
+    return 0.1;
+}
+
+double
+DeviceModel::bandwidthEfficiency(KernelCategory c)
+{
+    switch (c) {
+      case KernelCategory::Gemm:
+        return 0.70;
+      case KernelCategory::Traversal:
+        return 0.35;
+      case KernelCategory::Index:
+        return 0.55;
+      case KernelCategory::Elementwise:
+        return 0.80;
+      case KernelCategory::Fallback:
+        return 0.50;
+    }
+    return 0.5;
+}
+
+double
+DeviceModel::occupancy(double work_items) const
+{
+    if (work_items <= 0.0)
+        return 1.0;
+    // Saturating ramp: half efficiency at occupancyHalfSaturation
+    // work items, asymptotically 1. This reproduces the sublinear
+    // time growth with feature dimension reported in Sec. 4.4.
+    return work_items / (work_items + spec_.occupancyHalfSaturation);
+}
+
+double
+DeviceModel::kernelTime(const KernelDesc &desc) const
+{
+    const double ce = desc.computeEff > 0.0
+                          ? desc.computeEff
+                          : computeEfficiency(desc.category);
+    const double be = desc.bandwidthEff > 0.0
+                          ? desc.bandwidthEff
+                          : bandwidthEfficiency(desc.category);
+    const double occ = occupancy(desc.workItems);
+
+    const double t_compute = desc.flops / (spec_.peakFlops * ce * occ);
+    const double bytes = desc.bytesRead + desc.bytesWritten;
+    const double t_memory = bytes / (spec_.dramBandwidth * be * occ);
+
+    // Conflicting atomics serialize per address; non-conflicting
+    // atomics are throughput-limited. Both appear as an additive
+    // latency term, which is what makes backward traversal kernels
+    // latency-bound in the Fig. 12 reproduction. Serialization is
+    // capped: block-level partial reduction bounds how many updates
+    // can actually contend at one address in DRAM.
+    const double conflict =
+        std::min(64.0, std::max(1.0, desc.atomicConflict));
+    const double t_atomic =
+        desc.atomics * std::sqrt(conflict) / spec_.atomicThroughput;
+
+    return spec_.launchLatency * spec_.overheadScale +
+           std::max(t_compute, t_memory) + t_atomic;
+}
+
+} // namespace hector::sim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Analytical GPU device model.
+ *
+ * The reproduction substitutes the paper's RTX 3090 with a calibrated
+ * roofline-style model: each kernel launch is charged a fixed API +
+ * launch latency, then the larger of its compute time (FLOPs against
+ * peak FP32 throughput derated by a per-category efficiency and an
+ * occupancy ramp) and its memory time (bytes against DRAM bandwidth
+ * derated by an access-pattern efficiency), plus a serialization term
+ * for conflicting atomic updates.
+ *
+ * The model is deliberately simple and fully documented because the
+ * paper's comparative claims rest on *counts* — kernel launches, bytes
+ * moved, FLOPs, weight replication, atomics — not on microarchitectural
+ * subtlety. Every experiment in EXPERIMENTS.md reports shape (who wins
+ * and by roughly what factor), which this model preserves.
+ */
+
+#ifndef HECTOR_SIM_DEVICE_HH
+#define HECTOR_SIM_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hector::sim
+{
+
+/** Kernel taxonomy used for breakdowns (Fig. 3, Fig. 9, Fig. 12). */
+enum class KernelCategory
+{
+    Gemm,        ///< instances of the GEMM template / cuBLAS-like calls
+    Traversal,   ///< node/edge traversal template instances
+    Index,       ///< indexing / copying / materialization kernels
+    Elementwise, ///< pointwise math outside the two templates
+    Fallback     ///< operations "left to the framework" (PyTorch-like)
+};
+
+/** Forward vs. backward pass, for Fig. 12-style reporting. */
+enum class Phase
+{
+    Forward,
+    Backward
+};
+
+const char *toString(KernelCategory c);
+const char *toString(Phase p);
+
+/**
+ * Hardware parameters of the modeled device. Defaults approximate the
+ * paper's RTX 3090 scaled by `memoryScale` so that the scaled-down
+ * synthetic datasets hit the same OOM boundaries as the full-size
+ * datasets did on 24 GB.
+ */
+struct DeviceSpec
+{
+    std::string name = "rtx3090-model";
+    int smCount = 82;
+    double clockGhz = 1.695;
+    /** Peak FP32 throughput in FLOP/s. */
+    double peakFlops = 35.6e12;
+    /** Peak DRAM bandwidth in B/s. */
+    double dramBandwidth = 936.0e9;
+    /** Device memory capacity in bytes (before scaling). */
+    double memoryBytes = 24.0e9;
+    /** Dataset scale factor; memory capacity is multiplied by this. */
+    double memoryScale = 1.0 / 64.0;
+    /**
+     * Fraction of capacity usable by tensors; the rest models the
+     * framework-reserved pool, CUDA context, graph structures, and
+     * caching-allocator fragmentation that real runs pay before the
+     * first tensor is allocated.
+     */
+    double usableFraction = 0.70;
+    /** Per-kernel CUDA API + launch latency in seconds (~5 us). */
+    double launchLatency = 5.0e-6;
+    /**
+     * Multiplier on launch and framework dispatch overheads. Set to
+     * the dataset scale factor so that the overhead-to-compute ratio
+     * of a scaled run matches the full-size run it stands in for.
+     */
+    double overheadScale = 1.0;
+    /**
+     * Dataset scale factor for cost terms that do NOT shrink with the
+     * dataset (weight-tensor reads, composed-weight footprints). A
+     * scaled run multiplies these by datasetScale so their relative
+     * magnitude matches the full-size run they stand in for.
+     */
+    double datasetScale = 1.0;
+    /** Effective throughput of conflicting f32 atomics, updates/s. */
+    double atomicThroughput = 16.0e9;
+    /** Work items at which the occupancy ramp reaches 50%. */
+    double occupancyHalfSaturation = 128.0 * 1024.0;
+
+    /** Scaled capacity actually enforced by the memory tracker. */
+    std::size_t
+    scaledCapacityBytes() const
+    {
+        return static_cast<std::size_t>(memoryBytes * memoryScale *
+                                        usableFraction);
+    }
+};
+
+/**
+ * Device spec calibrated for datasets generated at @p scale: capacity,
+ * per-kernel overheads, and the occupancy ramp all shrink with the
+ * data so that time ratios and OOM boundaries reproduce the paper's
+ * full-size behaviour (see DESIGN.md, substitutions).
+ */
+DeviceSpec makeScaledSpec(double scale);
+
+/**
+ * Static description of one kernel launch; the runtime prices it.
+ * All counts describe a single launch.
+ */
+struct KernelDesc
+{
+    std::string name;
+    KernelCategory category = KernelCategory::Elementwise;
+    Phase phase = Phase::Forward;
+    /** Floating-point operations performed. */
+    double flops = 0.0;
+    /** Bytes read from device memory. */
+    double bytesRead = 0.0;
+    /** Bytes written to device memory. */
+    double bytesWritten = 0.0;
+    /** Number of atomic read-modify-write updates issued. */
+    double atomics = 0.0;
+    /** Average number of updates contending per address (>= 1). */
+    double atomicConflict = 1.0;
+    /** Parallel work items (threads' worth of work) for occupancy. */
+    double workItems = 0.0;
+    /**
+     * Compute efficiency override in (0, 1]; <= 0 selects the
+     * per-category default (see DeviceModel::computeEfficiency).
+     */
+    double computeEff = -1.0;
+    /** Bandwidth efficiency override, same convention. */
+    double bandwidthEff = -1.0;
+};
+
+/** Prices KernelDesc against a DeviceSpec. */
+class DeviceModel
+{
+  public:
+    explicit DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+    const DeviceSpec &spec() const { return spec_; }
+
+    /**
+     * Default fraction of peak FP32 a kernel of this category
+     * sustains once fully occupied. GEMM-template kernels tile
+     * through shared memory; traversal kernels are scalar and
+     * latency-bound (the paper's Fig. 12 shows their low IPC).
+     */
+    static double computeEfficiency(KernelCategory c);
+
+    /**
+     * Default fraction of peak DRAM bandwidth by access pattern:
+     * streaming (GEMM, elementwise) vs. gather/scatter (traversal,
+     * index) kernels.
+     */
+    static double bandwidthEfficiency(KernelCategory c);
+
+    /**
+     * Occupancy ramp in (0, 1]: small launches underutilize the
+     * device, which is how the model reproduces the paper's
+     * observation that throughput rises with graph and feature size
+     * (Sec. 4.4) and that per-relation mini-kernels are slow.
+     */
+    double occupancy(double work_items) const;
+
+    /** Modeled execution time of one launch, in seconds. */
+    double kernelTime(const KernelDesc &desc) const;
+
+  private:
+    DeviceSpec spec_;
+};
+
+} // namespace hector::sim
+
+#endif // HECTOR_SIM_DEVICE_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulated GPU runtime: kernel launch accounting plus memory scope.
+ *
+ * Every execution strategy in the reproduction (Hector-generated code
+ * and all baselines) performs its math on the CPU inside
+ * Runtime::launch(), which (a) runs the reference computation for
+ * bit-exact correctness and (b) charges the device model for the
+ * launch. The accumulated modeled time is the "execution time" all
+ * benchmarks report.
+ */
+
+#ifndef HECTOR_SIM_RUNTIME_HH
+#define HECTOR_SIM_RUNTIME_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hh"
+#include "sim/device.hh"
+#include "tensor/memory_tracker.hh"
+
+namespace hector::sim
+{
+
+/** One record per launch, kept for detailed breakdown reporting. */
+struct LaunchRecord
+{
+    std::string name;
+    KernelCategory category;
+    Phase phase;
+    double timeSec;
+};
+
+/**
+ * Simulated device runtime.
+ *
+ * Owns a MemoryTracker sized to the scaled device capacity; callers
+ * must wrap allocations they want accounted in a memoryScope().
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(DeviceSpec spec = DeviceSpec{})
+        : model_(std::move(spec)), tracker_(model_.spec().scaledCapacityBytes())
+    {}
+
+    const DeviceSpec &spec() const { return model_.spec(); }
+    const DeviceModel &model() const { return model_; }
+
+    tensor::MemoryTracker &tracker() { return tracker_; }
+    const tensor::MemoryTracker &tracker() const { return tracker_; }
+
+    /** RAII scope routing tensor allocations to this device. */
+    tensor::TrackerScope
+    memoryScope()
+    {
+        return tensor::TrackerScope(&tracker_);
+    }
+
+    /**
+     * Launch a kernel: run @p body on the CPU and charge the modeled
+     * cost of @p desc. Returns the modeled time in seconds.
+     */
+    double
+    launch(const KernelDesc &desc, const std::function<void()> &body)
+    {
+        if (body)
+            body();
+        const double t = model_.kernelTime(desc);
+        auto &b = counters_.bucket(desc.category, desc.phase);
+        b.timeSec += t;
+        b.flops += desc.flops;
+        b.bytesRead += desc.bytesRead;
+        b.bytesWritten += desc.bytesWritten;
+        b.atomics += desc.atomics;
+        b.launches += 1;
+        totalTimeSec_ += t;
+        if (recordLaunches_)
+            records_.push_back({desc.name, desc.category, desc.phase, t});
+        return t;
+    }
+
+    /** Charge host-side API overhead not tied to a kernel. */
+    void
+    hostOverhead(double seconds)
+    {
+        totalTimeSec_ += seconds;
+        hostTimeSec_ += seconds;
+    }
+
+    double totalTimeMs() const { return totalTimeSec_ * 1e3; }
+    double hostTimeMs() const { return hostTimeSec_ * 1e3; }
+
+    const Counters &counters() const { return counters_; }
+    const std::vector<LaunchRecord> &records() const { return records_; }
+
+    void setRecordLaunches(bool on) { recordLaunches_ = on; }
+
+    void
+    resetCounters()
+    {
+        counters_.reset();
+        totalTimeSec_ = 0.0;
+        hostTimeSec_ = 0.0;
+        records_.clear();
+        tracker_.resetStats();
+    }
+
+  private:
+    DeviceModel model_;
+    tensor::MemoryTracker tracker_;
+    Counters counters_;
+    std::vector<LaunchRecord> records_;
+    double totalTimeSec_ = 0.0;
+    double hostTimeSec_ = 0.0;
+    bool recordLaunches_ = false;
+};
+
+} // namespace hector::sim
+
+#endif // HECTOR_SIM_RUNTIME_HH

@@ -1,0 +1,27 @@
+#include "tensor/memory_tracker.hh"
+
+namespace hector::tensor
+{
+
+namespace
+{
+thread_local MemoryTracker *tls_tracker = nullptr;
+} // namespace
+
+MemoryTracker *
+currentTracker()
+{
+    return tls_tracker;
+}
+
+TrackerScope::TrackerScope(MemoryTracker *tracker) : prev_(tls_tracker)
+{
+    tls_tracker = tracker;
+}
+
+TrackerScope::~TrackerScope()
+{
+    tls_tracker = prev_;
+}
+
+} // namespace hector::tensor

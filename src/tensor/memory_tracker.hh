@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Device-memory accounting for simulated GPU allocations.
+ *
+ * Every Tensor allocation registers its byte count with the tracker
+ * installed for the current thread. The simulator installs a tracker
+ * with the (scaled) device capacity so that workloads which would not
+ * fit on the modeled GPU raise OomError exactly where the real system
+ * would raise a CUDA out-of-memory error. This is the mechanism behind
+ * the paper's OOM columns (Fig. 8, Table 4) and the memory-footprint
+ * study (Fig. 10).
+ */
+
+#ifndef HECTOR_TENSOR_MEMORY_TRACKER_HH
+#define HECTOR_TENSOR_MEMORY_TRACKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hector::tensor
+{
+
+/**
+ * Thrown when a tracked allocation exceeds the modeled device capacity.
+ * Mirrors a CUDA out-of-memory error in the paper's experiments.
+ */
+class OomError : public std::runtime_error
+{
+  public:
+    OomError(std::size_t requested, std::size_t live, std::size_t capacity)
+        : std::runtime_error(
+              "simulated device OOM: requested " +
+              std::to_string(requested) + " B with " + std::to_string(live) +
+              " B live, capacity " + std::to_string(capacity) + " B"),
+          requestedBytes(requested), liveBytes(live), capacityBytes(capacity)
+    {}
+
+    std::size_t requestedBytes;
+    std::size_t liveBytes;
+    std::size_t capacityBytes;
+};
+
+/**
+ * Accounts live and peak bytes of tensor storage and enforces a
+ * capacity limit. A capacity of zero means "unlimited" (used by tests
+ * and host-side scratch work).
+ */
+class MemoryTracker
+{
+  public:
+    /** @param capacity_bytes Simulated device capacity; 0 = unlimited. */
+    explicit MemoryTracker(std::size_t capacity_bytes = 0)
+        : capacityBytes_(capacity_bytes)
+    {}
+
+    /**
+     * Register an allocation.
+     * @throws OomError when the allocation would exceed capacity.
+     */
+    void
+    onAlloc(std::size_t bytes)
+    {
+        if (capacityBytes_ != 0 && liveBytes_ + bytes > capacityBytes_) {
+            ++oomCount_;
+            throw OomError(bytes, liveBytes_, capacityBytes_);
+        }
+        liveBytes_ += bytes;
+        totalAllocBytes_ += bytes;
+        ++allocCount_;
+        if (liveBytes_ > peakBytes_)
+            peakBytes_ = liveBytes_;
+    }
+
+    /** Register a deallocation. */
+    void
+    onFree(std::size_t bytes)
+    {
+        liveBytes_ = bytes > liveBytes_ ? 0 : liveBytes_ - bytes;
+    }
+
+    std::size_t liveBytes() const { return liveBytes_; }
+    std::size_t peakBytes() const { return peakBytes_; }
+    std::size_t totalAllocBytes() const { return totalAllocBytes_; }
+    std::size_t allocCount() const { return allocCount_; }
+    std::size_t capacityBytes() const { return capacityBytes_; }
+    std::size_t oomCount() const { return oomCount_; }
+
+    /** Reset peak/total statistics but keep live accounting intact. */
+    void
+    resetStats()
+    {
+        peakBytes_ = liveBytes_;
+        totalAllocBytes_ = 0;
+        allocCount_ = 0;
+        oomCount_ = 0;
+    }
+
+  private:
+    std::size_t capacityBytes_;
+    std::size_t liveBytes_ = 0;
+    std::size_t peakBytes_ = 0;
+    std::size_t totalAllocBytes_ = 0;
+    std::size_t allocCount_ = 0;
+    std::size_t oomCount_ = 0;
+};
+
+/**
+ * Returns the tracker installed for the current thread, or nullptr when
+ * allocations are untracked (the default).
+ */
+MemoryTracker *currentTracker();
+
+/**
+ * RAII scope that installs a tracker for the current thread.
+ * Non-copyable; nests correctly (restores the previous tracker).
+ */
+class TrackerScope
+{
+  public:
+    explicit TrackerScope(MemoryTracker *tracker);
+    ~TrackerScope();
+
+    TrackerScope(const TrackerScope &) = delete;
+    TrackerScope &operator=(const TrackerScope &) = delete;
+
+  private:
+    MemoryTracker *prev_;
+};
+
+} // namespace hector::tensor
+
+#endif // HECTOR_TENSOR_MEMORY_TRACKER_HH

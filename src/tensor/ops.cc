@@ -1,0 +1,332 @@
+#include "tensor/ops.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace hector::tensor
+{
+
+namespace
+{
+
+/**
+ * Inner GEMM over raw pointers with an ikj loop order so the innermost
+ * loop streams both W and Y rows (keeps the CPU reference fast enough
+ * for the full benchmark sweeps).
+ */
+void
+gemmRaw(const float *x, const float *w, float *y, std::int64_t m,
+        std::int64_t n, std::int64_t k, bool trans_x, bool trans_w,
+        float alpha, float beta)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        float *yrow = y + i * n;
+        if (beta == 0.0f) {
+            std::memset(yrow, 0, static_cast<std::size_t>(n) * sizeof(float));
+        } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j)
+                yrow[j] *= beta;
+        }
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float xv = alpha *
+                (trans_x ? x[kk * m + i] : x[i * k + kk]);
+            if (xv == 0.0f)
+                continue;
+            if (!trans_w) {
+                const float *wrow = w + kk * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    yrow[j] += xv * wrow[j];
+            } else {
+                for (std::int64_t j = 0; j < n; ++j)
+                    yrow[j] += xv * w[j * k + kk];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+gemm(const Tensor &x, const Tensor &w, Tensor &y, bool trans_x, bool trans_w,
+     float alpha, float beta)
+{
+    checkThat(x.ndim() == 2 && w.ndim() == 2 && y.ndim() == 2,
+              "gemm expects rank-2 operands");
+    const std::int64_t m = trans_x ? x.dim(1) : x.dim(0);
+    const std::int64_t k = trans_x ? x.dim(0) : x.dim(1);
+    const std::int64_t kw = trans_w ? w.dim(1) : w.dim(0);
+    const std::int64_t n = trans_w ? w.dim(0) : w.dim(1);
+    checkThat(k == kw, "gemm: inner dimensions disagree");
+    checkThat(y.dim(0) == m && y.dim(1) == n, "gemm: bad output shape");
+    gemmRaw(x.data(), w.data(), y.data(), m, n, k, trans_x, trans_w, alpha,
+            beta);
+}
+
+void
+bmm(const Tensor &x, const Tensor &w, Tensor &y)
+{
+    checkThat(x.ndim() == 3 && w.ndim() == 3 && y.ndim() == 3,
+              "bmm expects rank-3 operands");
+    const std::int64_t b = x.dim(0);
+    checkThat(w.dim(0) == b && y.dim(0) == b, "bmm: batch mismatch");
+    const std::int64_t m = x.dim(1);
+    const std::int64_t k = x.dim(2);
+    const std::int64_t n = w.dim(2);
+    checkThat(w.dim(1) == k && y.dim(1) == m && y.dim(2) == n,
+              "bmm: bad shapes");
+    for (std::int64_t i = 0; i < b; ++i) {
+        gemmRaw(x.data() + i * m * k, w.data() + i * k * n,
+                y.data() + i * m * n, m, n, k, false, false, 1.0f, 0.0f);
+    }
+}
+
+void
+segmentMm(const Tensor &x, const Tensor &w, Tensor &y,
+          std::span<const std::int64_t> seg_ptr)
+{
+    checkThat(x.ndim() == 2 && w.ndim() == 3 && y.ndim() == 2,
+              "segmentMm: bad ranks");
+    const std::int64_t t = w.dim(0);
+    checkThat(static_cast<std::int64_t>(seg_ptr.size()) == t + 1,
+              "segmentMm: seg_ptr size must be T+1");
+    const std::int64_t k = w.dim(1);
+    const std::int64_t n = w.dim(2);
+    checkThat(x.dim(1) == k && y.dim(1) == n, "segmentMm: dim mismatch");
+    checkThat(seg_ptr[static_cast<std::size_t>(t)] == x.dim(0),
+              "segmentMm: seg_ptr does not cover all rows");
+    for (std::int64_t s = 0; s < t; ++s) {
+        const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
+        const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
+        if (hi == lo)
+            continue;
+        gemmRaw(x.data() + lo * k, w.data() + s * k * n, y.data() + lo * n,
+                hi - lo, n, k, false, false, 1.0f, 0.0f);
+    }
+}
+
+void
+gatherSegmentMm(const Tensor &x, const Tensor &w, Tensor &y,
+                std::span<const std::int64_t> seg_ptr,
+                std::span<const std::int64_t> gather,
+                std::span<const std::int64_t> scatter, bool accumulate,
+                bool trans_w)
+{
+    checkThat(x.ndim() == 2 && w.ndim() == 3 && y.ndim() == 2,
+              "gatherSegmentMm: bad ranks");
+    const std::int64_t t = w.dim(0);
+    checkThat(static_cast<std::int64_t>(seg_ptr.size()) == t + 1,
+              "gatherSegmentMm: seg_ptr size must be T+1");
+    const std::int64_t k = trans_w ? w.dim(2) : w.dim(1);
+    const std::int64_t n = trans_w ? w.dim(1) : w.dim(2);
+    checkThat(x.dim(1) == k && y.dim(1) == n,
+              "gatherSegmentMm: dim mismatch");
+    for (std::int64_t s = 0; s < t; ++s) {
+        const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
+        const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
+        const float *wt = w.data() + s * w.dim(1) * w.dim(2);
+        for (std::int64_t r = lo; r < hi; ++r) {
+            const std::int64_t xr =
+                gather.empty() ? r : gather[static_cast<std::size_t>(r)];
+            const std::int64_t yr =
+                scatter.empty() ? r : scatter[static_cast<std::size_t>(r)];
+            const float *xrow = x.data() + xr * k;
+            float *yrow = y.data() + yr * n;
+            if (!accumulate)
+                std::memset(yrow, 0,
+                            static_cast<std::size_t>(n) * sizeof(float));
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const float xv = xrow[kk];
+                if (xv == 0.0f)
+                    continue;
+                if (!trans_w) {
+                    const float *wrow = wt + kk * n;
+                    for (std::int64_t j = 0; j < n; ++j)
+                        yrow[j] += xv * wrow[j];
+                } else {
+                    for (std::int64_t j = 0; j < n; ++j)
+                        yrow[j] += xv * wt[j * k + kk];
+                }
+            }
+        }
+    }
+}
+
+void
+segmentOuterProduct(const Tensor &x, const Tensor &y, Tensor &dw,
+                    std::span<const std::int64_t> seg_ptr,
+                    std::span<const std::int64_t> gather_x,
+                    std::span<const std::int64_t> gather_y)
+{
+    checkThat(x.ndim() == 2 && y.ndim() == 2 && dw.ndim() == 3,
+              "segmentOuterProduct: bad ranks");
+    const std::int64_t t = dw.dim(0);
+    const std::int64_t k = dw.dim(1);
+    const std::int64_t n = dw.dim(2);
+    checkThat(x.dim(1) == k && y.dim(1) == n,
+              "segmentOuterProduct: dim mismatch");
+    checkThat(static_cast<std::int64_t>(seg_ptr.size()) == t + 1,
+              "segmentOuterProduct: seg_ptr size must be T+1");
+    for (std::int64_t s = 0; s < t; ++s) {
+        const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
+        const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
+        float *dwt = dw.data() + s * k * n;
+        for (std::int64_t r = lo; r < hi; ++r) {
+            const std::int64_t xr =
+                gather_x.empty() ? r : gather_x[static_cast<std::size_t>(r)];
+            const std::int64_t yr =
+                gather_y.empty() ? r : gather_y[static_cast<std::size_t>(r)];
+            const float *xrow = x.data() + xr * k;
+            const float *yrow = y.data() + yr * n;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const float xv = xrow[kk];
+                if (xv == 0.0f)
+                    continue;
+                float *dwrow = dwt + kk * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    dwrow[j] += xv * yrow[j];
+            }
+        }
+    }
+}
+
+void
+gatherRows(const Tensor &x, Tensor &y, std::span<const std::int64_t> gather)
+{
+    checkThat(x.ndim() == 2 && y.ndim() == 2 && x.dim(1) == y.dim(1),
+              "gatherRows: bad shapes");
+    checkThat(static_cast<std::int64_t>(gather.size()) == y.dim(0),
+              "gatherRows: index count mismatch");
+    const std::int64_t cols = x.dim(1);
+    for (std::size_t i = 0; i < gather.size(); ++i) {
+        std::memcpy(y.data() + static_cast<std::int64_t>(i) * cols,
+                    x.data() + gather[i] * cols,
+                    static_cast<std::size_t>(cols) * sizeof(float));
+    }
+}
+
+void
+scatterAddRows(const Tensor &x, Tensor &y,
+               std::span<const std::int64_t> scatter)
+{
+    checkThat(x.ndim() == 2 && y.ndim() == 2 && x.dim(1) == y.dim(1),
+              "scatterAddRows: bad shapes");
+    checkThat(static_cast<std::int64_t>(scatter.size()) == x.dim(0),
+              "scatterAddRows: index count mismatch");
+    const std::int64_t cols = x.dim(1);
+    for (std::size_t i = 0; i < scatter.size(); ++i) {
+        const float *src = x.data() + static_cast<std::int64_t>(i) * cols;
+        float *dst = y.data() + scatter[i] * cols;
+        for (std::int64_t j = 0; j < cols; ++j)
+            dst[j] += src[j];
+    }
+}
+
+void
+addInPlace(Tensor &y, const Tensor &x)
+{
+    checkThat(y.numel() == x.numel(), "addInPlace: size mismatch");
+    float *py = y.data();
+    const float *px = x.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] += px[i];
+}
+
+void
+mulInPlace(Tensor &y, const Tensor &x)
+{
+    checkThat(y.numel() == x.numel(), "mulInPlace: size mismatch");
+    float *py = y.data();
+    const float *px = x.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] *= px[i];
+}
+
+void
+scaleInPlace(Tensor &y, float alpha)
+{
+    float *py = y.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] *= alpha;
+}
+
+void
+expInPlace(Tensor &y)
+{
+    float *py = y.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] = std::exp(py[i]);
+}
+
+void
+leakyReluInPlace(Tensor &y, float slope)
+{
+    float *py = y.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] = py[i] > 0.0f ? py[i] : slope * py[i];
+}
+
+void
+reluInPlace(Tensor &y)
+{
+    float *py = y.data();
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        py[i] = py[i] > 0.0f ? py[i] : 0.0f;
+}
+
+void
+leakyReluBackwardInPlace(Tensor &dy, const Tensor &x, float slope)
+{
+    checkThat(dy.numel() == x.numel(), "leakyReluBackward: size mismatch");
+    float *pd = dy.data();
+    const float *px = x.data();
+    for (std::size_t i = 0; i < dy.numel(); ++i)
+        pd[i] *= px[i] > 0.0f ? 1.0f : slope;
+}
+
+void
+rowDot(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    checkThat(a.ndim() == 2 && b.ndim() == 2 && out.ndim() == 1,
+              "rowDot: bad ranks");
+    checkThat(a.dim(0) == b.dim(0) && a.dim(1) == b.dim(1) &&
+                  out.dim(0) == a.dim(0),
+              "rowDot: shape mismatch");
+    const std::int64_t cols = a.dim(1);
+    for (std::int64_t i = 0; i < a.dim(0); ++i) {
+        const float *pa = a.data() + i * cols;
+        const float *pb = b.data() + i * cols;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < cols; ++j)
+            acc += pa[j] * pb[j];
+        out.data()[i] = acc;
+    }
+}
+
+void
+rowAxpy(const Tensor &alpha, const Tensor &x, Tensor &y)
+{
+    checkThat(alpha.ndim() == 1 && x.ndim() == 2 && y.ndim() == 2,
+              "rowAxpy: bad ranks");
+    checkThat(alpha.dim(0) == x.dim(0) && x.shape() == y.shape(),
+              "rowAxpy: shape mismatch");
+    const std::int64_t cols = x.dim(1);
+    for (std::int64_t i = 0; i < x.dim(0); ++i) {
+        const float a = alpha.data()[i];
+        const float *px = x.data() + i * cols;
+        float *py = y.data() + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j)
+            py[j] += a * px[j];
+    }
+}
+
+double
+sum(const Tensor &t)
+{
+    double acc = 0.0;
+    const float *p = t.data();
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        acc += p[i];
+    return acc;
+}
+
+} // namespace hector::tensor

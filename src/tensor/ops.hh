@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host math routines over Tensor.
+ *
+ * These are the reference kernels of the reproduction: both the
+ * Hector-generated kernel interpreter and the baseline systems call
+ * into them, so every execution strategy computes identical numbers
+ * and differs only in how many launches, bytes, and FLOPs the
+ * simulated device is charged for.
+ */
+
+#ifndef HECTOR_TENSOR_OPS_HH
+#define HECTOR_TENSOR_OPS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace hector::tensor
+{
+
+/**
+ * General matrix multiply: Y = alpha * op(X) * op(W) + beta * Y.
+ *
+ * @param x      [m, k] (or [k, m] when trans_x)
+ * @param w      [k, n] (or [n, k] when trans_w)
+ * @param y      [m, n] accumulator, must be preallocated
+ */
+void gemm(const Tensor &x, const Tensor &w, Tensor &y, bool trans_x = false,
+          bool trans_w = false, float alpha = 1.0f, float beta = 0.0f);
+
+/**
+ * Batched matrix multiply: Y[b] = X[b] * W[b] for every batch index.
+ * Shapes: x [B, m, k], w [B, k, n], y [B, m, n].
+ */
+void bmm(const Tensor &x, const Tensor &w, Tensor &y);
+
+/**
+ * Segment matrix multiply (the paper's segment MM): rows of @p x are
+ * grouped into contiguous per-type segments given by @p seg_ptr
+ * (size T+1); segment t is multiplied by weight slice w[t].
+ *
+ * @param x       [rows, k], rows presorted by type
+ * @param w       [T, k, n]
+ * @param y       [rows, n]
+ * @param seg_ptr per-type row offsets, seg_ptr[T] == rows
+ */
+void segmentMm(const Tensor &x, const Tensor &w, Tensor &y,
+               std::span<const std::int64_t> seg_ptr);
+
+/**
+ * Gathered segment matrix multiply: like segmentMm but row r of the
+ * virtual input is x[gather[r]], and row r of the virtual output is
+ * y[scatter[r]] (identity when the span is empty). This is the
+ * CPU-reference semantics of Hector's GEMM-template instances with
+ * GATHER/SCATTER access schemes applied on the fly.
+ *
+ * @param accumulate when true, += into y (used with scatter lists that
+ *                   may collide, e.g. backward edge-gradient GEMMs)
+ */
+void gatherSegmentMm(const Tensor &x, const Tensor &w, Tensor &y,
+                     std::span<const std::int64_t> seg_ptr,
+                     std::span<const std::int64_t> gather,
+                     std::span<const std::int64_t> scatter,
+                     bool accumulate = false, bool trans_w = false);
+
+/**
+ * Per-segment accumulation of outer products: dW[t] += sum over rows r
+ * in segment t of op(x[g(r)])^T * y[s(r)]. Used for weight gradients.
+ */
+void segmentOuterProduct(const Tensor &x, const Tensor &y, Tensor &dw,
+                         std::span<const std::int64_t> seg_ptr,
+                         std::span<const std::int64_t> gather_x,
+                         std::span<const std::int64_t> gather_y);
+
+/** y[i] = x[gather[i]] row-wise; y must be [|gather|, cols]. */
+void gatherRows(const Tensor &x, Tensor &y,
+                std::span<const std::int64_t> gather);
+
+/** y[scatter[i]] += x[i] row-wise. */
+void scatterAddRows(const Tensor &x, Tensor &y,
+                    std::span<const std::int64_t> scatter);
+
+/// @name Elementwise operations (in place unless noted).
+/// @{
+void addInPlace(Tensor &y, const Tensor &x);
+void mulInPlace(Tensor &y, const Tensor &x);
+void scaleInPlace(Tensor &y, float alpha);
+void expInPlace(Tensor &y);
+void leakyReluInPlace(Tensor &y, float slope = 0.01f);
+void reluInPlace(Tensor &y);
+/** dy *= 1[x > 0] + slope * 1[x <= 0]  (backward of leaky ReLU). */
+void leakyReluBackwardInPlace(Tensor &dy, const Tensor &x,
+                              float slope = 0.01f);
+/// @}
+
+/** out[i] = dot(a.row(i), b.row(i)); out is rank-1 [rows]. */
+void rowDot(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** y.row(i) += alpha[i] * x.row(i). */
+void rowAxpy(const Tensor &alpha, const Tensor &x, Tensor &y);
+
+/** Sum of all elements. */
+double sum(const Tensor &t);
+
+} // namespace hector::tensor
+
+#endif // HECTOR_TENSOR_OPS_HH

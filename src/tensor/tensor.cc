@@ -1,0 +1,28 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+
+namespace hector::tensor
+{
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    checkThat(a.shape() == b.shape(), "maxAbsDiff: shape mismatch");
+    float worst = 0.0f;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+    return worst;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float tol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    return maxAbsDiff(a, b) <= tol;
+}
+
+} // namespace hector::tensor

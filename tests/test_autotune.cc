@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Autotuner and GEMM-schedule tests: the tuner must explore the
+ * Table 5 configuration space, never pick an OOM configuration, be at
+ * least as good as any fixed strategy, and the schedule knobs of
+ * Sec. 3.4.1 must have the modeled effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+
+namespace
+{
+
+using namespace hector;
+using namespace hector::core;
+
+struct TuneEnv
+{
+    graph::HeteroGraph g;
+    Program program;
+    models::WeightMap weights;
+    tensor::Tensor feature;
+
+    explicit TuneEnv(models::ModelKind m, const std::string &ds = "fb15k")
+        : g(graph::generate(graph::datasetSpec(ds), 1.0 / 2048.0, 55)),
+          program(models::buildModel(m, g, 16, 16))
+    {
+        std::mt19937_64 rng(55);
+        weights = models::initWeights(program, g, rng);
+        feature = tensor::Tensor::uniform({g.numNodes(), 16}, rng, 0.5f);
+    }
+
+    AutotuneReport
+    tune(AutotuneSpace space = {})
+    {
+        return autotune(program, g, [this]() { return weights; },
+                        feature, space);
+    }
+};
+
+TEST(Autotune, ExploresAllFourCombos)
+{
+    TuneEnv env(models::ModelKind::Rgat);
+    const AutotuneReport r = env.tune();
+    ASSERT_EQ(r.entries.size(), 4u);
+    std::set<std::string> labels;
+    for (const auto &e : r.entries)
+        labels.insert(e.label);
+    EXPECT_EQ(labels, (std::set<std::string>{"U", "C", "R", "C+R"}));
+}
+
+TEST(Autotune, BestIsFastestNonOom)
+{
+    TuneEnv env(models::ModelKind::Hgt);
+    const AutotuneReport r = env.tune();
+    const auto &best = r.best();
+    EXPECT_FALSE(best.oom);
+    for (const auto &e : r.entries)
+        if (!e.oom)
+            EXPECT_LE(best.timeMs, e.timeMs + 1e-12);
+}
+
+TEST(Autotune, ScheduleSweepExtendsEntries)
+{
+    TuneEnv env(models::ModelKind::Rgcn);
+    AutotuneSpace space;
+    space.gemmSchedules = true;
+    const AutotuneReport r = env.tune(space);
+    EXPECT_GT(r.entries.size(), 4u);
+    EXPECT_FALSE(r.best().oom);
+}
+
+TEST(Autotune, AvoidsOomConfigurations)
+{
+    TuneEnv env(models::ModelKind::Rgat);
+    AutotuneSpace space;
+    // Capacity that fits the compact configuration only.
+    sim::Runtime probe;
+    space.device.memoryBytes = 0.0;
+    // First measure the compact footprint, then set capacity between
+    // compact and vanilla.
+    AutotuneReport wide = env.tune();
+    std::size_t compact_peak = 0;
+    std::size_t vanilla_peak = 0;
+    for (const auto &e : wide.entries) {
+        if (e.label == "C+R")
+            compact_peak = e.peakBytes;
+        if (e.label == "U")
+            vanilla_peak = e.peakBytes;
+    }
+    ASSERT_LT(compact_peak, vanilla_peak);
+    space.device.memoryBytes =
+        static_cast<double>(compact_peak + vanilla_peak) / 2.0;
+    space.device.memoryScale = 1.0;
+    space.device.usableFraction = 1.0;
+    const AutotuneReport r = env.tune(space);
+    bool some_oom = false;
+    for (const auto &e : r.entries)
+        some_oom |= e.oom;
+    EXPECT_TRUE(some_oom);
+    EXPECT_FALSE(r.best().oom);
+    // The winner must be one of the memory-reducing configurations
+    // (compaction, or reordering which eliminates the ht tensor).
+    EXPECT_TRUE(r.best().options.compactMaterialization ||
+                r.best().options.linearReorder);
+}
+
+TEST(Autotune, TrainingModeCompilesBackward)
+{
+    TuneEnv env(models::ModelKind::Rgcn);
+    AutotuneSpace space;
+    space.training = true;
+    const AutotuneReport r = env.tune(space);
+    EXPECT_FALSE(r.best().oom);
+    // Training trials must cost more than the inference trials did.
+    const AutotuneReport inf = env.tune();
+    EXPECT_GT(r.best().timeMs, inf.best().timeMs);
+}
+
+TEST(Schedule, CoarseningReducesModeledGemmTime)
+{
+    TuneEnv env(models::ModelKind::Rgcn, "biokg");
+    auto run_with = [&](GemmSchedule sched) {
+        CompileOptions opts;
+        opts.sched = sched;
+        const CompiledModel m = compile(env.program, opts);
+        sim::Runtime rt;
+        auto scope = rt.memoryScope();
+        ExecutionContext ctx;
+        ctx.g = &env.g;
+        ctx.cmap = nullptr;
+        ctx.rt = &rt;
+        auto w = env.weights;
+        models::WeightMap grads;
+        ctx.weights = &w;
+        ctx.weightGrads = &grads;
+        bindInputs(m, ctx, env.feature);
+        m.forward(ctx);
+        return rt.counters()
+            .categoryTotal(sim::KernelCategory::Gemm)
+            .timeSec;
+    };
+    const double base = run_with({16, 1, false});
+    const double coarse = run_with({16, 4, true});
+    const double narrow = run_with({8, 1, false});
+    EXPECT_LT(coarse, base);
+    EXPECT_GT(narrow, base);
+}
+
+TEST(Schedule, ScheduleNeverChangesResults)
+{
+    TuneEnv env(models::ModelKind::Rgat);
+    tensor::Tensor baseline_out;
+    for (const GemmSchedule sched :
+         {GemmSchedule{16, 1, false}, GemmSchedule{16, 2, false},
+          GemmSchedule{8, 4, true}}) {
+        CompileOptions opts;
+        opts.sched = sched;
+        const CompiledModel m = compile(env.program, opts);
+        sim::Runtime rt;
+        auto scope = rt.memoryScope();
+        ExecutionContext ctx;
+        ctx.g = &env.g;
+        ctx.rt = &rt;
+        auto w = env.weights;
+        models::WeightMap grads;
+        ctx.weights = &w;
+        ctx.weightGrads = &grads;
+        bindInputs(m, ctx, env.feature);
+        tensor::Tensor out = m.forward(ctx).clone();
+        if (!baseline_out.defined())
+            baseline_out = out;
+        else
+            EXPECT_TRUE(tensor::allClose(out, baseline_out, 1e-6f));
+    }
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end correctness: every execution strategy — Hector under all
+ * four optimization combinations, and every baseline — must produce
+ * the reference forward output on every model and several graphs.
+ * This is invariant (3) of DESIGN.md and the backbone of the
+ * reproduction's trustworthiness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hh"
+#include "core/compiler.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+#include "models/reference.hh"
+
+namespace
+{
+
+using namespace hector;
+using baselines::RunResult;
+using models::ModelKind;
+
+struct Case
+{
+    std::string graph;
+    ModelKind model;
+    std::string hectorTag;
+};
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    std::string tag = info.param.hectorTag;
+    if (tag.empty())
+        tag = "U";
+    for (auto &c : tag)
+        if (c == '+')
+            c = '_';
+    return info.param.graph + "_" + models::toString(info.param.model) +
+           "_" + tag;
+}
+
+graph::HeteroGraph
+makeGraph(const std::string &name)
+{
+    if (name == "toy")
+        return graph::toyCitationGraph();
+    return graph::generate(graph::datasetSpec(name), 1.0 / 2048.0, 7);
+}
+
+class HectorMatchesReference : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(HectorMatchesReference, ForwardOutput)
+{
+    const Case &c = GetParam();
+    graph::HeteroGraph g = makeGraph(c.graph);
+    g.validate();
+
+    std::mt19937_64 rng(42);
+    core::Program p = models::buildModel(c.model, g, 8, 8);
+    models::WeightMap w = models::initWeights(p, g, rng);
+    tensor::Tensor feature =
+        tensor::Tensor::uniform({g.numNodes(), 8}, rng, 0.5f);
+
+    const tensor::Tensor expect =
+        models::referenceForward(c.model, g, w, feature);
+
+    sim::Runtime rt;
+    auto sys = baselines::hectorSystem(c.hectorTag);
+    const RunResult res = sys->run(c.model, g, w, feature, rt, false);
+    ASSERT_FALSE(res.oom) << sys->name() << " unexpectedly OOMed";
+    EXPECT_TRUE(tensor::allClose(res.output, expect, 2e-3f))
+        << sys->name() << " diverges from reference, max diff "
+        << tensor::maxAbsDiff(res.output, expect);
+    EXPECT_GT(res.timeMs, 0.0);
+    EXPECT_GT(res.launches, 0u);
+}
+
+TEST_P(HectorMatchesReference, TrainingForwardOutput)
+{
+    const Case &c = GetParam();
+    graph::HeteroGraph g = makeGraph(c.graph);
+
+    std::mt19937_64 rng(43);
+    core::Program p = models::buildModel(c.model, g, 8, 8);
+    models::WeightMap w = models::initWeights(p, g, rng);
+    tensor::Tensor feature =
+        tensor::Tensor::uniform({g.numNodes(), 8}, rng, 0.5f);
+
+    const tensor::Tensor expect =
+        models::referenceForward(c.model, g, w, feature);
+
+    sim::Runtime rt;
+    auto sys = baselines::hectorSystem(c.hectorTag);
+    const RunResult res = sys->run(c.model, g, w, feature, rt, true);
+    ASSERT_FALSE(res.oom);
+    EXPECT_TRUE(tensor::allClose(res.output, expect, 2e-3f))
+        << sys->name() << " training-mode forward diverges, max diff "
+        << tensor::maxAbsDiff(res.output, expect);
+    // Training must cost more than it would without backward.
+    sim::Runtime rt2;
+    const RunResult inf = sys->run(c.model, g, w, feature, rt2, false);
+    EXPECT_GT(res.timeMs, inf.timeMs);
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> out;
+    for (const std::string graph : {"toy", "aifb", "fb15k"})
+        for (ModelKind m :
+             {ModelKind::Rgcn, ModelKind::Rgat, ModelKind::Hgt})
+            for (const std::string tag : {"", "C", "R", "C+R"})
+                out.push_back({graph, m, tag});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, HectorMatchesReference,
+                         testing::ValuesIn(allCases()), caseName);
+
+TEST(Baselines, AllMatchReference)
+{
+    graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("mutag"), 1.0 / 512.0, 11);
+    std::mt19937_64 rng(44);
+    for (ModelKind m : {ModelKind::Rgcn, ModelKind::Rgat, ModelKind::Hgt}) {
+        core::Program p = models::buildModel(m, g, 8, 8);
+        models::WeightMap w = models::initWeights(p, g, rng);
+        tensor::Tensor feature =
+            tensor::Tensor::uniform({g.numNodes(), 8}, rng, 0.5f);
+        const tensor::Tensor expect =
+            models::referenceForward(m, g, w, feature);
+        for (const auto &sys : baselines::priorSystems()) {
+            if (!sys->supports(m, false))
+                continue;
+            sim::Runtime rt;
+            const RunResult res = sys->run(m, g, w, feature, rt, false);
+            ASSERT_FALSE(res.oom) << sys->name();
+            EXPECT_TRUE(tensor::allClose(res.output, expect, 2e-3f))
+                << sys->name() << " on " << models::toString(m);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the analytical device model and runtime: monotonicity of
+ * the cost model (DESIGN.md invariant 7), occupancy ramp, atomic
+ * serialization, counter bookkeeping, and derived Fig. 12 metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/counters.hh"
+#include "sim/device.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace
+{
+
+using namespace hector::sim;
+
+KernelDesc
+baseDesc()
+{
+    KernelDesc d;
+    d.name = "k";
+    d.category = KernelCategory::Gemm;
+    d.flops = 1e9;
+    d.bytesRead = 1e8;
+    d.bytesWritten = 1e7;
+    d.workItems = 1e7;
+    return d;
+}
+
+TEST(DeviceModel, TimeIsPositiveAndIncludesLaunch)
+{
+    DeviceModel m((DeviceSpec()));
+    KernelDesc empty;
+    empty.name = "noop";
+    EXPECT_GE(m.kernelTime(empty), m.spec().launchLatency);
+}
+
+TEST(DeviceModel, MonotoneInFlops)
+{
+    DeviceModel m((DeviceSpec()));
+    KernelDesc a = baseDesc();
+    KernelDesc b = baseDesc();
+    b.flops *= 4.0;
+    EXPECT_GE(m.kernelTime(b), m.kernelTime(a));
+}
+
+TEST(DeviceModel, MonotoneInBytes)
+{
+    DeviceModel m((DeviceSpec()));
+    KernelDesc a = baseDesc();
+    a.flops = 0.0;
+    KernelDesc b = a;
+    b.bytesRead *= 10.0;
+    EXPECT_GT(m.kernelTime(b), m.kernelTime(a));
+}
+
+TEST(DeviceModel, MonotoneInAtomics)
+{
+    DeviceModel m((DeviceSpec()));
+    KernelDesc a = baseDesc();
+    KernelDesc b = a;
+    b.atomics = 1e7;
+    EXPECT_GT(m.kernelTime(b), m.kernelTime(a));
+    KernelDesc c = b;
+    c.atomicConflict = 16.0;
+    EXPECT_GT(m.kernelTime(c), m.kernelTime(b));
+}
+
+TEST(DeviceModel, AtomicConflictSerializationIsCapped)
+{
+    DeviceModel m((DeviceSpec()));
+    KernelDesc a = baseDesc();
+    a.atomics = 1e7;
+    a.atomicConflict = 64.0;
+    KernelDesc b = a;
+    b.atomicConflict = 1e9; // absurd contention is bounded
+    EXPECT_DOUBLE_EQ(m.kernelTime(a), m.kernelTime(b));
+}
+
+TEST(DeviceModel, OccupancyRampPenalizesSmallLaunches)
+{
+    DeviceModel m((DeviceSpec()));
+    EXPECT_LT(m.occupancy(1000.0), 0.05);
+    EXPECT_GT(m.occupancy(1e8), 0.99);
+    EXPECT_LT(m.occupancy(1e4), m.occupancy(1e6));
+    // Same work, smaller launch => lower throughput, more time.
+    KernelDesc small = baseDesc();
+    small.workItems = 1e4;
+    KernelDesc big = baseDesc();
+    big.workItems = 1e8;
+    EXPECT_GT(m.kernelTime(small), m.kernelTime(big));
+}
+
+TEST(DeviceModel, CategoryEfficienciesOrdered)
+{
+    // GEMM-template kernels must sustain far more FP32 than traversal
+    // kernels (the premise of "lower to GEMM as much as possible").
+    EXPECT_GT(DeviceModel::computeEfficiency(KernelCategory::Gemm),
+              5.0 * DeviceModel::computeEfficiency(
+                        KernelCategory::Traversal));
+    EXPECT_GT(DeviceModel::bandwidthEfficiency(KernelCategory::Gemm),
+              DeviceModel::bandwidthEfficiency(
+                  KernelCategory::Traversal));
+}
+
+TEST(DeviceModel, OverheadScaleShrinksLaunchCost)
+{
+    DeviceSpec s1;
+    DeviceSpec s2;
+    s2.overheadScale = 1.0 / 256.0;
+    DeviceModel m1(s1);
+    DeviceModel m2(s2);
+    KernelDesc empty;
+    EXPECT_NEAR(m2.kernelTime(empty) * 256.0, m1.kernelTime(empty),
+                1e-12);
+}
+
+TEST(DeviceSpec, ScaledSpecConsistency)
+{
+    const double scale = 1.0 / 128.0;
+    DeviceSpec s = makeScaledSpec(scale);
+    EXPECT_DOUBLE_EQ(s.memoryScale, scale);
+    EXPECT_DOUBLE_EQ(s.overheadScale, scale);
+    EXPECT_DOUBLE_EQ(s.datasetScale, scale);
+    DeviceSpec full;
+    EXPECT_NEAR(static_cast<double>(s.scaledCapacityBytes()),
+                full.memoryBytes * scale * full.usableFraction, 1.0);
+}
+
+TEST(Runtime, AccumulatesCountersPerBucket)
+{
+    Runtime rt;
+    KernelDesc d = baseDesc();
+    d.category = KernelCategory::Traversal;
+    d.phase = Phase::Backward;
+    rt.launch(d, nullptr);
+    rt.launch(d, nullptr);
+    const auto &b =
+        rt.counters().bucket(KernelCategory::Traversal, Phase::Backward);
+    EXPECT_EQ(b.launches, 2u);
+    EXPECT_DOUBLE_EQ(b.flops, 2.0 * d.flops);
+    const auto &other =
+        rt.counters().bucket(KernelCategory::Gemm, Phase::Forward);
+    EXPECT_EQ(other.launches, 0u);
+    EXPECT_GT(rt.totalTimeMs(), 0.0);
+}
+
+TEST(Runtime, ExecutesBodyExactlyOnce)
+{
+    Runtime rt;
+    int calls = 0;
+    rt.launch(baseDesc(), [&]() { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Runtime, ResetClearsEverything)
+{
+    Runtime rt;
+    rt.setRecordLaunches(true);
+    rt.launch(baseDesc(), nullptr);
+    rt.hostOverhead(1e-3);
+    EXPECT_GT(rt.totalTimeMs(), 0.0);
+    EXPECT_EQ(rt.records().size(), 1u);
+    rt.resetCounters();
+    EXPECT_EQ(rt.totalTimeMs(), 0.0);
+    EXPECT_EQ(rt.hostTimeMs(), 0.0);
+    EXPECT_TRUE(rt.records().empty());
+    EXPECT_EQ(rt.counters().total().launches, 0u);
+}
+
+TEST(Runtime, MemoryScopeEnforcesScaledCapacity)
+{
+    DeviceSpec spec;
+    spec.memoryBytes = 1024.0 * 1024.0;
+    spec.memoryScale = 1.0;
+    spec.usableFraction = 1.0;
+    Runtime rt(spec);
+    auto scope = rt.memoryScope();
+    hector::tensor::Tensor ok({128, 128}); // 64 KiB
+    EXPECT_THROW(hector::tensor::Tensor({1024, 1024}),
+                 hector::tensor::OomError);
+    EXPECT_EQ(rt.tracker().oomCount(), 1u);
+}
+
+TEST(Counters, CategoryAndGrandTotals)
+{
+    Counters c;
+    c.bucket(KernelCategory::Gemm, Phase::Forward).timeSec = 1.0;
+    c.bucket(KernelCategory::Gemm, Phase::Backward).timeSec = 2.0;
+    c.bucket(KernelCategory::Index, Phase::Forward).timeSec = 4.0;
+    EXPECT_DOUBLE_EQ(c.categoryTotal(KernelCategory::Gemm).timeSec, 3.0);
+    EXPECT_DOUBLE_EQ(c.total().timeSec, 7.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.total().timeSec, 0.0);
+}
+
+TEST(ArchMetrics, DerivedQuantitiesAreBounded)
+{
+    DeviceSpec spec;
+    CounterBucket b;
+    b.timeSec = 1e-3;
+    b.flops = 1e10;
+    b.bytesRead = 1e8;
+    b.bytesWritten = 1e8;
+    b.atomics = 1e6;
+    const ArchMetrics m = Counters::deriveMetrics(b, spec);
+    EXPECT_NEAR(m.achievedGflops, 1e10 / 1e-3 / 1e9, 1e-6);
+    EXPECT_LE(m.avgIpc, 4.0);
+    EXPECT_GT(m.avgIpc, 0.0);
+    EXPECT_LE(m.lsuPct, 100.0);
+    EXPECT_GT(m.dramTptPct, 0.0);
+}
+
+TEST(ArchMetrics, EmptyBucketYieldsZeros)
+{
+    const ArchMetrics m =
+        Counters::deriveMetrics(CounterBucket{}, DeviceSpec{});
+    EXPECT_EQ(m.achievedGflops, 0.0);
+    EXPECT_EQ(m.avgIpc, 0.0);
+}
+
+TEST(ArchMetrics, GemmBeatsTraversalThroughput)
+{
+    // Derived metrics must reflect the paper's Fig. 12 contrast when
+    // fed matching counter profiles.
+    DeviceSpec spec;
+    DeviceModel m(spec);
+    KernelDesc gemm = baseDesc();
+    KernelDesc trav = baseDesc();
+    trav.category = KernelCategory::Traversal;
+    trav.atomics = 1e7;
+    CounterBucket bg;
+    bg.flops = gemm.flops;
+    bg.timeSec = m.kernelTime(gemm);
+    CounterBucket bt;
+    bt.flops = trav.flops;
+    bt.atomics = trav.atomics;
+    bt.timeSec = m.kernelTime(trav);
+    EXPECT_GT(Counters::deriveMetrics(bg, spec).achievedGflops,
+              Counters::deriveMetrics(bt, spec).achievedGflops);
+}
+
+} // namespace
