@@ -5,6 +5,28 @@
 namespace hector::core
 {
 
+std::string
+cacheSignature(const CompileOptions &options)
+{
+    std::string s = "compact=";
+    s += options.compactMaterialization ? '1' : '0';
+    s += ";reorder=";
+    s += options.linearReorder ? '1' : '0';
+    s += ";fuse=";
+    s += options.fuseTraversalLoops ? '1' : '0';
+    s += ";gemmscatter=";
+    s += options.fuseGemmScatter ? '1' : '0';
+    s += ";training=";
+    s += options.training ? '1' : '0';
+    s += ";featgrad=";
+    s += options.featureGrad ? '1' : '0';
+    s += ";tile=" + std::to_string(options.sched.tileSz);
+    s += ";coarsen=" + std::to_string(options.sched.coarsening);
+    s += ";bounds=";
+    s += options.sched.launchBounds ? '1' : '0';
+    return s;
+}
+
 CompiledModel
 compile(Program program, const CompileOptions &options)
 {

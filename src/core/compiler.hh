@@ -80,6 +80,14 @@ struct CompiledModel
     }
 };
 
+/**
+ * Canonical textual encoding of every field of @p options (including
+ * the GEMM schedule). Two option sets with equal signatures produce
+ * identical compilation results; used as part of the serving layer's
+ * plan-cache key and for logging.
+ */
+std::string cacheSignature(const CompileOptions &options);
+
 /** Compile @p program under @p options. */
 CompiledModel compile(Program program, const CompileOptions &options);
 

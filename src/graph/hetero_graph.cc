@@ -129,6 +129,20 @@ HeteroGraph::structureBytes() const
            rgcnNorm_.size() * sizeof(float);
 }
 
+std::string
+HeteroGraph::schemaSignature() const
+{
+    std::string s = "nt=" + std::to_string(numNodeTypes_) +
+                    ";et=" + std::to_string(numEdgeTypes_) + ";rel=";
+    for (int r = 0; r < numEdgeTypes_; ++r) {
+        s += std::to_string(etypeSrcNt_[static_cast<std::size_t>(r)]);
+        s += "->";
+        s += std::to_string(etypeDstNt_[static_cast<std::size_t>(r)]);
+        s += ',';
+    }
+    return s;
+}
+
 void
 HeteroGraph::validate() const
 {

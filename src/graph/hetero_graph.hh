@@ -118,6 +118,15 @@ class HeteroGraph
     /** Bytes of adjacency structure (for footprint accounting). */
     std::size_t structureBytes() const;
 
+    /**
+     * Canonical encoding of the graph *schema*: node/edge type counts
+     * and each relation's canonical (source, destination) node types —
+     * everything a compiled plan depends on, and nothing about the
+     * concrete nodes/edges (plans are graph-independent). Two graphs
+     * with equal signatures can share one compiled plan.
+     */
+    std::string schemaSignature() const;
+
     /** @throws std::runtime_error on any violated invariant. */
     void validate() const;
 

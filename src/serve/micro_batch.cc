@@ -1,0 +1,170 @@
+#include "serve/micro_batch.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace hector::serve
+{
+
+using graph::HeteroGraph;
+using tensor::Tensor;
+
+MicroBatch
+coalesce(const std::vector<const Request *> &requests, sim::Runtime &rt)
+{
+    if (requests.empty())
+        throw std::runtime_error("coalesce: empty request set");
+
+    const HeteroGraph &g0 = requests.front()->mb.subgraph;
+    const std::string schema = g0.schemaSignature();
+    const std::int64_t din = requests.front()->feature.dim(1);
+    for (const Request *r : requests) {
+        if (r->mb.subgraph.schemaSignature() != schema)
+            throw std::runtime_error(
+                "coalesce: requests target different graph schemas");
+        if (r->feature.dim(1) != din)
+            throw std::runtime_error(
+                "coalesce: requests have mismatched feature dims");
+    }
+
+    // Disjoint union. Union node ids are assigned per node type, then
+    // per request, then in subgraph-local order; within one request
+    // this keeps the union id monotone in the local id, so each
+    // destination node's incoming edges sort into the same relative
+    // order as in the standalone subgraph and batched aggregation
+    // reproduces the standalone result bit for bit.
+    std::int64_t total_nodes = 0;
+    for (const Request *r : requests)
+        total_nodes += r->mb.subgraph.numNodes();
+
+    std::vector<std::vector<std::int64_t>> l2u(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        l2u[i].assign(
+            static_cast<std::size_t>(requests[i]->mb.subgraph.numNodes()),
+            -1);
+
+    std::vector<std::int32_t> node_type;
+    node_type.reserve(static_cast<std::size_t>(total_nodes));
+    std::int64_t next = 0;
+    for (int t = 0; t < g0.numNodeTypes(); ++t) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const HeteroGraph &g = requests[i]->mb.subgraph;
+            const std::int64_t lo =
+                g.ntypePtr()[static_cast<std::size_t>(t)];
+            const std::int64_t hi =
+                g.ntypePtr()[static_cast<std::size_t>(t) + 1];
+            for (std::int64_t v = lo; v < hi; ++v) {
+                l2u[i][static_cast<std::size_t>(v)] = next++;
+                node_type.push_back(static_cast<std::int32_t>(t));
+            }
+        }
+    }
+
+    std::vector<graph::EdgeTriple> edges;
+    {
+        std::int64_t total_edges = 0;
+        for (const Request *r : requests)
+            total_edges += r->mb.subgraph.numEdges();
+        edges.reserve(static_cast<std::size_t>(total_edges));
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const HeteroGraph &g = requests[i]->mb.subgraph;
+        for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+            edges.push_back(
+                {l2u[i][static_cast<std::size_t>(
+                     g.src()[static_cast<std::size_t>(e)])],
+                 l2u[i][static_cast<std::size_t>(
+                     g.dst()[static_cast<std::size_t>(e)])],
+                 g.etype()[static_cast<std::size_t>(e)]});
+        }
+    }
+
+    std::vector<std::int32_t> src_nt;
+    std::vector<std::int32_t> dst_nt;
+    for (int r = 0; r < g0.numEdgeTypes(); ++r) {
+        src_nt.push_back(g0.etypeSrcNtype(r));
+        dst_nt.push_back(g0.etypeDstNtype(r));
+    }
+
+    HeteroGraph u(std::move(node_type), g0.numNodeTypes(),
+                  g0.numEdgeTypes(), std::move(src_nt), std::move(dst_nt),
+                  std::move(edges));
+    graph::CompactionMap cmap(u);
+
+    MicroBatch batch(std::move(u), std::move(cmap));
+    batch.requests = requests;
+    batch.localToUnion = std::move(l2u);
+
+    // Gather every request's features into the batched input tensor;
+    // charged as one device-side index/copy kernel.
+    batch.feature = Tensor({total_nodes, din});
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Tensor &f = requests[i]->feature;
+        for (std::int64_t v = 0; v < f.dim(0); ++v) {
+            const float *src = f.row(v);
+            float *dst = batch.feature.row(
+                batch.localToUnion[i][static_cast<std::size_t>(v)]);
+            for (std::int64_t j = 0; j < din; ++j)
+                dst[j] = src[j];
+        }
+    }
+    sim::KernelDesc gather;
+    gather.name = "batch_gather_features";
+    gather.category = sim::KernelCategory::Index;
+    gather.bytesRead =
+        4.0 * static_cast<double>(total_nodes) * static_cast<double>(din) +
+        8.0 * static_cast<double>(total_nodes);
+    gather.bytesWritten =
+        4.0 * static_cast<double>(total_nodes) * static_cast<double>(din);
+    gather.workItems =
+        static_cast<double>(total_nodes) * static_cast<double>(din);
+    rt.launch(gather, nullptr);
+
+    return batch;
+}
+
+std::vector<Tensor>
+executeBatch(const core::CompiledModel &plan, const MicroBatch &batch,
+             models::WeightMap &weights, sim::Runtime &rt)
+{
+    core::ExecutionContext ctx;
+    ctx.g = &batch.unionGraph;
+    ctx.cmap = &batch.cmap;
+    ctx.rt = &rt;
+    models::WeightMap grads;
+    ctx.weights = &weights;
+    ctx.weightGrads = &grads;
+
+    core::bindInputs(plan, ctx, batch.feature);
+    const Tensor out = plan.forward(ctx);
+    const std::int64_t dout = out.dim(1);
+
+    // Scatter the batched output back into one tensor per request;
+    // charged as one device-side index/copy kernel.
+    std::vector<Tensor> results;
+    results.reserve(batch.requests.size());
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        const std::int64_t nr = batch.requests[i]->mb.subgraph.numNodes();
+        Tensor o({nr, dout});
+        for (std::int64_t v = 0; v < nr; ++v) {
+            const float *src = out.row(
+                batch.localToUnion[i][static_cast<std::size_t>(v)]);
+            float *dst = o.row(v);
+            for (std::int64_t j = 0; j < dout; ++j)
+                dst[j] = src[j];
+        }
+        results.push_back(std::move(o));
+    }
+    sim::KernelDesc scatter;
+    scatter.name = "batch_scatter_outputs";
+    scatter.category = sim::KernelCategory::Index;
+    scatter.bytesRead = 4.0 * static_cast<double>(out.numel()) +
+                        8.0 * static_cast<double>(out.dim(0));
+    scatter.bytesWritten = 4.0 * static_cast<double>(out.numel());
+    scatter.workItems = static_cast<double>(out.numel());
+    rt.launch(scatter, nullptr);
+
+    return results;
+}
+
+} // namespace hector::serve

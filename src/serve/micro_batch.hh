@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dynamic micro-batching for the serving runtime.
+ *
+ * Each inference request carries a sampled subgraph (a graph::Sampler
+ * minibatch block) and its device-resident features. Requests that
+ * target the same compiled plan are coalesced into one micro-batch:
+ * the disjoint union of their subgraphs, executed as a *single*
+ * batched forward pass. Because every compiled kernel is
+ * graph-agnostic and every aggregation is per-destination-node, the
+ * union execution performs exactly the per-request arithmetic — each
+ * request's rows of the batched output equal its standalone output —
+ * while paying one set of kernel launches instead of B, and launching
+ * kernels large enough to occupy the modeled device (the same
+ * batching-over-independent-queries route to throughput as GPU-based
+ * ASP solving takes; see PAPERS.md).
+ */
+
+#ifndef HECTOR_SERVE_MICRO_BATCH_HH
+#define HECTOR_SERVE_MICRO_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "graph/compaction.hh"
+#include "graph/sampler.hh"
+#include "models/models.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace hector::serve
+{
+
+/** One queued inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    /** Sampled subgraph block (graph::Sampler). */
+    graph::Minibatch mb;
+    /** Device features of the subgraph's nodes, [nodes, din]. */
+    tensor::Tensor feature;
+    /** Modeled arrival time within the current drain cycle. */
+    double submitSec = 0.0;
+
+    Request(std::uint64_t id_, graph::Minibatch mb_,
+            tensor::Tensor feature_)
+        : id(id_), mb(std::move(mb_)), feature(std::move(feature_))
+    {}
+};
+
+/** The disjoint union of several request subgraphs, ready to run. */
+struct MicroBatch
+{
+    graph::HeteroGraph unionGraph;
+    graph::CompactionMap cmap;
+    /** Gathered features, [union nodes, din]. */
+    tensor::Tensor feature;
+    /** The coalesced requests, in submission order. */
+    std::vector<const Request *> requests;
+    /** Per request: union row of each subgraph-local node. */
+    std::vector<std::vector<std::int64_t>> localToUnion;
+
+    MicroBatch(graph::HeteroGraph g, graph::CompactionMap cm)
+        : unionGraph(std::move(g)), cmap(std::move(cm))
+    {}
+};
+
+/**
+ * Coalesce @p requests (all sharing one graph schema; throws
+ * otherwise) into a micro-batch. Charges the simulated device one
+ * Index kernel for assembling the batched feature tensor.
+ */
+MicroBatch coalesce(const std::vector<const Request *> &requests,
+                    sim::Runtime &rt);
+
+/**
+ * Run one batched forward pass of @p plan over @p batch and scatter
+ * the batched output back into per-request tensors (charged as one
+ * Index kernel). Results are ordered like batch.requests; each tensor
+ * is [request subgraph nodes, dout].
+ */
+std::vector<tensor::Tensor> executeBatch(const core::CompiledModel &plan,
+                                         const MicroBatch &batch,
+                                         models::WeightMap &weights,
+                                         sim::Runtime &rt);
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_MICRO_BATCH_HH

@@ -1,0 +1,60 @@
+#include "serve/plan_cache.hh"
+
+#include "core/frontend.hh"
+
+namespace hector::serve
+{
+
+std::string
+PlanKey::canonical() const
+{
+    std::string s = "din=" + std::to_string(din) +
+                    ";dout=" + std::to_string(dout) + ';';
+    s += core::cacheSignature(options);
+    s += ';';
+    s += graphSchema;
+    s += '\n';
+    s += modelSource;
+    return s;
+}
+
+PlanKey
+makePlanKey(const std::string &source, std::int64_t din, std::int64_t dout,
+            const core::CompileOptions &options, const graph::HeteroGraph &g)
+{
+    PlanKey key;
+    key.modelSource = source;
+    key.din = din;
+    key.dout = dout;
+    key.options = options;
+    key.graphSchema = g.schemaSignature();
+    return key;
+}
+
+std::shared_ptr<const core::CompiledModel>
+PlanCache::get(const PlanKey &key)
+{
+    const std::string k = key.canonical();
+    auto it = plans_.find(k);
+    if (it != plans_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+
+    ++stats_.misses;
+    core::Program program =
+        core::parseModel(key.modelSource, key.din, key.dout);
+    auto plan = std::make_shared<core::CompiledModel>(
+        core::compile(std::move(program), key.options));
+
+    stats_.passWork.reorderedLinears += plan->passStats.reorderedLinears;
+    stats_.passWork.composedWeights += plan->passStats.composedWeights;
+    stats_.passWork.compactedVars += plan->passStats.compactedVars;
+    stats_.passWork.fusedLoops += plan->passStats.fusedLoops;
+    stats_.passWork.virtualizedVars += plan->passStats.virtualizedVars;
+
+    plans_.emplace(k, plan);
+    return plan;
+}
+
+} // namespace hector::serve

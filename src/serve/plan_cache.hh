@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compiled-plan cache for the serving runtime.
+ *
+ * compile() is graph-independent (the paper's compile-once /
+ * execute-anywhere property), so a serving system only ever needs one
+ * compilation per (model source, compile options, graph schema). The
+ * cache memoizes CompiledModels under exactly that key: a hit skips
+ * parsing, every inter-operator pass, lowering, and code generation,
+ * and returns the very same plan object, so cached execution is
+ * bit-identical to a fresh compile. Pass work actually performed is
+ * accumulated in Stats::passWork, which is how tests assert that a
+ * hit performs zero pass work.
+ */
+
+#ifndef HECTOR_SERVE_PLAN_CACHE_HH
+#define HECTOR_SERVE_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/compiler.hh"
+#include "graph/hetero_graph.hh"
+
+namespace hector::serve
+{
+
+/** Everything a compiled plan depends on. */
+struct PlanKey
+{
+    /** Model definition in the textual inter-operator DSL. */
+    std::string modelSource;
+    std::int64_t din = 0;
+    std::int64_t dout = 0;
+    core::CompileOptions options;
+    /** HeteroGraph::schemaSignature() of the graphs to serve. */
+    std::string graphSchema;
+
+    /** Canonical string form (the cache's hash key). */
+    std::string canonical() const;
+};
+
+/** Build a PlanKey for serving @p g with @p source under @p options. */
+PlanKey makePlanKey(const std::string &source, std::int64_t din,
+                    std::int64_t dout, const core::CompileOptions &options,
+                    const graph::HeteroGraph &g);
+
+/** Memoizes core::compile() results; single-threaded like the sim. */
+class PlanCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        /** Pass work actually performed (misses only). */
+        core::PassStats passWork;
+    };
+
+    /**
+     * Return the plan for @p key, compiling it on first use. The
+     * returned pointer is shared with the cache: repeated calls with
+     * an equal key return the same object.
+     */
+    std::shared_ptr<const core::CompiledModel> get(const PlanKey &key);
+
+    const Stats &stats() const { return stats_; }
+    std::size_t size() const { return plans_.size(); }
+    void clear() { plans_.clear(); }
+
+  private:
+    std::unordered_map<std::string,
+                       std::shared_ptr<const core::CompiledModel>>
+        plans_;
+    Stats stats_;
+};
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_PLAN_CACHE_HH

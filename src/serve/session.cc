@@ -1,0 +1,164 @@
+#include "serve/session.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/frontend.hh"
+
+namespace hector::serve
+{
+
+using tensor::Tensor;
+
+ServingSession::ServingSession(const graph::HeteroGraph &g,
+                               Tensor host_features,
+                               std::string model_source, ServingConfig cfg,
+                               sim::Runtime &rt)
+    : g_(g), hostFeatures_(std::move(host_features)),
+      modelSource_(std::move(model_source)), cfg_(cfg), rt_(rt),
+      rng_(cfg.seed)
+{
+    if (hostFeatures_.dim(1) != cfg_.din)
+        throw std::runtime_error(
+            "ServingSession: host feature dim != config din");
+    // Weights are initialized from the pristine (pre-pass) program so
+    // they match what a training pipeline would have produced; plan
+    // compilation itself goes through the cache in drain().
+    core::Program pristine =
+        core::parseModel(modelSource_, cfg_.din, cfg_.dout);
+    weights_ = models::initWeights(pristine, g_, rng_);
+}
+
+std::uint64_t
+ServingSession::submit()
+{
+    const double host_before = rt_.hostTimeMs() * 1e-3;
+    auto scope = rt_.memoryScope();
+    graph::Minibatch mb = graph::sampleNeighbors(g_, cfg_.sample, rng_);
+    Tensor feature = graph::transferFeatures(mb, hostFeatures_, rt_);
+    const std::uint64_t id = nextId_++;
+    queue_.emplace_back(id, std::move(mb), std::move(feature));
+    pendingHostSec_ += rt_.hostTimeMs() * 1e-3 - host_before;
+    queue_.back().submitSec = pendingHostSec_;
+    return id;
+}
+
+std::uint64_t
+ServingSession::submit(graph::Minibatch mb, Tensor feature)
+{
+    if (feature.ndim() != 2 ||
+        feature.dim(0) != mb.subgraph.numNodes() ||
+        feature.dim(1) != cfg_.din)
+        throw std::runtime_error(
+            "ServingSession::submit: feature must be [subgraph nodes, "
+            "din]");
+    const std::uint64_t id = nextId_++;
+    queue_.emplace_back(id, std::move(mb), std::move(feature));
+    queue_.back().submitSec = pendingHostSec_;
+    return id;
+}
+
+ServingReport
+ServingSession::drain()
+{
+    ServingReport report;
+    report.cacheHits = cache_.stats().hits;
+    report.cacheMisses = cache_.stats().misses;
+    lastLatenciesMs_.clear();
+    if (queue_.empty())
+        return report;
+
+    // Results are retained for one cycle only; a long-lived session
+    // would otherwise accumulate one output tensor per request served.
+    results_.clear();
+
+    const std::uint64_t launches_before = rt_.counters().total().launches;
+
+    const auto plan = cache_.get(makePlanKey(
+        modelSource_, cfg_.din, cfg_.dout, cfg_.compile, g_));
+
+    StreamScheduler sched(rt_, cfg_.numStreams);
+    auto scope = rt_.memoryScope();
+
+    // FIFO coalescing into micro-batches of at most maxBatch.
+    std::vector<std::size_t> batch_sizes;
+    const std::size_t cap = std::max<std::size_t>(1, cfg_.maxBatch);
+    for (std::size_t lo = 0; lo < queue_.size(); lo += cap) {
+        const std::size_t hi = std::min(queue_.size(), lo + cap);
+        std::vector<const Request *> reqs;
+        reqs.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i)
+            reqs.push_back(&queue_[i]);
+
+        sched.run([&]() {
+            MicroBatch batch = coalesce(reqs, rt_);
+            std::vector<Tensor> outs =
+                executeBatch(*plan, batch, weights_, rt_);
+            // Detach results from the device memory scope so they
+            // outlive the drain cycle.
+            tensor::TrackerScope untracked(nullptr);
+            for (std::size_t i = 0; i < reqs.size(); ++i)
+                results_.insert_or_assign(reqs[i]->id, outs[i].clone());
+        });
+        batch_sizes.push_back(hi - lo);
+    }
+
+    // Timeline: the queued transfers serialize before the drain's
+    // launches begin; per-batch completions come from the scheduler.
+    const std::vector<double> completions = sched.completionTimes();
+    const double makespan_sec = pendingHostSec_ + sched.makespanSec();
+
+    std::size_t req_idx = 0;
+    std::vector<double> latencies;
+    latencies.reserve(queue_.size());
+    for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
+        const double completion = pendingHostSec_ + completions[b];
+        for (std::size_t i = 0; i < batch_sizes[b]; ++i, ++req_idx)
+            latencies.push_back(completion - queue_[req_idx].submitSec);
+    }
+
+    report.requests = queue_.size();
+    report.batches = batch_sizes.size();
+    report.makespanMs = makespan_sec * 1e3;
+    report.throughputReqPerSec =
+        makespan_sec > 0.0 ? static_cast<double>(report.requests) /
+                                 makespan_sec
+                           : 0.0;
+    report.msPerRequest =
+        report.requests
+            ? report.makespanMs / static_cast<double>(report.requests)
+            : 0.0;
+
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double l : latencies)
+        sum += l;
+    report.meanLatencyMs =
+        latencies.empty()
+            ? 0.0
+            : sum / static_cast<double>(latencies.size()) * 1e3;
+    report.p50LatencyMs =
+        sorted.empty() ? 0.0 : sorted[sorted.size() / 2] * 1e3;
+    report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+
+    for (double l : latencies)
+        lastLatenciesMs_.push_back(l * 1e3);
+
+    report.cacheHits = cache_.stats().hits;
+    report.cacheMisses = cache_.stats().misses;
+    report.launches = rt_.counters().total().launches - launches_before;
+
+    queue_.clear();
+    pendingHostSec_ = 0.0;
+    return report;
+}
+
+const Tensor *
+ServingSession::result(std::uint64_t id) const
+{
+    auto it = results_.find(id);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+} // namespace hector::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ServingSession: the façade of the inference serving runtime.
+ *
+ * A session serves one model over one host-resident graph, the way a
+ * production deployment keeps a trained RGNN resident and answers a
+ * stream of neighborhood queries. submit() samples (or accepts) a
+ * per-request subgraph block, pays the modeled host-to-device
+ * transfer, and queues it; drain() compiles-or-reuses the plan through
+ * the PlanCache, coalesces queued requests into micro-batches of at
+ * most `maxBatch`, multiplexes the batches over `numStreams` simulated
+ * streams, and reports modeled throughput and per-request latency.
+ *
+ * The serving pipeline is the first subsystem layered on *top* of the
+ * compiler: it only consumes the public compile/execute API, never the
+ * IR internals.
+ */
+
+#ifndef HECTOR_SERVE_SESSION_HH
+#define HECTOR_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/sampler.hh"
+#include "models/models.hh"
+#include "serve/micro_batch.hh"
+#include "serve/plan_cache.hh"
+#include "serve/stream_scheduler.hh"
+
+namespace hector::serve
+{
+
+/** Serving-time knobs. */
+struct ServingConfig
+{
+    /** Max requests coalesced into one micro-batch. */
+    std::size_t maxBatch = 8;
+    /** Simulated device streams to multiplex batches over. */
+    int numStreams = 1;
+    /** Per-request subgraph sampling parameters. */
+    graph::SampleSpec sample;
+    /** Plan compilation options (inference by default). */
+    core::CompileOptions compile;
+    std::int64_t din = 32;
+    std::int64_t dout = 32;
+    /** Seed for request sampling and weight initialization. */
+    std::uint64_t seed = 0x5e12e;
+};
+
+/** One drain cycle's modeled serving metrics. */
+struct ServingReport
+{
+    std::size_t requests = 0;
+    std::size_t batches = 0;
+    /** Modeled completion time of the whole cycle (transfers + exec). */
+    double makespanMs = 0.0;
+    double throughputReqPerSec = 0.0;
+    double meanLatencyMs = 0.0;
+    double p50LatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+    /** Makespan divided by requests: the bench's headline metric. */
+    double msPerRequest = 0.0;
+    /** Cumulative plan-cache stats at the end of the cycle. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Kernel launches issued during the cycle. */
+    std::uint64_t launches = 0;
+};
+
+class ServingSession
+{
+  public:
+    /**
+     * @param g             host-resident full graph (outlives session)
+     * @param host_features host-resident node features, [nodes, din]
+     * @param model_source  model in the textual DSL (model_sources.hh)
+     */
+    ServingSession(const graph::HeteroGraph &g,
+                   tensor::Tensor host_features, std::string model_source,
+                   ServingConfig cfg, sim::Runtime &rt);
+
+    /**
+     * Sample a neighborhood query, pay its host-to-device transfer,
+     * and enqueue it. Returns the request id.
+     */
+    std::uint64_t submit();
+
+    /** Enqueue an externally prepared request. */
+    std::uint64_t submit(graph::Minibatch mb, tensor::Tensor feature);
+
+    /** Serve every queued request; returns the cycle's metrics. */
+    ServingReport drain();
+
+    /**
+     * Output of a served request, [its subgraph nodes, dout]; nullptr
+     * until the request's drain cycle ran. Results are retained only
+     * until the next drain cycle starts (the session stays
+     * bounded-memory no matter how many requests it serves).
+     */
+    const tensor::Tensor *result(std::uint64_t id) const;
+
+    /** Modeled per-request latencies of the last drain cycle, ms. */
+    const std::vector<double> &lastLatenciesMs() const
+    {
+        return lastLatenciesMs_;
+    }
+
+    PlanCache &planCache() { return cache_; }
+    models::WeightMap &weights() { return weights_; }
+    const ServingConfig &config() const { return cfg_; }
+    std::size_t queued() const { return queue_.size(); }
+
+  private:
+    const graph::HeteroGraph &g_;
+    tensor::Tensor hostFeatures_;
+    std::string modelSource_;
+    ServingConfig cfg_;
+    sim::Runtime &rt_;
+
+    PlanCache cache_;
+    models::WeightMap weights_;
+    std::mt19937_64 rng_;
+
+    std::vector<Request> queue_;
+    std::map<std::uint64_t, tensor::Tensor> results_;
+    std::vector<double> lastLatenciesMs_;
+    /** Host-serialized transfer time accrued by queued submits. */
+    double pendingHostSec_ = 0.0;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_SESSION_HH

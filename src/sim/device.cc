@@ -89,7 +89,13 @@ DeviceModel::occupancy(double work_items) const
 }
 
 double
-DeviceModel::kernelTime(const KernelDesc &desc) const
+DeviceModel::launchOverheadSec() const
+{
+    return spec_.launchLatency * spec_.overheadScale;
+}
+
+double
+DeviceModel::kernelExecTime(const KernelDesc &desc) const
 {
     const double ce = desc.computeEff > 0.0
                           ? desc.computeEff
@@ -114,8 +120,13 @@ DeviceModel::kernelTime(const KernelDesc &desc) const
     const double t_atomic =
         desc.atomics * std::sqrt(conflict) / spec_.atomicThroughput;
 
-    return spec_.launchLatency * spec_.overheadScale +
-           std::max(t_compute, t_memory) + t_atomic;
+    return std::max(t_compute, t_memory) + t_atomic;
+}
+
+double
+DeviceModel::kernelTime(const KernelDesc &desc) const
+{
+    return launchOverheadSec() + kernelExecTime(desc);
 }
 
 } // namespace hector::sim

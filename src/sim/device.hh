@@ -89,6 +89,14 @@ struct DeviceSpec
     double datasetScale = 1.0;
     /** Effective throughput of conflicting f32 atomics, updates/s. */
     double atomicThroughput = 16.0e9;
+    /**
+     * Fraction of a kernel's execution time spent on device-wide
+     * shared resources (DRAM bandwidth, L2, scheduler slots) that
+     * cannot overlap with kernels running in other streams. Concurrent
+     * streams overlap the remaining (1 - fraction); this caps the
+     * multi-stream speedup at 1/fraction (Runtime::makespanSec).
+     */
+    double streamSerialFraction = 0.30;
     /** Work items at which the occupancy ramp reaches 50%. */
     double occupancyHalfSaturation = 128.0 * 1024.0;
 
@@ -169,6 +177,19 @@ class DeviceModel
      * (Sec. 4.4) and that per-relation mini-kernels are slow.
      */
     double occupancy(double work_items) const;
+
+    /**
+     * Host-side API + launch cost of one launch, in seconds. This part
+     * is issued by the (single) host thread and never overlaps across
+     * streams.
+     */
+    double launchOverheadSec() const;
+
+    /**
+     * Device-side execution time of one launch, in seconds — the part
+     * that can overlap with kernels in other streams.
+     */
+    double kernelExecTime(const KernelDesc &desc) const;
 
     /** Modeled execution time of one launch, in seconds. */
     double kernelTime(const KernelDesc &desc) const;

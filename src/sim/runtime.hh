@@ -13,7 +13,9 @@
 #ifndef HECTOR_SIM_RUNTIME_HH
 #define HECTOR_SIM_RUNTIME_HH
 
+#include <algorithm>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,37 @@ struct LaunchRecord
     Phase phase;
     double timeSec;
 };
+
+/** Per-stream launch accounting (serving/multi-stream execution). */
+struct StreamStats
+{
+    /** Device-side execution time charged to this stream. */
+    double execSec = 0.0;
+    /** Host-side launch overhead issued for this stream's kernels. */
+    double overheadSec = 0.0;
+    std::uint64_t launches = 0;
+};
+
+/**
+ * The multi-stream overlap/serialization rule, shared by
+ * Runtime::makespanSec and the serving StreamScheduler so the
+ * contention model lives in exactly one place:
+ *
+ *  - host-serialized time (launch overheads, hostOverhead) never
+ *    overlaps;
+ *  - device execution overlaps across streams, but serial_fraction of
+ *    every kernel contends for shared device resources (DRAM
+ *    bandwidth, L2, scheduler slots), so overlapped execution can
+ *    never beat serial_fraction * (total exec work);
+ *  - one stream degenerates to the fully serial total.
+ */
+inline double
+overlapMakespanSec(double host_sec, double busiest_stream_exec_sec,
+                   double total_exec_sec, double serial_fraction)
+{
+    return host_sec + std::max(busiest_stream_exec_sec,
+                               serial_fraction * total_exec_sec);
+}
 
 /**
  * Simulated device runtime.
@@ -68,7 +101,15 @@ class Runtime
     {
         if (body)
             body();
-        const double t = model_.kernelTime(desc);
+        const double overhead = model_.launchOverheadSec();
+        const double exec = model_.kernelExecTime(desc);
+        const double t = overhead + exec;
+        {
+            auto &s = streams_[static_cast<std::size_t>(currentStream_)];
+            s.execSec += exec;
+            s.overheadSec += overhead;
+            s.launches += 1;
+        }
         auto &b = counters_.bucket(desc.category, desc.phase);
         b.timeSec += t;
         b.flops += desc.flops;
@@ -93,6 +134,64 @@ class Runtime
     double totalTimeMs() const { return totalTimeSec_ * 1e3; }
     double hostTimeMs() const { return hostTimeSec_ * 1e3; }
 
+    /// @name Multi-stream launch accounting (serving runtime).
+    ///
+    /// Every launch is charged to the current stream (default 0);
+    /// totalTimeSec_ keeps its historical fully-serialized meaning, so
+    /// single-stream callers are unaffected. makespanSec() applies the
+    /// modeled overlap rule to the per-stream totals.
+    /// @{
+
+    /** Route subsequent launches to stream @p s (grows the set). */
+    void
+    setCurrentStream(int s)
+    {
+        if (s < 0)
+            throw std::runtime_error("Runtime: negative stream id");
+        if (static_cast<std::size_t>(s) >= streams_.size())
+            streams_.resize(static_cast<std::size_t>(s) + 1);
+        currentStream_ = s;
+    }
+
+    int currentStream() const { return currentStream_; }
+
+    const std::vector<StreamStats> &streamStats() const { return streams_; }
+
+    /**
+     * Modeled completion time of everything launched so far under the
+     * multi-stream overlap/serialization rule:
+     *
+     *  - host work (hostOverhead) and every kernel's launch overhead
+     *    are issued by one host thread and serialize across streams;
+     *  - device-side execution overlaps across streams, but the
+     *    streamSerialFraction of every kernel contends for shared
+     *    device resources and serializes, so overlapped execution can
+     *    never beat serialFraction * (total exec work);
+     *  - a single stream degenerates to the serial total.
+     *
+     * makespan = host + overheads
+     *          + max(busiest stream exec, serialFraction * total exec)
+     */
+    double
+    makespanSec() const
+    {
+        double overheadSum = 0.0;
+        double execSum = 0.0;
+        double busiest = 0.0;
+        for (const StreamStats &s : streams_) {
+            overheadSum += s.overheadSec;
+            execSum += s.execSec;
+            if (s.execSec > busiest)
+                busiest = s.execSec;
+        }
+        return overlapMakespanSec(hostTimeSec_ + overheadSum, busiest,
+                                  execSum, spec().streamSerialFraction);
+    }
+
+    double makespanMs() const { return makespanSec() * 1e3; }
+
+    /// @}
+
     const Counters &counters() const { return counters_; }
     const std::vector<LaunchRecord> &records() const { return records_; }
 
@@ -106,6 +205,8 @@ class Runtime
         hostTimeSec_ = 0.0;
         records_.clear();
         tracker_.resetStats();
+        streams_.assign(streams_.size(), StreamStats{});
+        currentStream_ = 0;
     }
 
   private:
@@ -113,6 +214,8 @@ class Runtime
     tensor::MemoryTracker tracker_;
     Counters counters_;
     std::vector<LaunchRecord> records_;
+    std::vector<StreamStats> streams_ = std::vector<StreamStats>(1);
+    int currentStream_ = 0;
     double totalTimeSec_ = 0.0;
     double hostTimeSec_ = 0.0;
     bool recordLaunches_ = false;

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the inference serving runtime (src/serve/): plan-cache
+ * hits return bit-identical outputs with zero additional pass work,
+ * micro-batched execution preserves per-request results while issuing
+ * fewer launches, multi-stream scheduling is monotonically
+ * non-increasing in modeled time, and the ServingSession façade's
+ * batched+multi-stream configuration beats unbatched single-stream
+ * serving per request (the paper's compile-once design turned into a
+ * throughput-serving system).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/frontend.hh"
+#include "graph/datasets.hh"
+#include "models/model_sources.hh"
+#include "serve/micro_batch.hh"
+#include "serve/plan_cache.hh"
+#include "serve/session.hh"
+#include "serve/stream_scheduler.hh"
+
+namespace
+{
+
+using namespace hector;
+using tensor::Tensor;
+
+graph::HeteroGraph
+servingGraph()
+{
+    return graph::generate(graph::datasetSpec("aifb"), 1.0 / 16.0, 11);
+}
+
+Tensor
+hostFeatures(const graph::HeteroGraph &g, std::int64_t dim,
+             std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    return Tensor::uniform({g.numNodes(), dim}, rng, 0.5f);
+}
+
+/** Run one request standalone (no batching) with @p plan. */
+Tensor
+runAlone(const core::CompiledModel &plan, const serve::Request &req,
+         models::WeightMap &weights, sim::Runtime &rt)
+{
+    graph::CompactionMap cmap(req.mb.subgraph);
+    core::ExecutionContext ctx;
+    ctx.g = &req.mb.subgraph;
+    ctx.cmap = &cmap;
+    ctx.rt = &rt;
+    models::WeightMap grads;
+    ctx.weights = &weights;
+    ctx.weightGrads = &grads;
+    auto scope = rt.memoryScope();
+    core::bindInputs(plan, ctx, req.feature);
+    Tensor out = plan.forward(ctx);
+    tensor::TrackerScope untracked(nullptr);
+    return out.clone();
+}
+
+/** Sample @p n requests deterministically. */
+std::vector<serve::Request>
+makeRequests(const graph::HeteroGraph &g, const Tensor &host_features,
+             std::size_t n, sim::Runtime &rt, std::int64_t seeds = 16,
+             std::int64_t fanout = 4)
+{
+    std::mt19937_64 rng(99);
+    graph::SampleSpec spec;
+    spec.numSeeds = seeds;
+    spec.fanout = fanout;
+    std::vector<serve::Request> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+        graph::Minibatch mb = graph::sampleNeighbors(g, spec, rng);
+        Tensor feat = graph::transferFeatures(mb, host_features, rt);
+        reqs.emplace_back(i + 1, std::move(mb), std::move(feat));
+    }
+    return reqs;
+}
+
+// ---------------------------------------------------------------- PlanCache
+
+TEST(PlanCache, HitReturnsSamePlanWithZeroPassWork)
+{
+    graph::HeteroGraph g = servingGraph();
+    core::CompileOptions opts;
+    opts.compactMaterialization = true;
+    opts.linearReorder = true;
+
+    serve::PlanCache cache;
+    const serve::PlanKey key =
+        serve::makePlanKey(models::kRgatSource, 8, 8, opts, g);
+
+    auto p1 = cache.get(key);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+    const core::PassStats after_miss = cache.stats().passWork;
+    // The C+R RGAT plan performs real pass work.
+    EXPECT_GT(after_miss.fusedLoops + after_miss.compactedVars +
+                  after_miss.reorderedLinears,
+              0);
+
+    auto p2 = cache.get(key);
+    EXPECT_EQ(p1.get(), p2.get()) << "hit must return the cached object";
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // Zero additional pass work on a hit.
+    const core::PassStats after_hit = cache.stats().passWork;
+    EXPECT_EQ(after_hit.reorderedLinears, after_miss.reorderedLinears);
+    EXPECT_EQ(after_hit.composedWeights, after_miss.composedWeights);
+    EXPECT_EQ(after_hit.compactedVars, after_miss.compactedVars);
+    EXPECT_EQ(after_hit.fusedLoops, after_miss.fusedLoops);
+    EXPECT_EQ(after_hit.virtualizedVars, after_miss.virtualizedVars);
+}
+
+TEST(PlanCache, CachedPlanOutputBitIdenticalToFreshCompile)
+{
+    graph::HeteroGraph g = servingGraph();
+    core::CompileOptions opts;
+    opts.compactMaterialization = true;
+    opts.linearReorder = true;
+
+    serve::PlanCache cache;
+    const serve::PlanKey key =
+        serve::makePlanKey(models::kRgatSource, 8, 8, opts, g);
+    cache.get(key);
+    auto cached = cache.get(key); // a hit
+
+    // Fresh compile, no cache involved.
+    const core::CompiledModel fresh =
+        core::compile(core::parseModel(models::kRgatSource, 8, 8), opts);
+
+    sim::Runtime rt1;
+    sim::Runtime rt2;
+    std::vector<serve::Request> reqs =
+        makeRequests(g, hostFeatures(g, 8, 5), 1, rt1);
+    // Re-create the identical request for the second runtime.
+    std::vector<serve::Request> reqs2 =
+        makeRequests(g, hostFeatures(g, 8, 5), 1, rt2);
+
+    std::mt19937_64 wrng(3);
+    models::WeightMap w = models::initWeights(
+        core::parseModel(models::kRgatSource, 8, 8), g, wrng);
+    models::WeightMap w2 = w;
+
+    const Tensor out_cached = runAlone(*cached, reqs[0], w, rt1);
+    const Tensor out_fresh = runAlone(fresh, reqs2[0], w2, rt2);
+
+    ASSERT_EQ(out_cached.shape(), out_fresh.shape());
+    EXPECT_EQ(tensor::maxAbsDiff(out_cached, out_fresh), 0.0f)
+        << "cache hit must be bit-identical to a fresh compile";
+}
+
+TEST(PlanCache, DistinctKeysCompileSeparately)
+{
+    graph::HeteroGraph g = servingGraph();
+    serve::PlanCache cache;
+    core::CompileOptions a;
+    core::CompileOptions b;
+    b.compactMaterialization = true;
+    cache.get(serve::makePlanKey(models::kRgcnSource, 8, 8, a, g));
+    cache.get(serve::makePlanKey(models::kRgcnSource, 8, 8, b, g));
+    cache.get(serve::makePlanKey(models::kRgatSource, 8, 8, a, g));
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+// ---------------------------------------------------------------- batching
+
+class MicroBatchModels : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MicroBatchModels, BatchedMatchesSequential)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 21);
+
+    core::CompileOptions opts;
+    opts.compactMaterialization = true;
+    serve::PlanCache cache;
+    auto plan = cache.get(serve::makePlanKey(GetParam(), 8, 8, opts, g));
+
+    std::mt19937_64 wrng(7);
+    models::WeightMap weights =
+        models::initWeights(core::parseModel(GetParam(), 8, 8), g, wrng);
+
+    sim::Runtime rt;
+    std::vector<serve::Request> reqs = makeRequests(g, host, 4, rt);
+    std::vector<const serve::Request *> ptrs;
+    for (const auto &r : reqs)
+        ptrs.push_back(&r);
+
+    std::vector<Tensor> batched;
+    {
+        auto scope = rt.memoryScope();
+        serve::MicroBatch batch = serve::coalesce(ptrs, rt);
+        EXPECT_EQ(batch.unionGraph.numNodes(),
+                  reqs[0].mb.subgraph.numNodes() +
+                      reqs[1].mb.subgraph.numNodes() +
+                      reqs[2].mb.subgraph.numNodes() +
+                      reqs[3].mb.subgraph.numNodes());
+        batch.unionGraph.validate();
+        std::vector<Tensor> outs =
+            serve::executeBatch(*plan, batch, weights, rt);
+        tensor::TrackerScope untracked(nullptr);
+        for (auto &o : outs)
+            batched.push_back(o.clone());
+    }
+
+    sim::Runtime rt_seq;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const Tensor alone = runAlone(*plan, reqs[i], weights, rt_seq);
+        ASSERT_EQ(batched[i].shape(), alone.shape());
+        EXPECT_EQ(tensor::maxAbsDiff(batched[i], alone), 0.0f)
+            << "request " << i
+            << " diverges between batched and sequential execution";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, MicroBatchModels,
+                         testing::Values(models::kRgcnSource,
+                                         models::kRgatSource,
+                                         models::kHgtSource));
+
+TEST(MicroBatch, FewerLaunchesAndLowerModeledTimeThanSequential)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 22);
+    core::CompileOptions opts;
+    serve::PlanCache cache;
+    auto plan =
+        cache.get(serve::makePlanKey(models::kRgatSource, 8, 8, opts, g));
+    std::mt19937_64 wrng(8);
+    models::WeightMap weights = models::initWeights(
+        core::parseModel(models::kRgatSource, 8, 8), g, wrng);
+
+    sim::Runtime rt_prep;
+    std::vector<serve::Request> reqs = makeRequests(g, host, 8, rt_prep);
+    std::vector<const serve::Request *> ptrs;
+    for (const auto &r : reqs)
+        ptrs.push_back(&r);
+
+    sim::Runtime rt_batched;
+    {
+        auto scope = rt_batched.memoryScope();
+        serve::MicroBatch batch = serve::coalesce(ptrs, rt_batched);
+        serve::executeBatch(*plan, batch, weights, rt_batched);
+    }
+
+    sim::Runtime rt_seq;
+    for (const auto &r : reqs)
+        runAlone(*plan, r, weights, rt_seq);
+
+    EXPECT_LT(rt_batched.counters().total().launches,
+              rt_seq.counters().total().launches);
+    EXPECT_LT(rt_batched.totalTimeMs(), rt_seq.totalTimeMs())
+        << "batched execution must win on modeled time";
+}
+
+// ---------------------------------------------------------------- streams
+
+TEST(RuntimeStreams, PerStreamAccountingAndMakespan)
+{
+    sim::Runtime rt;
+    sim::KernelDesc d;
+    d.name = "k";
+    d.category = sim::KernelCategory::Gemm;
+    d.flops = 1e9;
+    d.workItems = 1e7;
+
+    rt.launch(d, nullptr);
+    rt.setCurrentStream(1);
+    rt.launch(d, nullptr);
+    rt.launch(d, nullptr);
+
+    ASSERT_EQ(rt.streamStats().size(), 2u);
+    EXPECT_EQ(rt.streamStats()[0].launches, 1u);
+    EXPECT_EQ(rt.streamStats()[1].launches, 2u);
+    EXPECT_GT(rt.streamStats()[1].execSec, rt.streamStats()[0].execSec);
+
+    // Two streams overlap: makespan is below the serial total but at
+    // least the serialized-fraction floor and the busiest stream.
+    const double serial = rt.totalTimeMs() * 1e-3;
+    const double makespan = rt.makespanSec();
+    EXPECT_LT(makespan, serial);
+    const double exec_total =
+        rt.streamStats()[0].execSec + rt.streamStats()[1].execSec;
+    EXPECT_GE(makespan,
+              rt.spec().streamSerialFraction * exec_total);
+    EXPECT_GE(makespan, rt.streamStats()[1].execSec);
+}
+
+TEST(RuntimeStreams, SingleStreamMakespanEqualsSerialTotal)
+{
+    sim::Runtime rt;
+    sim::KernelDesc d;
+    d.name = "k";
+    d.flops = 1e8;
+    d.workItems = 1e6;
+    rt.launch(d, nullptr);
+    rt.launch(d, nullptr);
+    rt.hostOverhead(1e-4);
+    EXPECT_NEAR(rt.makespanSec(), rt.totalTimeMs() * 1e-3, 1e-12);
+}
+
+TEST(StreamScheduler, ModeledTimeMonotonicallyNonIncreasingInStreams)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 31);
+
+    double prev = -1.0;
+    for (int streams : {1, 2, 3, 4, 8}) {
+        sim::Runtime rt;
+        serve::ServingConfig cfg;
+        cfg.maxBatch = 1; // isolate the stream dimension
+        cfg.numStreams = streams;
+        cfg.din = 8;
+        cfg.dout = 8;
+        cfg.sample.numSeeds = 16;
+        cfg.sample.fanout = 4;
+        serve::ServingSession session(g, host, models::kRgatSource, cfg,
+                                      rt);
+        for (int i = 0; i < 8; ++i)
+            session.submit();
+        const serve::ServingReport rep = session.drain();
+        ASSERT_EQ(rep.requests, 8u);
+        if (prev >= 0.0) {
+            EXPECT_LE(rep.makespanMs, prev * (1.0 + 1e-9))
+                << "modeled time increased from " << prev << " at "
+                << streams << " streams";
+        }
+        prev = rep.makespanMs;
+    }
+}
+
+// ---------------------------------------------------------------- session
+
+TEST(ServingSession, ReportAndResultsAreConsistent)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 41);
+    sim::Runtime rt;
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.numStreams = 2;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    serve::ServingSession session(g, host, models::kRgcnSource, cfg, rt);
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 9; ++i)
+        ids.push_back(session.submit());
+    EXPECT_EQ(session.queued(), 9u);
+
+    const serve::ServingReport rep = session.drain();
+    EXPECT_EQ(session.queued(), 0u);
+    EXPECT_EQ(rep.requests, 9u);
+    EXPECT_EQ(rep.batches, 3u); // 4 + 4 + 1
+    EXPECT_EQ(rep.cacheMisses, 1u);
+    EXPECT_GT(rep.makespanMs, 0.0);
+    EXPECT_GT(rep.throughputReqPerSec, 0.0);
+    EXPECT_GT(rep.launches, 0u);
+    EXPECT_GE(rep.maxLatencyMs, rep.p50LatencyMs);
+    EXPECT_EQ(session.lastLatenciesMs().size(), 9u);
+
+    for (std::uint64_t id : ids) {
+        const Tensor *out = session.result(id);
+        ASSERT_NE(out, nullptr);
+        EXPECT_EQ(out->dim(1), 8);
+        EXPECT_GT(out->dim(0), 0);
+    }
+
+    // A second cycle reuses the cached plan.
+    session.submit();
+    const serve::ServingReport rep2 = session.drain();
+    EXPECT_EQ(rep2.cacheMisses, 1u);
+    EXPECT_GE(rep2.cacheHits, 1u);
+}
+
+TEST(ServingSession, BatchedMultiStreamServesIdenticalResultsFaster)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 51);
+
+    auto serve_with = [&](std::size_t batch, int streams,
+                          std::vector<Tensor> &outputs) {
+        sim::Runtime rt;
+        serve::ServingConfig cfg;
+        cfg.maxBatch = batch;
+        cfg.numStreams = streams;
+        cfg.din = 8;
+        cfg.dout = 8;
+        cfg.sample.numSeeds = 16;
+        cfg.sample.fanout = 4;
+        cfg.seed = 777; // identical request streams across configs
+        serve::ServingSession session(g, host, models::kRgatSource, cfg,
+                                      rt);
+        std::vector<std::uint64_t> ids;
+        for (int i = 0; i < 32; ++i)
+            ids.push_back(session.submit());
+        const serve::ServingReport rep = session.drain();
+        for (std::uint64_t id : ids)
+            outputs.push_back(session.result(id)->clone());
+        return rep;
+    };
+
+    std::vector<Tensor> unbatched_outs;
+    std::vector<Tensor> batched_outs;
+    const serve::ServingReport unbatched =
+        serve_with(1, 1, unbatched_outs);
+    const serve::ServingReport batched = serve_with(8, 4, batched_outs);
+
+    ASSERT_EQ(unbatched_outs.size(), batched_outs.size());
+    for (std::size_t i = 0; i < unbatched_outs.size(); ++i)
+        EXPECT_EQ(tensor::maxAbsDiff(unbatched_outs[i], batched_outs[i]),
+                  0.0f)
+            << "request " << i << " served differently";
+
+    // The acceptance criterion: batch 8 x 4 streams is strictly
+    // faster per request than unbatched single-stream serving.
+    EXPECT_LT(batched.msPerRequest, unbatched.msPerRequest);
+    EXPECT_GT(unbatched.msPerRequest / batched.msPerRequest, 1.5)
+        << "batching + streams should win clearly, not marginally";
+}
+
+} // namespace
