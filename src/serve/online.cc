@@ -1,0 +1,298 @@
+#include "serve/online.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace hector::serve
+{
+
+// ------------------------------------------------------------ LoadGenerator
+
+LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
+                             std::uint64_t seed)
+    : ratePerSec_(rate_per_sec), left_(count), rng_(seed)
+{
+    if (rate_per_sec <= 0.0)
+        throw std::runtime_error("LoadGenerator: rate must be positive");
+    if (left_ > 0)
+        advance();
+}
+
+void
+LoadGenerator::advance()
+{
+    // Inverse-CDF exponential over the raw 64-bit stream instead of
+    // std::exponential_distribution: the gap sequence is bit-stable
+    // across standard libraries, and u is rate-independent, so equal
+    // seeds give arrival times that scale exactly by 1/rate.
+    const double u =
+        (static_cast<double>(rng_() >> 11) + 0.5) *
+        (1.0 / 9007199254740992.0); // 2^-53, u in (0, 1)
+    nextSec_ += -std::log(1.0 - u) / ratePerSec_;
+}
+
+double
+LoadGenerator::peekSec() const
+{
+    if (done())
+        throw std::runtime_error("LoadGenerator: exhausted");
+    return nextSec_;
+}
+
+double
+LoadGenerator::next()
+{
+    const double t = peekSec();
+    --left_;
+    if (left_ > 0)
+        advance();
+    return t;
+}
+
+std::vector<double>
+LoadGenerator::arrivals(double rate_per_sec, std::size_t count,
+                        std::uint64_t seed)
+{
+    LoadGenerator gen(rate_per_sec, count, seed);
+    std::vector<double> times;
+    times.reserve(count);
+    while (!gen.done())
+        times.push_back(gen.next());
+    return times;
+}
+
+// ---------------------------------------------------------- AdaptiveBatcher
+
+AdaptiveBatcher::AdaptiveBatcher(std::size_t max_batch, double deadline_sec,
+                                 double alpha, double budget_fraction)
+    : maxBatch_(std::max<std::size_t>(1, max_batch)),
+      deadlineSec_(deadline_sec), alpha_(alpha),
+      budgetFraction_(budget_fraction)
+{
+    if (alpha_ <= 0.0 || alpha_ > 1.0)
+        throw std::runtime_error("AdaptiveBatcher: alpha must be in (0, 1]");
+}
+
+std::size_t
+AdaptiveBatcher::pick(std::size_t queue_depth) const
+{
+    if (queue_depth == 0)
+        return 0;
+    // Saturation: the queue alone fills a maximal batch, so amortizing
+    // launches over maxBatch requests is the throughput-optimal (and
+    // deadline-agnostic — they are blown either way) choice.
+    if (queue_depth >= maxBatch_)
+        return maxBatch_;
+    // Otherwise serve everything queued now; waiting to fill the batch
+    // only adds fill-wait latency in an open loop.
+    std::size_t b = queue_depth;
+    // ... unless the cost model predicts the batch itself would eat
+    // the queued requests' SLO headroom: cap so modeled service time
+    // (EWMA overhead + b * EWMA per-request exec) stays within the
+    // deadline budget.
+    if (observed_ && deadlineSec_ > 0.0 && ewmaExecPerReqSec_ > 0.0) {
+        const double budget =
+            budgetFraction_ * deadlineSec_ - ewmaOverheadSec_;
+        const std::size_t cap =
+            budget <= ewmaExecPerReqSec_
+                ? 1
+                : static_cast<std::size_t>(budget / ewmaExecPerReqSec_);
+        b = std::min(b, std::max<std::size_t>(1, cap));
+    }
+    return std::min(b, maxBatch_);
+}
+
+void
+AdaptiveBatcher::observe(const BatchCost &cost)
+{
+    if (cost.requests == 0)
+        return;
+    const double per_req =
+        cost.execSec / static_cast<double>(cost.requests);
+    if (!observed_) {
+        ewmaOverheadSec_ = cost.overheadSec;
+        ewmaExecPerReqSec_ = per_req;
+        observed_ = true;
+        return;
+    }
+    ewmaOverheadSec_ += alpha_ * (cost.overheadSec - ewmaOverheadSec_);
+    ewmaExecPerReqSec_ += alpha_ * (per_req - ewmaExecPerReqSec_);
+}
+
+// ------------------------------------------------------------- OnlineServer
+
+OnlineServer::OnlineServer(const graph::HeteroGraph &g,
+                           tensor::Tensor host_features,
+                           std::string model_source, OnlineConfig cfg,
+                           sim::Runtime &rt)
+    : cfg_(cfg), rt_(rt),
+      session_(g, std::move(host_features), std::move(model_source),
+               cfg.serving, rt),
+      batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
+               cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
+               cfg.deadlineBudgetFraction)
+{}
+
+OnlineReport
+OnlineServer::run()
+{
+    OnlineReport rep;
+    rep.offeredRatePerSec = cfg_.arrivalRatePerSec;
+    rep.deadlineMs = cfg_.serving.deadlineMs;
+    latenciesMs_.clear();
+    queueDelaysMs_.clear();
+    batchSizes_.clear();
+    if (cfg_.numRequests == 0)
+        return rep;
+
+    LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
+                      cfg_.arrivalSeed);
+
+    const int num_streams = std::max(1, cfg_.serving.numStreams);
+    const double serial_frac = rt_.spec().streamSerialFraction;
+    const double deadline_sec = cfg_.serving.deadlineMs * 1e-3;
+    const std::size_t max_batch =
+        std::max<std::size_t>(1, cfg_.serving.maxBatch);
+    const std::size_t fixed = std::min(
+        max_batch, cfg_.fixedBatch > 0 ? cfg_.fixedBatch : max_batch);
+
+    // Open-loop timeline, per-batch application of the runtime's
+    // overlap rule: one host thread serializes transfers and launch
+    // overheads (host_free), each stream runs one batch at a time
+    // (stream_free), and the serialized fraction of every kernel
+    // occupies a device-wide shared resource (contend_free) so
+    // overlapped streams can never beat the contention floor.
+    std::vector<double> stream_free(
+        static_cast<std::size_t>(num_streams), 0.0);
+    double host_free = 0.0;
+    double contend_free = 0.0;
+
+    /** Arrival time of each queued request, FIFO like the session. */
+    std::deque<double> queued_arrivals;
+
+    const std::uint64_t launches_before = rt_.counters().total().launches;
+
+    // Admit every arrival the host clock has passed; each pays its
+    // modeled host-to-device transfer on the serialized host clock.
+    auto admit = [&]() {
+        while (!gen.done() && gen.peekSec() <= host_free) {
+            const double arr = gen.next();
+            rep.lastArrivalMs = arr * 1e3;
+            const double host_before = rt_.hostTimeMs() * 1e-3;
+            session_.submit();
+            const double transfer = rt_.hostTimeMs() * 1e-3 - host_before;
+            host_free = std::max(host_free, arr) + transfer;
+            queued_arrivals.push_back(arr);
+        }
+    };
+
+    std::size_t served = 0;
+    std::size_t met = 0;
+    double lat_sum = 0.0;
+    double delay_sum = 0.0;
+    double last_completion = 0.0;
+    std::vector<double> latencies_sec;
+    latencies_sec.reserve(cfg_.numRequests);
+
+    while (served < cfg_.numRequests) {
+        admit();
+        if (queued_arrivals.empty()) {
+            // Idle: jump the host clock to the next arrival.
+            host_free = std::max(host_free, gen.peekSec());
+            rt_.advanceTo(host_free);
+            continue;
+        }
+
+        const std::size_t depth = queued_arrivals.size();
+        rep.peakQueueDepth = std::max(rep.peakQueueDepth, depth);
+
+        std::size_t batch;
+        if (cfg_.adaptive) {
+            batch = batcher_.pick(depth);
+        } else if (depth >= fixed || gen.done()) {
+            batch = std::min(depth, fixed);
+        } else {
+            // Wait-to-fill: hold the queue until the fixed batch is
+            // complete (or arrivals run out).
+            host_free = std::max(host_free, gen.peekSec());
+            rt_.advanceTo(host_free);
+            continue;
+        }
+        batch = std::max<std::size_t>(1, std::min(batch, depth));
+
+        if (!cfg_.retainResults)
+            session_.clearResults();
+
+        int s = 0;
+        for (int i = 1; i < num_streams; ++i)
+            if (stream_free[static_cast<std::size_t>(i)] <
+                stream_free[static_cast<std::size_t>(s)])
+                s = i;
+
+        const BatchCost cost = session_.serveOldest(batch, s);
+        const double issue_done = host_free + cost.overheadSec;
+        const double exec_start =
+            std::max(issue_done,
+                     std::max(stream_free[static_cast<std::size_t>(s)],
+                              contend_free));
+        const double done = exec_start + cost.execSec;
+        host_free = issue_done;
+        stream_free[static_cast<std::size_t>(s)] = done;
+        contend_free = exec_start + serial_frac * cost.execSec;
+        rt_.advanceTo(done);
+
+        batcher_.observe(cost);
+        batchSizes_.push_back(batch);
+        ++rep.ticks;
+
+        for (std::size_t i = 0; i < batch; ++i) {
+            const double arr = queued_arrivals.front();
+            queued_arrivals.pop_front();
+            const double lat = done - arr;
+            const double delay = std::max(0.0, exec_start - arr);
+            latencies_sec.push_back(lat);
+            latenciesMs_.push_back(lat * 1e3);
+            queueDelaysMs_.push_back(delay * 1e3);
+            lat_sum += lat;
+            delay_sum += delay;
+            if (deadline_sec <= 0.0 || lat <= deadline_sec)
+                ++met;
+        }
+        served += batch;
+        last_completion = std::max(last_completion, done);
+    }
+
+    rep.requests = served;
+    rep.batches = rep.ticks;
+    rep.makespanMs = last_completion * 1e3;
+    rep.throughputReqPerSec =
+        last_completion > 0.0
+            ? static_cast<double>(served) / last_completion
+            : 0.0;
+    rep.msPerRequest =
+        served ? rep.makespanMs / static_cast<double>(served) : 0.0;
+    rep.meanLatencyMs = lat_sum / static_cast<double>(served) * 1e3;
+    rep.meanQueueDelayMs = delay_sum / static_cast<double>(served) * 1e3;
+    rep.sloAttainment =
+        static_cast<double>(met) / static_cast<double>(served);
+    rep.meanBatchSize =
+        rep.ticks ? static_cast<double>(served) /
+                        static_cast<double>(rep.ticks)
+                  : 0.0;
+
+    std::sort(latencies_sec.begin(), latencies_sec.end());
+    rep.p50LatencyMs = percentileSorted(latencies_sec, 0.50) * 1e3;
+    rep.p95LatencyMs = percentileSorted(latencies_sec, 0.95) * 1e3;
+    rep.p99LatencyMs = percentileSorted(latencies_sec, 0.99) * 1e3;
+    rep.maxLatencyMs =
+        latencies_sec.empty() ? 0.0 : latencies_sec.back() * 1e3;
+
+    rep.cacheHits = session_.planCache().stats().hits;
+    rep.cacheMisses = session_.planCache().stats().misses;
+    rep.launches = rt_.counters().total().launches - launches_before;
+    return rep;
+}
+
+} // namespace hector::serve

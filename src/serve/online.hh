@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Online arrival serving: open-loop load, deadline SLOs, adaptive
+ * micro-batching.
+ *
+ * PR 1's ServingSession models a closed cycle: submit everything, then
+ * drain. A production deployment instead faces an *open loop* — the
+ * world keeps issuing requests at its own rate whether or not the
+ * server keeps up — and is judged on arrival-relative tail latency and
+ * deadline attainment, not just peak throughput. This module adds that
+ * layer on the simulated clock:
+ *
+ *  - LoadGenerator draws seeded Poisson inter-arrival times (inverse
+ *    CDF over a raw mt19937_64 stream, so the sequence is bit-stable
+ *    across platforms and scales exactly as 1/rate for a fixed seed);
+ *  - OnlineServer wraps a ServingSession and serves in timed ticks:
+ *    arrivals are admitted as the host clock passes them (each paying
+ *    its modeled host-to-device transfer), one micro-batch is issued
+ *    per tick, and completions are gated on host serialization, stream
+ *    availability, and the shared-resource serial fraction — the same
+ *    overlap rule as sim::Runtime::makespanSec, applied per batch;
+ *  - AdaptiveBatcher picks each tick's batch size from observed queue
+ *    depth and EWMA estimates of per-batch overhead / per-request
+ *    execution time: under low load it serves what is queued
+ *    immediately (latency), under saturation it grows to maxBatch
+ *    (throughput), and in between it caps the batch so modeled service
+ *    time stays within a fraction of the deadline budget.
+ *
+ * The fixed-batch alternative (OnlineConfig::adaptive = false) is the
+ * classic wait-to-fill policy: hold requests until `fixedBatch` have
+ * arrived. It matches adaptive throughput under saturation but pays
+ * brutal fill-wait latency at low load — the comparison
+ * bench_serving_online quantifies.
+ */
+
+#ifndef HECTOR_SERVE_ONLINE_HH
+#define HECTOR_SERVE_ONLINE_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "serve/session.hh"
+
+namespace hector::serve
+{
+
+/**
+ * Open-loop Poisson arrival process: @p count arrivals at @p rate
+ * requests per simulated second. Deterministic under a fixed seed, and
+ * for equal seeds the arrival times scale exactly by rate (gaps are
+ * u_i / rate with a rate-independent u_i sequence).
+ */
+class LoadGenerator
+{
+  public:
+    LoadGenerator(double rate_per_sec, std::size_t count,
+                  std::uint64_t seed);
+
+    bool done() const { return left_ == 0; }
+    std::size_t remaining() const { return left_; }
+
+    /** Absolute time of the next arrival; call only when !done(). */
+    double peekSec() const;
+
+    /** Consume and return the next arrival's absolute time. */
+    double next();
+
+    /** The whole arrival sequence, for tests and sweeps. */
+    static std::vector<double> arrivals(double rate_per_sec,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+  private:
+    double ratePerSec_;
+    std::size_t left_;
+    std::mt19937_64 rng_;
+    double nextSec_ = 0.0;
+
+    void advance();
+};
+
+/**
+ * Per-tick micro-batch sizing from queue depth + cost EWMAs.
+ *
+ * Policy: a queue at or above maxBatch means the server is saturated
+ * and throughput is all that matters — serve maxBatch. Below that,
+ * serve everything queued, except when the EWMA cost model predicts
+ * the batch's own service time would eat more than `budgetFraction`
+ * of the deadline, in which case the batch is capped so queued
+ * requests keep their SLO headroom.
+ */
+class AdaptiveBatcher
+{
+  public:
+    /**
+     * @param max_batch       upper bound on the micro-batch size
+     * @param deadline_sec    per-request SLO (0 disables the cap)
+     * @param alpha           EWMA smoothing factor in (0, 1]
+     * @param budget_fraction fraction of the deadline a single batch's
+     *                        service time may consume
+     */
+    AdaptiveBatcher(std::size_t max_batch, double deadline_sec,
+                    double alpha = 0.25, double budget_fraction = 0.5);
+
+    /** Batch size for a tick that sees @p queue_depth queued requests. */
+    std::size_t pick(std::size_t queue_depth) const;
+
+    /** Feed one served batch's modeled cost into the EWMAs. */
+    void observe(const BatchCost &cost);
+
+    bool calibrated() const { return observed_; }
+    double ewmaOverheadSec() const { return ewmaOverheadSec_; }
+    double ewmaExecPerRequestSec() const { return ewmaExecPerReqSec_; }
+    std::size_t maxBatch() const { return maxBatch_; }
+
+  private:
+    std::size_t maxBatch_;
+    double deadlineSec_;
+    double alpha_;
+    double budgetFraction_;
+    double ewmaOverheadSec_ = 0.0;
+    double ewmaExecPerReqSec_ = 0.0;
+    bool observed_ = false;
+};
+
+/** Knobs of one open-loop serving run. */
+struct OnlineConfig
+{
+    /** Session knobs; deadlineMs and maxBatch are read from here. */
+    ServingConfig serving;
+    /** Offered load in requests per simulated second. */
+    double arrivalRatePerSec = 2000.0;
+    /** Total arrivals in the run. */
+    std::size_t numRequests = 64;
+    /** Seed of the Poisson arrival process. */
+    std::uint64_t arrivalSeed = 0xa221;
+    /** Adaptive batch sizing; false selects wait-to-fill fixedBatch. */
+    bool adaptive = true;
+    /** Wait-to-fill batch size when !adaptive; 0 means maxBatch, and
+     *  larger values are clamped to maxBatch. */
+    std::size_t fixedBatch = 0;
+    /** EWMA smoothing factor of the adaptive batcher. */
+    double ewmaAlpha = 0.25;
+    /** Deadline fraction one batch's service time may consume. */
+    double deadlineBudgetFraction = 0.5;
+    /** Keep every request's output tensor (tests); default bounded. */
+    bool retainResults = false;
+};
+
+/** Arrival-aware metrics of one open-loop run. */
+struct OnlineReport : ServingReport
+{
+    /** Configured offered load. */
+    double offeredRatePerSec = 0.0;
+    /** Configured per-request deadline. */
+    double deadlineMs = 0.0;
+    /** Serving ticks == micro-batches issued (also in `batches`). */
+    std::size_t ticks = 0;
+    double meanBatchSize = 0.0;
+    std::size_t peakQueueDepth = 0;
+    /** Time of the last arrival (offered-load duration). */
+    double lastArrivalMs = 0.0;
+};
+
+/**
+ * Open-loop server: a LoadGenerator feeding a ServingSession in timed
+ * ticks on the simulated clock.
+ */
+class OnlineServer
+{
+  public:
+    OnlineServer(const graph::HeteroGraph &g, tensor::Tensor host_features,
+                 std::string model_source, OnlineConfig cfg,
+                 sim::Runtime &rt);
+
+    /** Serve all configured arrivals to completion. */
+    OnlineReport run();
+
+    ServingSession &session() { return session_; }
+    const AdaptiveBatcher &batcher() const { return batcher_; }
+    const OnlineConfig &config() const { return cfg_; }
+
+    /** Per-request arrival-relative latencies of the last run, ms. */
+    const std::vector<double> &latenciesMs() const { return latenciesMs_; }
+    /** Per-request queueing delays of the last run, ms. */
+    const std::vector<double> &queueDelaysMs() const
+    {
+        return queueDelaysMs_;
+    }
+    /** Per-tick micro-batch sizes of the last run. */
+    const std::vector<std::size_t> &batchSizes() const
+    {
+        return batchSizes_;
+    }
+
+  private:
+    OnlineConfig cfg_;
+    sim::Runtime &rt_;
+    ServingSession session_;
+    AdaptiveBatcher batcher_;
+
+    std::vector<double> latenciesMs_;
+    std::vector<double> queueDelaysMs_;
+    std::vector<std::size_t> batchSizes_;
+};
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_ONLINE_HH

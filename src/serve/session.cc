@@ -1,6 +1,7 @@
 #include "serve/session.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/frontend.hh"
@@ -9,6 +10,18 @@ namespace hector::serve
 {
 
 using tensor::Tensor;
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
 
 ServingSession::ServingSession(const graph::HeteroGraph &g,
                                Tensor host_features,
@@ -61,12 +74,15 @@ ServingSession::submit(graph::Minibatch mb, Tensor feature)
 ServingReport
 ServingSession::drain()
 {
-    ServingReport report;
-    report.cacheHits = cache_.stats().hits;
-    report.cacheMisses = cache_.stats().misses;
     lastLatenciesMs_.clear();
+    // An empty cycle has no makespan to divide by: report all-zero
+    // metrics (full SLO attainment, nothing served) and leave every
+    // piece of session state — retained results, cache statistics,
+    // transfer bookkeeping — untouched.
     if (queue_.empty())
-        return report;
+        return ServingReport{};
+
+    ServingReport report;
 
     // Results are retained for one cycle only; a long-lived session
     // would otherwise accumulate one output tensor per request served.
@@ -110,11 +126,18 @@ ServingSession::drain()
 
     std::size_t req_idx = 0;
     std::vector<double> latencies;
+    std::vector<double> queue_delays;
     latencies.reserve(queue_.size());
+    queue_delays.reserve(queue_.size());
     for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
         const double completion = pendingHostSec_ + completions[b];
-        for (std::size_t i = 0; i < batch_sizes[b]; ++i, ++req_idx)
-            latencies.push_back(completion - queue_[req_idx].submitSec);
+        const ScheduledBatch &sb = sched.batches()[b];
+        const double service = sb.overheadSec + sb.execSec;
+        for (std::size_t i = 0; i < batch_sizes[b]; ++i, ++req_idx) {
+            const double lat = completion - queue_[req_idx].submitSec;
+            latencies.push_back(lat);
+            queue_delays.push_back(std::max(0.0, lat - service));
+        }
     }
 
     report.requests = queue_.size();
@@ -138,9 +161,27 @@ ServingSession::drain()
         latencies.empty()
             ? 0.0
             : sum / static_cast<double>(latencies.size()) * 1e3;
-    report.p50LatencyMs =
-        sorted.empty() ? 0.0 : sorted[sorted.size() / 2] * 1e3;
+    report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
+    report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
+    report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
     report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+
+    double delay_sum = 0.0;
+    for (double d : queue_delays)
+        delay_sum += d;
+    report.meanQueueDelayMs =
+        queue_delays.empty()
+            ? 0.0
+            : delay_sum / static_cast<double>(queue_delays.size()) * 1e3;
+
+    if (cfg_.deadlineMs > 0.0 && !latencies.empty()) {
+        std::size_t met = 0;
+        for (double l : latencies)
+            if (l * 1e3 <= cfg_.deadlineMs)
+                ++met;
+        report.sloAttainment =
+            static_cast<double>(met) / static_cast<double>(latencies.size());
+    }
 
     for (double l : latencies)
         lastLatenciesMs_.push_back(l * 1e3);
@@ -152,6 +193,56 @@ ServingSession::drain()
     queue_.clear();
     pendingHostSec_ = 0.0;
     return report;
+}
+
+BatchCost
+ServingSession::serveOldest(std::size_t n, int stream)
+{
+    BatchCost cost;
+    n = std::min(n, queue_.size());
+    if (n == 0)
+        return cost;
+    cost.requests = n;
+
+    const auto plan = cache_.get(makePlanKey(
+        modelSource_, cfg_.din, cfg_.dout, cfg_.compile, g_));
+
+    rt_.setCurrentStream(stream);
+    const sim::StreamStats before =
+        rt_.streamStats()[static_cast<std::size_t>(stream)];
+    const double host_before = rt_.hostTimeMs() * 1e-3;
+    {
+        auto scope = rt_.memoryScope();
+        std::vector<const Request *> reqs;
+        reqs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            reqs.push_back(&queue_[i]);
+        MicroBatch batch = coalesce(reqs, rt_);
+        std::vector<Tensor> outs = executeBatch(*plan, batch, weights_, rt_);
+        tensor::TrackerScope untracked(nullptr);
+        for (std::size_t i = 0; i < n; ++i)
+            results_.insert_or_assign(queue_[i].id, outs[i].clone());
+    }
+    const sim::StreamStats &after =
+        rt_.streamStats()[static_cast<std::size_t>(stream)];
+    cost.execSec = after.execSec - before.execSec;
+    cost.overheadSec = (after.overheadSec - before.overheadSec) +
+                       (rt_.hostTimeMs() * 1e-3 - host_before);
+    rt_.setCurrentStream(0);
+
+    // Rebase the drain-cycle transfer bookkeeping: the served
+    // requests' transfer time (cumulative through the last of them)
+    // leaves this submit epoch with them, so a later drain() only
+    // charges the transfers of the requests it actually serves.
+    // submitSec is non-decreasing along the queue, so the remaining
+    // entries stay non-negative.
+    const double served_host_sec = queue_[n - 1].submitSec;
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    pendingHostSec_ = std::max(0.0, pendingHostSec_ - served_host_sec);
+    for (Request &r : queue_)
+        r.submitSec = std::max(0.0, r.submitSec - served_host_sec);
+    return cost;
 }
 
 const Tensor *

@@ -49,6 +49,12 @@ struct ServingConfig
     std::int64_t dout = 32;
     /** Seed for request sampling and weight initialization. */
     std::uint64_t seed = 0x5e12e;
+    /**
+     * Per-request deadline SLO in milliseconds, measured from arrival
+     * (online) or submission (drain cycles). 0 disables the SLO, in
+     * which case reports show full attainment.
+     */
+    double deadlineMs = 0.0;
 };
 
 /** One drain cycle's modeled serving metrics. */
@@ -61,7 +67,20 @@ struct ServingReport
     double throughputReqPerSec = 0.0;
     double meanLatencyMs = 0.0;
     double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
     double maxLatencyMs = 0.0;
+    /**
+     * Mean time a request spent waiting (arrival/submission to the
+     * start of its batch's device execution), excluding the batch's
+     * own service time.
+     */
+    double meanQueueDelayMs = 0.0;
+    /**
+     * Fraction of requests whose arrival-relative latency met the
+     * configured deadline SLO; 1 when no deadline is configured.
+     */
+    double sloAttainment = 1.0;
     /** Makespan divided by requests: the bench's headline metric. */
     double msPerRequest = 0.0;
     /** Cumulative plan-cache stats at the end of the cycle. */
@@ -69,6 +88,22 @@ struct ServingReport
     std::uint64_t cacheMisses = 0;
     /** Kernel launches issued during the cycle. */
     std::uint64_t launches = 0;
+};
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample; @p q in
+ * [0, 1]. Returns 0 on an empty sample.
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/** Modeled cost of one micro-batch served by serveOldest(). */
+struct BatchCost
+{
+    std::size_t requests = 0;
+    /** Host-serialized time: launch overheads + host-side work. */
+    double overheadSec = 0.0;
+    /** Device-side execution time of the batch's kernels. */
+    double execSec = 0.0;
 };
 
 class ServingSession
@@ -94,6 +129,20 @@ class ServingSession
 
     /** Serve every queued request; returns the cycle's metrics. */
     ServingReport drain();
+
+    /**
+     * Serve the min(n, queued()) oldest queued requests as ONE
+     * micro-batch issued to @p stream, retaining their results
+     * alongside any previous ones (use clearResults() to bound
+     * memory). Unlike drain(), no timeline is imposed: the caller owns
+     * the clock, which is how the online serving layer gates batches
+     * on request arrivals and stream availability. Returns the batch's
+     * modeled cost (zeroed when the queue is empty).
+     */
+    BatchCost serveOldest(std::size_t n, int stream = 0);
+
+    /** Drop all retained request results (bounded-memory serving). */
+    void clearResults() { results_.clear(); }
 
     /**
      * Output of a served request, [its subgraph nodes, dout]; nullptr

@@ -83,8 +83,13 @@ StreamScheduler::completionTimes() const
         times.push_back(b.completionSec);
         max_raw = std::max(max_raw, b.completionSec);
     }
-    if (max_raw > 0.0) {
-        const double stretch = makespanSec() / max_raw;
+    // All-empty batches (no kernels, no host work) leave both the raw
+    // completions and the makespan at 0; the uniform stretch would be
+    // 0/0, so it only applies when there is a real timeline to
+    // distribute the contention penalty over.
+    const double makespan = makespanSec();
+    if (max_raw > 0.0 && makespan > 0.0) {
+        const double stretch = makespan / max_raw;
         for (double &t : times)
             t *= stretch;
     }

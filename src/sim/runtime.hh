@@ -192,6 +192,28 @@ class Runtime
 
     /// @}
 
+    /// @name Monotone virtual clock (online serving).
+    ///
+    /// Open-loop serving advances this clock as simulated time passes
+    /// (request arrivals, batch completions). It is decoupled from the
+    /// launch counters: counters accumulate *work*, the clock tracks
+    /// *when* the simulation currently is.
+    /// @{
+
+    double nowSec() const { return nowSec_; }
+    double nowMs() const { return nowSec_ * 1e3; }
+
+    /** Advance the clock to @p t seconds; earlier times are ignored
+     *  (the clock never runs backward). */
+    void
+    advanceTo(double t)
+    {
+        if (t > nowSec_)
+            nowSec_ = t;
+    }
+
+    /// @}
+
     const Counters &counters() const { return counters_; }
     const std::vector<LaunchRecord> &records() const { return records_; }
 
@@ -207,6 +229,7 @@ class Runtime
         tracker_.resetStats();
         streams_.assign(streams_.size(), StreamStats{});
         currentStream_ = 0;
+        nowSec_ = 0.0;
     }
 
   private:
@@ -218,6 +241,7 @@ class Runtime
     int currentStream_ = 0;
     double totalTimeSec_ = 0.0;
     double hostTimeSec_ = 0.0;
+    double nowSec_ = 0.0;
     bool recordLaunches_ = false;
 };
 

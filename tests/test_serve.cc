@@ -12,6 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+
 #include "core/frontend.hh"
 #include "graph/datasets.hh"
 #include "models/model_sources.hh"
@@ -154,6 +159,98 @@ TEST(PlanCache, CachedPlanOutputBitIdenticalToFreshCompile)
         << "cache hit must be bit-identical to a fresh compile";
 }
 
+TEST(PlanCache, DistinctModelDimsOptionsNeverCollide)
+{
+    graph::HeteroGraph g = servingGraph();
+    serve::PlanCache cache;
+
+    core::CompileOptions plain;
+    core::CompileOptions compact;
+    compact.compactMaterialization = true;
+    core::CompileOptions reorder;
+    reorder.linearReorder = true;
+
+    const std::vector<const char *> sources = {
+        models::kRgcnSource, models::kRgatSource, models::kHgtSource};
+    const std::vector<std::pair<std::int64_t, std::int64_t>> dims = {
+        {8, 8}, {8, 16}, {16, 8}};
+    const std::vector<core::CompileOptions> options = {plain, compact,
+                                                       reorder};
+
+    std::set<const core::CompiledModel *> plans;
+    std::size_t keys = 0;
+    for (const char *src : sources)
+        for (const auto &[din, dout] : dims)
+            for (const auto &opt : options) {
+                plans.insert(
+                    cache.get(serve::makePlanKey(src, din, dout, opt, g))
+                        .get());
+                ++keys;
+            }
+
+    EXPECT_EQ(cache.stats().misses, keys) << "every key must be distinct";
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), keys);
+    EXPECT_EQ(plans.size(), keys)
+        << "distinct keys must never share a plan object";
+}
+
+TEST(PlanCache, HitMissCountersExactAcrossRepeatedDrains)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 71);
+    sim::Runtime rt;
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    serve::ServingSession session(g, host, models::kRgcnSource, cfg, rt);
+
+    // Each drain cycle performs exactly one cache lookup: the first
+    // misses (compiles), every later one hits.
+    for (std::uint64_t cycle = 1; cycle <= 5; ++cycle) {
+        session.submit();
+        session.submit();
+        session.drain();
+        EXPECT_EQ(session.planCache().stats().misses, 1u)
+            << "cycle " << cycle;
+        EXPECT_EQ(session.planCache().stats().hits, cycle - 1)
+            << "cycle " << cycle;
+    }
+}
+
+TEST(PlanCache, EvictionFreeInvariant)
+{
+    // The cache is eviction-free by design: size() is monotone
+    // non-decreasing, and a key's plan pointer stays valid and
+    // identical for the cache's whole lifetime (bounded-memory
+    // eviction is the ROADMAP's multi-plan item, not this layer).
+    graph::HeteroGraph g = servingGraph();
+    serve::PlanCache cache;
+    core::CompileOptions opts;
+
+    std::vector<serve::PlanKey> keys;
+    std::vector<const core::CompiledModel *> first_ptr;
+    for (const char *src :
+         {models::kRgcnSource, models::kRgatSource, models::kHgtSource}) {
+        keys.push_back(serve::makePlanKey(src, 8, 8, opts, g));
+        first_ptr.push_back(cache.get(keys.back()).get());
+        EXPECT_EQ(cache.size(), keys.size());
+    }
+
+    for (int round = 0; round < 3; ++round)
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            EXPECT_EQ(cache.get(keys[i]).get(), first_ptr[i])
+                << "plan " << i << " must survive unreplaced";
+            EXPECT_EQ(cache.size(), keys.size())
+                << "re-getting must never evict";
+        }
+    EXPECT_EQ(cache.stats().misses, keys.size());
+    EXPECT_EQ(cache.stats().hits, 3u * keys.size());
+}
+
 TEST(PlanCache, DistinctKeysCompileSeparately)
 {
     graph::HeteroGraph g = servingGraph();
@@ -226,6 +323,125 @@ INSTANTIATE_TEST_SUITE_P(Models, MicroBatchModels,
                          testing::Values(models::kRgcnSource,
                                          models::kRgatSource,
                                          models::kHgtSource));
+
+TEST(MicroBatch, ResultsInvariantUnderQueuePermutation)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 23);
+    core::CompileOptions opts;
+    serve::PlanCache cache;
+    auto plan =
+        cache.get(serve::makePlanKey(models::kRgcnSource, 8, 8, opts, g));
+    std::mt19937_64 wrng(9);
+    models::WeightMap weights = models::initWeights(
+        core::parseModel(models::kRgcnSource, 8, 8), g, wrng);
+
+    sim::Runtime rt_prep;
+    std::vector<serve::Request> reqs = makeRequests(g, host, 5, rt_prep);
+
+    // Serve the same five requests in several queue orders; each
+    // request's output must be bit-identical no matter where in the
+    // union it landed.
+    const std::vector<std::vector<std::size_t>> orders = {
+        {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}};
+    std::vector<std::vector<Tensor>> outs_by_req(reqs.size());
+    for (const auto &order : orders) {
+        std::vector<const serve::Request *> ptrs;
+        for (std::size_t idx : order)
+            ptrs.push_back(&reqs[idx]);
+        sim::Runtime rt;
+        auto scope = rt.memoryScope();
+        serve::MicroBatch batch = serve::coalesce(ptrs, rt);
+        std::vector<Tensor> outs =
+            serve::executeBatch(*plan, batch, weights, rt);
+        tensor::TrackerScope untracked(nullptr);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            outs_by_req[order[i]].push_back(outs[i].clone());
+    }
+    for (std::size_t r = 0; r < reqs.size(); ++r) {
+        ASSERT_EQ(outs_by_req[r].size(), orders.size());
+        for (std::size_t o = 1; o < orders.size(); ++o)
+            EXPECT_EQ(tensor::maxAbsDiff(outs_by_req[r][0],
+                                         outs_by_req[r][o]),
+                      0.0f)
+                << "request " << r << " diverges under permutation " << o;
+    }
+}
+
+TEST(MicroBatch, SingleRequestBatchMatchesStandalone)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 24);
+    core::CompileOptions opts;
+    serve::PlanCache cache;
+    auto plan =
+        cache.get(serve::makePlanKey(models::kRgatSource, 8, 8, opts, g));
+    std::mt19937_64 wrng(10);
+    models::WeightMap weights = models::initWeights(
+        core::parseModel(models::kRgatSource, 8, 8), g, wrng);
+
+    sim::Runtime rt_prep;
+    std::vector<serve::Request> reqs = makeRequests(g, host, 3, rt_prep);
+    for (const serve::Request &r : reqs) {
+        sim::Runtime rt;
+        std::vector<Tensor> outs;
+        {
+            auto scope = rt.memoryScope();
+            serve::MicroBatch batch = serve::coalesce({&r}, rt);
+            outs = serve::executeBatch(*plan, batch, weights, rt);
+        }
+        ASSERT_EQ(outs.size(), 1u);
+        sim::Runtime rt_alone;
+        const Tensor alone = runAlone(*plan, r, weights, rt_alone);
+        ASSERT_EQ(outs[0].shape(), alone.shape());
+        EXPECT_EQ(tensor::maxAbsDiff(outs[0], alone), 0.0f)
+            << "a batch of one must equal standalone execution";
+    }
+}
+
+TEST(ServingSession, MaxBatchVariantsServeIdenticalResults)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 25);
+    const std::size_t n_requests = 8;
+
+    // maxBatch 1 (unbatched), 7 (ragged tail), 4 (exact multiple),
+    // and 64 (one batch larger than the queue) must all produce
+    // bit-identical per-request outputs and the right batch counts.
+    const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+        {1, 8}, {7, 2}, {4, 2}, {64, 1}};
+    std::vector<std::vector<Tensor>> outs_by_case;
+    for (const auto &[max_batch, want_batches] : cases) {
+        sim::Runtime rt;
+        serve::ServingConfig cfg;
+        cfg.maxBatch = max_batch;
+        cfg.din = 8;
+        cfg.dout = 8;
+        cfg.sample.numSeeds = 16;
+        cfg.sample.fanout = 4;
+        cfg.seed = 555; // identical request stream per case
+        serve::ServingSession session(g, host, models::kRgcnSource, cfg,
+                                      rt);
+        std::vector<std::uint64_t> ids;
+        for (std::size_t i = 0; i < n_requests; ++i)
+            ids.push_back(session.submit());
+        const serve::ServingReport rep = session.drain();
+        EXPECT_EQ(rep.requests, n_requests);
+        EXPECT_EQ(rep.batches, want_batches)
+            << "maxBatch " << max_batch;
+        std::vector<Tensor> outs;
+        for (std::uint64_t id : ids)
+            outs.push_back(session.result(id)->clone());
+        outs_by_case.push_back(std::move(outs));
+    }
+    for (std::size_t c = 1; c < cases.size(); ++c)
+        for (std::size_t r = 0; r < n_requests; ++r)
+            EXPECT_EQ(tensor::maxAbsDiff(outs_by_case[0][r],
+                                         outs_by_case[c][r]),
+                      0.0f)
+                << "request " << r << " diverges at maxBatch "
+                << cases[c].first;
+}
 
 TEST(MicroBatch, FewerLaunchesAndLowerModeledTimeThanSequential)
 {
@@ -338,7 +554,211 @@ TEST(StreamScheduler, ModeledTimeMonotonicallyNonIncreasingInStreams)
     }
 }
 
+TEST(StreamScheduler, CompletionTimesGuardedForEmptyAndZeroWork)
+{
+    sim::Runtime rt;
+    serve::StreamScheduler sched(rt, 2);
+
+    // No batches at all: empty, zero makespan, no division anywhere.
+    EXPECT_TRUE(sched.completionTimes().empty());
+    EXPECT_EQ(sched.makespanSec(), 0.0);
+
+    // All-empty batches (no kernels, no host work): the raw timeline
+    // and the makespan are both 0, so the uniform stretch must be
+    // skipped rather than computing 0/0.
+    for (int i = 0; i < 3; ++i)
+        sched.run([]() {});
+    EXPECT_EQ(sched.makespanSec(), 0.0);
+    const std::vector<double> times = sched.completionTimes();
+    ASSERT_EQ(times.size(), 3u);
+    for (double t : times) {
+        EXPECT_TRUE(std::isfinite(t)) << "stretch must not produce NaN";
+        EXPECT_EQ(t, 0.0);
+    }
+}
+
 // ---------------------------------------------------------------- session
+
+TEST(ServingSession, EmptyDrainReturnsZeroedReport)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 42);
+    sim::Runtime rt;
+    serve::ServingConfig cfg;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    serve::ServingSession session(g, host, models::kRgcnSource, cfg, rt);
+
+    // Draining an empty queue has no makespan to divide by: every
+    // metric must come back zeroed and finite, not NaN/inf.
+    const serve::ServingReport rep = session.drain();
+    EXPECT_EQ(rep.requests, 0u);
+    EXPECT_EQ(rep.batches, 0u);
+    EXPECT_EQ(rep.makespanMs, 0.0);
+    EXPECT_EQ(rep.throughputReqPerSec, 0.0);
+    EXPECT_EQ(rep.msPerRequest, 0.0);
+    EXPECT_EQ(rep.meanLatencyMs, 0.0);
+    EXPECT_EQ(rep.p50LatencyMs, 0.0);
+    EXPECT_EQ(rep.p99LatencyMs, 0.0);
+    EXPECT_EQ(rep.meanQueueDelayMs, 0.0);
+    EXPECT_EQ(rep.sloAttainment, 1.0);
+    EXPECT_EQ(rep.launches, 0u);
+    EXPECT_TRUE(std::isfinite(rep.throughputReqPerSec));
+    EXPECT_TRUE(std::isfinite(rep.msPerRequest));
+    EXPECT_TRUE(session.lastLatenciesMs().empty());
+
+    // An empty drain leaves retained results untouched and the
+    // session fully serviceable.
+    const std::uint64_t id = session.submit();
+    const serve::ServingReport rep2 = session.drain();
+    EXPECT_EQ(rep2.requests, 1u);
+    ASSERT_NE(session.result(id), nullptr);
+    const serve::ServingReport rep3 = session.drain(); // empty again
+    EXPECT_EQ(rep3.requests, 0u);
+    EXPECT_NE(session.result(id), nullptr)
+        << "an empty drain must not drop retained results";
+}
+
+TEST(ServingSession, DrainReportsArrivalAwarePercentilesAndSlo)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 43);
+    sim::Runtime rt;
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.numStreams = 2;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    serve::ServingSession session(g, host, models::kRgcnSource, cfg, rt);
+    for (int i = 0; i < 12; ++i)
+        session.submit();
+    const serve::ServingReport rep = session.drain();
+
+    EXPECT_LE(rep.p50LatencyMs, rep.p95LatencyMs);
+    EXPECT_LE(rep.p95LatencyMs, rep.p99LatencyMs);
+    EXPECT_LE(rep.p99LatencyMs, rep.maxLatencyMs);
+    EXPECT_GT(rep.p95LatencyMs, 0.0);
+    EXPECT_GE(rep.meanQueueDelayMs, 0.0);
+    EXPECT_LT(rep.meanQueueDelayMs, rep.maxLatencyMs);
+    // No deadline configured: full attainment by definition.
+    EXPECT_EQ(rep.sloAttainment, 1.0);
+
+    // An impossible deadline yields zero attainment; a generous one
+    // restores full attainment.
+    serve::ServingConfig tight = cfg;
+    tight.deadlineMs = 1e-12;
+    sim::Runtime rt2;
+    serve::ServingSession strict(g, host, models::kRgcnSource, tight,
+                                 rt2);
+    for (int i = 0; i < 6; ++i)
+        strict.submit();
+    EXPECT_EQ(strict.drain().sloAttainment, 0.0);
+
+    serve::ServingConfig loose = cfg;
+    loose.deadlineMs = 1e9;
+    sim::Runtime rt3;
+    serve::ServingSession relaxed(g, host, models::kRgcnSource, loose,
+                                  rt3);
+    for (int i = 0; i < 6; ++i)
+        relaxed.submit();
+    EXPECT_EQ(relaxed.drain().sloAttainment, 1.0);
+}
+
+TEST(ServingSession, ServeOldestMatchesDrainResultsIncrementally)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 44);
+
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    cfg.seed = 888;
+
+    // Incremental serveOldest (3 + 2 + 1) against one closed drain of
+    // the identical request stream.
+    sim::Runtime rt_inc;
+    serve::ServingSession inc(g, host, models::kRgcnSource, cfg, rt_inc);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(inc.submit());
+    serve::BatchCost c1 = inc.serveOldest(3);
+    serve::BatchCost c2 = inc.serveOldest(2);
+    serve::BatchCost c3 = inc.serveOldest(1);
+    EXPECT_EQ(c1.requests, 3u);
+    EXPECT_EQ(c2.requests, 2u);
+    EXPECT_EQ(c3.requests, 1u);
+    EXPECT_GT(c1.execSec, 0.0);
+    EXPECT_GT(c1.overheadSec, 0.0);
+    EXPECT_EQ(inc.queued(), 0u);
+    EXPECT_EQ(inc.serveOldest(4).requests, 0u) << "empty queue: zeroed";
+
+    sim::Runtime rt_drain;
+    serve::ServingSession closed(g, host, models::kRgcnSource, cfg,
+                                 rt_drain);
+    for (int i = 0; i < 6; ++i)
+        closed.submit();
+    closed.drain();
+
+    for (std::uint64_t id : ids) {
+        const Tensor *a = inc.result(id);
+        const Tensor *b = closed.result(id);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(tensor::maxAbsDiff(*a, *b), 0.0f)
+            << "request " << id << " diverges incremental vs drain";
+    }
+}
+
+TEST(ServingSession, ServeOldestRebasesDrainTransferAccounting)
+{
+    graph::HeteroGraph g = servingGraph();
+    const Tensor host = hostFeatures(g, 8, 45);
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 16;
+    cfg.sample.fanout = 4;
+    cfg.seed = 999;
+
+    // Serving part of the queue incrementally must take the served
+    // requests' transfer time out of the next drain cycle: a drain of
+    // requests {c, d} reports the identical timeline whether {a, b}
+    // were first served from the same queue or in a separate cycle.
+    sim::Runtime rt1;
+    serve::ServingSession separate(g, host, models::kRgcnSource, cfg,
+                                   rt1);
+    separate.submit(); // a
+    separate.submit(); // b
+    separate.serveOldest(2);
+    separate.submit(); // c
+    separate.submit(); // d
+    const serve::ServingReport rep1 = separate.drain();
+
+    sim::Runtime rt2;
+    serve::ServingSession mixed(g, host, models::kRgcnSource, cfg, rt2);
+    for (int i = 0; i < 4; ++i)
+        mixed.submit(); // a, b, c, d
+    mixed.serveOldest(2);
+    const serve::ServingReport rep2 = mixed.drain();
+
+    EXPECT_DOUBLE_EQ(rep1.makespanMs, rep2.makespanMs)
+        << "a later drain must not be charged served requests' "
+           "transfers";
+    EXPECT_DOUBLE_EQ(rep1.meanLatencyMs, rep2.meanLatencyMs);
+    ASSERT_EQ(separate.lastLatenciesMs().size(),
+              mixed.lastLatenciesMs().size());
+    for (std::size_t i = 0; i < mixed.lastLatenciesMs().size(); ++i)
+        EXPECT_DOUBLE_EQ(separate.lastLatenciesMs()[i],
+                         mixed.lastLatenciesMs()[i]);
+}
 
 TEST(ServingSession, ReportAndResultsAreConsistent)
 {
