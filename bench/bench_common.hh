@@ -23,12 +23,28 @@
 #include "baselines/baseline.hh"
 #include "graph/compaction.hh"
 #include "graph/datasets.hh"
+#include "models/model_sources.hh"
 #include "models/models.hh"
 #include "models/reference.hh"
 #include "sim/runtime.hh"
 
 namespace hector::bench
 {
+
+/** Textual DSL source of one evaluated model. */
+inline const char *
+modelSource(models::ModelKind m)
+{
+    switch (m) {
+      case models::ModelKind::Rgcn:
+        return models::kRgcnSource;
+      case models::ModelKind::Rgat:
+        return models::kRgatSource;
+      case models::ModelKind::Hgt:
+        return models::kHgtSource;
+    }
+    return models::kRgcnSource;
+}
 
 /** Dataset order used by the paper's figures. */
 inline const std::vector<std::string> kDatasets = {

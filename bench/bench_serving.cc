@@ -23,20 +23,6 @@ using namespace hector::bench;
 namespace
 {
 
-const char *
-modelSource(models::ModelKind m)
-{
-    switch (m) {
-      case models::ModelKind::Rgcn:
-        return models::kRgcnSource;
-      case models::ModelKind::Rgat:
-        return models::kRgatSource;
-      case models::ModelKind::Hgt:
-        return models::kHgtSource;
-    }
-    return models::kRgcnSource;
-}
-
 struct Config
 {
     std::size_t batch;

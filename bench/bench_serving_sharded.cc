@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Multi-device sharded-serving benchmark: modeled throughput of a
+ * ShardedSession across 1/2/4 simulated devices, with the edge-cut and
+ * interconnect traffic the partition induces.
+ *
+ * Not a paper figure — this extends the reproduction toward the
+ * production-serving north star. The sweep quantifies the scaling
+ * tradeoff the interconnect model encodes: more devices divide the
+ * per-device compute and driver overhead, while the cut ratio fixes
+ * how many halo rows must cross links before any kernel may start
+ * (the spread-out-compute cost the SG2042 characterization in
+ * PAPERS.md observes). Per-request outputs are bit-identical across
+ * every device count — verified here request by request, not assumed.
+ * Prints the usual fixed-width table plus one JSON record per
+ * configuration.
+ */
+
+#include "bench_common.hh"
+
+#include <cstring>
+
+#include "models/model_sources.hh"
+#include "serve/sharded.hh"
+#include "sim/device_group.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    const std::string dataset = []() {
+        if (const char *env = std::getenv("HECTOR_SERVE_DATASET"))
+            return std::string(env);
+        return std::string("bgs");
+    }();
+    const int requests = 64;
+    const std::vector<int> device_counts = {1, 2, 4};
+
+    std::printf("== Sharded serving: modeled throughput vs device count "
+                "==\n");
+    std::printf("dataset=%s, dim=%lld, scale=1/%.0f, %d requests of 16 "
+                "seeds x fanout 4, batch 8, 2 streams/device\n\n",
+                dataset.c_str(), static_cast<long long>(dim), 1.0 / scale,
+                requests);
+
+    BenchGraph bg = loadGraph(dataset, scale);
+    std::mt19937_64 frng(4242);
+    tensor::Tensor host_features =
+        tensor::Tensor::uniform({bg.g.numNodes(), dim}, frng, 0.5f);
+
+    // Captured for the explicit acceptance line.
+    double rgat_speedup4 = 0.0;
+    bool rgat_bit_identical = true;
+
+    for (models::ModelKind m : kModels) {
+        std::printf("-- %s sharded serving --\n", models::toString(m));
+        printRow({"devices", "cut-ratio", "halo-MB", "ic-ms", "ms/req",
+                  "req/s", "p95-ms", "speedup"});
+
+        double baseline_ms_per_req = 0.0;
+        std::vector<tensor::Tensor> baseline_outs;
+        for (int devices : device_counts) {
+            // Link latency scales with the dataset like every other
+            // overhead (DeviceSpec::overheadScale), so the modeled
+            // latency-to-payload ratio matches a full-size run.
+            sim::InterconnectSpec ic;
+            ic.overheadScale = scale;
+            sim::DeviceGroup group(devices, sim::makeScaledSpec(scale),
+                                   ic);
+            serve::ShardedConfig cfg;
+            cfg.serving.maxBatch = 8;
+            cfg.serving.numStreams = 2;
+            cfg.serving.din = dim;
+            cfg.serving.dout = dim;
+            cfg.serving.sample.numSeeds = 16;
+            cfg.serving.sample.fanout = 4;
+            cfg.serving.seed = 1337; // identical stream per config
+            serve::ShardedSession session(bg.g, host_features,
+                                          modelSource(m), cfg, group);
+            std::vector<std::uint64_t> ids;
+            for (int i = 0; i < requests; ++i)
+                ids.push_back(session.submit());
+            const serve::ShardedReport rep = session.drain();
+
+            // Per-request outputs must match the 1-device run bitwise.
+            bool identical = true;
+            std::vector<tensor::Tensor> outs;
+            outs.reserve(ids.size());
+            for (std::uint64_t id : ids)
+                outs.push_back(session.result(id)->clone());
+            if (devices == 1) {
+                baseline_outs = std::move(outs);
+            } else {
+                for (std::size_t i = 0; i < ids.size(); ++i)
+                    if (baseline_outs[i].numel() != outs[i].numel() ||
+                        std::memcmp(baseline_outs[i].data(),
+                                    outs[i].data(),
+                                    outs[i].numel() * sizeof(float)) != 0)
+                        identical = false;
+            }
+
+            const double ms_per_req = rep.msPerRequest / scale;
+            const double p95 = rep.p95LatencyMs / scale;
+            const double rps = rep.throughputReqPerSec * scale;
+            if (devices == 1)
+                baseline_ms_per_req = ms_per_req;
+            const double speedup =
+                ms_per_req > 0.0 ? baseline_ms_per_req / ms_per_req : 0.0;
+            if (m == models::ModelKind::Rgat && devices == 4) {
+                rgat_speedup4 = speedup;
+                rgat_bit_identical = identical;
+            }
+
+            char b1[32], b2[32], b3[32], b4[32], b5[32], b6[32], b7[32],
+                b8[32];
+            std::snprintf(b1, sizeof(b1), "%d", devices);
+            std::snprintf(b2, sizeof(b2), "%.4f", rep.cutRatio);
+            std::snprintf(b3, sizeof(b3), "%.4f",
+                          rep.haloBytes / 1.0e6);
+            std::snprintf(b4, sizeof(b4), "%.4f", rep.interconnectMs);
+            std::snprintf(b5, sizeof(b5), "%.4f", ms_per_req);
+            std::snprintf(b6, sizeof(b6), "%.1f", rps);
+            std::snprintf(b7, sizeof(b7), "%.4f", p95);
+            std::snprintf(b8, sizeof(b8), "%.2fx", speedup);
+            printRow({b1, b2, b3, b4, b5, b6, b7, b8});
+
+            std::printf(
+                "JSON {\"bench\":\"serving_sharded\",\"dataset\":\"%s\","
+                "\"model\":\"%s\",\"devices\":%d,\"requests\":%d,"
+                "\"cut_ratio\":%.6f,\"halo_bytes\":%.0f,"
+                "\"gather_bytes\":%.0f,\"interconnect_ms\":%.6f,"
+                "\"ms_per_request\":%.6f,\"throughput_rps\":%.3f,"
+                "\"p95_latency_ms\":%.6f,\"speedup_vs_1dev\":%.3f,"
+                "\"bit_identical\":%s}\n",
+                dataset.c_str(), models::toString(m), devices, requests,
+                rep.cutRatio, rep.haloBytes, rep.gatherBytes,
+                rep.interconnectMs, ms_per_req, rps, p95, speedup,
+                identical ? "true" : "false");
+        }
+        std::printf("\n");
+    }
+
+    // The acceptance comparison, stated explicitly.
+    std::printf("RGAT 4 devices vs 1 device: %.2fx modeled throughput, "
+                "outputs %s -> %s\n",
+                rgat_speedup4,
+                rgat_bit_identical ? "bit-identical" : "DIVERGED",
+                (rgat_speedup4 >= 1.7 && rgat_bit_identical)
+                    ? "OK"
+                    : "REGRESSION");
+    return (rgat_speedup4 >= 1.7 && rgat_bit_identical) ? 0 : 1;
+}

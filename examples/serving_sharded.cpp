@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-device sharded serving walkthrough.
+ *
+ * Cuts a host graph into four shards with the deterministic edge-cut
+ * partitioner, stands up a ShardedSession over a 4-device group, and
+ * serves one micro-batched drain cycle — then serves the identical
+ * request stream on one device and verifies, output by output, that
+ * sharding changed the timeline but not a single bit of any result.
+ *
+ *   ./example_serving_sharded
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "graph/datasets.hh"
+#include "models/model_sources.hh"
+#include "serve/sharded.hh"
+#include "sim/device_group.hh"
+
+using namespace hector;
+
+int
+main()
+{
+    const double scale = 1.0 / 64.0;
+    const std::int64_t dim = 32;
+    const int requests = 24;
+
+    graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("bgs"), scale);
+    std::mt19937_64 frng(7);
+    tensor::Tensor features =
+        tensor::Tensor::uniform({g.numNodes(), dim}, frng, 0.5f);
+
+    serve::ShardedConfig cfg;
+    cfg.serving.maxBatch = 4;
+    cfg.serving.numStreams = 2;
+    cfg.serving.din = dim;
+    cfg.serving.dout = dim;
+    cfg.serving.sample.numSeeds = 12;
+    cfg.serving.sample.fanout = 4;
+    cfg.serving.seed = 2024;
+
+    sim::InterconnectSpec ic;
+    ic.overheadScale = scale;
+
+    auto serve_on = [&](int devices) {
+        sim::DeviceGroup group(devices, sim::makeScaledSpec(scale), ic);
+        serve::ShardedSession session(g, features, models::kRgatSource,
+                                      cfg, group);
+        if (devices > 1) {
+            const graph::Partition &p = session.partition();
+            std::printf("partition: %d shards, cut %lld/%lld edges "
+                        "(%.1f%%), shard sizes",
+                        devices, static_cast<long long>(p.cutEdges),
+                        static_cast<long long>(p.totalEdges),
+                        100.0 * p.cutRatio());
+            for (std::int64_t s : p.shardSizes)
+                std::printf(" %lld", static_cast<long long>(s));
+            std::printf("\n");
+        }
+        for (int i = 0; i < requests; ++i)
+            session.submit();
+        const serve::ShardedReport rep = session.drain();
+        std::printf("%d device(s): %zu requests in %zu batches, "
+                    "makespan %.4f ms, %.0f req/s, halo %.1f KB, "
+                    "interconnect busy %.4f ms\n",
+                    devices, rep.requests, rep.batches, rep.makespanMs,
+                    rep.throughputReqPerSec, rep.haloBytes / 1e3,
+                    rep.interconnectMs);
+        std::vector<tensor::Tensor> outs;
+        for (std::uint64_t id = 1;
+             id <= static_cast<std::uint64_t>(requests); ++id)
+            outs.push_back(session.result(id)->clone());
+        return outs;
+    };
+
+    std::printf("== sharded serving: RGAT on bgs (1/%.0f scale) ==\n\n",
+                1.0 / scale);
+    const std::vector<tensor::Tensor> one = serve_on(1);
+    const std::vector<tensor::Tensor> four = serve_on(4);
+
+    std::size_t mismatched = 0;
+    for (int i = 0; i < requests; ++i)
+        if (one[static_cast<std::size_t>(i)].numel() !=
+                four[static_cast<std::size_t>(i)].numel() ||
+            std::memcmp(one[static_cast<std::size_t>(i)].data(),
+                        four[static_cast<std::size_t>(i)].data(),
+                        one[static_cast<std::size_t>(i)].numel() *
+                            sizeof(float)) != 0)
+            ++mismatched;
+
+    std::printf("\nper-request outputs, 4 devices vs 1: %s\n",
+                mismatched == 0
+                    ? "bit-identical (sharding is invisible to results)"
+                    : "MISMATCH");
+    return mismatched == 0 ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hector::graph
+{
+
+namespace
+{
+
+/**
+ * Seeded Fisher-Yates over @p v using the raw mt19937_64 stream (no
+ * std::shuffle / std::uniform_int_distribution, whose outputs differ
+ * across standard libraries). Modulo bias is irrelevant here: the
+ * order only has to be *some* fixed pseudo-random order.
+ */
+void
+shuffleStable(std::vector<std::int64_t> &v, std::mt19937_64 &rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i)
+        std::swap(v[i - 1], v[rng() % i]);
+}
+
+} // namespace
+
+Partition
+partitionGraph(const HeteroGraph &g, const PartitionSpec &spec)
+{
+    if (spec.numShards < 1)
+        throw std::runtime_error("partitionGraph: need >= 1 shard");
+    if (spec.balanceTolerance < 0.0)
+        throw std::runtime_error(
+            "partitionGraph: negative balance tolerance");
+
+    const std::size_t n = static_cast<std::size_t>(g.numNodes());
+    const std::size_t k = static_cast<std::size_t>(spec.numShards);
+
+    Partition p;
+    p.numShards = spec.numShards;
+    p.totalEdges = g.numEdges();
+    p.shardOf.assign(n, -1);
+    p.shardSizes.assign(k, 0);
+    p.sizesByType.assign(static_cast<std::size_t>(g.numNodeTypes()),
+                         std::vector<std::int64_t>(k, 0));
+
+    if (spec.numShards == 1) {
+        std::fill(p.shardOf.begin(), p.shardOf.end(), 0);
+        p.shardSizes[0] = g.numNodes();
+        for (int t = 0; t < g.numNodeTypes(); ++t)
+            p.sizesByType[static_cast<std::size_t>(t)][0] =
+                g.ntypePtr()[static_cast<std::size_t>(t) + 1] -
+                g.ntypePtr()[static_cast<std::size_t>(t)];
+        p.cutEdges = 0;
+        return p;
+    }
+
+    // Undirected adjacency (CSR) over both edge directions: the greedy
+    // score counts every already placed neighbor regardless of the
+    // edge's orientation, since either direction becomes a halo row
+    // when cut.
+    std::vector<std::int64_t> deg(n, 0);
+    const auto src = g.src();
+    const auto dst = g.dst();
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        ++deg[static_cast<std::size_t>(src[static_cast<std::size_t>(e)])];
+        ++deg[static_cast<std::size_t>(dst[static_cast<std::size_t>(e)])];
+    }
+    std::vector<std::int64_t> adj_ptr(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        adj_ptr[v + 1] = adj_ptr[v] + deg[v];
+    std::vector<std::int64_t> adj(
+        static_cast<std::size_t>(adj_ptr[n]));
+    std::vector<std::int64_t> fill = adj_ptr;
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        const std::int64_t u = src[static_cast<std::size_t>(e)];
+        const std::int64_t v = dst[static_cast<std::size_t>(e)];
+        adj[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)]++)] =
+            v;
+        adj[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)]++)] =
+            u;
+    }
+
+    // LDG scoring needs a fractional fill discount; to stay bit-stable
+    // we compare integer cross-products instead of floating scores:
+    //   score(s) = placed_neighbors(s) * (cap_t - load_t(s))
+    // which orders shards exactly like the textbook
+    // placed * (1 - load/cap) for a fixed type capacity cap_t.
+    std::vector<std::int64_t> placed_in(k, 0);
+
+    std::mt19937_64 rng(spec.seed);
+    for (int t = 0; t < g.numNodeTypes(); ++t) {
+        const std::int64_t lo = g.ntypePtr()[static_cast<std::size_t>(t)];
+        const std::int64_t hi =
+            g.ntypePtr()[static_cast<std::size_t>(t) + 1];
+        const std::int64_t count = hi - lo;
+        if (count == 0)
+            continue;
+        // Even-split need, inflated by the tolerance but never below
+        // the ceiling an even split requires (feasibility).
+        const std::int64_t even =
+            (count + spec.numShards - 1) / spec.numShards;
+        const std::int64_t cap = std::max(
+            even, static_cast<std::int64_t>(
+                      static_cast<double>(count) /
+                      static_cast<double>(spec.numShards) *
+                      (1.0 + spec.balanceTolerance)));
+
+        std::vector<std::int64_t> order;
+        order.reserve(static_cast<std::size_t>(count));
+        for (std::int64_t v = lo; v < hi; ++v)
+            order.push_back(v);
+        shuffleStable(order, rng);
+
+        auto &type_load = p.sizesByType[static_cast<std::size_t>(t)];
+        for (std::int64_t v : order) {
+            // Count already placed neighbors per shard.
+            std::fill(placed_in.begin(), placed_in.end(), 0);
+            for (std::int64_t i = adj_ptr[static_cast<std::size_t>(v)];
+                 i < adj_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+                const std::int32_t s =
+                    p.shardOf[static_cast<std::size_t>(
+                        adj[static_cast<std::size_t>(i)])];
+                if (s >= 0)
+                    ++placed_in[static_cast<std::size_t>(s)];
+            }
+            int best = -1;
+            std::int64_t best_score = -1;
+            for (std::size_t s = 0; s < k; ++s) {
+                const std::int64_t headroom = cap - type_load[s];
+                if (headroom <= 0)
+                    continue; // shard full for this type
+                const std::int64_t score = placed_in[s] * headroom;
+                // Ties (including the all-zero cold start) go to the
+                // emptier shard, then the lower id — both deterministic.
+                if (score > best_score ||
+                    (score == best_score && best >= 0 &&
+                     type_load[s] <
+                         type_load[static_cast<std::size_t>(best)])) {
+                    best = static_cast<int>(s);
+                    best_score = score;
+                }
+            }
+            if (best < 0)
+                throw std::runtime_error(
+                    "partitionGraph: no shard has headroom (internal)");
+            p.shardOf[static_cast<std::size_t>(v)] =
+                static_cast<std::int32_t>(best);
+            ++type_load[static_cast<std::size_t>(best)];
+            ++p.shardSizes[static_cast<std::size_t>(best)];
+        }
+    }
+
+    p.cutEdges = countCutEdges(g, p.shardOf);
+    return p;
+}
+
+std::int64_t
+countCutEdges(const HeteroGraph &g,
+              const std::vector<std::int32_t> &shard_of)
+{
+    if (shard_of.size() != static_cast<std::size_t>(g.numNodes()))
+        throw std::runtime_error("countCutEdges: shardOf size mismatch");
+    std::int64_t cut = 0;
+    const auto src = g.src();
+    const auto dst = g.dst();
+    for (std::int64_t e = 0; e < g.numEdges(); ++e)
+        if (shard_of[static_cast<std::size_t>(
+                src[static_cast<std::size_t>(e)])] !=
+            shard_of[static_cast<std::size_t>(
+                dst[static_cast<std::size_t>(e)])])
+            ++cut;
+    return cut;
+}
+
+std::vector<std::int64_t>
+haloMatrix(const HeteroGraph &g, const Partition &p)
+{
+    const std::size_t k = static_cast<std::size_t>(p.numShards);
+    std::vector<std::int64_t> halo(k * k, 0);
+    // Unique (source vertex, destination shard) pairs over cut edges.
+    std::unordered_set<std::uint64_t> seen;
+    const auto src = g.src();
+    const auto dst = g.dst();
+    for (std::int64_t e = 0; e < g.numEdges(); ++e) {
+        const std::int64_t u = src[static_cast<std::size_t>(e)];
+        const std::int32_t su = p.shardOf[static_cast<std::size_t>(u)];
+        const std::int32_t sv = p.shardOf[static_cast<std::size_t>(
+            dst[static_cast<std::size_t>(e)])];
+        if (su == sv)
+            continue;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(u) * k +
+            static_cast<std::uint64_t>(sv);
+        if (seen.insert(key).second)
+            ++halo[static_cast<std::size_t>(su) * k +
+                   static_cast<std::size_t>(sv)];
+    }
+    return halo;
+}
+
+} // namespace hector::graph

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic edge-cut graph partitioning for multi-device serving.
+ *
+ * Sharded serving splits the host-resident HeteroGraph across N
+ * simulated devices; what the interconnect model charges for is the
+ * *cut* — every edge whose endpoints land on different shards forces
+ * the source vertex's feature row across a link (halo exchange). The
+ * partitioner is a streaming linear-deterministic-greedy (LDG) pass:
+ * vertices are visited in a seeded, bit-stable order within each node
+ * type segment and placed on the shard holding most of their already
+ * placed neighbors, discounted by that shard's fill so shards stay
+ * balanced per node type. Everything is integer/bit-stable: the same
+ * seed yields the same partition on every run and platform, which the
+ * golden determinism tests rely on.
+ */
+
+#ifndef HECTOR_GRAPH_PARTITION_HH
+#define HECTOR_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.hh"
+
+namespace hector::graph
+{
+
+/** Partitioning knobs. */
+struct PartitionSpec
+{
+    /** Number of shards (devices) to cut the graph into. */
+    int numShards = 1;
+    /**
+     * Allowed per-node-type overfill: no shard holds more than
+     * ceil(nodes_of_type / numShards * (1 + tolerance)) vertices of
+     * any type (and never less headroom than a perfectly even split
+     * needs, so the constraint is always feasible).
+     */
+    double balanceTolerance = 0.10;
+    /** Seed of the vertex visit order; the partition is a pure
+     *  function of (graph, spec). */
+    std::uint64_t seed = 0x9a27;
+};
+
+/** An edge-cut partition of a HeteroGraph's vertex set. */
+struct Partition
+{
+    int numShards = 1;
+    /** Shard id of every vertex, size numNodes. */
+    std::vector<std::int32_t> shardOf;
+    /** Vertices per shard, size numShards. */
+    std::vector<std::int64_t> shardSizes;
+    /** Vertices per (node type, shard): sizesByType[t][s]. */
+    std::vector<std::vector<std::int64_t>> sizesByType;
+    /** Edges whose endpoints live on different shards. */
+    std::int64_t cutEdges = 0;
+    /** Total edges of the partitioned graph. */
+    std::int64_t totalEdges = 0;
+
+    /** Fraction of edges crossing shards, in [0, 1]. */
+    double
+    cutRatio() const
+    {
+        return totalEdges ? static_cast<double>(cutEdges) /
+                                static_cast<double>(totalEdges)
+                          : 0.0;
+    }
+};
+
+/**
+ * Partition @p g into spec.numShards balanced shards. Deterministic:
+ * equal (graph, spec) always produce bit-identical Partition contents.
+ */
+Partition partitionGraph(const HeteroGraph &g, const PartitionSpec &spec);
+
+/** Independent recount of the edge cut implied by @p shard_of. */
+std::int64_t countCutEdges(const HeteroGraph &g,
+                           const std::vector<std::int32_t> &shard_of);
+
+/**
+ * Halo-exchange matrix of the cut: entry [i * numShards + j] is the
+ * number of *unique* vertices owned by shard i whose feature row shard
+ * j needs because some edge runs from them into shard j. The diagonal
+ * is zero. Multiplying by the feature-row byte size gives the bytes a
+ * full-graph halo exchange moves over each directed link.
+ */
+std::vector<std::int64_t> haloMatrix(const HeteroGraph &g,
+                                     const Partition &p);
+
+} // namespace hector::graph
+
+#endif // HECTOR_GRAPH_PARTITION_HH

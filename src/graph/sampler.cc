@@ -97,8 +97,7 @@ sampleNeighbors(const HeteroGraph &g, const SampleSpec &spec,
 }
 
 tensor::Tensor
-transferFeatures(const Minibatch &mb, const tensor::Tensor &host_features,
-                 sim::Runtime &rt)
+gatherFeatures(const Minibatch &mb, const tensor::Tensor &host_features)
 {
     const std::int64_t dim = host_features.dim(1);
     tensor::Tensor device({mb.subgraph.numNodes(), dim});
@@ -109,14 +108,28 @@ transferFeatures(const Minibatch &mb, const tensor::Tensor &host_features,
         for (std::int64_t j = 0; j < dim; ++j)
             dst[j] = src[j];
     }
-    // Host-to-device copy over a PCIe-like link (~25 GB/s effective),
-    // plus adjacency structure transfer.
+    return device;
+}
+
+double
+hostTransferSec(double bytes, const sim::DeviceSpec &spec)
+{
+    // PCIe-like link, ~25 GB/s effective, plus one DMA setup.
+    const double pcie_bandwidth = 25.0e9;
+    return bytes / pcie_bandwidth + 10.0e-6 * spec.overheadScale;
+}
+
+tensor::Tensor
+transferFeatures(const Minibatch &mb, const tensor::Tensor &host_features,
+                 sim::Runtime &rt)
+{
+    tensor::Tensor device = gatherFeatures(mb, host_features);
+    // Host-to-device copy of the gathered features plus the adjacency
+    // structure.
     const double bytes =
         static_cast<double>(device.bytes()) +
         static_cast<double>(mb.subgraph.structureBytes());
-    const double pcie_bandwidth = 25.0e9;
-    rt.hostOverhead(bytes / pcie_bandwidth +
-                    10.0e-6 * rt.spec().overheadScale);
+    rt.hostOverhead(hostTransferSec(bytes, rt.spec()));
     return device;
 }
 

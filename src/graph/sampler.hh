@@ -72,6 +72,22 @@ tensor::Tensor transferFeatures(const Minibatch &mb,
                                 const tensor::Tensor &host_features,
                                 sim::Runtime &rt);
 
+/**
+ * The gather of transferFeatures without the transfer charge, for
+ * callers that model the data movement themselves (the sharded
+ * serving path keeps feature rows device-resident and only moves the
+ * subgraph structure over PCIe, halo rows over the interconnect).
+ */
+tensor::Tensor gatherFeatures(const Minibatch &mb,
+                              const tensor::Tensor &host_features);
+
+/**
+ * Modeled host-to-device time of moving @p bytes over the PCIe-like
+ * link (~25 GB/s effective) plus one DMA setup, scaled like every
+ * other host overhead by @p spec.overheadScale.
+ */
+double hostTransferSec(double bytes, const sim::DeviceSpec &spec);
+
 } // namespace hector::graph
 
 #endif // HECTOR_GRAPH_SAMPLER_HH

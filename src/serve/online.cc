@@ -123,20 +123,95 @@ AdaptiveBatcher::observe(const BatchCost &cost)
 
 // ------------------------------------------------------------- OnlineServer
 
+namespace
+{
+
+/**
+ * Shared finalization tail of runSingle()/runSharded(): rate and
+ * batch-size metrics, then the per-request latency statistics via
+ * fillLatencyStats so the drain and online paths cannot drift.
+ */
+void
+finalizeOnlineReport(OnlineReport &rep, std::size_t served,
+                     double last_completion_sec,
+                     const std::vector<double> &latencies_sec,
+                     const std::vector<double> &queue_delays_sec,
+                     double deadline_ms)
+{
+    rep.requests = served;
+    rep.batches = rep.ticks;
+    rep.makespanMs = last_completion_sec * 1e3;
+    rep.throughputReqPerSec =
+        last_completion_sec > 0.0
+            ? static_cast<double>(served) / last_completion_sec
+            : 0.0;
+    rep.msPerRequest =
+        served ? rep.makespanMs / static_cast<double>(served) : 0.0;
+    rep.meanBatchSize =
+        rep.ticks ? static_cast<double>(served) /
+                        static_cast<double>(rep.ticks)
+                  : 0.0;
+    fillLatencyStats(rep, latencies_sec, queue_delays_sec, deadline_ms);
+}
+
+} // namespace
+
 OnlineServer::OnlineServer(const graph::HeteroGraph &g,
                            tensor::Tensor host_features,
                            std::string model_source, OnlineConfig cfg,
                            sim::Runtime &rt)
-    : cfg_(cfg), rt_(rt),
-      session_(g, std::move(host_features), std::move(model_source),
-               cfg.serving, rt),
+    : cfg_(cfg), rt_(&rt),
+      session_(std::make_unique<ServingSession>(
+          g, std::move(host_features), std::move(model_source),
+          cfg.serving, rt)),
       batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
                cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
                cfg.deadlineBudgetFraction)
 {}
 
+OnlineServer::OnlineServer(const graph::HeteroGraph &g,
+                           tensor::Tensor host_features,
+                           std::string model_source, OnlineConfig cfg,
+                           sim::DeviceGroup &group)
+    : cfg_(cfg), group_(&group),
+      batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
+               cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
+               cfg.deadlineBudgetFraction)
+{
+    ShardedConfig scfg;
+    scfg.serving = cfg.serving;
+    scfg.partition = cfg.partition;
+    sharded_ = std::make_unique<ShardedSession>(
+        g, std::move(host_features), std::move(model_source), scfg,
+        group);
+}
+
+ServingSession &
+OnlineServer::session()
+{
+    if (!session_)
+        throw std::runtime_error(
+            "OnlineServer::session: server runs in sharded mode");
+    return *session_;
+}
+
+ShardedSession &
+OnlineServer::sharded()
+{
+    if (!sharded_)
+        throw std::runtime_error(
+            "OnlineServer::sharded: server runs in single-device mode");
+    return *sharded_;
+}
+
 OnlineReport
 OnlineServer::run()
+{
+    return sharded_ ? runSharded() : runSingle();
+}
+
+OnlineReport
+OnlineServer::runSingle()
 {
     OnlineReport rep;
     rep.offeredRatePerSec = cfg_.arrivalRatePerSec;
@@ -151,8 +226,7 @@ OnlineServer::run()
                       cfg_.arrivalSeed);
 
     const int num_streams = std::max(1, cfg_.serving.numStreams);
-    const double serial_frac = rt_.spec().streamSerialFraction;
-    const double deadline_sec = cfg_.serving.deadlineMs * 1e-3;
+    const double serial_frac = rt_->spec().streamSerialFraction;
     const std::size_t max_batch =
         std::max<std::size_t>(1, cfg_.serving.maxBatch);
     const std::size_t fixed = std::min(
@@ -172,7 +246,7 @@ OnlineServer::run()
     /** Arrival time of each queued request, FIFO like the session. */
     std::deque<double> queued_arrivals;
 
-    const std::uint64_t launches_before = rt_.counters().total().launches;
+    const std::uint64_t launches_before = rt_->counters().total().launches;
 
     // Admit every arrival the host clock has passed; each pays its
     // modeled host-to-device transfer on the serialized host clock.
@@ -180,28 +254,27 @@ OnlineServer::run()
         while (!gen.done() && gen.peekSec() <= host_free) {
             const double arr = gen.next();
             rep.lastArrivalMs = arr * 1e3;
-            const double host_before = rt_.hostTimeMs() * 1e-3;
-            session_.submit();
-            const double transfer = rt_.hostTimeMs() * 1e-3 - host_before;
+            const double host_before = rt_->hostTimeMs() * 1e-3;
+            session_->submit();
+            const double transfer = rt_->hostTimeMs() * 1e-3 - host_before;
             host_free = std::max(host_free, arr) + transfer;
             queued_arrivals.push_back(arr);
         }
     };
 
     std::size_t served = 0;
-    std::size_t met = 0;
-    double lat_sum = 0.0;
-    double delay_sum = 0.0;
     double last_completion = 0.0;
     std::vector<double> latencies_sec;
+    std::vector<double> queue_delays_sec;
     latencies_sec.reserve(cfg_.numRequests);
+    queue_delays_sec.reserve(cfg_.numRequests);
 
     while (served < cfg_.numRequests) {
         admit();
         if (queued_arrivals.empty()) {
             // Idle: jump the host clock to the next arrival.
             host_free = std::max(host_free, gen.peekSec());
-            rt_.advanceTo(host_free);
+            rt_->advanceTo(host_free);
             continue;
         }
 
@@ -217,13 +290,13 @@ OnlineServer::run()
             // Wait-to-fill: hold the queue until the fixed batch is
             // complete (or arrivals run out).
             host_free = std::max(host_free, gen.peekSec());
-            rt_.advanceTo(host_free);
+            rt_->advanceTo(host_free);
             continue;
         }
         batch = std::max<std::size_t>(1, std::min(batch, depth));
 
         if (!cfg_.retainResults)
-            session_.clearResults();
+            session_->clearResults();
 
         int s = 0;
         for (int i = 1; i < num_streams; ++i)
@@ -231,7 +304,7 @@ OnlineServer::run()
                 stream_free[static_cast<std::size_t>(s)])
                 s = i;
 
-        const BatchCost cost = session_.serveOldest(batch, s);
+        const BatchCost cost = session_->serveOldest(batch, s);
         const double issue_done = host_free + cost.overheadSec;
         const double exec_start =
             std::max(issue_done,
@@ -241,7 +314,7 @@ OnlineServer::run()
         host_free = issue_done;
         stream_free[static_cast<std::size_t>(s)] = done;
         contend_free = exec_start + serial_frac * cost.execSec;
-        rt_.advanceTo(done);
+        rt_->advanceTo(done);
 
         batcher_.observe(cost);
         batchSizes_.push_back(batch);
@@ -253,45 +326,205 @@ OnlineServer::run()
             const double lat = done - arr;
             const double delay = std::max(0.0, exec_start - arr);
             latencies_sec.push_back(lat);
+            queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
-            lat_sum += lat;
-            delay_sum += delay;
-            if (deadline_sec <= 0.0 || lat <= deadline_sec)
-                ++met;
         }
         served += batch;
         last_completion = std::max(last_completion, done);
     }
 
-    rep.requests = served;
-    rep.batches = rep.ticks;
-    rep.makespanMs = last_completion * 1e3;
-    rep.throughputReqPerSec =
-        last_completion > 0.0
-            ? static_cast<double>(served) / last_completion
-            : 0.0;
-    rep.msPerRequest =
-        served ? rep.makespanMs / static_cast<double>(served) : 0.0;
-    rep.meanLatencyMs = lat_sum / static_cast<double>(served) * 1e3;
-    rep.meanQueueDelayMs = delay_sum / static_cast<double>(served) * 1e3;
-    rep.sloAttainment =
-        static_cast<double>(met) / static_cast<double>(served);
-    rep.meanBatchSize =
-        rep.ticks ? static_cast<double>(served) /
-                        static_cast<double>(rep.ticks)
-                  : 0.0;
+    finalizeOnlineReport(rep, served, last_completion, latencies_sec,
+                         queue_delays_sec, cfg_.serving.deadlineMs);
 
-    std::sort(latencies_sec.begin(), latencies_sec.end());
-    rep.p50LatencyMs = percentileSorted(latencies_sec, 0.50) * 1e3;
-    rep.p95LatencyMs = percentileSorted(latencies_sec, 0.95) * 1e3;
-    rep.p99LatencyMs = percentileSorted(latencies_sec, 0.99) * 1e3;
-    rep.maxLatencyMs =
-        latencies_sec.empty() ? 0.0 : latencies_sec.back() * 1e3;
+    rep.cacheHits = session_->planCache().stats().hits;
+    rep.cacheMisses = session_->planCache().stats().misses;
+    rep.launches = rt_->counters().total().launches - launches_before;
+    return rep;
+}
 
-    rep.cacheHits = session_.planCache().stats().hits;
-    rep.cacheMisses = session_.planCache().stats().misses;
-    rep.launches = rt_.counters().total().launches - launches_before;
+OnlineReport
+OnlineServer::runSharded()
+{
+    OnlineReport rep;
+    rep.offeredRatePerSec = cfg_.arrivalRatePerSec;
+    rep.deadlineMs = cfg_.serving.deadlineMs;
+    rep.devices = group_->size();
+    latenciesMs_.clear();
+    queueDelaysMs_.clear();
+    batchSizes_.clear();
+    if (cfg_.numRequests == 0)
+        return rep;
+
+    LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
+                      cfg_.arrivalSeed);
+
+    const int devices = group_->size();
+    const int num_streams = std::max(1, cfg_.serving.numStreams);
+    const double serial_frac =
+        group_->device(0).spec().streamSerialFraction;
+    const std::size_t max_batch =
+        std::max<std::size_t>(1, cfg_.serving.maxBatch);
+    const std::size_t fixed = std::min(
+        max_batch, cfg_.fixedBatch > 0 ? cfg_.fixedBatch : max_batch);
+
+    // Multi-device open-loop timeline. The shared pieces stay shared:
+    // one PCIe link admits arrivals (host_free) and the interconnect
+    // serializes per directed link. Per device, an own driver thread
+    // issues launches (issue_free), each stream runs one batch at a
+    // time (stream_free), and the device's contention floor gates
+    // overlapped execution (contend_free) — the same per-batch overlap
+    // rule as the single-device loop, instantiated per device.
+    std::vector<std::vector<double>> stream_free(
+        static_cast<std::size_t>(devices),
+        std::vector<double>(static_cast<std::size_t>(num_streams), 0.0));
+    std::vector<double> issue_free(static_cast<std::size_t>(devices),
+                                   0.0);
+    std::vector<double> contend_free(static_cast<std::size_t>(devices),
+                                     0.0);
+    double host_free = 0.0;
+
+    /** Arrival time of each queued request, FIFO per home device. */
+    std::vector<std::deque<double>> queued_arrivals(
+        static_cast<std::size_t>(devices));
+
+    const std::uint64_t launches_before = group_->totalLaunches();
+    const double ic_busy_before =
+        group_->interconnect().totalBusySec();
+
+    // Admit arrivals the simulation has reached. Unlike the
+    // single-device loop — whose one host thread both admits and
+    // issues, so admission stalls behind issue overheads — the group's
+    // admission thread is free while devices execute: anything that
+    // arrived by the group clock (advanced to each batch completion)
+    // is admitted, which is what lets queue depth build under load and
+    // the adaptive batcher actually batch.
+    auto admit = [&]() {
+        while (!gen.done() &&
+               gen.peekSec() <= std::max(host_free, group_->nowSec())) {
+            const double arr = gen.next();
+            rep.lastArrivalMs = arr * 1e3;
+            const ShardedSession::SubmitInfo info =
+                sharded_->submitRouted();
+            host_free = std::max(host_free, arr) + info.transferSec;
+            queued_arrivals[static_cast<std::size_t>(info.device)]
+                .push_back(arr);
+        }
+    };
+
+    // Oldest queued head across devices — FIFO-fair routing of ticks;
+    // ties go to the lower device id. Returns -1 when all empty.
+    auto oldest_device = [&](bool require_fill) {
+        int best = -1;
+        for (int d = 0; d < devices; ++d) {
+            const auto &q = queued_arrivals[static_cast<std::size_t>(d)];
+            if (q.empty())
+                continue;
+            if (require_fill && q.size() < fixed && !gen.done())
+                continue;
+            if (best < 0 ||
+                q.front() <
+                    queued_arrivals[static_cast<std::size_t>(best)]
+                        .front())
+                best = d;
+        }
+        return best;
+    };
+
+    std::size_t served = 0;
+    double last_completion = 0.0;
+    std::vector<double> latencies_sec;
+    std::vector<double> queue_delays_sec;
+    latencies_sec.reserve(cfg_.numRequests);
+    queue_delays_sec.reserve(cfg_.numRequests);
+
+    while (served < cfg_.numRequests) {
+        admit();
+        const int d = oldest_device(!cfg_.adaptive);
+        if (d < 0) {
+            // Idle (or wait-to-fill still filling): jump the host
+            // clock to the next arrival.
+            host_free = std::max(host_free, gen.peekSec());
+            group_->advanceTo(host_free);
+            continue;
+        }
+        auto &q = queued_arrivals[static_cast<std::size_t>(d)];
+        const std::size_t depth = q.size();
+        rep.peakQueueDepth =
+            std::max(rep.peakQueueDepth, sharded_->queued());
+
+        std::size_t batch = cfg_.adaptive ? batcher_.pick(depth)
+                                          : std::min(depth, fixed);
+        batch = std::max<std::size_t>(1, std::min(batch, depth));
+
+        if (!cfg_.retainResults)
+            sharded_->clearResults();
+
+        auto &streams = stream_free[static_cast<std::size_t>(d)];
+        int s = 0;
+        for (int i = 1; i < num_streams; ++i)
+            if (streams[static_cast<std::size_t>(i)] <
+                streams[static_cast<std::size_t>(s)])
+                s = i;
+
+        const ShardBatch sb = sharded_->serveOldestOn(d, batch, s);
+        const double issue_start =
+            std::max(issue_free[static_cast<std::size_t>(d)], host_free);
+        const double issue_done = issue_start + sb.cost.overheadSec;
+        issue_free[static_cast<std::size_t>(d)] = issue_done;
+
+        // Halo rows must be resident before the batch's kernels start.
+        double comm_done = issue_done;
+        for (const auto &[owner, bytes] : sb.haloBytesByOwner) {
+            comm_done = std::max(comm_done,
+                                 group_->interconnect().transfer(
+                                     owner, d, bytes, issue_done));
+            rep.haloBytes += bytes;
+        }
+
+        const double exec_start = std::max(
+            comm_done,
+            std::max(streams[static_cast<std::size_t>(s)],
+                     contend_free[static_cast<std::size_t>(d)]));
+        const double exec_done = exec_start + sb.cost.execSec;
+        streams[static_cast<std::size_t>(s)] = exec_done;
+        contend_free[static_cast<std::size_t>(d)] =
+            exec_start + serial_frac * sb.cost.execSec;
+
+        // All-gather the batch's outputs onto device 0.
+        const double done =
+            d != 0 ? group_->interconnect().transfer(d, 0,
+                                                     sb.gatherBytes,
+                                                     exec_done)
+                   : exec_done;
+        group_->advanceTo(done);
+
+        batcher_.observe(sb.cost);
+        batchSizes_.push_back(batch);
+        ++rep.ticks;
+
+        for (std::size_t i = 0; i < batch; ++i) {
+            const double arr = q.front();
+            q.pop_front();
+            const double lat = done - arr;
+            const double delay = std::max(0.0, exec_start - arr);
+            latencies_sec.push_back(lat);
+            queue_delays_sec.push_back(delay);
+            latenciesMs_.push_back(lat * 1e3);
+            queueDelaysMs_.push_back(delay * 1e3);
+        }
+        served += batch;
+        last_completion = std::max(last_completion, done);
+    }
+
+    finalizeOnlineReport(rep, served, last_completion, latencies_sec,
+                         queue_delays_sec, cfg_.serving.deadlineMs);
+
+    rep.interconnectMs =
+        (group_->interconnect().totalBusySec() - ic_busy_before) * 1e3;
+    rep.cacheHits = sharded_->planCache().stats().hits;
+    rep.cacheMisses = sharded_->planCache().stats().misses;
+    rep.launches = group_->totalLaunches() - launches_before;
     return rep;
 }
 

@@ -31,16 +31,25 @@
  * arrived. It matches adaptive throughput under saturation but pays
  * brutal fill-wait latency at low load — the comparison
  * bench_serving_online quantifies.
+ *
+ * Constructed over a sim::DeviceGroup instead of a single Runtime, the
+ * server drives a ShardedSession: arrivals are admitted on the shared
+ * (PCIe) host clock and routed to their home shard, each device issues
+ * batches on its own driver thread and streams, batch execution is
+ * additionally gated on the halo exchange over the modeled
+ * interconnect, and results all-gather onto device 0.
  */
 
 #ifndef HECTOR_SERVE_ONLINE_HH
 #define HECTOR_SERVE_ONLINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "serve/session.hh"
+#include "serve/sharded.hh"
 
 namespace hector::serve
 {
@@ -146,6 +155,11 @@ struct OnlineConfig
     double deadlineBudgetFraction = 0.5;
     /** Keep every request's output tensor (tests); default bounded. */
     bool retainResults = false;
+    /**
+     * Partitioner knobs of the sharded path (ignored by the
+     * single-device constructor); numShards follows the device group.
+     */
+    graph::PartitionSpec partition;
 };
 
 /** Arrival-aware metrics of one open-loop run. */
@@ -161,6 +175,12 @@ struct OnlineReport : ServingReport
     std::size_t peakQueueDepth = 0;
     /** Time of the last arrival (offered-load duration). */
     double lastArrivalMs = 0.0;
+    /** Devices the run was served on (1 = single-device path). */
+    int devices = 1;
+    /** Halo-exchange bytes moved over the interconnect. */
+    double haloBytes = 0.0;
+    /** Link-seconds the interconnect was busy during the run, ms. */
+    double interconnectMs = 0.0;
 };
 
 /**
@@ -170,14 +190,23 @@ struct OnlineReport : ServingReport
 class OnlineServer
 {
   public:
+    /** Single simulated device (the PR 2 path). */
     OnlineServer(const graph::HeteroGraph &g, tensor::Tensor host_features,
                  std::string model_source, OnlineConfig cfg,
                  sim::Runtime &rt);
 
+    /** Sharded across @p group's devices via a ShardedSession. */
+    OnlineServer(const graph::HeteroGraph &g, tensor::Tensor host_features,
+                 std::string model_source, OnlineConfig cfg,
+                 sim::DeviceGroup &group);
+
     /** Serve all configured arrivals to completion. */
     OnlineReport run();
 
-    ServingSession &session() { return session_; }
+    /** The wrapped single-device session; throws in sharded mode. */
+    ServingSession &session();
+    /** The wrapped sharded session; throws in single-device mode. */
+    ShardedSession &sharded();
     const AdaptiveBatcher &batcher() const { return batcher_; }
     const OnlineConfig &config() const { return cfg_; }
 
@@ -195,9 +224,15 @@ class OnlineServer
     }
 
   private:
+    OnlineReport runSingle();
+    OnlineReport runSharded();
+
     OnlineConfig cfg_;
-    sim::Runtime &rt_;
-    ServingSession session_;
+    /** Exactly one of rt_/group_ (and session_/sharded_) is set. */
+    sim::Runtime *rt_ = nullptr;
+    sim::DeviceGroup *group_ = nullptr;
+    std::unique_ptr<ServingSession> session_;
+    std::unique_ptr<ShardedSession> sharded_;
     AdaptiveBatcher batcher_;
 
     std::vector<double> latenciesMs_;

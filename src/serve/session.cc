@@ -23,6 +23,46 @@ percentileSorted(const std::vector<double> &sorted, double q)
     return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+void
+fillLatencyStats(ServingReport &report,
+                 const std::vector<double> &latencies_sec,
+                 const std::vector<double> &queue_delays_sec,
+                 double deadline_ms)
+{
+    std::vector<double> sorted = latencies_sec;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double l : latencies_sec)
+        sum += l;
+    report.meanLatencyMs =
+        latencies_sec.empty()
+            ? 0.0
+            : sum / static_cast<double>(latencies_sec.size()) * 1e3;
+    report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
+    report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
+    report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
+    report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+
+    double delay_sum = 0.0;
+    for (double d : queue_delays_sec)
+        delay_sum += d;
+    report.meanQueueDelayMs =
+        queue_delays_sec.empty()
+            ? 0.0
+            : delay_sum / static_cast<double>(queue_delays_sec.size()) *
+                  1e3;
+
+    if (deadline_ms > 0.0 && !latencies_sec.empty()) {
+        std::size_t met = 0;
+        for (double l : latencies_sec)
+            if (l * 1e3 <= deadline_ms)
+                ++met;
+        report.sloAttainment =
+            static_cast<double>(met) /
+            static_cast<double>(latencies_sec.size());
+    }
+}
+
 ServingSession::ServingSession(const graph::HeteroGraph &g,
                                Tensor host_features,
                                std::string model_source, ServingConfig cfg,
@@ -152,36 +192,7 @@ ServingSession::drain()
             ? report.makespanMs / static_cast<double>(report.requests)
             : 0.0;
 
-    std::vector<double> sorted = latencies;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double l : latencies)
-        sum += l;
-    report.meanLatencyMs =
-        latencies.empty()
-            ? 0.0
-            : sum / static_cast<double>(latencies.size()) * 1e3;
-    report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
-    report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
-    report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
-    report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
-
-    double delay_sum = 0.0;
-    for (double d : queue_delays)
-        delay_sum += d;
-    report.meanQueueDelayMs =
-        queue_delays.empty()
-            ? 0.0
-            : delay_sum / static_cast<double>(queue_delays.size()) * 1e3;
-
-    if (cfg_.deadlineMs > 0.0 && !latencies.empty()) {
-        std::size_t met = 0;
-        for (double l : latencies)
-            if (l * 1e3 <= cfg_.deadlineMs)
-                ++met;
-        report.sloAttainment =
-            static_cast<double>(met) / static_cast<double>(latencies.size());
-    }
+    fillLatencyStats(report, latencies, queue_delays, cfg_.deadlineMs);
 
     for (double l : latencies)
         lastLatenciesMs_.push_back(l * 1e3);
@@ -207,11 +218,7 @@ ServingSession::serveOldest(std::size_t n, int stream)
     const auto plan = cache_.get(makePlanKey(
         modelSource_, cfg_.din, cfg_.dout, cfg_.compile, g_));
 
-    rt_.setCurrentStream(stream);
-    const sim::StreamStats before =
-        rt_.streamStats()[static_cast<std::size_t>(stream)];
-    const double host_before = rt_.hostTimeMs() * 1e-3;
-    {
+    const StreamRunCost run = runOnStream(rt_, stream, [&]() {
         auto scope = rt_.memoryScope();
         std::vector<const Request *> reqs;
         reqs.reserve(n);
@@ -222,13 +229,9 @@ ServingSession::serveOldest(std::size_t n, int stream)
         tensor::TrackerScope untracked(nullptr);
         for (std::size_t i = 0; i < n; ++i)
             results_.insert_or_assign(queue_[i].id, outs[i].clone());
-    }
-    const sim::StreamStats &after =
-        rt_.streamStats()[static_cast<std::size_t>(stream)];
-    cost.execSec = after.execSec - before.execSec;
-    cost.overheadSec = (after.overheadSec - before.overheadSec) +
-                       (rt_.hostTimeMs() * 1e-3 - host_before);
-    rt_.setCurrentStream(0);
+    });
+    cost.execSec = run.execSec;
+    cost.overheadSec = run.overheadSec;
 
     // Rebase the drain-cycle transfer bookkeeping: the served
     // requests' transfer time (cumulative through the last of them)

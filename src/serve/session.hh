@@ -96,6 +96,17 @@ struct ServingReport
  */
 double percentileSorted(const std::vector<double> &sorted, double q);
 
+/**
+ * Fill @p report's latency fields (mean/p50/p95/p99/max, mean queue
+ * delay, SLO attainment against @p deadline_ms) from per-request
+ * samples in seconds. The one place this arithmetic lives: the
+ * single-device and sharded drain paths both report through it.
+ */
+void fillLatencyStats(ServingReport &report,
+                      const std::vector<double> &latencies_sec,
+                      const std::vector<double> &queue_delays_sec,
+                      double deadline_ms);
+
 /** Modeled cost of one micro-batch served by serveOldest(). */
 struct BatchCost
 {

@@ -1,0 +1,414 @@
+#include "serve/sharded.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/frontend.hh"
+
+namespace hector::serve
+{
+
+using tensor::Tensor;
+
+ShardedSession::ShardedSession(const graph::HeteroGraph &g,
+                               Tensor host_features,
+                               std::string model_source, ShardedConfig cfg,
+                               sim::DeviceGroup &group)
+    : g_(g), hostFeatures_(std::move(host_features)),
+      modelSource_(std::move(model_source)), cfg_(cfg), group_(group),
+      partition_([&] {
+          graph::PartitionSpec ps = cfg.partition;
+          ps.numShards = group.size();
+          return graph::partitionGraph(g, ps);
+      }()),
+      rng_(cfg.serving.seed),
+      queues_(static_cast<std::size_t>(group.size())),
+      pendingHostSec_(static_cast<std::size_t>(group.size()), 0.0)
+{
+    if (hostFeatures_.dim(1) != cfg_.serving.din)
+        throw std::runtime_error(
+            "ShardedSession: host feature dim != config din");
+    // Same seeding order as ServingSession: weights are drawn from the
+    // pristine program *before* any sampling, so the single-device and
+    // sharded sessions consume identical RNG streams.
+    core::Program pristine = core::parseModel(
+        modelSource_, cfg_.serving.din, cfg_.serving.dout);
+    weights_ = models::initWeights(pristine, g_, rng_);
+
+    // Replicate the weights: one broadcast from the all-gather root to
+    // every other device over the interconnect, paid once per session.
+    double weight_bytes = 0.0;
+    for (const auto &[name, w] : weights_)
+        weight_bytes += static_cast<double>(w.bytes());
+    for (int d = 1; d < group_.size(); ++d)
+        group_.interconnect().transfer(0, d, weight_bytes,
+                                       group_.nowSec());
+
+    // Load the sharded feature store: each device bulk-transfers its
+    // own shard's feature rows over its own PCIe lanes, paid once per
+    // session (the rows stay resident; requests only move structure).
+    const double row_bytes =
+        static_cast<double>(cfg_.serving.din) * sizeof(float);
+    for (int d = 0; d < group_.size(); ++d) {
+        sim::Runtime &rt = group_.device(d);
+        rt.hostOverhead(graph::hostTransferSec(
+            static_cast<double>(
+                partition_.shardSizes[static_cast<std::size_t>(d)]) *
+                row_bytes,
+            rt.spec()));
+    }
+}
+
+int
+ShardedSession::homeShard(const graph::Minibatch &mb) const
+{
+    // Affinity x headroom routing. Placement cannot change any output
+    // bit (per-request arithmetic is batch- and device-invariant), so
+    // the router trades the two things placement *does* change: halo
+    // bytes (maximized ownership -> minimized cut traffic) and load
+    // balance (hub shards would otherwise swallow most neighborhoods
+    // — the plurality owner alone routes ~40% of bgs requests to one
+    // device). Scoring owned_vertices x queue_headroom with a hard
+    // per-device queue cap keeps both bounded, deterministically; by
+    // pigeonhole some shard is always below the cap.
+    const std::int64_t k = group_.size();
+    std::vector<std::int64_t> owned(static_cast<std::size_t>(k), 0);
+    for (std::int64_t v : mb.nodeMap)
+        ++owned[static_cast<std::size_t>(
+            partition_.shardOf[static_cast<std::size_t>(v)])];
+    const std::int64_t total =
+        static_cast<std::int64_t>(queued()) + 1;
+    const std::int64_t cap = (total + k - 1) / k + 1;
+    int best = -1;
+    std::int64_t best_score = -1;
+    for (int s = 0; s < k; ++s) {
+        const std::int64_t load = static_cast<std::int64_t>(
+            queues_[static_cast<std::size_t>(s)].size());
+        const std::int64_t headroom = cap - load;
+        if (headroom <= 0)
+            continue;
+        const std::int64_t score =
+            (owned[static_cast<std::size_t>(s)] + 1) * headroom;
+        if (score > best_score) {
+            best = s;
+            best_score = score;
+        }
+    }
+    return best < 0 ? 0 : best;
+}
+
+ShardedSession::SubmitInfo
+ShardedSession::enqueue(int home, graph::Minibatch mb, Tensor feature,
+                        double submit_sec)
+{
+    SubmitInfo info;
+    info.id = nextId_++;
+    info.device = home;
+    auto &q = queues_[static_cast<std::size_t>(home)];
+    q.emplace_back(info.id, std::move(mb), std::move(feature));
+    q.back().submitSec = submit_sec;
+    return info;
+}
+
+ShardedSession::SubmitInfo
+ShardedSession::submitRouted()
+{
+    // Sample first (advancing the shared request stream), then route.
+    // With the feature store device-resident, PCIe only carries the
+    // subgraph structure; the gathered feature tensor is the batch
+    // assembly's working set (its kernel cost is charged by
+    // coalesce()), not a host transfer.
+    graph::Minibatch mb =
+        graph::sampleNeighbors(g_, cfg_.serving.sample, rng_);
+    const int home = homeShard(mb);
+    sim::Runtime &rt = group_.device(home);
+    Tensor feature;
+    {
+        auto scope = rt.memoryScope();
+        feature = graph::gatherFeatures(mb, hostFeatures_);
+    }
+    const double transfer = graph::hostTransferSec(
+        static_cast<double>(mb.subgraph.structureBytes()), rt.spec());
+    rt.hostOverhead(transfer);
+    pendingHostSec_[static_cast<std::size_t>(home)] += transfer;
+    SubmitInfo info = enqueue(
+        home, std::move(mb), std::move(feature),
+        pendingHostSec_[static_cast<std::size_t>(home)]);
+    info.transferSec = transfer;
+    return info;
+}
+
+ShardedSession::SubmitInfo
+ShardedSession::submitRouted(graph::Minibatch mb, Tensor feature)
+{
+    if (feature.ndim() != 2 ||
+        feature.dim(0) != mb.subgraph.numNodes() ||
+        feature.dim(1) != cfg_.serving.din)
+        throw std::runtime_error(
+            "ShardedSession::submitRouted: feature must be [subgraph "
+            "nodes, din]");
+    const int home = homeShard(mb);
+    return enqueue(
+        home, std::move(mb), std::move(feature),
+        pendingHostSec_[static_cast<std::size_t>(home)]);
+}
+
+std::size_t
+ShardedSession::queued() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+std::size_t
+ShardedSession::queuedOn(int device) const
+{
+    if (device < 0 || device >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    return queues_[static_cast<std::size_t>(device)].size();
+}
+
+std::vector<std::pair<int, double>>
+ShardedSession::batchHaloBytes(const std::vector<const Request *> &reqs,
+                               int home) const
+{
+    // Unique full-graph vertices across the batch (the union gather
+    // deduplicates them), grouped by owner shard. Each non-home row
+    // crosses the owner -> home link once.
+    const double row_bytes =
+        static_cast<double>(cfg_.serving.din) * sizeof(float);
+    std::unordered_set<std::int64_t> seen;
+    std::vector<double> per_owner(
+        static_cast<std::size_t>(group_.size()), 0.0);
+    for (const Request *r : reqs)
+        for (std::int64_t v : r->mb.nodeMap)
+            if (seen.insert(v).second) {
+                const std::int32_t owner =
+                    partition_.shardOf[static_cast<std::size_t>(v)];
+                if (owner != home)
+                    per_owner[static_cast<std::size_t>(owner)] +=
+                        row_bytes;
+            }
+    std::vector<std::pair<int, double>> halo;
+    for (int s = 0; s < group_.size(); ++s)
+        if (per_owner[static_cast<std::size_t>(s)] > 0.0)
+            halo.emplace_back(s, per_owner[static_cast<std::size_t>(s)]);
+    return halo;
+}
+
+ShardedReport
+ShardedSession::drain()
+{
+    ShardedReport report;
+    report.devices = group_.size();
+    report.perDeviceRequests.assign(
+        static_cast<std::size_t>(group_.size()), 0);
+    report.cutEdges = partition_.cutEdges;
+    report.cutRatio = partition_.cutRatio();
+    if (queued() == 0)
+        return report;
+
+    results_.clear();
+
+    const std::uint64_t launches_before = group_.totalLaunches();
+    const double ic_busy_before = group_.interconnect().totalBusySec();
+
+    const auto plan = cache_.get(
+        makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
+                    cfg_.serving.compile, g_));
+
+    // Cycle timeline on the shared clock: each device's queued
+    // structure transfers serialize on its own PCIe lanes (devices
+    // overlap), then the device pulls its halo over the interconnect
+    // and computes, and every batch's outputs gather onto device 0.
+    const double base = group_.nowSec();
+
+    const std::size_t cap =
+        std::max<std::size_t>(1, cfg_.serving.maxBatch);
+    const double dout_bytes =
+        static_cast<double>(cfg_.serving.dout) * sizeof(float);
+
+    std::vector<double> latencies;
+    std::vector<double> queue_delays;
+    latencies.reserve(queued());
+    queue_delays.reserve(queued());
+    double cycle_end = base;
+    double halo_bytes = 0.0;
+    double gather_bytes = 0.0;
+
+    for (int d = 0; d < group_.size(); ++d) {
+        auto &q = queues_[static_cast<std::size_t>(d)];
+        if (q.empty())
+            continue;
+        report.perDeviceRequests[static_cast<std::size_t>(d)] = q.size();
+        sim::Runtime &rt = group_.device(d);
+        StreamScheduler sched(rt, cfg_.serving.numStreams);
+        auto scope = rt.memoryScope();
+
+        const double host_end =
+            base + pendingHostSec_[static_cast<std::size_t>(d)];
+        cycle_end = std::max(cycle_end, host_end);
+
+        // Halo exchange for everything this device is about to serve,
+        // charged per batch on the owner -> home links.
+        double comm_done = host_end;
+        std::vector<std::vector<const Request *>> batches;
+        for (std::size_t lo = 0; lo < q.size(); lo += cap) {
+            const std::size_t hi = std::min(q.size(), lo + cap);
+            std::vector<const Request *> reqs;
+            reqs.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i)
+                reqs.push_back(&q[i]);
+            for (const auto &[owner, bytes] : batchHaloBytes(reqs, d)) {
+                comm_done = std::max(
+                    comm_done, group_.interconnect().transfer(
+                                   owner, d, bytes, host_end));
+                halo_bytes += bytes;
+            }
+            batches.push_back(std::move(reqs));
+        }
+
+        // Compute: this device's own driver thread and streams, on the
+        // shared overlap rule, starting once the halo is resident.
+        for (const auto &reqs : batches) {
+            sched.run([&]() {
+                MicroBatch batch = coalesce(reqs, rt);
+                std::vector<Tensor> outs =
+                    executeBatch(*plan, batch, weights_, rt);
+                tensor::TrackerScope untracked(nullptr);
+                for (std::size_t i = 0; i < reqs.size(); ++i)
+                    results_.insert_or_assign(reqs[i]->id,
+                                              outs[i].clone());
+            });
+        }
+
+        const std::vector<double> completions = sched.completionTimes();
+        std::size_t req_idx = 0;
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            const double compute_done = comm_done + completions[b];
+            // All-gather this batch's outputs onto device 0.
+            double out_bytes = 0.0;
+            for (const Request *r : batches[b])
+                out_bytes += static_cast<double>(
+                                 r->mb.subgraph.numNodes()) *
+                             dout_bytes;
+            double final_done = compute_done;
+            if (d != 0) {
+                final_done = group_.interconnect().transfer(
+                    d, 0, out_bytes, compute_done);
+                gather_bytes += out_bytes;
+            }
+            cycle_end = std::max(cycle_end, final_done);
+
+            const ScheduledBatch &sb = sched.batches()[b];
+            const double service = sb.overheadSec + sb.execSec;
+            for (std::size_t i = 0; i < batches[b].size();
+                 ++i, ++req_idx) {
+                const double lat =
+                    final_done - (base + q[req_idx].submitSec);
+                latencies.push_back(lat);
+                queue_delays.push_back(std::max(0.0, lat - service));
+            }
+            report.batches += 1;
+        }
+        report.requests += q.size();
+    }
+
+    group_.advanceTo(cycle_end);
+
+    const double makespan_sec = cycle_end - base;
+    report.makespanMs = makespan_sec * 1e3;
+    report.throughputReqPerSec =
+        makespan_sec > 0.0
+            ? static_cast<double>(report.requests) / makespan_sec
+            : 0.0;
+    report.msPerRequest =
+        report.requests
+            ? report.makespanMs / static_cast<double>(report.requests)
+            : 0.0;
+
+    fillLatencyStats(report, latencies, queue_delays,
+                     cfg_.serving.deadlineMs);
+
+    report.haloBytes = halo_bytes;
+    report.gatherBytes = gather_bytes;
+    report.interconnectMs =
+        (group_.interconnect().totalBusySec() - ic_busy_before) * 1e3;
+    report.cacheHits = cache_.stats().hits;
+    report.cacheMisses = cache_.stats().misses;
+    report.launches = group_.totalLaunches() - launches_before;
+
+    for (auto &q : queues_)
+        q.clear();
+    std::fill(pendingHostSec_.begin(), pendingHostSec_.end(), 0.0);
+    return report;
+}
+
+ShardBatch
+ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
+{
+    if (device < 0 || device >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    ShardBatch out;
+    out.device = device;
+    auto &q = queues_[static_cast<std::size_t>(device)];
+    n = std::min(n, q.size());
+    if (n == 0)
+        return out;
+    out.cost.requests = n;
+
+    const auto plan = cache_.get(
+        makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
+                    cfg_.serving.compile, g_));
+
+    std::vector<const Request *> reqs;
+    reqs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        reqs.push_back(&q[i]);
+    out.haloBytesByOwner = batchHaloBytes(reqs, device);
+    const double dout_bytes =
+        static_cast<double>(cfg_.serving.dout) * sizeof(float);
+    if (device != 0)
+        for (const Request *r : reqs)
+            out.gatherBytes += static_cast<double>(
+                                   r->mb.subgraph.numNodes()) *
+                               dout_bytes;
+
+    sim::Runtime &rt = group_.device(device);
+    const StreamRunCost run = runOnStream(rt, stream, [&]() {
+        auto scope = rt.memoryScope();
+        MicroBatch batch = coalesce(reqs, rt);
+        std::vector<Tensor> outs = executeBatch(*plan, batch, weights_, rt);
+        tensor::TrackerScope untracked(nullptr);
+        for (std::size_t i = 0; i < n; ++i)
+            results_.insert_or_assign(q[i].id, outs[i].clone());
+    });
+    out.cost.execSec = run.execSec;
+    out.cost.overheadSec = run.overheadSec;
+
+    // Rebase this device's transfer bookkeeping exactly like
+    // ServingSession::serveOldest: the served requests' cumulative
+    // transfer time leaves this submit epoch with them, so a later
+    // drain() only charges the transfers of the requests it actually
+    // serves. submitSec is non-decreasing along the queue, so the
+    // remaining entries stay non-negative.
+    const double served_host_sec = q[n - 1].submitSec;
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+    double &pending = pendingHostSec_[static_cast<std::size_t>(device)];
+    pending = std::max(0.0, pending - served_host_sec);
+    for (Request &r : q)
+        r.submitSec = std::max(0.0, r.submitSec - served_host_sec);
+    return out;
+}
+
+const Tensor *
+ShardedSession::result(std::uint64_t id) const
+{
+    auto it = results_.find(id);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+} // namespace hector::serve

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Multi-device sharded serving.
+ *
+ * A ShardedSession is the multi-device counterpart of ServingSession:
+ * one model, one host-resident graph, N simulated devices. At
+ * construction the host graph is cut into N shards by the
+ * deterministic edge-cut partitioner (graph::partitionGraph) and the
+ * replicated weights are broadcast over the modeled interconnect. Each
+ * submitted request is routed to its *home shard* — the device owning
+ * the plurality of its sampled subgraph's vertices — and served there
+ * whole, so per-request arithmetic never crosses a device boundary and
+ * results stay bit-identical to the single-device path (the same
+ * batch-invariance property micro-batching rests on). What scaling out
+ * costs is modeled explicitly:
+ *
+ *  - halo exchange: feature rows of subgraph vertices the home shard
+ *    does not own travel owner -> home over the interconnect before
+ *    the batch's kernels may start;
+ *  - result gather: every batch's outputs travel home -> device 0
+ *    (the all-gather root) after execution.
+ *
+ * The feature store is *sharded and device-resident*: at construction
+ * each device bulk-loads its shard's feature rows over its own PCIe
+ * lanes (charged once), so a request's PCIe cost is only its subgraph
+ * structure — home-owned rows are gathered from device memory by the
+ * batch-assembly kernel, remote rows are the halo above. In drain()
+ * each device's queued structure transfers serialize on its own DMA
+ * path while devices overlap (pendingHostSec_); the online loop
+ * instead admits every arrival on the host's single admission thread,
+ * so there structure transfers serialize globally (see
+ * OnlineServer::runSharded).
+ *
+ * Compute parallelizes the same way: each device runs its own
+ * StreamScheduler (own driver thread, own streams) on the shared
+ * virtual clock, which is where the multi-device speedup comes from.
+ */
+
+#ifndef HECTOR_SERVE_SHARDED_HH
+#define HECTOR_SERVE_SHARDED_HH
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/partition.hh"
+#include "serve/session.hh"
+#include "sim/device_group.hh"
+
+namespace hector::serve
+{
+
+/** Serving-time knobs of a sharded session. */
+struct ShardedConfig
+{
+    /** Per-device serving knobs (maxBatch, numStreams, sample, ...). */
+    ServingConfig serving;
+    /**
+     * Partitioner knobs; numShards is overridden by the device-group
+     * size, so only tolerance and seed matter here.
+     */
+    graph::PartitionSpec partition;
+};
+
+/** One sharded drain cycle's metrics. */
+struct ShardedReport : ServingReport
+{
+    int devices = 1;
+    /** Requests served by each device this cycle. */
+    std::vector<std::size_t> perDeviceRequests;
+    /** Edge cut of the partition (whole graph, not per cycle). */
+    std::int64_t cutEdges = 0;
+    /** Cut edges / total edges of the host graph. */
+    double cutRatio = 0.0;
+    /** Halo-exchange bytes moved for this cycle's batches. */
+    double haloBytes = 0.0;
+    /** Result all-gather bytes moved to device 0 this cycle. */
+    double gatherBytes = 0.0;
+    /** Link-seconds the interconnect was busy this cycle, as ms. */
+    double interconnectMs = 0.0;
+};
+
+/** Accounting of one micro-batch served by serveOldestOn(). */
+struct ShardBatch
+{
+    /** Host-issue overhead + device execution, like BatchCost. */
+    BatchCost cost;
+    /** Home device the batch ran on. */
+    int device = 0;
+    /** Halo bytes owed per owner shard: (owner, bytes) pairs. */
+    std::vector<std::pair<int, double>> haloBytesByOwner;
+    /** Output bytes to all-gather onto device 0 (0 when home is 0). */
+    double gatherBytes = 0.0;
+};
+
+class ShardedSession
+{
+  public:
+    /**
+     * @param g             host-resident full graph (outlives session)
+     * @param host_features host-resident node features, [nodes, din]
+     * @param model_source  model in the textual DSL (model_sources.hh)
+     * @param group         simulated devices; group.size() shards
+     *
+     * Seeding matches ServingSession exactly (weights first, then the
+     * request-sampling stream), so a ShardedSession with the same
+     * config serves the identical request stream with identical
+     * weights — the basis of the golden determinism tests.
+     */
+    ShardedSession(const graph::HeteroGraph &g,
+                   tensor::Tensor host_features, std::string model_source,
+                   ShardedConfig cfg, sim::DeviceGroup &group);
+
+    /** Routing outcome of one submit. */
+    struct SubmitInfo
+    {
+        std::uint64_t id = 0;
+        /** Home device the request was routed to. */
+        int device = 0;
+        /** Host-transfer seconds this submit charged (structure
+         *  bytes over the home device's PCIe lanes; 0 for externally
+         *  prepared requests). */
+        double transferSec = 0.0;
+    };
+
+    /**
+     * Sample a neighborhood query (same seeded stream as the
+     * single-device session), pay its host transfer, and enqueue it on
+     * its home shard. Returns the id and the routing decision.
+     */
+    SubmitInfo submitRouted();
+
+    /** submitRouted() discarding the routing info. */
+    std::uint64_t submit() { return submitRouted().id; }
+
+    /** Enqueue an externally prepared request; routes like submit(). */
+    SubmitInfo submitRouted(graph::Minibatch mb, tensor::Tensor feature);
+
+    /** Serve every queued request on every device; cycle metrics. */
+    ShardedReport drain();
+
+    /**
+     * Serve the min(n, queuedOn(device)) oldest requests of @p device
+     * as ONE micro-batch on @p stream, retaining results. Like
+     * ServingSession::serveOldest, no timeline is imposed: the online
+     * layer owns the clock and charges the returned halo/gather bytes
+     * on the group interconnect itself. Also like serveOldest, the
+     * device's transfer bookkeeping is rebased after the pop, so a
+     * later drain() charges only the remaining requests' transfers.
+     */
+    ShardBatch serveOldestOn(int device, std::size_t n, int stream = 0);
+
+    /** Drop all retained request results (bounded-memory serving). */
+    void clearResults() { results_.clear(); }
+
+    /** Output of a served request; nullptr until served (drain()
+     *  retains results for one cycle, like the single-device path). */
+    const tensor::Tensor *result(std::uint64_t id) const;
+
+    const graph::Partition &partition() const { return partition_; }
+    PlanCache &planCache() { return cache_; }
+    models::WeightMap &weights() { return weights_; }
+    const ShardedConfig &config() const { return cfg_; }
+    sim::DeviceGroup &group() { return group_; }
+
+    std::size_t queued() const;
+    std::size_t queuedOn(int device) const;
+
+  private:
+    int homeShard(const graph::Minibatch &mb) const;
+    SubmitInfo enqueue(int home, graph::Minibatch mb,
+                       tensor::Tensor feature, double submit_sec);
+    std::vector<std::pair<int, double>>
+    batchHaloBytes(const std::vector<const Request *> &reqs,
+                   int home) const;
+
+    const graph::HeteroGraph &g_;
+    tensor::Tensor hostFeatures_;
+    std::string modelSource_;
+    ShardedConfig cfg_;
+    sim::DeviceGroup &group_;
+
+    graph::Partition partition_;
+    PlanCache cache_;
+    models::WeightMap weights_;
+    std::mt19937_64 rng_;
+
+    /** FIFO queue per device. */
+    std::vector<std::vector<Request>> queues_;
+    std::map<std::uint64_t, tensor::Tensor> results_;
+    /** Per-device host-transfer time accrued by queued submits:
+     *  transfers to one device serialize, devices overlap. */
+    std::vector<double> pendingHostSec_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_SHARDED_HH

@@ -6,6 +6,29 @@
 namespace hector::serve
 {
 
+StreamRunCost
+runOnStream(sim::Runtime &rt, int stream, const std::function<void()> &work)
+{
+    rt.setCurrentStream(stream);
+    const sim::StreamStats before =
+        rt.streamStats()[static_cast<std::size_t>(stream)];
+    const double host_before = rt.hostTimeMs() * 1e-3;
+
+    work();
+
+    const sim::StreamStats &after =
+        rt.streamStats()[static_cast<std::size_t>(stream)];
+    StreamRunCost cost;
+    cost.execSec = after.execSec - before.execSec;
+    cost.overheadSec = (after.overheadSec - before.overheadSec) +
+                       (rt.hostTimeMs() * 1e-3 - host_before);
+
+    // Leave the runtime on the default stream so launches outside the
+    // measured run are not attributed to whatever stream ran last.
+    rt.setCurrentStream(0);
+    return cost;
+}
+
 StreamScheduler::StreamScheduler(sim::Runtime &rt, int num_streams)
     : rt_(rt), numStreams_(num_streams)
 {
@@ -24,20 +47,11 @@ StreamScheduler::run(const std::function<void()> &work)
             streamBusySec_[static_cast<std::size_t>(s)])
             s = i;
 
-    rt_.setCurrentStream(s);
-    const sim::StreamStats before =
-        rt_.streamStats()[static_cast<std::size_t>(s)];
-    const double host_before = rt_.hostTimeMs() * 1e-3;
-
-    work();
-
-    const sim::StreamStats &after =
-        rt_.streamStats()[static_cast<std::size_t>(s)];
+    const StreamRunCost cost = runOnStream(rt_, s, work);
     ScheduledBatch b;
     b.stream = s;
-    b.execSec = after.execSec - before.execSec;
-    b.overheadSec = (after.overheadSec - before.overheadSec) +
-                    (rt_.hostTimeMs() * 1e-3 - host_before);
+    b.execSec = cost.execSec;
+    b.overheadSec = cost.overheadSec;
 
     // Timeline: the host issues launches serially; the batch's kernels
     // then run once the stream is free.
@@ -46,10 +60,6 @@ StreamScheduler::run(const std::function<void()> &work)
         std::max(hostClockSec_, streamBusySec_[static_cast<std::size_t>(s)]);
     b.completionSec = start + b.execSec;
     streamBusySec_[static_cast<std::size_t>(s)] = b.completionSec;
-
-    // Leave the runtime on the default stream so launches outside the
-    // scheduler are not attributed to whatever stream ran last.
-    rt_.setCurrentStream(0);
 
     batches_.push_back(b);
     return b;

@@ -36,6 +36,27 @@ struct ScheduledBatch
     double completionSec = 0.0;
 };
 
+/** Overhead/exec cost accrued by one measured run on a stream. */
+struct StreamRunCost
+{
+    /** Host-serialized time: launch overheads + hostOverhead calls. */
+    double overheadSec = 0.0;
+    /** Device-side execution time of the run's kernels. */
+    double execSec = 0.0;
+};
+
+/**
+ * Run @p work with @p rt's current stream set to @p stream and return
+ * the cost it accrued there (the stream's launch-overhead and
+ * kernel-exec deltas plus the host-serialized time delta), leaving the
+ * runtime back on the default stream. The one place the per-batch cost
+ * measurement convention lives: StreamScheduler::run,
+ * ServingSession::serveOldest and ShardedSession::serveOldestOn all
+ * price batches through it.
+ */
+StreamRunCost runOnStream(sim::Runtime &rt, int stream,
+                          const std::function<void()> &work);
+
 class StreamScheduler
 {
   public:

@@ -1,0 +1,109 @@
+#include "sim/device_group.hh"
+
+namespace hector::sim
+{
+
+// ------------------------------------------------------------- Interconnect
+
+Interconnect::Interconnect(int devices, InterconnectSpec spec)
+    : devices_(devices), spec_(spec)
+{
+    if (devices < 1)
+        throw std::runtime_error("Interconnect: need >= 1 device");
+    if (spec_.linkBandwidth <= 0.0)
+        throw std::runtime_error(
+            "Interconnect: link bandwidth must be positive");
+    busyUntil_.assign(
+        static_cast<std::size_t>(devices) * static_cast<std::size_t>(devices),
+        0.0);
+}
+
+std::size_t
+Interconnect::link(int src, int dst) const
+{
+    if (src < 0 || src >= devices_ || dst < 0 || dst >= devices_)
+        throw std::runtime_error("Interconnect: device id out of range");
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(devices_) +
+           static_cast<std::size_t>(dst);
+}
+
+double
+Interconnect::transfer(int src, int dst, double bytes, double ready_sec)
+{
+    if (src == dst) {
+        link(src, dst); // still range-check
+        return ready_sec;
+    }
+    double &busy = busyUntil_[link(src, dst)];
+    const double start = std::max(ready_sec, busy);
+    const double cost = transferSec(bytes);
+    busy = start + cost;
+    totalBytes_ += bytes;
+    totalBusySec_ += cost;
+    ++transfers_;
+    return busy;
+}
+
+double
+Interconnect::linkBusyUntilSec(int src, int dst) const
+{
+    return busyUntil_[link(src, dst)];
+}
+
+void
+Interconnect::reset()
+{
+    std::fill(busyUntil_.begin(), busyUntil_.end(), 0.0);
+    totalBytes_ = 0.0;
+    totalBusySec_ = 0.0;
+    transfers_ = 0;
+}
+
+// -------------------------------------------------------------- DeviceGroup
+
+DeviceGroup::DeviceGroup(int devices, DeviceSpec spec, InterconnectSpec ic)
+    : interconnect_(devices, ic)
+{
+    if (devices < 1)
+        throw std::runtime_error("DeviceGroup: need >= 1 device");
+    devices_.reserve(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d)
+        devices_.push_back(std::make_unique<Runtime>(spec));
+}
+
+Runtime &
+DeviceGroup::device(int d)
+{
+    if (d < 0 || d >= size())
+        throw std::runtime_error("DeviceGroup: device id out of range");
+    return *devices_[static_cast<std::size_t>(d)];
+}
+
+const Runtime &
+DeviceGroup::device(int d) const
+{
+    if (d < 0 || d >= size())
+        throw std::runtime_error("DeviceGroup: device id out of range");
+    return *devices_[static_cast<std::size_t>(d)];
+}
+
+void
+DeviceGroup::advanceTo(double t)
+{
+    if (t > nowSec_)
+        nowSec_ = t;
+    for (auto &d : devices_)
+        d->advanceTo(nowSec_);
+}
+
+std::uint64_t
+DeviceGroup::totalLaunches() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : devices_)
+        n += d->counters().total().launches;
+    return n;
+}
+
+} // namespace hector::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-device simulation: a group of sim::Runtime instances sharing
+ * one virtual clock, wired by a modeled point-to-point interconnect.
+ *
+ * The single-device model charges launches and host overheads against
+ * one Runtime. Scaling out adds exactly two new costs, and this module
+ * owns both:
+ *
+ *  - the Interconnect prices every cross-device transfer (halo rows of
+ *    cut edges, result gathers) as latency + bytes/bandwidth on a
+ *    directed per-link clock, so concurrent transfers on *different*
+ *    links overlap while transfers on the *same* link serialize — the
+ *    NUMA/interconnect serialization that dominates spread-out
+ *    workloads (see PAPERS.md, SG2042 characterization);
+ *  - the DeviceGroup owns one Runtime per device plus the shared
+ *    monotone virtual clock the serving layers advance, so per-device
+ *    schedules and link busy-times live on one timeline.
+ */
+
+#ifndef HECTOR_SIM_DEVICE_GROUP_HH
+#define HECTOR_SIM_DEVICE_GROUP_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/runtime.hh"
+
+namespace hector::sim
+{
+
+/** Parameters of one directed device-to-device link. */
+struct InterconnectSpec
+{
+    /** Per-link, per-direction bandwidth in B/s (NVLink-class). */
+    double linkBandwidth = 300.0e9;
+    /** Per-transfer setup latency in seconds. */
+    double linkLatency = 2.0e-6;
+    /**
+     * Multiplier on the setup latency, mirroring
+     * DeviceSpec::overheadScale so scaled-down datasets keep the
+     * full-size overhead-to-payload ratio.
+     */
+    double overheadScale = 1.0;
+};
+
+/**
+ * All-to-all directed links with per-link busy-until clocks. A
+ * transfer on link (src, dst) starts when both the caller is ready and
+ * the link is idle, then occupies the link for latency + bytes/BW.
+ */
+class Interconnect
+{
+  public:
+    Interconnect(int devices, InterconnectSpec spec);
+
+    const InterconnectSpec &spec() const { return spec_; }
+    int devices() const { return devices_; }
+
+    /** Pure cost of moving @p bytes over one link, in seconds. */
+    double
+    transferSec(double bytes) const
+    {
+        return spec_.linkLatency * spec_.overheadScale +
+               bytes / spec_.linkBandwidth;
+    }
+
+    /**
+     * Charge a transfer of @p bytes on link @p src -> @p dst, starting
+     * no earlier than @p ready_sec. Returns its completion time; the
+     * link stays busy until then. src == dst is free (local copy) and
+     * returns ready_sec unchanged.
+     */
+    double transfer(int src, int dst, double bytes, double ready_sec);
+
+    double linkBusyUntilSec(int src, int dst) const;
+
+    /** Total bytes moved over all links so far. */
+    double totalBytes() const { return totalBytes_; }
+    /** Total link-seconds occupied so far (sum over links). */
+    double totalBusySec() const { return totalBusySec_; }
+    std::uint64_t transfers() const { return transfers_; }
+
+    void reset();
+
+  private:
+    std::size_t link(int src, int dst) const;
+
+    int devices_;
+    InterconnectSpec spec_;
+    std::vector<double> busyUntil_;
+    double totalBytes_ = 0.0;
+    double totalBusySec_ = 0.0;
+    std::uint64_t transfers_ = 0;
+};
+
+/**
+ * N identical simulated devices on one shared virtual clock. Device 0
+ * doubles as the all-gather root the serving layer collects results
+ * on.
+ */
+class DeviceGroup
+{
+  public:
+    DeviceGroup(int devices, DeviceSpec spec = DeviceSpec{},
+                InterconnectSpec ic = InterconnectSpec{});
+
+    int size() const { return static_cast<int>(devices_.size()); }
+
+    Runtime &device(int d);
+    const Runtime &device(int d) const;
+
+    Interconnect &interconnect() { return interconnect_; }
+    const Interconnect &interconnect() const { return interconnect_; }
+
+    /// @name Shared monotone virtual clock.
+    ///
+    /// Mirrors Runtime's clock but is group-wide: advancing the group
+    /// advances every member runtime, so per-device accounting and the
+    /// serving timeline agree on "now".
+    /// @{
+    double nowSec() const { return nowSec_; }
+    double nowMs() const { return nowSec_ * 1e3; }
+    void advanceTo(double t);
+    /// @}
+
+    /** Sum of kernel launches across every device. */
+    std::uint64_t totalLaunches() const;
+
+  private:
+    std::vector<std::unique_ptr<Runtime>> devices_;
+    Interconnect interconnect_;
+    double nowSec_ = 0.0;
+};
+
+} // namespace hector::sim
+
+#endif // HECTOR_SIM_DEVICE_GROUP_HH

@@ -60,8 +60,9 @@ TEST(Autotune, BestIsFastestNonOom)
     const auto &best = r.best();
     EXPECT_FALSE(best.oom);
     for (const auto &e : r.entries)
-        if (!e.oom)
+        if (!e.oom) {
             EXPECT_LE(best.timeMs, e.timeMs + 1e-12);
+        }
 }
 
 TEST(Autotune, ScheduleSweepExtendsEntries)
@@ -171,7 +172,11 @@ TEST(Schedule, ScheduleNeverChangesResults)
         ctx.weights = &w;
         ctx.weightGrads = &grads;
         bindInputs(m, ctx, env.feature);
-        tensor::Tensor out = m.forward(ctx).clone();
+        tensor::Tensor tracked = m.forward(ctx);
+        // Detach from rt's loop-local tracker: baseline_out outlives
+        // this iteration's Runtime.
+        tensor::TrackerScope untracked(nullptr);
+        tensor::Tensor out = tracked.clone();
         if (!baseline_out.defined())
             baseline_out = out;
         else

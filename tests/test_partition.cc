@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property tests for the deterministic edge-cut partitioner
+ * (graph/partition.hh): total assignment, per-node-type balance within
+ * tolerance, reported-cut-equals-recount, bit-stability under a fixed
+ * seed, and halo-matrix consistency with the cut.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/datasets.hh"
+#include "graph/partition.hh"
+
+namespace
+{
+
+using namespace hector;
+
+graph::HeteroGraph
+testGraph(double scale = 1.0 / 16.0, std::uint64_t seed = 7)
+{
+    return graph::generate(graph::datasetSpec("aifb"), scale, seed);
+}
+
+TEST(Partition, EveryVertexLandsInExactlyOneShard)
+{
+    const graph::HeteroGraph g = testGraph();
+    for (int k : {1, 2, 3, 4, 7}) {
+        graph::PartitionSpec spec;
+        spec.numShards = k;
+        const graph::Partition p = graph::partitionGraph(g, spec);
+
+        ASSERT_EQ(p.shardOf.size(),
+                  static_cast<std::size_t>(g.numNodes()));
+        std::int64_t assigned = 0;
+        for (std::int32_t s : p.shardOf) {
+            EXPECT_GE(s, 0);
+            EXPECT_LT(s, k);
+            ++assigned;
+        }
+        EXPECT_EQ(assigned, g.numNodes());
+
+        // shardSizes is the exact histogram of shardOf.
+        std::vector<std::int64_t> recount(static_cast<std::size_t>(k), 0);
+        for (std::int32_t s : p.shardOf)
+            ++recount[static_cast<std::size_t>(s)];
+        EXPECT_EQ(recount, p.shardSizes);
+        EXPECT_EQ(std::accumulate(p.shardSizes.begin(),
+                                  p.shardSizes.end(), std::int64_t{0}),
+                  g.numNodes());
+    }
+}
+
+TEST(Partition, ShardSizesBalancedWithinTolerancePerNodeType)
+{
+    const graph::HeteroGraph g = testGraph();
+    for (int k : {2, 4}) {
+        graph::PartitionSpec spec;
+        spec.numShards = k;
+        spec.balanceTolerance = 0.10;
+        const graph::Partition p = graph::partitionGraph(g, spec);
+
+        for (int t = 0; t < g.numNodeTypes(); ++t) {
+            const std::int64_t count =
+                g.ntypePtr()[static_cast<std::size_t>(t) + 1] -
+                g.ntypePtr()[static_cast<std::size_t>(t)];
+            const std::int64_t even = (count + k - 1) / k;
+            const std::int64_t cap = std::max(
+                even,
+                static_cast<std::int64_t>(
+                    static_cast<double>(count) / k *
+                    (1.0 + spec.balanceTolerance)));
+            std::int64_t type_total = 0;
+            for (int s = 0; s < k; ++s) {
+                const std::int64_t sz =
+                    p.sizesByType[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(s)];
+                EXPECT_LE(sz, cap)
+                    << "type " << t << " shard " << s << " overfilled";
+                type_total += sz;
+            }
+            EXPECT_EQ(type_total, count);
+        }
+
+        // sizesByType must agree with shardOf.
+        for (int t = 0; t < g.numNodeTypes(); ++t)
+            for (int s = 0; s < k; ++s) {
+                std::int64_t recount = 0;
+                for (std::int64_t v =
+                         g.ntypePtr()[static_cast<std::size_t>(t)];
+                     v < g.ntypePtr()[static_cast<std::size_t>(t) + 1];
+                     ++v)
+                    if (p.shardOf[static_cast<std::size_t>(v)] == s)
+                        ++recount;
+                EXPECT_EQ(recount,
+                          p.sizesByType[static_cast<std::size_t>(t)]
+                                       [static_cast<std::size_t>(s)]);
+            }
+    }
+}
+
+TEST(Partition, ReportedEdgeCutEqualsRecount)
+{
+    const graph::HeteroGraph g = testGraph();
+    for (int k : {1, 2, 4}) {
+        graph::PartitionSpec spec;
+        spec.numShards = k;
+        const graph::Partition p = graph::partitionGraph(g, spec);
+
+        // Recount by walking every edge directly, independent of
+        // countCutEdges' implementation.
+        std::int64_t cut = 0;
+        for (std::int64_t e = 0; e < g.numEdges(); ++e)
+            if (p.shardOf[static_cast<std::size_t>(
+                    g.src()[static_cast<std::size_t>(e)])] !=
+                p.shardOf[static_cast<std::size_t>(
+                    g.dst()[static_cast<std::size_t>(e)])])
+                ++cut;
+        EXPECT_EQ(p.cutEdges, cut);
+        EXPECT_EQ(p.cutEdges, graph::countCutEdges(g, p.shardOf));
+        EXPECT_EQ(p.totalEdges, g.numEdges());
+        EXPECT_GE(p.cutRatio(), 0.0);
+        EXPECT_LE(p.cutRatio(), 1.0);
+        if (k == 1) {
+            EXPECT_EQ(p.cutEdges, 0);
+            EXPECT_EQ(p.cutRatio(), 0.0);
+        }
+    }
+}
+
+TEST(Partition, StableUnderFixedSeedAcrossRuns)
+{
+    const graph::HeteroGraph g = testGraph();
+    graph::PartitionSpec spec;
+    spec.numShards = 4;
+    spec.seed = 0xfeed;
+
+    const graph::Partition a = graph::partitionGraph(g, spec);
+    const graph::Partition b = graph::partitionGraph(g, spec);
+    EXPECT_EQ(a.shardOf, b.shardOf);
+    EXPECT_EQ(a.shardSizes, b.shardSizes);
+    EXPECT_EQ(a.cutEdges, b.cutEdges);
+
+    // A rebuilt (but identical) graph gives the same partition: the
+    // result is a pure function of (graph, spec), not of any address
+    // or iteration-order accident.
+    const graph::HeteroGraph g2 = testGraph();
+    const graph::Partition c = graph::partitionGraph(g2, spec);
+    EXPECT_EQ(a.shardOf, c.shardOf);
+}
+
+TEST(Partition, GreedyBeatsRoundRobinOnEdgeCut)
+{
+    // The affinity term must be doing something: the LDG cut should
+    // not exceed the locality-blind round-robin cut on a graph with
+    // any community structure.
+    const graph::HeteroGraph g = testGraph(1.0 / 8.0);
+    graph::PartitionSpec spec;
+    spec.numShards = 4;
+    const graph::Partition p = graph::partitionGraph(g, spec);
+
+    std::vector<std::int32_t> rr(static_cast<std::size_t>(g.numNodes()));
+    for (std::int64_t v = 0; v < g.numNodes(); ++v)
+        rr[static_cast<std::size_t>(v)] =
+            static_cast<std::int32_t>(v % spec.numShards);
+    EXPECT_LE(p.cutEdges, graph::countCutEdges(g, rr));
+}
+
+TEST(Partition, HaloMatrixConsistentWithCut)
+{
+    const graph::HeteroGraph g = testGraph();
+    graph::PartitionSpec spec;
+    spec.numShards = 4;
+    const graph::Partition p = graph::partitionGraph(g, spec);
+    const std::vector<std::int64_t> halo = graph::haloMatrix(g, p);
+
+    ASSERT_EQ(halo.size(), 16u);
+    std::int64_t total = 0;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            const std::int64_t h =
+                halo[static_cast<std::size_t>(i * 4 + j)];
+            EXPECT_GE(h, 0);
+            if (i == j) {
+                EXPECT_EQ(h, 0) << "diagonal must be zero";
+            }
+            total += h;
+        }
+    // Unique (vertex, destination shard) pairs can never outnumber the
+    // cut edges that induce them; with any cut at all there must be at
+    // least one halo row.
+    EXPECT_LE(total, p.cutEdges);
+    if (p.cutEdges > 0) {
+        EXPECT_GT(total, 0);
+    }
+
+    // Single shard: no links, no halo.
+    graph::PartitionSpec one;
+    one.numShards = 1;
+    const graph::Partition p1 = graph::partitionGraph(g, one);
+    const std::vector<std::int64_t> halo1 = graph::haloMatrix(g, p1);
+    ASSERT_EQ(halo1.size(), 1u);
+    EXPECT_EQ(halo1[0], 0);
+}
+
+TEST(Partition, RejectsInvalidSpecs)
+{
+    const graph::HeteroGraph g = testGraph();
+    graph::PartitionSpec bad;
+    bad.numShards = 0;
+    EXPECT_THROW(graph::partitionGraph(g, bad), std::runtime_error);
+    bad.numShards = 2;
+    bad.balanceTolerance = -0.5;
+    EXPECT_THROW(graph::partitionGraph(g, bad), std::runtime_error);
+}
+
+} // namespace

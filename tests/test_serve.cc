@@ -850,4 +850,57 @@ TEST(ServingSession, BatchedMultiStreamServesIdenticalResultsFaster)
         << "batching + streams should win clearly, not marginally";
 }
 
+// ----------------------------------------------------------- percentiles
+
+// percentileSorted (session.hh) is the ONE nearest-rank helper every
+// report path shares — drain cycles, the online loop, and sharded
+// drains all call it — so its exact semantics are pinned here on known
+// vectors rather than through report plumbing.
+
+TEST(PercentileSorted, EmptySampleIsZero)
+{
+    EXPECT_EQ(serve::percentileSorted({}, 0.5), 0.0);
+    EXPECT_EQ(serve::percentileSorted({}, 0.99), 0.0);
+}
+
+TEST(PercentileSorted, SingleElementIsEveryPercentile)
+{
+    const std::vector<double> one = {7.5};
+    EXPECT_EQ(serve::percentileSorted(one, 0.0), 7.5);
+    EXPECT_EQ(serve::percentileSorted(one, 0.50), 7.5);
+    EXPECT_EQ(serve::percentileSorted(one, 0.95), 7.5);
+    EXPECT_EQ(serve::percentileSorted(one, 0.99), 7.5);
+    EXPECT_EQ(serve::percentileSorted(one, 1.0), 7.5);
+}
+
+TEST(PercentileSorted, NearestRankOnKnownVector)
+{
+    // Nearest-rank: idx = ceil(q * n) - 1 (clamped).
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_EQ(serve::percentileSorted(v, 0.0), 10.0);
+    EXPECT_EQ(serve::percentileSorted(v, 0.25), 10.0); // ceil(1)-1 = 0
+    EXPECT_EQ(serve::percentileSorted(v, 0.50), 20.0); // ceil(2)-1 = 1
+    EXPECT_EQ(serve::percentileSorted(v, 0.75), 30.0);
+    EXPECT_EQ(serve::percentileSorted(v, 0.95), 40.0); // ceil(3.8)-1 = 3
+    EXPECT_EQ(serve::percentileSorted(v, 0.99), 40.0);
+    EXPECT_EQ(serve::percentileSorted(v, 1.0), 40.0);
+}
+
+TEST(PercentileSorted, TiesResolveToTheTiedValue)
+{
+    const std::vector<double> v = {5.0, 5.0, 7.0, 7.0, 9.0};
+    EXPECT_EQ(serve::percentileSorted(v, 0.40), 5.0); // ceil(2)-1 = 1
+    EXPECT_EQ(serve::percentileSorted(v, 0.50), 7.0); // ceil(2.5)-1 = 2
+    EXPECT_EQ(serve::percentileSorted(v, 0.80), 7.0); // ceil(4)-1 = 3
+    EXPECT_EQ(serve::percentileSorted(v, 0.95), 9.0);
+    EXPECT_EQ(serve::percentileSorted(v, 0.99), 9.0);
+}
+
+TEST(PercentileSorted, ClampsOutOfRangeQuantiles)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    EXPECT_EQ(serve::percentileSorted(v, -0.5), 1.0);
+    EXPECT_EQ(serve::percentileSorted(v, 1.5), 2.0);
+}
+
 } // namespace
