@@ -63,6 +63,8 @@ main()
     serve::ServingReport rgat_unbatched;
     serve::ServingReport rgat_batched;
 
+    JsonLog log("serving");
+
     for (models::ModelKind m : kModels) {
         std::printf("-- %s serving --\n", models::toString(m));
         printRow({"batch", "streams", "ms/req", "req/s", "p50-ms",
@@ -114,16 +116,20 @@ main()
             std::snprintf(b8, sizeof(b8), "%.2fx", speedup);
             printRow({b1, b2, b3, b4, b5, b6, b7, b8});
 
-            std::printf("JSON {\"bench\":\"serving\",\"dataset\":\"%s\","
-                        "\"model\":\"%s\",\"batch\":%zu,\"streams\":%d,"
-                        "\"requests\":%d,\"ms_per_request\":%.6f,"
-                        "\"throughput_rps\":%.3f,\"p50_latency_ms\":%.6f,"
-                        "\"max_latency_ms\":%.6f,\"launches\":%llu,"
-                        "\"speedup_vs_unbatched\":%.3f}\n",
-                        dataset.c_str(), models::toString(m), c.batch,
-                        c.streams, requests, ms_per_req, rps, p50, max_lat,
-                        static_cast<unsigned long long>(rep.launches),
-                        speedup);
+            char json[512];
+            std::snprintf(json, sizeof(json),
+                          "{\"bench\":\"serving\",\"dataset\":\"%s\","
+                          "\"model\":\"%s\",\"batch\":%zu,\"streams\":%d,"
+                          "\"requests\":%d,\"ms_per_request\":%.6f,"
+                          "\"throughput_rps\":%.3f,\"p50_latency_ms\":%.6f,"
+                          "\"max_latency_ms\":%.6f,\"launches\":%llu,"
+                          "\"speedup_vs_unbatched\":%.3f}",
+                          dataset.c_str(), models::toString(m), c.batch,
+                          c.streams, requests, ms_per_req, rps, p50,
+                          max_lat,
+                          static_cast<unsigned long long>(rep.launches),
+                          speedup);
+            log.record(json);
         }
         std::printf("\n");
     }
@@ -138,5 +144,6 @@ main()
                 rgat_batched.msPerRequest < rgat_unbatched.msPerRequest
                     ? "(strictly faster)"
                     : "(REGRESSION)");
+    log.write();
     return 0;
 }

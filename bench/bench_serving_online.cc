@@ -112,6 +112,8 @@ main()
     serve::OnlineReport adaptive_low, adaptive_high;
     serve::OnlineReport fixed_low, fixed_high;
 
+    JsonLog log("serving_online");
+
     for (bool adaptive : {false, true}) {
         for (double frac : load_fractions) {
             serve::OnlineConfig cfg = baseConfig(dim, deadline_ms);
@@ -150,8 +152,10 @@ main()
             std::snprintf(b9, sizeof(b9), "%.1f", rps);
             printRow({b1, b2, b3, b4, b5, b6, b7, b8, b9});
 
-            std::printf(
-                "JSON {\"bench\":\"serving_online\",\"dataset\":\"%s\","
+            char json[768];
+            std::snprintf(
+                json, sizeof(json),
+                "{\"bench\":\"serving_online\",\"dataset\":\"%s\","
                 "\"model\":\"rgat\",\"policy\":\"%s\","
                 "\"load_fraction\":%.3f,\"offered_rate_rps\":%.3f,"
                 "\"requests\":%zu,\"deadline_ms\":%.6f,"
@@ -159,12 +163,13 @@ main()
                 "\"p99_latency_ms\":%.6f,\"mean_queue_delay_ms\":%.6f,"
                 "\"slo_attainment\":%.4f,\"mean_batch\":%.3f,"
                 "\"peak_queue_depth\":%zu,\"throughput_rps\":%.3f,"
-                "\"ticks\":%zu,\"launches\":%llu}\n",
+                "\"ticks\":%zu,\"launches\":%llu}",
                 dataset.c_str(), adaptive ? "adaptive" : "fixed", frac,
                 rate, rep.requests, deadline_ms / scale, p50, p95, p99,
                 rep.meanQueueDelayMs / scale, rep.sloAttainment,
                 rep.meanBatchSize, rep.peakQueueDepth, rps, rep.ticks,
                 static_cast<unsigned long long>(rep.launches));
+            log.record(json);
         }
         std::printf("\n");
     }
@@ -188,5 +193,6 @@ main()
                 100.0 * adaptive_high.throughputReqPerSec /
                     fixed_high.throughputReqPerSec,
                 tput_holds ? "within 5%" : "REGRESSION");
+    log.write();
     return p99_wins && tput_holds ? 0 : 1;
 }

@@ -56,6 +56,8 @@ main()
     double rgat_speedup4 = 0.0;
     bool rgat_bit_identical = true;
 
+    JsonLog log("serving_sharded");
+
     for (models::ModelKind m : kModels) {
         std::printf("-- %s sharded serving --\n", models::toString(m));
         printRow({"devices", "cut-ratio", "halo-MB", "ic-ms", "ms/req",
@@ -128,18 +130,21 @@ main()
             std::snprintf(b8, sizeof(b8), "%.2fx", speedup);
             printRow({b1, b2, b3, b4, b5, b6, b7, b8});
 
-            std::printf(
-                "JSON {\"bench\":\"serving_sharded\",\"dataset\":\"%s\","
+            char json[640];
+            std::snprintf(
+                json, sizeof(json),
+                "{\"bench\":\"serving_sharded\",\"dataset\":\"%s\","
                 "\"model\":\"%s\",\"devices\":%d,\"requests\":%d,"
                 "\"cut_ratio\":%.6f,\"halo_bytes\":%.0f,"
                 "\"gather_bytes\":%.0f,\"interconnect_ms\":%.6f,"
                 "\"ms_per_request\":%.6f,\"throughput_rps\":%.3f,"
                 "\"p95_latency_ms\":%.6f,\"speedup_vs_1dev\":%.3f,"
-                "\"bit_identical\":%s}\n",
+                "\"bit_identical\":%s}",
                 dataset.c_str(), models::toString(m), devices, requests,
                 rep.cutRatio, rep.haloBytes, rep.gatherBytes,
                 rep.interconnectMs, ms_per_req, rps, p95, speedup,
                 identical ? "true" : "false");
+            log.record(json);
         }
         std::printf("\n");
     }
@@ -152,5 +157,6 @@ main()
                 (rgat_speedup4 >= 1.7 && rgat_bit_identical)
                     ? "OK"
                     : "REGRESSION");
+    log.write();
     return (rgat_speedup4 >= 1.7 && rgat_bit_identical) ? 0 : 1;
 }

@@ -69,6 +69,10 @@ compile(Program program, const CompileOptions &options)
     }
 
     m.forwardProgram = std::move(program);
+    m.memoryPlan = planMemory(
+        m.forwardProgram, m.forwardFn,
+        options.training ? &m.backwardProgram : nullptr,
+        options.training ? &m.backwardFn : nullptr);
     m.code = generateCode(m.forwardProgram, m.forwardFn,
                           options.training ? &m.backwardProgram : nullptr,
                           options.training ? &m.backwardFn : nullptr);
@@ -94,13 +98,13 @@ void
 bindInputs(const CompiledModel &m, ExecutionContext &ctx,
            const tensor::Tensor &feature)
 {
-    ctx.tensors.insert_or_assign(m.forwardProgram.inputVar, feature);
+    ctx.bindExternal(m.forwardProgram.inputVar, feature);
     if (m.forwardProgram.vars.count("norm")) {
         const auto norm = ctx.g->rgcnNorm();
         tensor::Tensor t({ctx.g->numEdges(), 1});
         for (std::int64_t e = 0; e < ctx.g->numEdges(); ++e)
             t.at(e, 0) = norm[static_cast<std::size_t>(e)];
-        ctx.tensors.insert_or_assign("norm", std::move(t));
+        ctx.bindExternal("norm", std::move(t));
     }
 }
 
@@ -120,7 +124,7 @@ trainStep(const CompiledModel &m, ExecutionContext &ctx,
         1.0f / static_cast<float>(std::max<std::int64_t>(1, out.dim(0)));
     for (std::size_t i = 0; i < g.numel(); ++i)
         g.data()[i] = scale;
-    ctx.tensors.insert_or_assign(seed, std::move(g));
+    ctx.bindExternal(seed, std::move(g));
 
     sim::KernelDesc loss;
     loss.name = "nll_loss";

@@ -57,6 +57,15 @@ struct CompiledModel
     LoweredFunction backwardFn;
     PassStats passStats;
     GeneratedCode code;
+    /**
+     * Arena memory plan over the lowered functions (slot assignments
+     * stamped into the instances). Adopted opt-in per
+     * ExecutionContext (ExecutionContext::adoptPlan): the serving
+     * runtime pools arena-backed contexts across requests, while
+     * contexts that never adopt keep the legacy allocate-on-first-use
+     * behavior (including post-execution inspection of ctx.tensors).
+     */
+    MemoryPlan memoryPlan;
 
     /**
      * Run forward propagation. ctx.tensors must hold the program's

@@ -1,8 +1,13 @@
 #include "core/executor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "tensor/block_kernels.hh"
+#include "util/thread_pool.hh"
 
 namespace hector::core
 {
@@ -23,12 +28,114 @@ ExecutionContext::rowsOf(RowDomain d) const
       case RowDomain::Nodes:
         return g->numNodes();
     }
-    return 0;
+    throw std::logic_error("rowsOf: invalid RowDomain enum value");
+}
+
+std::int64_t
+ExecutionContext::rowsOf(SlotRows r) const
+{
+    switch (r) {
+      case SlotRows::Nodes:
+        return g->numNodes();
+      case SlotRows::Edges:
+        return g->numEdges();
+      case SlotRows::UniquePairs:
+        if (!cmap)
+            throw std::runtime_error(
+                "compact slot requires a CompactionMap");
+        return cmap->numUnique();
+    }
+    throw std::logic_error("rowsOf: invalid SlotRows enum value");
+}
+
+void
+ExecutionContext::adoptPlan(const MemoryPlan *plan)
+{
+    if (plan_ != plan) {
+        plan_ = plan;
+        const std::size_t n = plan_ ? plan_->slots.size() : 0;
+        arenaBufs_.assign(n, Tensor());
+        slotViews_.assign(n, Tensor());
+        slotBound_.assign(n, 0);
+    }
+}
+
+void
+ExecutionContext::reset(const graph::HeteroGraph *graph,
+                        const graph::CompactionMap *cm, sim::Runtime *runtime,
+                        std::map<std::string, Tensor> *w,
+                        std::map<std::string, Tensor> *wg)
+{
+    g = graph;
+    cmap = cm;
+    rt = runtime;
+    weights = w;
+    weightGrads = wg;
+    tensors.clear();
+    std::fill(slotBound_.begin(), slotBound_.end(), 0);
+    std::fill(slotViews_.begin(), slotViews_.end(), Tensor());
+}
+
+Tensor &
+ExecutionContext::materializeSlot(int slot)
+{
+    const MemoryPlan::Slot &s =
+        plan_->slots[static_cast<std::size_t>(slot)];
+    if (s.external)
+        throw std::runtime_error(
+            "materializeSlot: external slot must be bound by the caller");
+    const std::int64_t rows = rowsOf(s.rows);
+    const std::size_t needed =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(s.cols);
+    Tensor &buf = arenaBufs_[static_cast<std::size_t>(slot)];
+    // !defined() matters for the zero-row case: an empty-graph slot
+    // needs 0 elements, but a view still needs backing storage.
+    if (!buf.defined() || buf.capacity() < needed)
+        buf = Tensor({rows, s.cols});
+    Tensor view = buf.viewPrefix({rows, s.cols});
+    if (needed != 0)
+        std::memset(view.data(), 0, needed * sizeof(float));
+    slotViews_[static_cast<std::size_t>(slot)] = std::move(view);
+    slotBound_[static_cast<std::size_t>(slot)] = 1;
+    return slotViews_[static_cast<std::size_t>(slot)];
+}
+
+Tensor &
+ExecutionContext::slotTensor(int slot)
+{
+    if (!plan_ || slot < 0 ||
+        static_cast<std::size_t>(slot) >= slotViews_.size())
+        throw std::logic_error("slotTensor: no such slot");
+    if (!slotBound_[static_cast<std::size_t>(slot)]) {
+        if (plan_->slots[static_cast<std::size_t>(slot)].external)
+            throw std::runtime_error(
+                "slotTensor: external input was never bound");
+        return materializeSlot(slot);
+    }
+    return slotViews_[static_cast<std::size_t>(slot)];
+}
+
+void
+ExecutionContext::bindExternal(const std::string &name, Tensor t)
+{
+    if (plan_) {
+        const int slot = plan_->slotOf(name);
+        if (slot >= 0) {
+            slotViews_[static_cast<std::size_t>(slot)] = t;
+            slotBound_[static_cast<std::size_t>(slot)] = 1;
+        }
+    }
+    tensors.insert_or_assign(name, std::move(t));
 }
 
 Tensor &
 ExecutionContext::ensureTensor(const Program &p, const std::string &var)
 {
+    if (plan_) {
+        const int slot = plan_->slotOf(var);
+        if (slot >= 0)
+            return slotTensor(slot);
+    }
     auto it = tensors.find(var);
     if (it != tensors.end())
         return it->second;
@@ -60,9 +167,26 @@ ExecutionContext::ensureTensor(const Program &p, const std::string &var)
     return nit->second;
 }
 
+const Tensor *
+ExecutionContext::lookup(const std::string &name) const
+{
+    auto it = tensors.find(name);
+    if (it != tensors.end())
+        return &it->second;
+    if (plan_) {
+        const int slot = plan_->slotOf(name);
+        if (slot >= 0 && slotBound_[static_cast<std::size_t>(slot)])
+            return &slotViews_[static_cast<std::size_t>(slot)];
+    }
+    return nullptr;
+}
+
 namespace
 {
 
+using tensor::blocked::kBlockK;
+using tensor::blocked::packPanel;
+using tensor::blocked::panelFor;
 
 /**
  * Get-or-create a parameter-shaped tensor outside device-memory
@@ -233,17 +357,90 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
     const std::int64_t din = gi.din;
     const std::int64_t dout = gi.dout;
 
-    Tensor &x = ctx.ensureTensor(p, gi.xVar);
+    auto operand = [&](const std::string &name,
+                       std::int32_t slot) -> Tensor & {
+        if (ctx.plan() && slot >= 0)
+            return ctx.slotTensor(slot);
+        return ctx.ensureTensor(p, name);
+    };
+
+    Tensor &x = operand(gi.xVar, gi.xSlot);
 
     const float *scalar = nullptr;
     if (!gi.perRowScalarVar.empty())
-        scalar = ctx.ensureTensor(p, gi.perRowScalarVar).data();
+        scalar = operand(gi.perRowScalarVar, gi.scalarSlot).data();
+
+    /** Rows [r0, r1) of segment t in the seed's exact loop order;
+     *  handles every access scheme including colliding scatters. */
+    auto seedRows = [&](Tensor &y, std::int64_t t, std::int64_t r0,
+                        std::int64_t r1) {
+        const float *wslice = w.data() + t * wr * wc;
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float *xrow =
+                x.row(resolveIndex(ctx, gi.xAccess, gi.rows, r));
+            float *yrow = y.row(resolveIndex(ctx, gi.yAccess, gi.rows, r));
+            const float scale = scalar ? scalar[r] : 1.0f;
+            if (!gi.yAccumulate)
+                std::memset(yrow, 0,
+                            static_cast<std::size_t>(dout) * sizeof(float));
+            for (std::int64_t i = 0; i < din; ++i) {
+                const float xv = scale * xrow[i];
+                if (xv == 0.0f)
+                    continue;
+                if (!gi.transW) {
+                    const float *wrow = wslice + i * wc;
+                    for (std::int64_t j = 0; j < dout; ++j)
+                        yrow[j] += xv * wrow[j];
+                } else {
+                    for (std::int64_t j = 0; j < dout; ++j)
+                        yrow[j] += xv * wslice[j * wc + i];
+                }
+            }
+        }
+    };
+
+    /**
+     * Cache-blocked rows [r0, r1) of segment t for the Identity-output
+     * case: k tiled in kBlockK chunks with op(W) packed once per chunk
+     * into a contiguous panel. Per output element the contributions
+     * arrive in ascending i with zero x-values skipped — bit-identical
+     * to seedRows.
+     */
+    auto blockedRows = [&](Tensor &y, std::int64_t t, std::int64_t r0,
+                           std::int64_t r1) {
+        const float *wslice = w.data() + t * wr * wc;
+        if (!gi.yAccumulate)
+            for (std::int64_t r = r0; r < r1; ++r)
+                std::memset(y.row(r), 0,
+                            static_cast<std::size_t>(dout) * sizeof(float));
+        float *panel = panelFor(dout);
+        for (std::int64_t k0 = 0; k0 < din; k0 += kBlockK) {
+            const std::int64_t kb = std::min(kBlockK, din - k0);
+            packPanel(wslice, wc, gi.transW, k0, kb, dout, panel);
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const float *xrow =
+                    x.row(resolveIndex(ctx, gi.xAccess, gi.rows, r)) + k0;
+                const float scale = scalar ? scalar[r] : 1.0f;
+                float *yrow = y.row(r);
+                for (std::int64_t kk = 0; kk < kb; ++kk) {
+                    const float xv = scale * xrow[kk];
+                    if (xv == 0.0f)
+                        continue;
+                    const float *prow = panel + kk * dout;
+                    for (std::int64_t j = 0; j < dout; ++j)
+                        yrow[j] += xv * prow[j];
+                }
+            }
+        }
+    };
 
     auto body = [&]() {
         if (gi.kind == GemmKind::Outer) {
-            Tensor &y2 = ctx.ensureTensor(p, gi.y2Var);
+            Tensor &y2 = operand(gi.y2Var, gi.y2Slot);
             Tensor &grad =
                 untrackedParam(*ctx.weightGrads, gi.yVar, w.shape());
+            // Every row of a segment accumulates into the same grad
+            // slice: sequential keeps the deterministic order.
             for (std::int64_t t = 0; t < seg.types; ++t) {
                 float *gslice = grad.data() + t * wr * wc;
                 for (std::int64_t r = seg.ptr[static_cast<std::size_t>(t)];
@@ -264,34 +461,49 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
             }
             return;
         }
-        Tensor &y = ctx.ensureTensor(p, gi.yVar);
-        for (std::int64_t t = 0; t < seg.types; ++t) {
-            const float *wslice = w.data() + t * wr * wc;
-            for (std::int64_t r = seg.ptr[static_cast<std::size_t>(t)];
-                 r < seg.ptr[static_cast<std::size_t>(t) + 1]; ++r) {
-                const float *xrow =
-                    x.row(resolveIndex(ctx, gi.xAccess, gi.rows, r));
-                float *yrow =
-                    y.row(resolveIndex(ctx, gi.yAccess, gi.rows, r));
-                const float scale = scalar ? scalar[r] : 1.0f;
-                if (!gi.yAccumulate)
-                    std::memset(yrow, 0,
-                                static_cast<std::size_t>(dout) *
-                                    sizeof(float));
-                for (std::int64_t i = 0; i < din; ++i) {
-                    const float xv = scale * xrow[i];
-                    if (xv == 0.0f)
-                        continue;
-                    if (!gi.transW) {
-                        const float *wrow = wslice + i * wc;
-                        for (std::int64_t j = 0; j < dout; ++j)
-                            yrow[j] += xv * wrow[j];
-                    } else {
-                        for (std::int64_t j = 0; j < dout; ++j)
-                            yrow[j] += xv * wslice[j * wc + i];
-                    }
-                }
+        Tensor &y = operand(gi.yVar, gi.ySlot);
+
+        // Walk the segments overlapping [lo, hi), dispatching each
+        // sub-range to the blocked or seed-order row kernel.
+        auto rowRange = [&](std::int64_t lo, std::int64_t hi,
+                            bool blocked) {
+            std::int64_t t = 0;
+            while (t < seg.types &&
+                   seg.ptr[static_cast<std::size_t>(t) + 1] <= lo)
+                ++t;
+            for (; t < seg.types &&
+                   seg.ptr[static_cast<std::size_t>(t)] < hi;
+                 ++t) {
+                const std::int64_t r0 =
+                    std::max(lo, seg.ptr[static_cast<std::size_t>(t)]);
+                const std::int64_t r1 = std::min(
+                    hi, seg.ptr[static_cast<std::size_t>(t) + 1]);
+                if (r1 <= r0)
+                    continue;
+                if (blocked && r1 - r0 >= 4 && din > 0 && dout > 0)
+                    blockedRows(y, t, r0, r1);
+                else
+                    seedRows(y, t, r0, r1);
             }
+        };
+
+        if (util::seedKernelMode()) {
+            rowRange(0, total_rows, false);
+            return;
+        }
+        // Row-range parallelism requires each output row to be owned
+        // by exactly one thread: true for Identity output access (row
+        // r writes y[r]); scatter schemes may collide, and reordering
+        // colliding accumulations would change the bits.
+        if (gi.yAccess == AccessScheme::Identity && total_rows > 0) {
+            util::globalPool().parallelFor(
+                0, total_rows,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    rowRange(lo, hi, true);
+                },
+                tensor::blocked::rowGrain(din, dout));
+        } else {
+            rowRange(0, total_rows, false);
         }
     };
 
@@ -336,7 +548,7 @@ struct EvalPoint
     std::int32_t ntype = 0;
 };
 
-/** Resolves operand storage for traversal statements. */
+/** Resolves operand storage for traversal statements (seed path). */
 class OperandResolver
 {
   public:
@@ -397,7 +609,7 @@ class OperandResolver
     std::map<std::string, std::vector<float>> scratch_;
 };
 
-/** Executes one statement at one evaluation point. */
+/** Executes one statement at one evaluation point (seed path). */
 void
 evalStmt(const Program &p, const Stmt &s, const EvalPoint &pt,
          RowDomain domain, OperandResolver &res, ExecutionContext &ctx)
@@ -575,6 +787,411 @@ evalStmt(const Program &p, const Stmt &s, const EvalPoint &pt,
     }
 }
 
+/// @name Prepared traversal execution (the fast path)
+///
+/// prepareTraversal() resolves every operand of every statement ONCE
+/// per launch — tensor base pointer (through the stamped arena slot
+/// when a plan is adopted), row-addressing mode, column counts, typed
+/// weight-vector bases — so per-point evaluation is pure pointer
+/// arithmetic with no string-keyed map lookups. The per-point
+/// arithmetic is byte-for-byte the seed evalStmt's.
+/// @{
+
+/** How a prepared operand's row is located at an evaluation point. */
+enum class RowMode : std::uint8_t
+{
+    Scratch,           ///< per-thread virtual-variable buffer
+    Edge,              ///< row pt.e (vanilla edge data)
+    CompactFromEdge,   ///< row edgeToUnique[pt.e]
+    Unique,            ///< row pt.u (compact data, UniquePairs domain)
+    SrcNode,           ///< row src[pt.e]
+    SrcNodeFromUnique, ///< row uniqueRowIdx[pt.u]
+    DstNode,           ///< row dst[pt.e]
+    Node,              ///< row pt.v
+};
+
+/** Graph index arrays used by per-point row resolution. */
+struct PointIndex
+{
+    const std::int64_t *src = nullptr;
+    const std::int64_t *dst = nullptr;
+    const std::int64_t *e2u = nullptr;
+    const std::int64_t *uri = nullptr;
+};
+
+struct PreparedOperand
+{
+    float *base = nullptr;
+    std::int64_t cols = 0;
+    std::int32_t scratch = -1;
+    RowMode mode = RowMode::Edge;
+};
+
+struct PreparedStmt
+{
+    const Stmt *s = nullptr;
+    int hoistLevel = 0;
+    PreparedOperand out;
+    PreparedOperand ins[3];
+    /** Seed evalStmt's outCols() (0 when out is not a variable). */
+    std::int64_t outCols = 0;
+    /** Cols of ins[0] / ins[1] (kind-dependent widths). */
+    std::int64_t dIn0 = 0;
+    std::int64_t dIn1 = 0;
+    /** Typed weight-vector rows [T, weightCols], when s->weight set. */
+    const float *weightBase = nullptr;
+    std::int64_t weightCols = 0;
+    /** WeightVecGrad accumulation target rows [T, weightCols]. */
+    float *weightGradBase = nullptr;
+};
+
+/** Per-thread scratch table for one chunk of a traversal launch. */
+using ScratchTable = std::vector<std::vector<float>>;
+
+struct TraversalPrep
+{
+    std::vector<PreparedStmt> stmts;
+    std::vector<std::int64_t> scratchCols;
+    /** Ownership predicate: safe to partition the iteration domain. */
+    bool rowParallel = false;
+    PointIndex ix;
+};
+
+inline float *
+opPtr(const PreparedOperand &o, const EvalPoint &pt, const PointIndex &ix,
+      ScratchTable &scratch)
+{
+    switch (o.mode) {
+      case RowMode::Scratch:
+        return scratch[static_cast<std::size_t>(o.scratch)].data();
+      case RowMode::Edge:
+        return o.base + pt.e * o.cols;
+      case RowMode::CompactFromEdge:
+        return o.base + ix.e2u[pt.e] * o.cols;
+      case RowMode::Unique:
+        return o.base + pt.u * o.cols;
+      case RowMode::SrcNode:
+        return o.base + ix.src[pt.e] * o.cols;
+      case RowMode::SrcNodeFromUnique:
+        return o.base + ix.uri[pt.u] * o.cols;
+      case RowMode::DstNode:
+        return o.base + ix.dst[pt.e] * o.cols;
+      case RowMode::Node:
+        return o.base + pt.v * o.cols;
+    }
+    return nullptr;
+}
+
+TraversalPrep
+prepareTraversal(const Program &p, const TraversalInstance &ti,
+                 ExecutionContext &ctx)
+{
+    TraversalPrep prep;
+    std::map<std::string, std::int32_t> scratch_of;
+
+    auto operandTensor = [&](const VarRef &ref) -> Tensor & {
+        if (ctx.plan() && ref.slot >= 0)
+            return ctx.slotTensor(ref.slot);
+        return ctx.ensureTensor(p, ref.name);
+    };
+
+    auto prepareOperand = [&](const VarRef &ref) {
+        PreparedOperand o;
+        const auto &vi = p.varInfo(ref.name);
+        o.cols = vi.cols;
+        if (vi.space == VarSpace::EdgeData) {
+            if (vi.mat == Materialization::Virtual) {
+                auto [it, inserted] = scratch_of.try_emplace(
+                    ref.name,
+                    static_cast<std::int32_t>(prep.scratchCols.size()));
+                if (inserted)
+                    prep.scratchCols.push_back(vi.cols);
+                o.scratch = it->second;
+                o.mode = RowMode::Scratch;
+                return o;
+            }
+            o.base = operandTensor(ref).data();
+            o.mode = vi.mat == Materialization::Compact
+                         ? (ti.domain == RowDomain::UniquePairs &&
+                                    !ti.nodeCentric
+                                ? RowMode::Unique
+                                : RowMode::CompactFromEdge)
+                         : RowMode::Edge;
+            return o;
+        }
+        o.base = operandTensor(ref).data();
+        switch (ref.access) {
+          case Access::ViaSrc:
+            o.mode = ti.domain == RowDomain::UniquePairs && !ti.nodeCentric
+                         ? RowMode::SrcNodeFromUnique
+                         : RowMode::SrcNode;
+            break;
+          case Access::ViaDst:
+            o.mode = RowMode::DstNode;
+            break;
+          case Access::Direct:
+            o.mode = RowMode::Node;
+            break;
+        }
+        return o;
+    };
+
+    // Ownership predicate. A statement's output row must be owned by
+    // the iteration entity the partition splits on, and no statement
+    // may read rows of an instance-written node variable through a
+    // non-owned access (ViaSrc), or the partition would race and
+    // reorder the seed's accumulation order.
+    bool parallel = !util::seedKernelMode();
+    std::vector<std::string> written_node_vars;
+    for (const auto &ss : ti.stmts) {
+        const Stmt &s = ss.stmt;
+        if (s.kind == OpKind::WeightVecGrad) {
+            parallel = false; // weight-space reduction across rows
+            continue;
+        }
+        if (!p.vars.count(s.out.name)) {
+            parallel = false;
+            continue;
+        }
+        const auto &vi = p.varInfo(s.out.name);
+        if (vi.space == VarSpace::EdgeData &&
+            vi.mat == Materialization::Virtual)
+            continue; // per-thread scratch
+        if (vi.space == VarSpace::NodeInput ||
+            vi.space == VarSpace::NodeData) {
+            if (ti.nodeCentric) {
+                // Incoming edges of v: ViaDst is v itself; ViaSrc rows
+                // belong to other nodes' owners.
+                if (s.out.access == Access::ViaSrc)
+                    parallel = false;
+            } else if (!(ti.domain == RowDomain::Nodes &&
+                         s.out.access == Access::Direct)) {
+                parallel = false;
+            }
+            written_node_vars.push_back(s.out.name);
+        } else if (vi.mat == Materialization::Compact) {
+            // One compact row is shared by all edges of its (src,
+            // etype) pair; only the UniquePairs domain owns it.
+            if (ti.nodeCentric || ti.domain != RowDomain::UniquePairs)
+                parallel = false;
+        } else {
+            // Vanilla edge data: row pt.e, owned in node-centric (an
+            // edge has one destination) and flat edge loops.
+            if (!ti.nodeCentric && ti.domain != RowDomain::Edges)
+                parallel = false;
+        }
+    }
+    if (parallel) {
+        for (const auto &ss : ti.stmts)
+            for (const auto &in : ss.stmt.ins)
+                if (in.access == Access::ViaSrc)
+                    for (const auto &w : written_node_vars)
+                        if (w == in.name)
+                            parallel = false;
+    }
+    prep.rowParallel = parallel;
+
+    prep.stmts.reserve(ti.stmts.size());
+    for (const auto &ss : ti.stmts) {
+        const Stmt &s = ss.stmt;
+        PreparedStmt ps;
+        ps.s = &s;
+        ps.hoistLevel = ss.hoistLevel;
+        ps.outCols =
+            p.vars.count(s.out.name) ? p.varInfo(s.out.name).cols : 0;
+        if (s.kind != OpKind::WeightVecGrad)
+            ps.out = prepareOperand(s.out);
+        for (std::size_t i = 0; i < s.ins.size() && i < 3; ++i) {
+            ps.ins[i] = prepareOperand(s.ins[i]);
+            if (i == 0)
+                ps.dIn0 = p.varInfo(s.ins[0].name).cols;
+            if (i == 1)
+                ps.dIn1 = p.varInfo(s.ins[1].name).cols;
+        }
+        if (!s.weight.empty()) {
+            Tensor &wv = ctx.weights->at(s.weight);
+            ps.weightBase = wv.data();
+            ps.weightCols = wv.dim(1);
+            if (s.kind == OpKind::WeightVecGrad)
+                ps.weightGradBase =
+                    untrackedParam(*ctx.weightGrads, s.weight, wv.shape())
+                        .data();
+        }
+        prep.stmts.push_back(ps);
+    }
+
+    const auto &g = *ctx.g;
+    prep.ix.src = g.src().data();
+    prep.ix.dst = g.dst().data();
+    if (ctx.cmap) {
+        prep.ix.e2u = ctx.cmap->edgeToUnique().data();
+        prep.ix.uri = ctx.cmap->uniqueRowIdx().data();
+    }
+    return prep;
+}
+
+/** One statement at one point — the seed arithmetic over prepared
+ *  operands. */
+inline void
+evalPrepared(const PreparedStmt &ps, const EvalPoint &pt,
+             const PointIndex &ix, ScratchTable &scratch)
+{
+    const Stmt &s = *ps.s;
+    switch (s.kind) {
+      case OpKind::DotProduct: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *b;
+        std::int64_t d;
+        if (ps.weightBase) {
+            d = ps.weightCols;
+            b = ps.weightBase + pt.etype * ps.weightCols;
+        } else {
+            b = opPtr(ps.ins[1], pt, ix, scratch);
+            d = ps.dIn0;
+        }
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < d; ++i)
+            acc += a[i] * b[i];
+        if (s.accumulateOut)
+            out[0] += acc;
+        else
+            out[0] = acc;
+        break;
+      }
+      case OpKind::Add: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *b = opPtr(ps.ins[1], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = a[i] + b[i];
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Mul: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *b = opPtr(ps.ins[1], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = a[i] * b[i];
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::LeakyRelu: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = a[i] > 0.0f ? a[i] : s.alpha * a[i];
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Relu: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = a[i] > 0.0f ? a[i] : 0.0f;
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Exp: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = std::exp(a[i]);
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Divide: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *b = opPtr(ps.ins[1], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = a[i] / b[0];
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Scale: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.outCols; ++i) {
+            const float v = s.alpha * a[i];
+            out[i] = s.accumulateOut ? out[i] + v : v;
+        }
+        break;
+      }
+      case OpKind::Copy:
+      case OpKind::AccumulateSum: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *a = opPtr(ps.ins[0], pt, ix, scratch);
+        const bool acc = s.accumulateOut || s.kind == OpKind::AccumulateSum;
+        for (std::int64_t i = 0; i < ps.dIn0; ++i)
+            out[i] = acc ? out[i] + a[i] : a[i];
+        break;
+      }
+      case OpKind::AccumulateScaled: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *sc = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *vec;
+        std::int64_t d;
+        if (ps.weightBase) {
+            d = ps.weightCols;
+            vec = ps.weightBase + pt.etype * ps.weightCols;
+        } else {
+            vec = opPtr(ps.ins[1], pt, ix, scratch);
+            d = ps.dIn1;
+        }
+        const float a = sc[0];
+        for (std::int64_t i = 0; i < d; ++i)
+            out[i] += a * vec[i];
+        break;
+      }
+      case OpKind::LeakyReluBwd: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *gy = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *x = opPtr(ps.ins[1], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.dIn0; ++i)
+            out[i] += gy[i] * (x[i] > 0.0f ? 1.0f : s.alpha);
+        break;
+      }
+      case OpKind::ReluBwd: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *gy = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *x = opPtr(ps.ins[1], pt, ix, scratch);
+        for (std::int64_t i = 0; i < ps.dIn0; ++i)
+            out[i] += gy[i] * (x[i] > 0.0f ? 1.0f : 0.0f);
+        break;
+      }
+      case OpKind::DivGradDenom: {
+        float *out = opPtr(ps.out, pt, ix, scratch);
+        const float *gy = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *a = opPtr(ps.ins[1], pt, ix, scratch);
+        const float *b = opPtr(ps.ins[2], pt, ix, scratch);
+        out[0] += -gy[0] * a[0] / (b[0] * b[0]);
+        break;
+      }
+      case OpKind::WeightVecGrad: {
+        float *grow = ps.weightGradBase + pt.etype * ps.weightCols;
+        const float *gy = opPtr(ps.ins[0], pt, ix, scratch);
+        const float *a = opPtr(ps.ins[1], pt, ix, scratch);
+        const float gv = gy[0];
+        for (std::int64_t i = 0; i < ps.weightCols; ++i)
+            grow[i] += gv * a[i];
+        break;
+      }
+      default:
+        throw std::runtime_error("traversal cannot execute op " +
+                                 std::string(toString(s.kind)));
+    }
+}
+
+/// @}
+
 /** Static per-iteration cost of one traversal statement. */
 struct StmtCost
 {
@@ -669,10 +1286,11 @@ void
 execTraversal(const Program &p, const TraversalInstance &ti,
               ExecutionContext &ctx)
 {
-    OperandResolver res(p, ctx);
     const auto &g = *ctx.g;
 
-    auto body = [&]() {
+    /** The seed interpreter body: per-point map-keyed resolution. */
+    auto seedBody = [&]() {
+        OperandResolver res(p, ctx);
         if (ti.nodeCentric) {
             const auto in_ptr = g.inPtr();
             const auto in_eid = g.inEdgeIds();
@@ -739,6 +1357,134 @@ execTraversal(const Program &p, const TraversalInstance &ti,
             break;
           }
         }
+    };
+
+    /** Prepared body: launch-time operand resolution, per-point
+     *  pointer arithmetic, thread-pool partition when every output
+     *  row is owned. Bit-identical to seedBody. */
+    auto fastBody = [&]() {
+        const TraversalPrep prep = prepareTraversal(p, ti, ctx);
+        const PointIndex &ix = prep.ix;
+
+        auto makeScratch = [&]() {
+            ScratchTable scratch;
+            scratch.reserve(prep.scratchCols.size());
+            for (std::int64_t cols : prep.scratchCols)
+                scratch.emplace_back(static_cast<std::size_t>(cols), 0.0f);
+            return scratch;
+        };
+
+        if (ti.nodeCentric) {
+            const auto in_ptr = g.inPtr();
+            const auto in_eid = g.inEdgeIds();
+            const auto etype = g.etype();
+            const auto ntype = g.nodeType();
+            auto run = [&](std::int64_t v0, std::int64_t v1) {
+                ScratchTable scratch = makeScratch();
+                for (std::int64_t v = v0; v < v1; ++v) {
+                    EvalPoint pt;
+                    pt.v = v;
+                    pt.ntype = ntype[static_cast<std::size_t>(v)];
+                    for (const auto &ps : prep.stmts)
+                        if (ps.hoistLevel == 1)
+                            evalPrepared(ps, pt, ix, scratch);
+                    for (std::int64_t i =
+                             in_ptr[static_cast<std::size_t>(v)];
+                         i < in_ptr[static_cast<std::size_t>(v) + 1];
+                         ++i) {
+                        pt.e = in_eid[static_cast<std::size_t>(i)];
+                        pt.etype = etype[static_cast<std::size_t>(pt.e)];
+                        for (const auto &ps : prep.stmts)
+                            if (ps.hoistLevel == 0)
+                                evalPrepared(ps, pt, ix, scratch);
+                    }
+                    for (const auto &ps : prep.stmts)
+                        if (ps.hoistLevel == 2)
+                            evalPrepared(ps, pt, ix, scratch);
+                }
+            };
+            if (prep.rowParallel)
+                util::globalPool().parallelFor(0, g.numNodes(), run, 64);
+            else
+                run(0, g.numNodes());
+            return;
+        }
+        switch (ti.domain) {
+          case RowDomain::Edges: {
+            const auto etype = g.etype();
+            auto run = [&](std::int64_t e0, std::int64_t e1) {
+                ScratchTable scratch = makeScratch();
+                for (std::int64_t e = e0; e < e1; ++e) {
+                    EvalPoint pt;
+                    pt.e = e;
+                    pt.etype = etype[static_cast<std::size_t>(e)];
+                    for (const auto &ps : prep.stmts)
+                        evalPrepared(ps, pt, ix, scratch);
+                }
+            };
+            if (prep.rowParallel)
+                util::globalPool().parallelFor(0, g.numEdges(), run, 128);
+            else
+                run(0, g.numEdges());
+            break;
+          }
+          case RowDomain::UniquePairs: {
+            const auto uptr = ctx.cmap->uniqueEtypePtr();
+            const std::int64_t total = ctx.cmap->numUnique();
+            auto run = [&](std::int64_t u0, std::int64_t u1) {
+                ScratchTable scratch = makeScratch();
+                std::int32_t r = 0;
+                while (r < g.numEdgeTypes() &&
+                       uptr[static_cast<std::size_t>(r) + 1] <= u0)
+                    ++r;
+                for (; r < g.numEdgeTypes() &&
+                       uptr[static_cast<std::size_t>(r)] < u1;
+                     ++r) {
+                    const std::int64_t lo = std::max(
+                        u0, uptr[static_cast<std::size_t>(r)]);
+                    const std::int64_t hi = std::min(
+                        u1, uptr[static_cast<std::size_t>(r) + 1]);
+                    for (std::int64_t u = lo; u < hi; ++u) {
+                        EvalPoint pt;
+                        pt.u = u;
+                        pt.etype = r;
+                        for (const auto &ps : prep.stmts)
+                            evalPrepared(ps, pt, ix, scratch);
+                    }
+                }
+            };
+            if (prep.rowParallel)
+                util::globalPool().parallelFor(0, total, run, 128);
+            else
+                run(0, total);
+            break;
+          }
+          case RowDomain::Nodes: {
+            const auto ntype = g.nodeType();
+            auto run = [&](std::int64_t v0, std::int64_t v1) {
+                ScratchTable scratch = makeScratch();
+                for (std::int64_t v = v0; v < v1; ++v) {
+                    EvalPoint pt;
+                    pt.v = v;
+                    pt.ntype = ntype[static_cast<std::size_t>(v)];
+                    for (const auto &ps : prep.stmts)
+                        evalPrepared(ps, pt, ix, scratch);
+                }
+            };
+            if (prep.rowParallel)
+                util::globalPool().parallelFor(0, g.numNodes(), run, 128);
+            else
+                run(0, g.numNodes());
+            break;
+          }
+        }
+    };
+
+    auto body = [&]() {
+        if (util::seedKernelMode())
+            seedBody();
+        else
+            fastBody();
     };
 
     // Price the launch from static per-statement costs.
@@ -920,7 +1666,17 @@ execFallback(const Program &p, const FallbackInstance &fi,
 void
 execute(const Program &p, const LoweredFunction &fn, ExecutionContext &ctx)
 {
-    for (const auto &step : fn.order) {
+    // With an adopted plan, materialize-and-zero each variable's slot
+    // at the variable's first use — the arena counterpart of the
+    // legacy allocate-on-first-use zero guarantee, and the reset point
+    // for slots shared across disjoint live ranges.
+    const bool planned =
+        ctx.plan() && fn.zeroSlotsBefore.size() == fn.order.size();
+    for (std::size_t i = 0; i < fn.order.size(); ++i) {
+        if (planned)
+            for (std::int32_t slot : fn.zeroSlotsBefore[i])
+                ctx.materializeSlot(slot);
+        const auto &step = fn.order[i];
         switch (step.kind) {
           case LoweredFunction::Step::Kind::Gemm:
             execGemm(p, fn.gemms[step.index], ctx);

@@ -8,16 +8,29 @@
  * counterpart of the paper's generated CUDA kernels plus host code:
  * it consumes exactly the intra-operator IR the code generator emits
  * text from, so executed semantics and emitted code cannot diverge.
+ *
+ * Execution engine (PR 4): kernels run cache-blocked and partitioned
+ * over the util::ThreadPool wherever every output row has exactly one
+ * owning thread, keeping results bit-identical to the sequential
+ * reference at any thread count. When a MemoryPlan is adopted, the
+ * context backs variables with pooled arena slot buffers (reused
+ * across requests, re-zeroed per live range) and instances resolve
+ * operands through stamped slot indices instead of string-keyed maps;
+ * without a plan the context behaves exactly like the seed
+ * (allocate-on-first-use into the `tensors` map).
  */
 
 #ifndef HECTOR_CORE_EXECUTOR_HH
 #define HECTOR_CORE_EXECUTOR_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/inter_op_ir.hh"
 #include "core/intra_op_ir.hh"
+#include "core/memory_plan.hh"
 #include "graph/compaction.hh"
 #include "graph/hetero_graph.hh"
 #include "sim/runtime.hh"
@@ -39,21 +52,81 @@ struct ExecutionContext
     /** Parameter gradients, allocated on first accumulation. */
     std::map<std::string, tensor::Tensor> *weightGrads = nullptr;
 
-    /** Variable storage: feature, norm, intermediates, gradients. */
+    /** Variable storage: feature, norm, intermediates, gradients.
+     *  Only used for variables the adopted plan (if any) does not
+     *  cover; the legacy allocate-on-first-use path. */
     std::map<std::string, tensor::Tensor> tensors;
 
     /** Rows of a domain on the bound graph. */
     std::int64_t rowsOf(RowDomain d) const;
+    std::int64_t rowsOf(SlotRows r) const;
+
+    /**
+     * Adopt (or drop, with nullptr) an arena memory plan. Pooled slot
+     * buffers survive re-adoption of the same plan across requests;
+     * adopting a different plan resizes the pool. The plan must
+     * outlive the context's use of it (it lives in the CompiledModel,
+     * which the serving PlanCache keeps alive).
+     */
+    void adoptPlan(const MemoryPlan *plan);
+
+    const MemoryPlan *plan() const { return plan_; }
+
+    /**
+     * Rebind the context to a new request: swap the graph/runtime/
+     * weight pointers, drop all per-request state (named tensors,
+     * slot views and their zero-initialization marks) but KEEP the
+     * pooled arena buffers — the whole point of pooling contexts in
+     * the serving sessions.
+     */
+    void reset(const graph::HeteroGraph *g, const graph::CompactionMap *cm,
+               sim::Runtime *rt, std::map<std::string, tensor::Tensor> *w,
+               std::map<std::string, tensor::Tensor> *wg);
+
+    /**
+     * The tensor backing arena slot @p slot. Materializes (and zeroes)
+     * the slot on first touch of the current request; execute()'s
+     * zero lists normally do this eagerly per live range.
+     */
+    tensor::Tensor &slotTensor(int slot);
+
+    /**
+     * Size slot @p slot for the bound graph, (re)using the pooled
+     * buffer when its capacity suffices, and zero its contents.
+     */
+    tensor::Tensor &materializeSlot(int slot);
+
+    /**
+     * Bind an externally produced tensor (model input, norm data,
+     * seed gradient) under @p name: stored in `tensors` and, when the
+     * plan maps the name, aliased into its slot.
+     */
+    void bindExternal(const std::string &name, tensor::Tensor t);
 
     /**
      * Get-or-allocate the tensor backing @p var according to its
-     * VarInfo in @p p (allocation is tracked by the runtime's
-     * memory scope; Virtual variables may not be materialized).
+     * VarInfo in @p p. Resolves through the adopted plan's slot when
+     * the plan covers the variable, else through the legacy map
+     * (allocation is tracked by the runtime's memory scope; Virtual
+     * variables may not be materialized).
      */
     tensor::Tensor &ensureTensor(const Program &p, const std::string &var);
+
+    /** The tensor bound to @p name, or nullptr: named map first, then
+     *  the plan's slot (post-execution inspection). */
+    const tensor::Tensor *lookup(const std::string &name) const;
+
+  private:
+    const MemoryPlan *plan_ = nullptr;
+    /** Pooled high-water buffers, one per plan slot. */
+    std::vector<tensor::Tensor> arenaBufs_;
+    /** Per-request views into the buffers (or external aliases). */
+    std::vector<tensor::Tensor> slotViews_;
+    std::vector<std::uint8_t> slotBound_;
 };
 
-/** Execute every instance of @p fn in order. */
+/** Execute every instance of @p fn in order (honoring the plan's
+ *  per-step zero lists when the context adopted one). */
 void execute(const Program &p, const LoweredFunction &fn,
              ExecutionContext &ctx);
 

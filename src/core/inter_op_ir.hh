@@ -79,6 +79,14 @@ struct VarRef
     std::string name;
     Access access = Access::Direct;
 
+    /**
+     * Arena slot of the referenced variable, stamped by the memory
+     * planner (core/memory_plan.hh) onto the *lowered instance copies*
+     * of statements only — references inside a Program are never
+     * annotated. -1 = unplanned (resolved by name at execution).
+     */
+    std::int32_t slot = -1;
+
     bool
     operator==(const VarRef &o) const
     {

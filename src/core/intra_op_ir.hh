@@ -110,6 +110,15 @@ struct GemmInstance
     std::int64_t dout = 0;
 
     GemmSchedule sched;
+
+    /**
+     * Arena slots of the operand variables, stamped by the memory
+     * planner; -1 = resolve by name (no plan / weight-space operand).
+     */
+    std::int32_t xSlot = -1;
+    std::int32_t ySlot = -1;
+    std::int32_t scalarSlot = -1;
+    std::int32_t y2Slot = -1;
 };
 
 /** Adjacency encoding a traversal instance is specialized for. */
@@ -191,6 +200,17 @@ struct LoweredFunction
     std::vector<GemmInstance> gemms;
     std::vector<TraversalInstance> traversals;
     std::vector<FallbackInstance> fallbacks;
+
+    /**
+     * Arena slots to materialize-and-zero before each step (parallel
+     * to `order`), filled by the memory planner. A slot appears at the
+     * first use of *each* variable assigned to it, which both gives a
+     * freshly-ensured variable the zero contents the executor's
+     * allocate-on-first-use path used to guarantee and re-initializes
+     * slots reused across disjoint live ranges. Empty when no plan
+     * was computed (hand-built lowered functions).
+     */
+    std::vector<std::vector<std::int32_t>> zeroSlotsBefore;
 
     std::size_t
     kernelCount() const

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Arena memory planner for the executor.
+ *
+ * planMemory() runs a liveness analysis over a lowered model's
+ * instruction order and assigns every materialized variable to a
+ * reusable *slot*: variables whose live ranges are disjoint and whose
+ * backing shape class matches (same row domain, same column count)
+ * share one slot; overlapping live ranges never do. The executor's
+ * ExecutionContext backs each slot with one pooled high-water buffer
+ * that persists across serving requests, so steady-state serving
+ * performs no hot-path tensor allocations, and the planner stamps the
+ * resolved slot indices straight into the lowered instances
+ * (GemmInstance operand slots, traversal VarRef slots), replacing
+ * ensureTensor's string-keyed map lookups with vector indexing.
+ *
+ * Inputs bound by the caller (the model input, RGCN norm data, the
+ * training seed gradient) become *external* slots: the planner never
+ * arena-backs or shares them. The program output and — when training —
+ * the input-feature gradient are pinned: planned, but excluded from
+ * sharing because the caller reads them after execution. When a
+ * backward function is supplied, liveness is computed jointly over
+ * forward-then-backward instruction order, so forward intermediates
+ * the backward pass reads stay live across the boundary.
+ */
+
+#ifndef HECTOR_CORE_MEMORY_PLAN_HH
+#define HECTOR_CORE_MEMORY_PLAN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/inter_op_ir.hh"
+#include "core/intra_op_ir.hh"
+
+namespace hector::core
+{
+
+/** Row-domain class of a planned slot (sized per graph at bind time). */
+enum class SlotRows
+{
+    Nodes,
+    Edges,
+    UniquePairs,
+};
+
+const char *toString(SlotRows r);
+
+struct MemoryPlan
+{
+    struct Slot
+    {
+        SlotRows rows = SlotRows::Nodes;
+        std::int64_t cols = 0;
+        /** Bound by the caller (bindExternal); never arena-backed. */
+        bool external = false;
+    };
+
+    /** Per-variable assignment and liveness (instruction indices over
+     *  the joint forward[+backward] order). */
+    struct VarPlan
+    {
+        int slot = -1;
+        int firstUse = -1;
+        int lastUse = -1;
+        bool external = false;
+        /** Never shares its slot (outputs read by the caller). */
+        bool pinned = false;
+    };
+
+    std::vector<Slot> slots;
+    std::map<std::string, VarPlan> vars;
+
+    int
+    slotOf(const std::string &name) const
+    {
+        auto it = vars.find(name);
+        return it == vars.end() ? -1 : it->second.slot;
+    }
+
+    bool empty() const { return slots.empty(); }
+};
+
+/**
+ * Plan @p fwdFn (and @p bwdFn when training) over the declared
+ * variables of the corresponding programs, stamping slot indices and
+ * zero-initialization lists into the lowered functions.
+ *
+ * @param bwd / @param bwdFn  null for inference-only models.
+ */
+MemoryPlan planMemory(const Program &fwd, LoweredFunction &fwdFn,
+                      const Program *bwd, LoweredFunction *bwdFn);
+
+} // namespace hector::core
+
+#endif // HECTOR_CORE_MEMORY_PLAN_HH

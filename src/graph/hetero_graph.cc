@@ -11,10 +11,13 @@ namespace hector::graph
 namespace
 {
 void
-graphCheck(bool cond, const std::string &msg)
+graphCheck(bool cond, const char *msg)
 {
+    // Takes a literal so the happy path allocates nothing: these
+    // checks run per edge/node in the constructor, which the serving
+    // micro-batcher hits once per coalesced batch.
     if (!cond)
-        throw std::runtime_error("HeteroGraph: " + msg);
+        throw std::runtime_error(std::string("HeteroGraph: ") + msg);
 }
 } // namespace
 
@@ -141,6 +144,14 @@ HeteroGraph::schemaSignature() const
         s += ',';
     }
     return s;
+}
+
+bool
+HeteroGraph::sameSchema(const HeteroGraph &o) const
+{
+    return numNodeTypes_ == o.numNodeTypes_ &&
+           numEdgeTypes_ == o.numEdgeTypes_ &&
+           etypeSrcNt_ == o.etypeSrcNt_ && etypeDstNt_ == o.etypeDstNt_;
 }
 
 void

@@ -127,6 +127,14 @@ class HeteroGraph
      */
     std::string schemaSignature() const;
 
+    /**
+     * True when @p o has the same schema (type counts and relation
+     * endpoint types). Equivalent to comparing schemaSignature()s
+     * without building the strings — the serving micro-batcher checks
+     * this per request per batch.
+     */
+    bool sameSchema(const HeteroGraph &o) const;
+
     /** @throws std::runtime_error on any violated invariant. */
     void validate() const;
 

@@ -1,7 +1,10 @@
 #include "serve/micro_batch.hh"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "util/thread_pool.hh"
 
 namespace hector::serve
 {
@@ -16,10 +19,9 @@ coalesce(const std::vector<const Request *> &requests, sim::Runtime &rt)
         throw std::runtime_error("coalesce: empty request set");
 
     const HeteroGraph &g0 = requests.front()->mb.subgraph;
-    const std::string schema = g0.schemaSignature();
     const std::int64_t din = requests.front()->feature.dim(1);
     for (const Request *r : requests) {
-        if (r->mb.subgraph.schemaSignature() != schema)
+        if (!r->mb.subgraph.sameSchema(g0))
             throw std::runtime_error(
                 "coalesce: requests target different graph schemas");
         if (r->feature.dim(1) != din)
@@ -96,18 +98,28 @@ coalesce(const std::vector<const Request *> &requests, sim::Runtime &rt)
     batch.localToUnion = std::move(l2u);
 
     // Gather every request's features into the batched input tensor;
-    // charged as one device-side index/copy kernel.
+    // charged as one device-side index/copy kernel. Each union row is
+    // written by exactly one (request, local row) pair, so the
+    // per-request row ranges parallelize with bit-stable results.
     batch.feature = Tensor({total_nodes, din});
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        const Tensor &f = requests[i]->feature;
-        for (std::int64_t v = 0; v < f.dim(0); ++v) {
-            const float *src = f.row(v);
-            float *dst = batch.feature.row(
-                batch.localToUnion[i][static_cast<std::size_t>(v)]);
-            for (std::int64_t j = 0; j < din; ++j)
-                dst[j] = src[j];
+    auto gatherRange = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t ri = lo; ri < hi; ++ri) {
+            const Tensor &f = requests[static_cast<std::size_t>(ri)]
+                                  ->feature;
+            const auto &l2un =
+                batch.localToUnion[static_cast<std::size_t>(ri)];
+            for (std::int64_t v = 0; v < f.dim(0); ++v)
+                std::memcpy(
+                    batch.feature.row(l2un[static_cast<std::size_t>(v)]),
+                    f.row(v),
+                    static_cast<std::size_t>(din) * sizeof(float));
         }
-    }
+    };
+    if (util::seedKernelMode())
+        gatherRange(0, static_cast<std::int64_t>(requests.size()));
+    else
+        util::globalPool().parallelFor(
+            0, static_cast<std::int64_t>(requests.size()), gatherRange, 1);
     sim::KernelDesc gather;
     gather.name = "batch_gather_features";
     gather.category = sim::KernelCategory::Index;
@@ -128,33 +140,50 @@ executeBatch(const core::CompiledModel &plan, const MicroBatch &batch,
              models::WeightMap &weights, sim::Runtime &rt)
 {
     core::ExecutionContext ctx;
-    ctx.g = &batch.unionGraph;
-    ctx.cmap = &batch.cmap;
-    ctx.rt = &rt;
     models::WeightMap grads;
-    ctx.weights = &weights;
-    ctx.weightGrads = &grads;
+    return executeBatch(plan, batch, weights, rt, ctx, grads);
+}
+
+std::vector<Tensor>
+executeBatch(const core::CompiledModel &plan, const MicroBatch &batch,
+             models::WeightMap &weights, sim::Runtime &rt,
+             core::ExecutionContext &ctx, models::WeightMap &grads,
+             bool use_arena)
+{
+    grads.clear();
+    ctx.reset(&batch.unionGraph, &batch.cmap, &rt, &weights, &grads);
+    ctx.adoptPlan(use_arena ? &plan.memoryPlan : nullptr);
 
     core::bindInputs(plan, ctx, batch.feature);
     const Tensor out = plan.forward(ctx);
     const std::int64_t dout = out.dim(1);
 
     // Scatter the batched output back into one tensor per request;
-    // charged as one device-side index/copy kernel.
+    // charged as one device-side index/copy kernel. One result tensor
+    // per request: the copy loops parallelize per request with each
+    // output row written exactly once.
     std::vector<Tensor> results;
     results.reserve(batch.requests.size());
-    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
-        const std::int64_t nr = batch.requests[i]->mb.subgraph.numNodes();
-        Tensor o({nr, dout});
-        for (std::int64_t v = 0; v < nr; ++v) {
-            const float *src = out.row(
-                batch.localToUnion[i][static_cast<std::size_t>(v)]);
-            float *dst = o.row(v);
-            for (std::int64_t j = 0; j < dout; ++j)
-                dst[j] = src[j];
+    for (std::size_t i = 0; i < batch.requests.size(); ++i)
+        results.emplace_back(std::vector<std::int64_t>{
+            batch.requests[i]->mb.subgraph.numNodes(), dout});
+    auto scatterRange = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t ri = lo; ri < hi; ++ri) {
+            Tensor &o = results[static_cast<std::size_t>(ri)];
+            const auto &l2un =
+                batch.localToUnion[static_cast<std::size_t>(ri)];
+            for (std::int64_t v = 0; v < o.dim(0); ++v)
+                std::memcpy(
+                    o.row(v),
+                    out.row(l2un[static_cast<std::size_t>(v)]),
+                    static_cast<std::size_t>(dout) * sizeof(float));
         }
-        results.push_back(std::move(o));
-    }
+    };
+    if (util::seedKernelMode())
+        scatterRange(0, static_cast<std::int64_t>(results.size()));
+    else
+        util::globalPool().parallelFor(
+            0, static_cast<std::int64_t>(results.size()), scatterRange, 1);
     sim::KernelDesc scatter;
     scatter.name = "batch_scatter_outputs";
     scatter.category = sim::KernelCategory::Index;

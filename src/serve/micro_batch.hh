@@ -85,6 +85,23 @@ std::vector<tensor::Tensor> executeBatch(const core::CompiledModel &plan,
                                          models::WeightMap &weights,
                                          sim::Runtime &rt);
 
+/**
+ * executeBatch with a caller-pooled execution context: @p ctx is
+ * reset (rebinding it to the batch's union graph) and, when
+ * @p use_arena, adopts the plan's arena memory plan so intermediate
+ * tensors come from the context's pooled slot buffers — in steady
+ * state the executor performs zero hot-path tensor allocations across
+ * requests. The serving sessions own one such context (per device)
+ * for exactly this reuse.
+ */
+std::vector<tensor::Tensor> executeBatch(const core::CompiledModel &plan,
+                                         const MicroBatch &batch,
+                                         models::WeightMap &weights,
+                                         sim::Runtime &rt,
+                                         core::ExecutionContext &ctx,
+                                         models::WeightMap &grads,
+                                         bool use_arena = true);
+
 } // namespace hector::serve
 
 #endif // HECTOR_SERVE_MICRO_BATCH_HH

@@ -149,7 +149,8 @@ ServingSession::drain()
         sched.run([&]() {
             MicroBatch batch = coalesce(reqs, rt_);
             std::vector<Tensor> outs =
-                executeBatch(*plan, batch, weights_, rt_);
+                executeBatch(*plan, batch, weights_, rt_, execCtx_,
+                             execGrads_, cfg_.useArena);
             // Detach results from the device memory scope so they
             // outlive the drain cycle.
             tensor::TrackerScope untracked(nullptr);
@@ -225,7 +226,9 @@ ServingSession::serveOldest(std::size_t n, int stream)
         for (std::size_t i = 0; i < n; ++i)
             reqs.push_back(&queue_[i]);
         MicroBatch batch = coalesce(reqs, rt_);
-        std::vector<Tensor> outs = executeBatch(*plan, batch, weights_, rt_);
+        std::vector<Tensor> outs = executeBatch(
+            *plan, batch, weights_, rt_, execCtx_, execGrads_,
+            cfg_.useArena);
         tensor::TrackerScope untracked(nullptr);
         for (std::size_t i = 0; i < n; ++i)
             results_.insert_or_assign(queue_[i].id, outs[i].clone());

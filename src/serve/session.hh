@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/executor.hh"
 #include "graph/sampler.hh"
 #include "models/models.hh"
 #include "serve/micro_batch.hh"
@@ -55,6 +56,13 @@ struct ServingConfig
      * which case reports show full attainment.
      */
     double deadlineMs = 0.0;
+    /**
+     * Back executor intermediates with the session's pooled arena
+     * (core::MemoryPlan): zero hot-path tensor allocations in steady
+     * state. Off = the seed's allocate-per-request behavior, kept as
+     * the honest baseline for bench_exec_wallclock.
+     */
+    bool useArena = true;
 };
 
 /** One drain cycle's modeled serving metrics. */
@@ -184,6 +192,11 @@ class ServingSession
     PlanCache cache_;
     models::WeightMap weights_;
     std::mt19937_64 rng_;
+
+    /** Pooled execution context: arena slot buffers survive across
+     *  drain cycles, so steady-state serving does not allocate. */
+    core::ExecutionContext execCtx_;
+    models::WeightMap execGrads_;
 
     std::vector<Request> queue_;
     std::map<std::uint64_t, tensor::Tensor> results_;

@@ -23,6 +23,8 @@ ShardedSession::ShardedSession(const graph::HeteroGraph &g,
           return graph::partitionGraph(g, ps);
       }()),
       rng_(cfg.serving.seed),
+      execCtxs_(static_cast<std::size_t>(group.size())),
+      execGrads_(static_cast<std::size_t>(group.size())),
       queues_(static_cast<std::size_t>(group.size())),
       pendingHostSec_(static_cast<std::size_t>(group.size()), 0.0)
 {
@@ -276,8 +278,11 @@ ShardedSession::drain()
         for (const auto &reqs : batches) {
             sched.run([&]() {
                 MicroBatch batch = coalesce(reqs, rt);
-                std::vector<Tensor> outs =
-                    executeBatch(*plan, batch, weights_, rt);
+                std::vector<Tensor> outs = executeBatch(
+                    *plan, batch, weights_, rt,
+                    execCtxs_[static_cast<std::size_t>(d)],
+                    execGrads_[static_cast<std::size_t>(d)],
+                    cfg_.serving.useArena);
                 tensor::TrackerScope untracked(nullptr);
                 for (std::size_t i = 0; i < reqs.size(); ++i)
                     results_.insert_or_assign(reqs[i]->id,
@@ -381,7 +386,11 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
     const StreamRunCost run = runOnStream(rt, stream, [&]() {
         auto scope = rt.memoryScope();
         MicroBatch batch = coalesce(reqs, rt);
-        std::vector<Tensor> outs = executeBatch(*plan, batch, weights_, rt);
+        std::vector<Tensor> outs = executeBatch(
+            *plan, batch, weights_, rt,
+            execCtxs_[static_cast<std::size_t>(device)],
+            execGrads_[static_cast<std::size_t>(device)],
+            cfg_.serving.useArena);
         tensor::TrackerScope untracked(nullptr);
         for (std::size_t i = 0; i < n; ++i)
             results_.insert_or_assign(q[i].id, outs[i].clone());

@@ -188,6 +188,12 @@ class ShardedSession
     models::WeightMap weights_;
     std::mt19937_64 rng_;
 
+    /** Pooled per-device execution contexts: each device's arena slot
+     *  buffers survive across cycles (zero steady-state allocation),
+     *  and its tracked memory stays on its own runtime. */
+    std::vector<core::ExecutionContext> execCtxs_;
+    std::vector<models::WeightMap> execGrads_;
+
     /** FIFO queue per device. */
     std::vector<std::vector<Request>> queues_;
     std::map<std::uint64_t, tensor::Tensor> results_;

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared machinery of the cache-blocked GEMM paths.
+ *
+ * Both the reference kernels (tensor/ops.cc) and the executor's
+ * interpreted GEMM instances (core/executor.cc) tile the k dimension
+ * in kBlockK chunks and stream rows over a packed, contiguous panel of
+ * op(W). The block size, the per-thread panel buffer, the packing
+ * routine, and the dispatch-grain formula live here so the two users
+ * cannot drift apart — the bit-exactness argument (per output element,
+ * kk blocks visited in ascending order with kk ascending inside each
+ * block, zero x-values skipped) depends on every user tiling the same
+ * way.
+ */
+
+#ifndef HECTOR_TENSOR_BLOCK_KERNELS_HH
+#define HECTOR_TENSOR_BLOCK_KERNELS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hector::tensor::blocked
+{
+
+/**
+ * k-dimension block of the cache-blocked GEMM paths. A packed panel is
+ * kBlockK x n floats (16 KB at n = 64), sized to stay resident in
+ * L1/L2 while every row of an i-range streams over it.
+ */
+inline constexpr std::int64_t kBlockK = 64;
+
+/** Per-thread packed-weight panel, reused across kernels/launches. */
+inline std::vector<float> &
+panelBuffer()
+{
+    static thread_local std::vector<float> buf;
+    return buf;
+}
+
+/** The panel buffer, grown to hold kBlockK x n floats. */
+inline float *
+panelFor(std::int64_t n)
+{
+    std::vector<float> &panel = panelBuffer();
+    if (panel.size() < static_cast<std::size_t>(kBlockK * n))
+        panel.resize(static_cast<std::size_t>(kBlockK * n));
+    return panel.data();
+}
+
+/**
+ * Pack rows [k0, k0+kb) of op(W) into @p panel, kk-major and
+ * contiguous: panel[kk * n + j] = op(W)[k0 + kk][j].
+ *
+ * @param w    weight slice base
+ * @param ld   leading dimension (stride between stored rows of w)
+ * @param trans when true, op(W)[kk][j] = w[j * ld + kk] (transposed
+ *             use, packed into contiguous form)
+ */
+inline void
+packPanel(const float *w, std::int64_t ld, bool trans, std::int64_t k0,
+          std::int64_t kb, std::int64_t n, float *panel)
+{
+    for (std::int64_t kk = 0; kk < kb; ++kk) {
+        float *prow = panel + kk * n;
+        if (!trans) {
+            std::memcpy(prow, w + (k0 + kk) * ld,
+                        static_cast<std::size_t>(n) * sizeof(float));
+        } else {
+            for (std::int64_t j = 0; j < n; ++j)
+                prow[j] = w[j * ld + (k0 + kk)];
+        }
+    }
+}
+
+/** Row grain that amortizes one pool dispatch against ~64k FLOPs. */
+inline std::int64_t
+rowGrain(std::int64_t k, std::int64_t n)
+{
+    const std::int64_t work = std::max<std::int64_t>(1, 2 * k * n);
+    return std::max<std::int64_t>(4, 32768 / work);
+}
+
+} // namespace hector::tensor::blocked
+
+#endif // HECTOR_TENSOR_BLOCK_KERNELS_HH

@@ -14,6 +14,7 @@
 #ifndef HECTOR_TENSOR_MEMORY_TRACKER_HH
 #define HECTOR_TENSOR_MEMORY_TRACKER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -46,6 +47,13 @@ class OomError : public std::runtime_error
  * Accounts live and peak bytes of tensor storage and enforces a
  * capacity limit. A capacity of zero means "unlimited" (used by tests
  * and host-side scratch work).
+ *
+ * All bookkeeping is lock-free atomic so the parallel kernels (the
+ * ThreadPool propagates the launching thread's tracker into its
+ * workers) cannot race the OOM-boundary accounting: the live-byte
+ * counter is advanced with a compare-exchange that re-checks the
+ * capacity, so concurrent allocations can never jointly overshoot the
+ * modeled device capacity without one of them throwing.
  */
 class MemoryTracker
 {
@@ -55,6 +63,9 @@ class MemoryTracker
         : capacityBytes_(capacity_bytes)
     {}
 
+    MemoryTracker(const MemoryTracker &) = delete;
+    MemoryTracker &operator=(const MemoryTracker &) = delete;
+
     /**
      * Register an allocation.
      * @throws OomError when the allocation would exceed capacity.
@@ -62,48 +73,85 @@ class MemoryTracker
     void
     onAlloc(std::size_t bytes)
     {
-        if (capacityBytes_ != 0 && liveBytes_ + bytes > capacityBytes_) {
-            ++oomCount_;
-            throw OomError(bytes, liveBytes_, capacityBytes_);
+        std::size_t cur = liveBytes_.load(std::memory_order_relaxed);
+        for (;;) {
+            if (capacityBytes_ != 0 && cur + bytes > capacityBytes_) {
+                oomCount_.fetch_add(1, std::memory_order_relaxed);
+                throw OomError(bytes, cur, capacityBytes_);
+            }
+            if (liveBytes_.compare_exchange_weak(
+                    cur, cur + bytes, std::memory_order_relaxed))
+                break;
         }
-        liveBytes_ += bytes;
-        totalAllocBytes_ += bytes;
-        ++allocCount_;
-        if (liveBytes_ > peakBytes_)
-            peakBytes_ = liveBytes_;
+        totalAllocBytes_.fetch_add(bytes, std::memory_order_relaxed);
+        allocCount_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t live = cur + bytes;
+        std::size_t peak = peakBytes_.load(std::memory_order_relaxed);
+        while (live > peak &&
+               !peakBytes_.compare_exchange_weak(
+                   peak, live, std::memory_order_relaxed)) {
+        }
     }
 
-    /** Register a deallocation. */
+    /** Register a deallocation (clamped at zero live bytes). */
     void
     onFree(std::size_t bytes)
     {
-        liveBytes_ = bytes > liveBytes_ ? 0 : liveBytes_ - bytes;
+        std::size_t cur = liveBytes_.load(std::memory_order_relaxed);
+        while (!liveBytes_.compare_exchange_weak(
+            cur, bytes > cur ? 0 : cur - bytes,
+            std::memory_order_relaxed)) {
+        }
     }
 
-    std::size_t liveBytes() const { return liveBytes_; }
-    std::size_t peakBytes() const { return peakBytes_; }
-    std::size_t totalAllocBytes() const { return totalAllocBytes_; }
-    std::size_t allocCount() const { return allocCount_; }
+    std::size_t
+    liveBytes() const
+    {
+        return liveBytes_.load(std::memory_order_relaxed);
+    }
+    std::size_t
+    peakBytes() const
+    {
+        return peakBytes_.load(std::memory_order_relaxed);
+    }
+    std::size_t
+    totalAllocBytes() const
+    {
+        return totalAllocBytes_.load(std::memory_order_relaxed);
+    }
+    std::size_t
+    allocCount() const
+    {
+        return allocCount_.load(std::memory_order_relaxed);
+    }
     std::size_t capacityBytes() const { return capacityBytes_; }
-    std::size_t oomCount() const { return oomCount_; }
+    std::size_t
+    oomCount() const
+    {
+        return oomCount_.load(std::memory_order_relaxed);
+    }
 
-    /** Reset peak/total statistics but keep live accounting intact. */
+    /**
+     * Reset peak/total statistics but keep live accounting intact.
+     * Not meant to run concurrently with allocations.
+     */
     void
     resetStats()
     {
-        peakBytes_ = liveBytes_;
-        totalAllocBytes_ = 0;
-        allocCount_ = 0;
-        oomCount_ = 0;
+        peakBytes_.store(liveBytes_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        totalAllocBytes_.store(0, std::memory_order_relaxed);
+        allocCount_.store(0, std::memory_order_relaxed);
+        oomCount_.store(0, std::memory_order_relaxed);
     }
 
   private:
     std::size_t capacityBytes_;
-    std::size_t liveBytes_ = 0;
-    std::size_t peakBytes_ = 0;
-    std::size_t totalAllocBytes_ = 0;
-    std::size_t allocCount_ = 0;
-    std::size_t oomCount_ = 0;
+    std::atomic<std::size_t> liveBytes_{0};
+    std::atomic<std::size_t> peakBytes_{0};
+    std::atomic<std::size_t> totalAllocBytes_{0};
+    std::atomic<std::size_t> allocCount_{0};
+    std::atomic<std::size_t> oomCount_{0};
 };
 
 /**

@@ -1,7 +1,12 @@
 #include "tensor/ops.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
+
+#include "tensor/block_kernels.hh"
+#include "util/thread_pool.hh"
 
 namespace hector::tensor
 {
@@ -9,17 +14,24 @@ namespace hector::tensor
 namespace
 {
 
+using blocked::kBlockK;
+using blocked::packPanel;
+using blocked::panelFor;
+using blocked::rowGrain;
+
 /**
- * Inner GEMM over raw pointers with an ikj loop order so the innermost
- * loop streams both W and Y rows (keeps the CPU reference fast enough
- * for the full benchmark sweeps).
+ * Seed reference GEMM over raw pointers with an ikj loop order so the
+ * innermost loop streams both W and Y rows. This is the accumulation
+ * order every optimized path below must reproduce bit for bit: for a
+ * fixed output element (i, j), contributions arrive in ascending kk
+ * order, and zero x-values are skipped entirely.
  */
 void
-gemmRaw(const float *x, const float *w, float *y, std::int64_t m,
-        std::int64_t n, std::int64_t k, bool trans_x, bool trans_w,
-        float alpha, float beta)
+gemmRowsSeed(const float *x, const float *w, float *y, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool trans_x, bool trans_w,
+             float alpha, float beta, std::int64_t r0, std::int64_t r1)
 {
-    for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t i = r0; i < r1; ++i) {
         float *yrow = y + i * n;
         if (beta == 0.0f) {
             std::memset(yrow, 0, static_cast<std::size_t>(n) * sizeof(float));
@@ -44,6 +56,59 @@ gemmRaw(const float *x, const float *w, float *y, std::int64_t m,
     }
 }
 
+/**
+ * Cache-blocked GEMM over rows [r0, r1): k is tiled in kBlockK chunks,
+ * op(W)'s chunk is packed once into a contiguous kk-major panel, and
+ * every row of the range streams over the resident panel. Per output
+ * element the kk blocks are visited in ascending order and kk ascends
+ * inside each block, so the floating-point accumulation order — and
+ * the skip of zero x-values — is exactly gemmRowsSeed's.
+ */
+void
+gemmRowsBlocked(const float *x, const float *w, float *y, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool trans_x, bool trans_w,
+                float alpha, float beta, std::int64_t r0, std::int64_t r1)
+{
+    if (r1 <= r0)
+        return;
+    // Packing a panel costs ~k*n float moves; below a handful of rows
+    // the direct (seed-order) loop is cheaper and bit-identical.
+    if (r1 - r0 < 4 || n == 0 || k == 0) {
+        gemmRowsSeed(x, w, y, m, n, k, trans_x, trans_w, alpha, beta, r0,
+                     r1);
+        return;
+    }
+
+    for (std::int64_t i = r0; i < r1; ++i) {
+        float *yrow = y + i * n;
+        if (beta == 0.0f) {
+            std::memset(yrow, 0, static_cast<std::size_t>(n) * sizeof(float));
+        } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j)
+                yrow[j] *= beta;
+        }
+    }
+
+    float *panel = panelFor(n);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t kb = std::min(kBlockK, k - k0);
+        packPanel(w, trans_w ? k : n, trans_w, k0, kb, n, panel);
+        for (std::int64_t i = r0; i < r1; ++i) {
+            float *yrow = y + i * n;
+            for (std::int64_t kk = 0; kk < kb; ++kk) {
+                const float xv = alpha *
+                    (trans_x ? x[(k0 + kk) * m + i]
+                             : x[i * k + (k0 + kk)]);
+                if (xv == 0.0f)
+                    continue;
+                const float *prow = panel + kk * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    yrow[j] += xv * prow[j];
+            }
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -58,8 +123,18 @@ gemm(const Tensor &x, const Tensor &w, Tensor &y, bool trans_x, bool trans_w,
     const std::int64_t n = trans_w ? w.dim(0) : w.dim(1);
     checkThat(k == kw, "gemm: inner dimensions disagree");
     checkThat(y.dim(0) == m && y.dim(1) == n, "gemm: bad output shape");
-    gemmRaw(x.data(), w.data(), y.data(), m, n, k, trans_x, trans_w, alpha,
-            beta);
+    if (util::seedKernelMode()) {
+        gemmRowsSeed(x.data(), w.data(), y.data(), m, n, k, trans_x,
+                     trans_w, alpha, beta, 0, m);
+        return;
+    }
+    util::globalPool().parallelFor(
+        0, m,
+        [&](std::int64_t r0, std::int64_t r1) {
+            gemmRowsBlocked(x.data(), w.data(), y.data(), m, n, k, trans_x,
+                            trans_w, alpha, beta, r0, r1);
+        },
+        rowGrain(k, n));
 }
 
 void
@@ -74,10 +149,32 @@ bmm(const Tensor &x, const Tensor &w, Tensor &y)
     const std::int64_t n = w.dim(2);
     checkThat(w.dim(1) == k && y.dim(1) == m && y.dim(2) == n,
               "bmm: bad shapes");
-    for (std::int64_t i = 0; i < b; ++i) {
-        gemmRaw(x.data() + i * m * k, w.data() + i * k * n,
-                y.data() + i * m * n, m, n, k, false, false, 1.0f, 0.0f);
+    if (util::seedKernelMode()) {
+        for (std::int64_t i = 0; i < b; ++i)
+            gemmRowsSeed(x.data() + i * m * k, w.data() + i * k * n,
+                         y.data() + i * m * n, m, n, k, false, false, 1.0f,
+                         0.0f, 0, m);
+        return;
     }
+    // Parallelize over the flattened (batch, row) index space so small
+    // batches of tall matrices and large batches of small ones both
+    // split evenly; each global row is owned by exactly one thread.
+    util::globalPool().parallelFor(
+        0, b * m,
+        [&](std::int64_t lo, std::int64_t hi) {
+            std::int64_t g = lo;
+            while (g < hi) {
+                const std::int64_t bi = g / m;
+                const std::int64_t r0 = g - bi * m;
+                const std::int64_t r1 = std::min(m, r0 + (hi - g));
+                gemmRowsBlocked(x.data() + bi * m * k,
+                                w.data() + bi * k * n,
+                                y.data() + bi * m * n, m, n, k, false,
+                                false, 1.0f, 0.0f, r0, r1);
+                g += r1 - r0;
+            }
+        },
+        rowGrain(k, n));
 }
 
 void
@@ -94,15 +191,91 @@ segmentMm(const Tensor &x, const Tensor &w, Tensor &y,
     checkThat(x.dim(1) == k && y.dim(1) == n, "segmentMm: dim mismatch");
     checkThat(seg_ptr[static_cast<std::size_t>(t)] == x.dim(0),
               "segmentMm: seg_ptr does not cover all rows");
-    for (std::int64_t s = 0; s < t; ++s) {
-        const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
-        const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
-        if (hi == lo)
-            continue;
-        gemmRaw(x.data() + lo * k, w.data() + s * k * n, y.data() + lo * n,
-                hi - lo, n, k, false, false, 1.0f, 0.0f);
+
+    auto runRange = [&](std::int64_t lo, std::int64_t hi, bool blocked) {
+        // Locate the first segment overlapping [lo, hi) and walk on.
+        std::int64_t s = 0;
+        while (s < t && seg_ptr[static_cast<std::size_t>(s) + 1] <= lo)
+            ++s;
+        for (; s < t && seg_ptr[static_cast<std::size_t>(s)] < hi; ++s) {
+            const std::int64_t r0 =
+                std::max(lo, seg_ptr[static_cast<std::size_t>(s)]);
+            const std::int64_t r1 =
+                std::min(hi, seg_ptr[static_cast<std::size_t>(s) + 1]);
+            if (r1 <= r0)
+                continue;
+            const float *xs =
+                x.data() + seg_ptr[static_cast<std::size_t>(s)] * k;
+            float *ys = y.data() + seg_ptr[static_cast<std::size_t>(s)] * n;
+            const std::int64_t base = seg_ptr[static_cast<std::size_t>(s)];
+            const std::int64_t rows =
+                seg_ptr[static_cast<std::size_t>(s) + 1] - base;
+            if (blocked)
+                gemmRowsBlocked(xs, w.data() + s * k * n, ys, rows, n, k,
+                                false, false, 1.0f, 0.0f, r0 - base,
+                                r1 - base);
+            else
+                gemmRowsSeed(xs, w.data() + s * k * n, ys, rows, n, k,
+                             false, false, 1.0f, 0.0f, r0 - base,
+                             r1 - base);
+        }
+    };
+
+    if (util::seedKernelMode()) {
+        runRange(0, x.dim(0), false);
+        return;
+    }
+    util::globalPool().parallelFor(
+        0, x.dim(0),
+        [&](std::int64_t lo, std::int64_t hi) { runRange(lo, hi, true); },
+        rowGrain(k, n));
+}
+
+namespace
+{
+
+/**
+ * Rows [r0, r1) of a gathered segment MM with identity scatter (the
+ * parallel-safe case: output row r is written only by the thread that
+ * owns r). Blocked like gemmRowsBlocked, with the x row indirected
+ * through the gather list; accumulation order per output element is
+ * the seed loop's (kk ascending, zero x skipped).
+ */
+void
+gatherSegRowsBlocked(const float *x, const float *wt, float *y,
+                     std::int64_t n, std::int64_t k,
+                     std::span<const std::int64_t> gather, bool accumulate,
+                     bool trans_w, std::int64_t r0, std::int64_t r1)
+{
+    if (r1 <= r0)
+        return;
+    float *panel = panelFor(n);
+    if (!accumulate) {
+        for (std::int64_t r = r0; r < r1; ++r)
+            std::memset(y + r * n, 0,
+                        static_cast<std::size_t>(n) * sizeof(float));
+    }
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t kb = std::min(kBlockK, k - k0);
+        packPanel(wt, trans_w ? k : n, trans_w, k0, kb, n, panel);
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const std::int64_t xr =
+                gather.empty() ? r : gather[static_cast<std::size_t>(r)];
+            const float *xrow = x + xr * k + k0;
+            float *yrow = y + r * n;
+            for (std::int64_t kk = 0; kk < kb; ++kk) {
+                const float xv = xrow[kk];
+                if (xv == 0.0f)
+                    continue;
+                const float *prow = panel + kk * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    yrow[j] += xv * prow[j];
+            }
+        }
     }
 }
+
+} // namespace
 
 void
 gatherSegmentMm(const Tensor &x, const Tensor &w, Tensor &y,
@@ -120,9 +293,14 @@ gatherSegmentMm(const Tensor &x, const Tensor &w, Tensor &y,
     const std::int64_t n = trans_w ? w.dim(1) : w.dim(2);
     checkThat(x.dim(1) == k && y.dim(1) == n,
               "gatherSegmentMm: dim mismatch");
-    for (std::int64_t s = 0; s < t; ++s) {
-        const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
-        const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
+
+    // With a scatter list, distinct virtual rows may target the same
+    // output row; parallel row ownership would break and reordering
+    // the colliding accumulations would change the bits. Keep the
+    // seed's sequential loop for that case.
+    const bool row_parallel = scatter.empty() && !util::seedKernelMode();
+
+    auto seedRows = [&](std::int64_t s, std::int64_t lo, std::int64_t hi) {
         const float *wt = w.data() + s * w.dim(1) * w.dim(2);
         for (std::int64_t r = lo; r < hi; ++r) {
             const std::int64_t xr =
@@ -148,7 +326,40 @@ gatherSegmentMm(const Tensor &x, const Tensor &w, Tensor &y,
                 }
             }
         }
+    };
+
+    if (!row_parallel) {
+        for (std::int64_t s = 0; s < t; ++s)
+            seedRows(s, seg_ptr[static_cast<std::size_t>(s)],
+                     seg_ptr[static_cast<std::size_t>(s) + 1]);
+        return;
     }
+
+    const std::int64_t total = seg_ptr[static_cast<std::size_t>(t)];
+    util::globalPool().parallelFor(
+        0, total,
+        [&](std::int64_t lo, std::int64_t hi) {
+            std::int64_t s = 0;
+            while (s < t && seg_ptr[static_cast<std::size_t>(s) + 1] <= lo)
+                ++s;
+            for (; s < t && seg_ptr[static_cast<std::size_t>(s)] < hi;
+                 ++s) {
+                const std::int64_t r0 =
+                    std::max(lo, seg_ptr[static_cast<std::size_t>(s)]);
+                const std::int64_t r1 = std::min(
+                    hi, seg_ptr[static_cast<std::size_t>(s) + 1]);
+                if (r1 <= r0)
+                    continue;
+                if (r1 - r0 < 4) {
+                    seedRows(s, r0, r1);
+                    continue;
+                }
+                gatherSegRowsBlocked(
+                    x.data(), w.data() + s * w.dim(1) * w.dim(2), y.data(),
+                    n, k, gather, accumulate, trans_w, r0, r1);
+            }
+        },
+        rowGrain(k, n));
 }
 
 void
@@ -166,6 +377,8 @@ segmentOuterProduct(const Tensor &x, const Tensor &y, Tensor &dw,
               "segmentOuterProduct: dim mismatch");
     checkThat(static_cast<std::int64_t>(seg_ptr.size()) == t + 1,
               "segmentOuterProduct: seg_ptr size must be T+1");
+    // Every row of a segment accumulates into the same dW[t] slice, so
+    // the reduction stays sequential to keep its deterministic order.
     for (std::int64_t s = 0; s < t; ++s) {
         const std::int64_t lo = seg_ptr[static_cast<std::size_t>(s)];
         const std::int64_t hi = seg_ptr[static_cast<std::size_t>(s) + 1];
@@ -197,11 +410,21 @@ gatherRows(const Tensor &x, Tensor &y, std::span<const std::int64_t> gather)
     checkThat(static_cast<std::int64_t>(gather.size()) == y.dim(0),
               "gatherRows: index count mismatch");
     const std::int64_t cols = x.dim(1);
-    for (std::size_t i = 0; i < gather.size(); ++i) {
-        std::memcpy(y.data() + static_cast<std::int64_t>(i) * cols,
-                    x.data() + gather[i] * cols,
-                    static_cast<std::size_t>(cols) * sizeof(float));
+    auto run = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            std::memcpy(y.data() + i * cols,
+                        x.data() + gather[static_cast<std::size_t>(i)] *
+                            cols,
+                        static_cast<std::size_t>(cols) * sizeof(float));
+    };
+    if (util::seedKernelMode()) {
+        run(0, y.dim(0));
+        return;
     }
+    util::globalPool().parallelFor(0, y.dim(0), run,
+                                   std::max<std::int64_t>(
+                                       16, 8192 / std::max<std::int64_t>(
+                                                      1, cols)));
 }
 
 void
@@ -212,6 +435,8 @@ scatterAddRows(const Tensor &x, Tensor &y,
               "scatterAddRows: bad shapes");
     checkThat(static_cast<std::int64_t>(scatter.size()) == x.dim(0),
               "scatterAddRows: index count mismatch");
+    // Scatter targets may collide; sequential keeps the deterministic
+    // accumulation order.
     const std::int64_t cols = x.dim(1);
     for (std::size_t i = 0; i < scatter.size(); ++i) {
         const float *src = x.data() + static_cast<std::int64_t>(i) * cols;
@@ -221,14 +446,34 @@ scatterAddRows(const Tensor &x, Tensor &y,
     }
 }
 
+namespace
+{
+
+/** Elementwise map over [0, numel) with one owner per index. */
+template <typename Fn>
+void
+elementwise(std::size_t numel, Fn &&fn)
+{
+    if (util::seedKernelMode()) {
+        fn(0, static_cast<std::int64_t>(numel));
+        return;
+    }
+    util::globalPool().parallelFor(0, static_cast<std::int64_t>(numel),
+                                   fn, 4096);
+}
+
+} // namespace
+
 void
 addInPlace(Tensor &y, const Tensor &x)
 {
     checkThat(y.numel() == x.numel(), "addInPlace: size mismatch");
     float *py = y.data();
     const float *px = x.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] += px[i];
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] += px[i];
+    });
 }
 
 void
@@ -237,40 +482,50 @@ mulInPlace(Tensor &y, const Tensor &x)
     checkThat(y.numel() == x.numel(), "mulInPlace: size mismatch");
     float *py = y.data();
     const float *px = x.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] *= px[i];
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] *= px[i];
+    });
 }
 
 void
 scaleInPlace(Tensor &y, float alpha)
 {
     float *py = y.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] *= alpha;
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] *= alpha;
+    });
 }
 
 void
 expInPlace(Tensor &y)
 {
     float *py = y.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] = std::exp(py[i]);
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] = std::exp(py[i]);
+    });
 }
 
 void
 leakyReluInPlace(Tensor &y, float slope)
 {
     float *py = y.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] = py[i] > 0.0f ? py[i] : slope * py[i];
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] = py[i] > 0.0f ? py[i] : slope * py[i];
+    });
 }
 
 void
 reluInPlace(Tensor &y)
 {
     float *py = y.data();
-    for (std::size_t i = 0; i < y.numel(); ++i)
-        py[i] = py[i] > 0.0f ? py[i] : 0.0f;
+    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            py[i] = py[i] > 0.0f ? py[i] : 0.0f;
+    });
 }
 
 void
@@ -279,8 +534,10 @@ leakyReluBackwardInPlace(Tensor &dy, const Tensor &x, float slope)
     checkThat(dy.numel() == x.numel(), "leakyReluBackward: size mismatch");
     float *pd = dy.data();
     const float *px = x.data();
-    for (std::size_t i = 0; i < dy.numel(); ++i)
-        pd[i] *= px[i] > 0.0f ? 1.0f : slope;
+    elementwise(dy.numel(), [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            pd[i] *= px[i] > 0.0f ? 1.0f : slope;
+    });
 }
 
 void
@@ -292,14 +549,24 @@ rowDot(const Tensor &a, const Tensor &b, Tensor &out)
                   out.dim(0) == a.dim(0),
               "rowDot: shape mismatch");
     const std::int64_t cols = a.dim(1);
-    for (std::int64_t i = 0; i < a.dim(0); ++i) {
-        const float *pa = a.data() + i * cols;
-        const float *pb = b.data() + i * cols;
-        float acc = 0.0f;
-        for (std::int64_t j = 0; j < cols; ++j)
-            acc += pa[j] * pb[j];
-        out.data()[i] = acc;
+    auto run = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const float *pa = a.data() + i * cols;
+            const float *pb = b.data() + i * cols;
+            float acc = 0.0f;
+            for (std::int64_t j = 0; j < cols; ++j)
+                acc += pa[j] * pb[j];
+            out.data()[i] = acc;
+        }
+    };
+    if (util::seedKernelMode()) {
+        run(0, a.dim(0));
+        return;
     }
+    util::globalPool().parallelFor(
+        0, a.dim(0), run,
+        std::max<std::int64_t>(16,
+                               8192 / std::max<std::int64_t>(1, cols)));
 }
 
 void
@@ -310,18 +577,30 @@ rowAxpy(const Tensor &alpha, const Tensor &x, Tensor &y)
     checkThat(alpha.dim(0) == x.dim(0) && x.shape() == y.shape(),
               "rowAxpy: shape mismatch");
     const std::int64_t cols = x.dim(1);
-    for (std::int64_t i = 0; i < x.dim(0); ++i) {
-        const float a = alpha.data()[i];
-        const float *px = x.data() + i * cols;
-        float *py = y.data() + i * cols;
-        for (std::int64_t j = 0; j < cols; ++j)
-            py[j] += a * px[j];
+    auto run = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const float a = alpha.data()[i];
+            const float *px = x.data() + i * cols;
+            float *py = y.data() + i * cols;
+            for (std::int64_t j = 0; j < cols; ++j)
+                py[j] += a * px[j];
+        }
+    };
+    if (util::seedKernelMode()) {
+        run(0, x.dim(0));
+        return;
     }
+    util::globalPool().parallelFor(
+        0, x.dim(0), run,
+        std::max<std::int64_t>(16,
+                               8192 / std::max<std::int64_t>(1, cols)));
 }
 
 double
 sum(const Tensor &t)
 {
+    // A single deterministic left-to-right reduction: parallelizing
+    // this would change the addition order and therefore the bits.
     double acc = 0.0;
     const float *p = t.data();
     for (std::size_t i = 0; i < t.numel(); ++i)

@@ -139,6 +139,22 @@ class Tensor
     std::size_t
     numel() const
     {
+        if (!storage_)
+            return 0;
+        // Shape-derived so a view over a larger arena buffer (see
+        // viewPrefix) reports its logical element count, not the
+        // backing capacity. For ordinarily constructed tensors the two
+        // are identical.
+        std::size_t n = 1;
+        for (std::int64_t d : shape_)
+            n *= static_cast<std::size_t>(d);
+        return n;
+    }
+
+    /** Elements the backing storage can hold (>= numel for views). */
+    std::size_t
+    capacity() const
+    {
         return storage_ ? storage_->size() : 0;
     }
 
@@ -226,6 +242,29 @@ class Tensor
         for (std::int64_t d : shape)
             n *= static_cast<std::size_t>(d);
         checkThat(n == numel(), "reshape changes element count");
+        Tensor t;
+        t.storage_ = storage_;
+        t.shape_ = std::move(shape);
+        return t;
+    }
+
+    /**
+     * Shares the first product(shape) elements of this tensor's
+     * storage under a new shape. Unlike reshape(), the view may be
+     * *smaller* than the backing storage — this is how the executor's
+     * arena hands out per-request tensors from pooled high-water
+     * buffers without reallocating.
+     */
+    Tensor
+    viewPrefix(std::vector<std::int64_t> shape) const
+    {
+        std::size_t n = 1;
+        for (std::int64_t d : shape) {
+            checkThat(d >= 0, "viewPrefix: negative dimension");
+            n *= static_cast<std::size_t>(d);
+        }
+        checkThat(storage_ != nullptr && n <= storage_->size(),
+                  "viewPrefix exceeds storage capacity");
         Tensor t;
         t.storage_ = storage_;
         t.shape_ = std::move(shape);

@@ -1,0 +1,255 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+#include "tensor/memory_tracker.hh"
+
+namespace hector::util
+{
+
+namespace
+{
+
+thread_local bool tls_in_parallel = false;
+
+std::atomic<bool> seed_mode{false};
+
+/** Explicit override from setGlobalThreads; 0 = no override. */
+std::atomic<int> thread_override{0};
+
+int
+envThreads()
+{
+    if (const char *env = std::getenv("HECTOR_THREADS")) {
+        const long v = std::atol(env);
+        if (v >= 1 && v <= 1024)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.back());
+            queue_.pop_back();
+        }
+        task.fn();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)> &body,
+    std::int64_t min_grain)
+{
+    const std::int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    if (min_grain < 1)
+        min_grain = 1;
+
+    // Inline when there is nothing to split, the range is too small to
+    // amortize a dispatch, or we are already inside a chunk (nested
+    // parallelism would deadlock a fixed-size pool).
+    std::int64_t chunks = threads_;
+    if (chunks > (n + min_grain - 1) / min_grain)
+        chunks = (n + min_grain - 1) / min_grain;
+    if (chunks <= 1 || tls_in_parallel) {
+        // Restore (not clear) the flag: a second nested call after
+        // this one returns must still see the outer chunk's flag, or
+        // it would queue onto the pool its caller is blocking.
+        const bool prev = tls_in_parallel;
+        tls_in_parallel = true;
+        try {
+            body(begin, end);
+        } catch (...) {
+            tls_in_parallel = prev;
+            throw;
+        }
+        tls_in_parallel = prev;
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::int64_t> remaining;
+        std::mutex mu;
+        std::condition_variable done;
+        std::exception_ptr error;
+        std::mutex error_mu;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->remaining.store(chunks - 1, std::memory_order_relaxed);
+
+    tensor::MemoryTracker *tracker = tensor::currentTracker();
+    const std::int64_t per = n / chunks;
+    const std::int64_t extra = n % chunks;
+
+    auto chunkBounds = [&](std::int64_t c) {
+        const std::int64_t lo =
+            begin + c * per + (c < extra ? c : extra);
+        const std::int64_t len = per + (c < extra ? 1 : 0);
+        return std::pair<std::int64_t, std::int64_t>{lo, lo + len};
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::int64_t c = 1; c < chunks; ++c) {
+            const auto [lo, hi] = chunkBounds(c);
+            queue_.push_back(Task{[shared, tracker, lo, hi, &body]() {
+                tensor::TrackerScope scope(tracker);
+                tls_in_parallel = true;
+                try {
+                    body(lo, hi);
+                } catch (...) {
+                    std::lock_guard<std::mutex> elock(shared->error_mu);
+                    if (!shared->error)
+                        shared->error = std::current_exception();
+                }
+                tls_in_parallel = false;
+                if (shared->remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    std::lock_guard<std::mutex> dlock(shared->mu);
+                    shared->done.notify_one();
+                }
+            }});
+        }
+    }
+    cv_.notify_all();
+
+    // Chunk 0 on the calling thread.
+    {
+        const auto [lo, hi] = chunkBounds(0);
+        tls_in_parallel = true;
+        try {
+            body(lo, hi);
+        } catch (...) {
+            std::lock_guard<std::mutex> elock(shared->error_mu);
+            if (!shared->error)
+                shared->error = std::current_exception();
+        }
+        tls_in_parallel = false;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(shared->mu);
+        shared->done.wait(lock, [&]() {
+            return shared->remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tls_in_parallel;
+}
+
+namespace
+{
+
+std::mutex pool_mu;
+std::unique_ptr<ThreadPool> pool;
+/** Lock-free snapshot of `pool` for the hot path. */
+std::atomic<ThreadPool *> pool_snapshot{nullptr};
+
+/** HECTOR_THREADS / hardware_concurrency, resolved once per process
+ *  (the environment cannot change after start). */
+int
+cachedEnvThreads()
+{
+    static const int cached = envThreads();
+    return cached;
+}
+
+} // namespace
+
+int
+resolveThreads()
+{
+    const int o = thread_override.load(std::memory_order_relaxed);
+    return o > 0 ? o : cachedEnvThreads();
+}
+
+ThreadPool &
+globalPool()
+{
+    // Hot path: every kernel dispatch lands here, so the common case
+    // (pool exists at the wanted width) is two relaxed/acquire loads
+    // and no lock.
+    const int want = resolveThreads();
+    ThreadPool *snap = pool_snapshot.load(std::memory_order_acquire);
+    if (snap && snap->threads() == want)
+        return *snap;
+    std::lock_guard<std::mutex> lock(pool_mu);
+    if (!pool || pool->threads() != want) {
+        pool_snapshot.store(nullptr, std::memory_order_release);
+        pool = std::make_unique<ThreadPool>(want);
+    }
+    pool_snapshot.store(pool.get(), std::memory_order_release);
+    return *pool;
+}
+
+void
+setGlobalThreads(int n)
+{
+    thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+    // Rebuild eagerly so a following parallelFor sees the new width.
+    std::lock_guard<std::mutex> lock(pool_mu);
+    const int want = n > 0 ? n : cachedEnvThreads();
+    if (!pool || pool->threads() != want) {
+        pool_snapshot.store(nullptr, std::memory_order_release);
+        pool = std::make_unique<ThreadPool>(want);
+        pool_snapshot.store(pool.get(), std::memory_order_release);
+    }
+}
+
+bool
+seedKernelMode()
+{
+    return seed_mode.load(std::memory_order_relaxed);
+}
+
+void
+setSeedKernelMode(bool on)
+{
+    seed_mode.store(on, std::memory_order_relaxed);
+}
+
+} // namespace hector::util

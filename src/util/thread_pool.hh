@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Static-partition thread pool for the host execution engine.
+ *
+ * The pool deliberately has no work stealing and no dynamic
+ * scheduling: parallelFor() splits an index range into at most one
+ * contiguous chunk per worker, so every index — and therefore every
+ * output row of a row-parallel kernel — is owned by exactly one
+ * thread. Combined with kernels that keep the per-row accumulation
+ * order of the sequential reference, this makes every parallel result
+ * bit-identical to the single-threaded one at any thread count, which
+ * is the determinism contract the test goldens and the serving
+ * micro-batch invariance proofs rest on.
+ *
+ * Thread count resolution order:
+ *   1. setGlobalThreads(n) (config / bench override),
+ *   2. the HECTOR_THREADS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ */
+
+#ifndef HECTOR_UTIL_THREAD_POOL_HH
+#define HECTOR_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hector::util
+{
+
+class ThreadPool
+{
+  public:
+    /** A pool with @p threads workers (>= 1; 1 means inline only). */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return threads_; }
+
+    /**
+     * Run @p body over [begin, end) split into contiguous chunks, one
+     * per participating thread. Chunk 0 runs on the calling thread;
+     * the rest are dispatched to workers. Blocks until every chunk
+     * finished; the first exception thrown by any chunk is rethrown.
+     *
+     * @param min_grain smallest range worth a worker dispatch; ranges
+     *        shorter than 2 * min_grain run inline. Chunk boundaries
+     *        never affect results for ownership-preserving kernels.
+     *
+     * Nested calls (from inside a chunk) run inline, so kernels can
+     * call parallel helpers without deadlocking the pool.
+     *
+     * The caller's MemoryTracker (tensor/memory_tracker.hh) is
+     * propagated to the workers for the duration of the call, so any
+     * tracked allocation made inside a chunk is accounted to the same
+     * simulated device as the launching thread's.
+     */
+    void parallelFor(std::int64_t begin, std::int64_t end,
+                     const std::function<void(std::int64_t, std::int64_t)>
+                         &body,
+                     std::int64_t min_grain = 256);
+
+    /** True while the calling thread is executing a chunk. */
+    static bool inParallelRegion();
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+    };
+
+    void workerLoop();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Task> queue_;
+    bool stop_ = false;
+};
+
+/**
+ * The process-wide pool used by the tensor and executor kernels.
+ * Created on first use with resolveThreads() workers; setGlobalThreads
+ * tears it down and rebuilds it with the new count.
+ */
+ThreadPool &globalPool();
+
+/** Threads the global pool would be (re)built with right now. */
+int resolveThreads();
+
+/**
+ * Override the global pool's thread count (benches, tests, config).
+ * n <= 0 restores the HECTOR_THREADS / hardware default.
+ */
+void setGlobalThreads(int n);
+
+/**
+ * When true, the tensor kernels and the executor take the seed's
+ * single-threaded scalar paths (no blocking, no thread pool, no
+ * arena fast path). The honest baseline for bench_exec_wallclock and
+ * the bitwise oracle for the blocked kernels' determinism tests.
+ */
+bool seedKernelMode();
+void setSeedKernelMode(bool on);
+
+} // namespace hector::util
+
+#endif // HECTOR_UTIL_THREAD_POOL_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Determinism matrix of the parallel execution engine: for RGAT, RGCN
+ * and HGT, inference and training, the blocked thread-pool kernels at
+ * 1/2/4/7 threads must produce bit-identical outputs (and weight
+ * gradients) to the seed's single-threaded scalar interpreter. Also
+ * pins serving-drain determinism across thread counts, including the
+ * modeled report (which depends only on kernel descriptors, never on
+ * the host partitioning).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "graph/compaction.hh"
+#include "graph/datasets.hh"
+#include "models/models.hh"
+#include "models/model_sources.hh"
+#include "serve/session.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace hector;
+using tensor::Tensor;
+
+struct RunOutput
+{
+    std::vector<float> out;
+    std::map<std::string, std::vector<float>> grads;
+};
+
+RunOutput
+runModel(models::ModelKind mk, bool training, bool optimized)
+{
+    const graph::HeteroGraph g = graph::toyCitationGraph();
+    const graph::CompactionMap cmap(g);
+    core::CompileOptions opts;
+    opts.training = training;
+    if (optimized) {
+        opts.compactMaterialization = true;
+        opts.linearReorder = true;
+    }
+    const core::CompiledModel m =
+        core::compile(models::buildModel(mk, g, 8, 8), opts);
+    std::mt19937_64 rng(123);
+    models::WeightMap weights =
+        models::initWeights(m.forwardProgram, g, rng);
+    const Tensor feature = Tensor::uniform({g.numNodes(), 8}, rng, 0.5f);
+
+    sim::Runtime rt;
+    models::WeightMap grads;
+    core::ExecutionContext ctx;
+    ctx.reset(&g, &cmap, &rt, &weights, &grads);
+
+    Tensor out;
+    if (training)
+        out = core::trainStep(m, ctx, feature);
+    else {
+        core::bindInputs(m, ctx, feature);
+        out = m.forward(ctx);
+    }
+
+    RunOutput r;
+    r.out.assign(out.data(), out.data() + out.numel());
+    for (const auto &[name, t] : grads)
+        r.grads.emplace(name, std::vector<float>(
+                                  t.data(), t.data() + t.numel()));
+    return r;
+}
+
+void
+expectSame(const RunOutput &a, const RunOutput &b, const char *what)
+{
+    ASSERT_EQ(a.out.size(), b.out.size()) << what;
+    EXPECT_EQ(std::memcmp(a.out.data(), b.out.data(),
+                          a.out.size() * sizeof(float)),
+              0)
+        << what << ": outputs diverged";
+    ASSERT_EQ(a.grads.size(), b.grads.size()) << what;
+    for (const auto &[name, ga] : a.grads) {
+        const auto it = b.grads.find(name);
+        ASSERT_NE(it, b.grads.end()) << what << ": " << name;
+        ASSERT_EQ(ga.size(), it->second.size()) << what << ": " << name;
+        EXPECT_EQ(std::memcmp(ga.data(), it->second.data(),
+                              ga.size() * sizeof(float)),
+                  0)
+            << what << ": gradient " << name << " diverged";
+    }
+}
+
+class ExecDeterminism : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        util::setSeedKernelMode(false);
+        util::setGlobalThreads(0);
+    }
+};
+
+TEST_F(ExecDeterminism, MatrixModelsByModeByThreads)
+{
+    for (models::ModelKind mk :
+         {models::ModelKind::Rgat, models::ModelKind::Rgcn,
+          models::ModelKind::Hgt}) {
+        for (bool training : {false, true}) {
+            for (bool optimized : {false, true}) {
+                // The oracle: the seed's sequential scalar kernels.
+                util::setSeedKernelMode(true);
+                util::setGlobalThreads(1);
+                const RunOutput seed = runModel(mk, training, optimized);
+
+                util::setSeedKernelMode(false);
+                for (int threads : {1, 2, 4, 7}) {
+                    util::setGlobalThreads(threads);
+                    const RunOutput got =
+                        runModel(mk, training, optimized);
+                    const std::string what =
+                        std::string(models::toString(mk)) +
+                        (training ? "/train" : "/infer") +
+                        (optimized ? "/C+R" : "/base") + "/t" +
+                        std::to_string(threads);
+                    expectSame(seed, got, what.c_str());
+                }
+            }
+        }
+    }
+}
+
+TEST_F(ExecDeterminism, ServingDrainIsThreadCountInvariant)
+{
+    const graph::HeteroGraph g =
+        graph::generate(graph::datasetSpec("aifb"), 1.0 / 256.0);
+    std::mt19937_64 frng(11);
+    const Tensor host_features =
+        Tensor::uniform({g.numNodes(), 16}, frng, 0.5f);
+
+    auto drainOnce = [&](int threads) {
+        util::setGlobalThreads(threads);
+        sim::Runtime rt;
+        serve::ServingConfig cfg;
+        cfg.maxBatch = 4;
+        cfg.numStreams = 2;
+        cfg.din = 16;
+        cfg.dout = 16;
+        cfg.sample.numSeeds = 6;
+        cfg.sample.fanout = 3;
+        cfg.seed = 2024;
+        serve::ServingSession session(g, host_features,
+                                      models::kHgtSource, cfg, rt);
+        std::vector<std::uint64_t> ids;
+        for (int i = 0; i < 10; ++i)
+            ids.push_back(session.submit());
+        const serve::ServingReport rep = session.drain();
+        std::vector<std::vector<float>> outs;
+        for (std::uint64_t id : ids) {
+            const Tensor *o = session.result(id);
+            EXPECT_NE(o, nullptr);
+            outs.emplace_back(o->data(), o->data() + o->numel());
+        }
+        return std::make_pair(rep, outs);
+    };
+
+    const auto [rep1, outs1] = drainOnce(1);
+    for (int threads : {2, 4, 7}) {
+        const auto [repN, outsN] = drainOnce(threads);
+        ASSERT_EQ(outs1.size(), outsN.size());
+        for (std::size_t i = 0; i < outs1.size(); ++i) {
+            ASSERT_EQ(outs1[i].size(), outsN[i].size());
+            EXPECT_EQ(std::memcmp(outs1[i].data(), outsN[i].data(),
+                                  outs1[i].size() * sizeof(float)),
+                      0)
+                << "request " << i << " at " << threads << " threads";
+        }
+        // Modeled metrics come from kernel descriptors, not from how
+        // the host partitioned the work.
+        EXPECT_DOUBLE_EQ(rep1.makespanMs, repN.makespanMs);
+        EXPECT_DOUBLE_EQ(rep1.meanLatencyMs, repN.meanLatencyMs);
+        EXPECT_EQ(rep1.launches, repN.launches);
+    }
+}
+
+} // namespace

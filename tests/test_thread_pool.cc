@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Thread-pool and thread-safe memory-tracker tests: static-partition
+ * coverage and ownership, nested-call inlining, exception propagation,
+ * tracker propagation into workers, and concurrent OOM-boundary
+ * bookkeeping (TSan/ASan-friendly: all shared state is atomic or
+ * joined before assertion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/memory_tracker.hh"
+#include "tensor/tensor.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace hector;
+
+TEST(ThreadPool, CoversRangeExactlyOncePerIndex)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        util::ThreadPool pool(threads);
+        const std::int64_t n = 1000;
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+        pool.parallelFor(
+            0, n,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i)
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+            },
+            1);
+        for (std::int64_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+                << "index " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrdered)
+{
+    util::ThreadPool pool(4);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallelFor(
+        0, 103,
+        [&](std::int64_t lo, std::int64_t hi) {
+            std::lock_guard<std::mutex> lock(mu);
+            chunks.push_back({lo, hi});
+        },
+        1);
+    ASSERT_EQ(chunks.size(), 4u);
+    std::sort(chunks.begin(), chunks.end());
+    EXPECT_EQ(chunks.front().first, 0);
+    EXPECT_EQ(chunks.back().second, 103);
+    for (std::size_t i = 1; i < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i - 1].second, chunks[i].first)
+            << "chunks must tile the range";
+}
+
+TEST(ThreadPool, SmallRangesRunInline)
+{
+    util::ThreadPool pool(8);
+    int calls = 0;
+    // 10 items with min_grain 256: one inline chunk, no dispatch.
+    pool.parallelFor(
+        0, 10,
+        [&](std::int64_t lo, std::int64_t hi) {
+            ++calls;
+            EXPECT_EQ(lo, 0);
+            EXPECT_EQ(hi, 10);
+        },
+        256);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock)
+{
+    util::ThreadPool pool(4);
+    std::atomic<std::int64_t> total{0};
+    pool.parallelFor(
+        0, 8,
+        [&](std::int64_t lo, std::int64_t hi) {
+            EXPECT_TRUE(util::ThreadPool::inParallelRegion());
+            // Nested use must inline (a fixed pool would deadlock).
+            pool.parallelFor(
+                lo * 10, hi * 10,
+                [&](std::int64_t l2, std::int64_t h2) {
+                    total.fetch_add(h2 - l2);
+                },
+                1);
+        },
+        1);
+    EXPECT_EQ(total.load(), 80);
+    EXPECT_FALSE(util::ThreadPool::inParallelRegion());
+}
+
+TEST(ThreadPool, SequentialNestedCallsBothInline)
+{
+    // A nested call must RESTORE the in-parallel flag on return, not
+    // clear it: a second sibling nested call that saw a cleared flag
+    // would queue onto the pool its own caller is blocking.
+    util::ThreadPool pool(2);
+    std::atomic<int> violations{0};
+    pool.parallelFor(
+        0, 4,
+        [&](std::int64_t, std::int64_t) {
+            pool.parallelFor(0, 2, [](std::int64_t, std::int64_t) {}, 1);
+            if (!util::ThreadPool::inParallelRegion())
+                violations.fetch_add(1);
+            // Would deadlock before the restore fix if the flag were
+            // cleared by the first nested call.
+            pool.parallelFor(0, 2, [](std::int64_t, std::int64_t) {}, 1);
+        },
+        1);
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    util::ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(
+            0, 100,
+            [&](std::int64_t lo, std::int64_t) {
+                if (lo >= 25)
+                    throw std::runtime_error("chunk failure");
+            },
+            1),
+        std::runtime_error);
+    // The pool survives a throwing run.
+    std::atomic<int> ok{0};
+    pool.parallelFor(
+        0, 8, [&](std::int64_t lo, std::int64_t hi) {
+            ok.fetch_add(static_cast<int>(hi - lo));
+        },
+        1);
+    EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, GlobalPoolHonorsOverride)
+{
+    util::setGlobalThreads(3);
+    EXPECT_EQ(util::resolveThreads(), 3);
+    EXPECT_EQ(util::globalPool().threads(), 3);
+    util::setGlobalThreads(0);
+    EXPECT_GE(util::resolveThreads(), 1);
+}
+
+TEST(ThreadPool, SeedKernelModeToggles)
+{
+    EXPECT_FALSE(util::seedKernelMode());
+    util::setSeedKernelMode(true);
+    EXPECT_TRUE(util::seedKernelMode());
+    util::setSeedKernelMode(false);
+    EXPECT_FALSE(util::seedKernelMode());
+}
+
+TEST(ThreadPool, PropagatesMemoryTrackerIntoWorkers)
+{
+    tensor::MemoryTracker tracker;
+    tensor::TrackerScope scope(&tracker);
+    util::ThreadPool pool(4);
+    std::atomic<int> misses{0};
+    pool.parallelFor(
+        0, 8,
+        [&](std::int64_t, std::int64_t) {
+            if (tensor::currentTracker() != &tracker)
+                misses.fetch_add(1);
+        },
+        1);
+    EXPECT_EQ(misses.load(), 0)
+        << "workers must inherit the launching thread's tracker";
+}
+
+TEST(MemoryTracker, ConcurrentAllocFreeBalancesToZero)
+{
+    tensor::MemoryTracker tracker;
+    util::ThreadPool pool(7);
+    const std::int64_t iters = 20000;
+    pool.parallelFor(
+        0, iters,
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+                tracker.onAlloc(64);
+                tracker.onFree(64);
+            }
+        },
+        1);
+    EXPECT_EQ(tracker.liveBytes(), 0u);
+    EXPECT_EQ(tracker.totalAllocBytes(),
+              static_cast<std::size_t>(iters) * 64u);
+    EXPECT_EQ(tracker.allocCount(), static_cast<std::size_t>(iters));
+    EXPECT_LE(tracker.peakBytes(), 7u * 64u)
+        << "peak cannot exceed one in-flight allocation per thread";
+    EXPECT_GE(tracker.peakBytes(), 64u);
+}
+
+TEST(MemoryTracker, ConcurrentAllocationsNeverOvershootCapacity)
+{
+    // Capacity admits at most one 600-byte allocation at a time; the
+    // CAS re-check in onAlloc must keep every interleaving within
+    // capacity, throwing OomError for the rest.
+    tensor::MemoryTracker tracker(1000);
+    util::ThreadPool pool(4);
+    std::atomic<int> admitted{0}, rejected{0};
+    pool.parallelFor(
+        0, 4000,
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+                try {
+                    tracker.onAlloc(600);
+                    admitted.fetch_add(1);
+                    tracker.onFree(600);
+                } catch (const tensor::OomError &) {
+                    rejected.fetch_add(1);
+                }
+            }
+        },
+        1);
+    EXPECT_EQ(admitted.load() + rejected.load(), 4000);
+    EXPECT_GT(admitted.load(), 0);
+    EXPECT_EQ(tracker.liveBytes(), 0u);
+    EXPECT_LE(tracker.peakBytes(), 1000u)
+        << "no interleaving may overshoot the modeled capacity";
+    EXPECT_EQ(tracker.oomCount(),
+              static_cast<std::size_t>(rejected.load()));
+}
+
+TEST(MemoryTracker, TrackedTensorAllocationInParallelRegionIsAccounted)
+{
+    tensor::MemoryTracker tracker;
+    tensor::TrackerScope scope(&tracker);
+    util::ThreadPool pool(4);
+    pool.parallelFor(
+        0, 8,
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+                tensor::Tensor t({16, 4}); // 256 B tracked via propagation
+                (void)t;
+            }
+        },
+        1);
+    EXPECT_EQ(tracker.liveBytes(), 0u);
+    EXPECT_EQ(tracker.totalAllocBytes(), 8u * 16u * 4u * sizeof(float));
+}
+
+} // namespace
