@@ -71,6 +71,39 @@ bestOf(const std::vector<AutotuneEntry> &entries)
 
 } // namespace
 
+std::string
+scheduleLabel(const GemmSchedule &sched)
+{
+    return "t" + std::to_string(sched.tileSz) + "c" +
+           std::to_string(sched.coarsening) +
+           (sched.launchBounds ? "b" : "");
+}
+
+AutotuneReport
+autotuneSchedules(const Program &program, const graph::HeteroGraph &g,
+                  const std::function<
+                      std::map<std::string, tensor::Tensor>()> &make_weights,
+                  const tensor::Tensor &feature, const CompileOptions &base,
+                  const std::vector<GemmSchedule> &schedules,
+                  const sim::DeviceSpec &device)
+{
+    AutotuneReport report;
+    report.entries.push_back(trial(program, g, make_weights, feature, base,
+                                   scheduleLabel(base.sched), device));
+    for (const auto &sched : schedules) {
+        if (sched.tileSz == base.sched.tileSz &&
+            sched.coarsening == base.sched.coarsening &&
+            sched.launchBounds == base.sched.launchBounds)
+            continue;
+        CompileOptions o = base;
+        o.sched = sched;
+        report.entries.push_back(trial(program, g, make_weights, feature,
+                                       o, scheduleLabel(sched), device));
+    }
+    report.bestIndex = bestOf(report.entries);
+    return report;
+}
+
 AutotuneReport
 autotune(const Program &program, const graph::HeteroGraph &g,
          const std::function<std::map<std::string, tensor::Tensor>()>

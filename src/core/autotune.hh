@@ -77,6 +77,27 @@ autotune(const Program &program, const graph::HeteroGraph &g,
              &make_weights,
          const tensor::Tensor &feature, const AutotuneSpace &space);
 
+/** Canonical label of a GEMM schedule, e.g. "t16c4b". */
+std::string scheduleLabel(const GemmSchedule &sched);
+
+/**
+ * Schedule-only sweep for the serving runtime: measure @p base and
+ * then @p base with each candidate GEMM schedule substituted, all on
+ * @p g (typically a representative sampled subgraph), and return the
+ * report (entry 0 is the base configuration). Unlike autotune(), the
+ * optimization combo is fixed — the serving engine tunes the schedule
+ * of an already-chosen variant configuration, then caches the winner
+ * keyed by (variant, shape bucket) so an evicted plan recompiles to
+ * the identical schedule without re-tuning.
+ */
+AutotuneReport
+autotuneSchedules(const Program &program, const graph::HeteroGraph &g,
+                  const std::function<
+                      std::map<std::string, tensor::Tensor>()> &make_weights,
+                  const tensor::Tensor &feature, const CompileOptions &base,
+                  const std::vector<GemmSchedule> &schedules,
+                  const sim::DeviceSpec &device);
+
 } // namespace hector::core
 
 #endif // HECTOR_CORE_AUTOTUNE_HH

@@ -401,11 +401,14 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
 
     /**
      * Cache-blocked rows [r0, r1) of segment t for the Identity-output
-     * case: k tiled in kBlockK chunks with op(W) packed once per chunk
-     * into a contiguous panel. Per output element the contributions
-     * arrive in ascending i with zero x-values skipped — bit-identical
-     * to seedRows.
+     * case: k tiled in schedule-derived chunks (kBlockFor; the plan's
+     * autotuned GemmSchedule, not a fixed default) with op(W) packed
+     * once per chunk into a contiguous panel. Per output element the
+     * contributions arrive in ascending i with zero x-values skipped —
+     * bit-identical to seedRows at every block size.
      */
+    const std::int64_t kblk =
+        tensor::blocked::kBlockFor(gi.sched.tileSz, gi.sched.coarsening);
     auto blockedRows = [&](Tensor &y, std::int64_t t, std::int64_t r0,
                            std::int64_t r1) {
         const float *wslice = w.data() + t * wr * wc;
@@ -413,9 +416,9 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
             for (std::int64_t r = r0; r < r1; ++r)
                 std::memset(y.row(r), 0,
                             static_cast<std::size_t>(dout) * sizeof(float));
-        float *panel = panelFor(dout);
-        for (std::int64_t k0 = 0; k0 < din; k0 += kBlockK) {
-            const std::int64_t kb = std::min(kBlockK, din - k0);
+        float *panel = panelFor(kblk, dout);
+        for (std::int64_t k0 = 0; k0 < din; k0 += kblk) {
+            const std::int64_t kb = std::min(kblk, din - k0);
             packPanel(wslice, wc, gi.transW, k0, kb, dout, panel);
             for (std::int64_t r = r0; r < r1; ++r) {
                 const float *xrow =

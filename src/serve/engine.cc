@@ -1,0 +1,600 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/autotune.hh"
+#include "core/frontend.hh"
+
+namespace hector::serve
+{
+
+using tensor::Tensor;
+
+// ------------------------------------------------------------------ helpers
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void
+fillLatencyStats(ServingReport &report,
+                 const std::vector<double> &latencies_sec,
+                 const std::vector<double> &queue_delays_sec,
+                 double deadline_ms)
+{
+    std::vector<double> sorted = latencies_sec;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double l : latencies_sec)
+        sum += l;
+    report.meanLatencyMs =
+        latencies_sec.empty()
+            ? 0.0
+            : sum / static_cast<double>(latencies_sec.size()) * 1e3;
+    report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
+    report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
+    report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
+    report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+
+    double delay_sum = 0.0;
+    for (double d : queue_delays_sec)
+        delay_sum += d;
+    report.meanQueueDelayMs =
+        queue_delays_sec.empty()
+            ? 0.0
+            : delay_sum / static_cast<double>(queue_delays_sec.size()) *
+                  1e3;
+
+    if (deadline_ms > 0.0 && !latencies_sec.empty()) {
+        std::size_t met = 0;
+        for (double l : latencies_sec)
+            if (l * 1e3 <= deadline_ms)
+                ++met;
+        report.sloAttainment =
+            static_cast<double>(met) /
+            static_cast<double>(latencies_sec.size());
+    }
+}
+
+void
+fillCacheStats(ServingReport &report, const PlanCache::Stats &stats)
+{
+    report.cacheHits = stats.hits;
+    report.cacheMisses = stats.misses;
+    report.cacheRecompiles = stats.recompiles;
+    report.cacheEvictions = stats.evictions;
+    report.cacheResidentBytes = stats.residentBytes;
+}
+
+VariantReport
+makeVariantReport(const std::string &name,
+                  std::vector<double> &latencies_sec, double deadline_ms)
+{
+    VariantReport vr;
+    vr.name = name;
+    vr.requests = latencies_sec.size();
+    if (latencies_sec.empty())
+        return vr;
+    double sum = 0.0;
+    std::size_t met = 0;
+    for (double l : latencies_sec) {
+        sum += l;
+        if (deadline_ms <= 0.0 || l * 1e3 <= deadline_ms)
+            ++met;
+    }
+    vr.meanLatencyMs =
+        sum / static_cast<double>(latencies_sec.size()) * 1e3;
+    std::sort(latencies_sec.begin(), latencies_sec.end());
+    vr.p50LatencyMs = percentileSorted(latencies_sec, 0.50) * 1e3;
+    vr.p99LatencyMs = percentileSorted(latencies_sec, 0.99) * 1e3;
+    vr.sloAttainment =
+        deadline_ms > 0.0
+            ? static_cast<double>(met) /
+                  static_cast<double>(latencies_sec.size())
+            : 1.0;
+    return vr;
+}
+
+void
+recordPlanEvents(sim::PlanEvents &events, const PlanCache::Stats &before,
+                 const PlanCache::Stats &after)
+{
+    events.compiles += after.misses - before.misses;
+    events.recompiles += after.recompiles - before.recompiles;
+    events.evictions += after.evictions - before.evictions;
+}
+
+void
+validateServingConfig(const ServingConfig &cfg, const char *who)
+{
+    const std::string prefix = std::string(who) + ": ";
+    if (cfg.maxBatch == 0)
+        throw std::invalid_argument(prefix + "maxBatch must be > 0");
+    if (cfg.numStreams <= 0)
+        throw std::invalid_argument(prefix + "numStreams must be > 0");
+    if (cfg.deadlineMs < 0.0 || !std::isfinite(cfg.deadlineMs))
+        throw std::invalid_argument(
+            prefix + "deadlineMs must be finite and >= 0");
+    if (cfg.din <= 0)
+        throw std::invalid_argument(prefix + "din must be > 0");
+    if (cfg.dout <= 0)
+        throw std::invalid_argument(prefix + "dout must be > 0");
+}
+
+models::WeightMap
+initVariantWeights(const std::string &model_source, std::int64_t din,
+                   std::int64_t dout, const graph::HeteroGraph &g,
+                   std::mt19937_64 &rng)
+{
+    core::Program pristine = core::parseModel(model_source, din, dout);
+    return models::initWeights(pristine, g, rng);
+}
+
+// ------------------------------------------------------------- PlanCompiler
+
+PlanCompiler::PlanCompiler(const graph::HeteroGraph &g, std::string label,
+                           ServingConfig cfg, bool autotune_schedules)
+    : g_(&g), label_(std::move(label)), cfg_(std::move(cfg)),
+      autotune_(autotune_schedules)
+{}
+
+PlanCache::Compiled
+PlanCompiler::compile(const PlanKey &key, const Tensor &host_features,
+                      const models::WeightMap &weights)
+{
+    core::Program program =
+        core::parseModel(key.modelSource, key.din, key.dout);
+
+    if (autotune_ && !tuned_) {
+        // Representative workload: a neighborhood sampled on a
+        // DEDICATED rng, so tuning never perturbs the variant's
+        // request stream (dedicated-session bit-equality depends on
+        // that). Trials run on their own throwaway runtimes; nothing
+        // is charged to the serving device.
+        std::mt19937_64 trng(cfg_.seed ^ 0x7a11e5ull);
+        graph::Minibatch mb =
+            graph::sampleNeighbors(*g_, cfg_.sample, trng);
+        Tensor feature;
+        {
+            tensor::TrackerScope untracked(nullptr);
+            feature = graph::gatherFeatures(mb, host_features);
+        }
+        auto make_weights = [&weights]() { return weights; };
+        const core::AutotuneSpace defaults;
+        const core::AutotuneReport report = core::autotuneSchedules(
+            program, mb.subgraph, make_weights, feature, key.options,
+            defaults.schedules, sim::DeviceSpec{});
+        tunedSched_ = report.best().options.sched;
+        // Shape bucket: representative union size rounded up to a
+        // power of two — the same traffic shape re-tunes to the same
+        // key, and the key survives evictions.
+        std::int64_t bucket = 1;
+        while (bucket < mb.subgraph.numNodes())
+            bucket <<= 1;
+        scheduleKey_ = label_ + "/n" + std::to_string(bucket) + "/" +
+                       core::scheduleLabel(tunedSched_);
+        tuned_ = true;
+    }
+
+    core::CompileOptions effective = key.options;
+    if (tuned_)
+        effective.sched = tunedSched_;
+
+    PlanCache::Compiled out;
+    out.plan = std::make_shared<core::CompiledModel>(
+        core::compile(std::move(program), effective));
+    out.scheduleKey = scheduleKey_;
+
+    // Modeled resident cost: generated plan text + arena slots sized
+    // for a nominal maximal micro-batch + this variant's weights.
+    std::size_t bytes = out.plan->code.cudaSource.size() +
+                        out.plan->code.hostSource.size() +
+                        out.plan->code.pythonSource.size();
+    const std::int64_t per_req_nodes =
+        cfg_.sample.numSeeds * (1 + cfg_.sample.fanout);
+    const std::int64_t nodes = std::min(
+        g_->numNodes(),
+        static_cast<std::int64_t>(cfg_.maxBatch) * per_req_nodes);
+    const std::int64_t edges = std::min(
+        g_->numEdges(),
+        static_cast<std::int64_t>(cfg_.maxBatch) * cfg_.sample.numSeeds *
+            cfg_.sample.fanout *
+            std::max(1, g_->numEdgeTypes()));
+    for (const core::MemoryPlan::Slot &slot : out.plan->memoryPlan.slots) {
+        const std::int64_t rows =
+            slot.rows == core::SlotRows::Nodes ? nodes : edges;
+        bytes += static_cast<std::size_t>(rows) *
+                 static_cast<std::size_t>(slot.cols) * sizeof(float);
+    }
+    for (const auto &[name, w] : weights)
+        bytes += w.bytes();
+    out.costBytes = bytes;
+    return out;
+}
+
+// ------------------------------------------------------------------- Engine
+
+Engine::Variant::Variant(const graph::HeteroGraph &g, std::string name_,
+                         Tensor features, std::string source,
+                         ServingConfig cfg_, bool autotune)
+    : name(std::move(name_)), hostFeatures(std::move(features)),
+      modelSource(std::move(source)), cfg(cfg_), rng(cfg_.seed),
+      compiler(g, name, cfg_, autotune)
+{
+    // Weights first, then the request-sampling stream continues on the
+    // same generator — the seeding order every serving session shares.
+    weights = initVariantWeights(modelSource, cfg.din, cfg.dout, g, rng);
+}
+
+Engine::Engine(const graph::HeteroGraph &g, EngineConfig cfg,
+               sim::Runtime &rt)
+    : g_(g), cfg_(cfg), rt_(rt), cache_(cfg.planBudgetBytes)
+{
+    if (cfg_.numStreams <= 0)
+        throw std::invalid_argument("Engine: numStreams must be > 0");
+}
+
+int
+Engine::registerVariant(const std::string &name, Tensor host_features,
+                        std::string model_source, ServingConfig cfg)
+{
+    validateServingConfig(cfg, "Engine::registerVariant");
+    if (variantIndex(name) >= 0)
+        throw std::invalid_argument(
+            "Engine::registerVariant: duplicate variant name '" + name +
+            "'");
+    if (host_features.ndim() != 2 || host_features.dim(1) != cfg.din)
+        throw std::invalid_argument(
+            "Engine::registerVariant: host feature dim != config din");
+    variants_.emplace_back(g_, name, std::move(host_features),
+                           std::move(model_source), cfg,
+                           cfg_.autotuneSchedules || cfg.autotuneSchedules);
+    return static_cast<int>(variants_.size()) - 1;
+}
+
+int
+Engine::variantIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < variants_.size(); ++i)
+        if (variants_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Engine::Variant &
+Engine::at(int v)
+{
+    if (v < 0 || static_cast<std::size_t>(v) >= variants_.size())
+        throw std::runtime_error("Engine: variant id out of range");
+    return variants_[static_cast<std::size_t>(v)];
+}
+
+const Engine::Variant &
+Engine::at(int v) const
+{
+    if (v < 0 || static_cast<std::size_t>(v) >= variants_.size())
+        throw std::runtime_error("Engine: variant id out of range");
+    return variants_[static_cast<std::size_t>(v)];
+}
+
+const std::string &
+Engine::variantName(int v) const
+{
+    return at(v).name;
+}
+
+const ServingConfig &
+Engine::variantConfig(int v) const
+{
+    return at(v).cfg;
+}
+
+models::WeightMap &
+Engine::weights(int v)
+{
+    return at(v).weights;
+}
+
+const std::string &
+Engine::scheduleKey(int v) const
+{
+    return at(v).compiler.scheduleKey();
+}
+
+std::size_t
+Engine::queued() const
+{
+    std::size_t n = 0;
+    for (const Variant &v : variants_)
+        n += v.queue.size();
+    return n;
+}
+
+std::size_t
+Engine::queuedOn(int v) const
+{
+    return at(v).queue.size();
+}
+
+std::uint64_t
+Engine::submit(int v)
+{
+    Variant &var = at(v);
+    const double host_before = rt_.hostTimeMs() * 1e-3;
+    auto scope = rt_.memoryScope();
+    graph::Minibatch mb =
+        graph::sampleNeighbors(g_, var.cfg.sample, var.rng);
+    Tensor feature = graph::transferFeatures(mb, var.hostFeatures, rt_);
+    const std::uint64_t id = nextId_++;
+    var.queue.emplace_back(id, std::move(mb), std::move(feature),
+                           static_cast<std::uint32_t>(v));
+    hostClockSec_ += rt_.hostTimeMs() * 1e-3 - host_before;
+    var.queue.back().submitSec = hostClockSec_;
+    return id;
+}
+
+std::uint64_t
+Engine::submit(int v, graph::Minibatch mb, Tensor feature)
+{
+    Variant &var = at(v);
+    if (feature.ndim() != 2 ||
+        feature.dim(0) != mb.subgraph.numNodes() ||
+        feature.dim(1) != var.cfg.din)
+        throw std::runtime_error(
+            "Engine::submit: feature must be [subgraph nodes, din]");
+    const std::uint64_t id = nextId_++;
+    var.queue.emplace_back(id, std::move(mb), std::move(feature),
+                           static_cast<std::uint32_t>(v));
+    var.queue.back().submitSec = hostClockSec_;
+    return id;
+}
+
+PlanKey
+Engine::planKey(int v) const
+{
+    const Variant &var = at(v);
+    PlanKey key = makePlanKey(var.modelSource, var.cfg.din, var.cfg.dout,
+                              var.cfg.compile, g_);
+    key.scope = var.name;
+    return key;
+}
+
+std::shared_ptr<const core::CompiledModel>
+Engine::planFor(int v)
+{
+    Variant &var = at(v);
+    const PlanKey key = planKey(v);
+    const PlanCache::Stats before = cache_.stats();
+    auto plan = cache_.get(key, [&]() {
+        return var.compiler.compile(key, var.hostFeatures, var.weights);
+    });
+    recordPlanEvents(rt_.planEvents(), before, cache_.stats());
+    return plan;
+}
+
+ServingReport
+Engine::drain()
+{
+    lastLatenciesMs_.clear();
+    // An empty cycle has no makespan to divide by: report all-zero
+    // metrics and leave every piece of engine state — retained
+    // results, cache statistics, transfer bookkeeping — untouched.
+    if (queued() == 0)
+        return ServingReport{};
+
+    ServingReport report;
+
+    // Results are retained for one cycle only; a long-lived engine
+    // would otherwise accumulate one output tensor per request served.
+    results_.clear();
+
+    const std::uint64_t launches_before = rt_.counters().total().launches;
+
+    // One plan-cache lookup per variant with queued work. The
+    // shared_ptrs held here pin the plans for the whole cycle; the
+    // budget is re-enforced after they are released below.
+    std::vector<std::shared_ptr<const core::CompiledModel>> plans(
+        variants_.size());
+    for (std::size_t i = 0; i < variants_.size(); ++i)
+        if (!variants_[i].queue.empty())
+            plans[i] = planFor(static_cast<int>(i));
+
+    StreamScheduler sched(rt_, cfg_.numStreams);
+    auto scope = rt_.memoryScope();
+
+    // Per-variant FIFO coalescing into micro-batches of at most that
+    // variant's maxBatch — never mixing variants — then all batches
+    // interleave over the shared streams in global submission order
+    // (request ids are engine-wide and monotone).
+    struct PlannedBatch
+    {
+        std::size_t variant = 0;
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        std::uint64_t firstId = 0;
+    };
+    std::vector<PlannedBatch> batches;
+    for (std::size_t i = 0; i < variants_.size(); ++i) {
+        const Variant &v = variants_[i];
+        const std::size_t cap = std::max<std::size_t>(1, v.cfg.maxBatch);
+        for (std::size_t lo = 0; lo < v.queue.size(); lo += cap) {
+            const std::size_t hi = std::min(v.queue.size(), lo + cap);
+            batches.push_back({i, lo, hi, v.queue[lo].id});
+        }
+    }
+    std::sort(batches.begin(), batches.end(),
+              [](const PlannedBatch &a, const PlannedBatch &b) {
+                  return a.firstId < b.firstId;
+              });
+
+    for (const PlannedBatch &pb : batches) {
+        Variant &v = variants_[pb.variant];
+        std::vector<const Request *> reqs;
+        reqs.reserve(pb.hi - pb.lo);
+        for (std::size_t i = pb.lo; i < pb.hi; ++i)
+            reqs.push_back(&v.queue[i]);
+
+        sched.run([&]() {
+            MicroBatch batch = coalesce(reqs, rt_);
+            std::vector<Tensor> outs = executeBatch(
+                *plans[pb.variant], batch, v.weights, rt_, v.ctx,
+                v.grads, v.cfg.useArena);
+            // Detach results from the device memory scope so they
+            // outlive the drain cycle.
+            tensor::TrackerScope untracked(nullptr);
+            for (std::size_t i = 0; i < reqs.size(); ++i)
+                results_.insert_or_assign(reqs[i]->id, outs[i].clone());
+        });
+    }
+
+    // Timeline: the queued transfers not yet charged to an earlier
+    // cycle serialize before the drain's launches begin; per-batch
+    // completions come from the scheduler. On the absolute host
+    // clock, batch b completes at hostClockSec_ + completions[b] and
+    // request latency is simply completion minus its absolute
+    // submission point.
+    const std::vector<double> completions = sched.completionTimes();
+    const double pending_host_sec = hostClockSec_ - chargedHostSec_;
+    const double makespan_sec = pending_host_sec + sched.makespanSec();
+
+    std::vector<double> latencies;
+    std::vector<double> queue_delays;
+    latencies.reserve(queued());
+    queue_delays.reserve(queued());
+    std::vector<std::vector<double>> by_variant(variants_.size());
+    bool any_deadline = false;
+    std::size_t met = 0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const PlannedBatch &pb = batches[b];
+        const Variant &v = variants_[pb.variant];
+        const double completion = hostClockSec_ + completions[b];
+        const ScheduledBatch &sb = sched.batches()[b];
+        const double service = sb.overheadSec + sb.execSec;
+        if (v.cfg.deadlineMs > 0.0)
+            any_deadline = true;
+        for (std::size_t i = pb.lo; i < pb.hi; ++i) {
+            const double lat = completion - v.queue[i].submitSec;
+            latencies.push_back(lat);
+            queue_delays.push_back(std::max(0.0, lat - service));
+            by_variant[pb.variant].push_back(lat);
+            if (v.cfg.deadlineMs <= 0.0 || lat * 1e3 <= v.cfg.deadlineMs)
+                ++met;
+        }
+    }
+
+    report.requests = queued();
+    report.batches = batches.size();
+    report.makespanMs = makespan_sec * 1e3;
+    report.throughputReqPerSec =
+        makespan_sec > 0.0 ? static_cast<double>(report.requests) /
+                                 makespan_sec
+                           : 0.0;
+    report.msPerRequest =
+        report.requests
+            ? report.makespanMs / static_cast<double>(report.requests)
+            : 0.0;
+
+    // Percentiles/means via the shared helper; SLO attainment judges
+    // each request against its own variant's deadline.
+    fillLatencyStats(report, latencies, queue_delays, 0.0);
+    report.sloAttainment =
+        any_deadline && !latencies.empty()
+            ? static_cast<double>(met) /
+                  static_cast<double>(latencies.size())
+            : 1.0;
+
+    for (double l : latencies)
+        lastLatenciesMs_.push_back(l * 1e3);
+
+    for (std::size_t i = 0; i < variants_.size(); ++i) {
+        if (by_variant[i].empty())
+            continue;
+        report.perVariant.push_back(makeVariantReport(
+            variants_[i].name, by_variant[i],
+            variants_[i].cfg.deadlineMs));
+    }
+
+    for (Variant &v : variants_)
+        v.queue.clear();
+    chargedHostSec_ = hostClockSec_;
+
+    // Release the cycle's plan pins, then re-enforce the byte budget
+    // so residentBytes is bounded at every cycle boundary.
+    plans.clear();
+    {
+        const PlanCache::Stats before = cache_.stats();
+        cache_.enforceBudget();
+        recordPlanEvents(rt_.planEvents(), before, cache_.stats());
+    }
+
+    fillCacheStats(report, cache_.stats());
+    report.launches = rt_.counters().total().launches - launches_before;
+    return report;
+}
+
+BatchCost
+Engine::serveOldest(int v, std::size_t n, int stream)
+{
+    Variant &var = at(v);
+    BatchCost cost;
+    n = std::min(n, var.queue.size());
+    if (n == 0)
+        return cost;
+    cost.requests = n;
+
+    auto plan = planFor(v);
+
+    const StreamRunCost run = runOnStream(rt_, stream, [&]() {
+        auto scope = rt_.memoryScope();
+        std::vector<const Request *> reqs;
+        reqs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            reqs.push_back(&var.queue[i]);
+        MicroBatch batch = coalesce(reqs, rt_);
+        std::vector<Tensor> outs =
+            executeBatch(*plan, batch, var.weights, rt_, var.ctx,
+                         var.grads, var.cfg.useArena);
+        tensor::TrackerScope untracked(nullptr);
+        for (std::size_t i = 0; i < n; ++i)
+            results_.insert_or_assign(var.queue[i].id, outs[i].clone());
+    });
+    cost.execSec = run.execSec;
+    cost.overheadSec = run.overheadSec;
+
+    // The served requests' transfer time (the host clock through the
+    // last of them) is now charged, so a later drain() only charges
+    // the transfers of the requests it actually serves. submitSec
+    // stays absolute — other variants' older requests keep their full
+    // accrued queue time.
+    chargedHostSec_ =
+        std::max(chargedHostSec_, var.queue[n - 1].submitSec);
+    var.queue.erase(var.queue.begin(),
+                    var.queue.begin() + static_cast<std::ptrdiff_t>(n));
+
+    plan.reset();
+    {
+        const PlanCache::Stats before = cache_.stats();
+        cache_.enforceBudget();
+        recordPlanEvents(rt_.planEvents(), before, cache_.stats());
+    }
+    return cost;
+}
+
+const Tensor *
+Engine::result(std::uint64_t id) const
+{
+    auto it = results_.find(id);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+} // namespace hector::serve

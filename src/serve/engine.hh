@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Multi-tenant serving engine: one session, many plans.
+ *
+ * Production RGNN serving faces heterogeneous traffic — different
+ * models, different feature dimensions, different compile options —
+ * against one host-resident graph. The Engine owns what the
+ * single-model ServingSession used to hard-wire: a registry of named
+ * *model variants* (model source x CompileOptions x din/dout), one
+ * bounded PlanCache shared across them, per-variant weights / request
+ * RNG / pooled arena ExecutionContexts, and per-variant FIFO queues.
+ * Every request carries its variant id, and the micro-batcher
+ * coalesces only same-variant requests: a drain cycle interleaves the
+ * per-variant batches over the shared streams in global submission
+ * order, so per-request outputs stay bit-identical to a dedicated
+ * single-variant session at any thread count.
+ *
+ * Two policies ride on the registry:
+ *
+ *  - bounded plan memory: each cached plan is priced at its modeled
+ *    resident cost (generated plan + arena slots + variant weights)
+ *    and the cache evicts least-recently-used unpinned plans past the
+ *    byte budget (PlanCache); evicted variants recompile
+ *    deterministically on their next request, counted separately from
+ *    first-time misses;
+ *
+ *  - autotuned GEMM schedules: on a variant's first compile the engine
+ *    sweeps core::autotuneSchedules on a representative sampled
+ *    subgraph and compiles the plan with the winning schedule, keyed
+ *    by (variant, shape bucket) and memoized across evictions — the
+ *    executor's blocked GEMM consumes the schedule's k-block, which
+ *    never changes output bits (see tensor::blocked::kBlockFor).
+ *
+ * ServingSession and ShardedSession are façades over this machinery:
+ * the session wraps an Engine with one registered variant, the sharded
+ * session shares the weight-construction helper and the PlanCompiler.
+ */
+
+#ifndef HECTOR_SERVE_ENGINE_HH
+#define HECTOR_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "graph/sampler.hh"
+#include "models/models.hh"
+#include "serve/micro_batch.hh"
+#include "serve/plan_cache.hh"
+#include "serve/stream_scheduler.hh"
+
+namespace hector::serve
+{
+
+/** Serving-time knobs (per variant in multi-tenant serving). */
+struct ServingConfig
+{
+    /** Max requests coalesced into one micro-batch. */
+    std::size_t maxBatch = 8;
+    /** Simulated device streams to multiplex batches over. */
+    int numStreams = 1;
+    /** Per-request subgraph sampling parameters. */
+    graph::SampleSpec sample;
+    /** Plan compilation options (inference by default). */
+    core::CompileOptions compile;
+    std::int64_t din = 32;
+    std::int64_t dout = 32;
+    /** Seed for request sampling and weight initialization. */
+    std::uint64_t seed = 0x5e12e;
+    /**
+     * Per-request deadline SLO in milliseconds, measured from arrival
+     * (online) or submission (drain cycles). 0 disables the SLO, in
+     * which case reports show full attainment.
+     */
+    double deadlineMs = 0.0;
+    /**
+     * Back executor intermediates with the session's pooled arena
+     * (core::MemoryPlan): zero hot-path tensor allocations in steady
+     * state. Off = the seed's allocate-per-request behavior, kept as
+     * the honest baseline for bench_exec_wallclock.
+     */
+    bool useArena = true;
+    /**
+     * Plan-cache resident-byte budget (modeled plan + arena + weight
+     * bytes); 0 = unbounded. In an Engine the budget is engine-wide
+     * (EngineConfig); here it seeds the façade's engine.
+     */
+    std::size_t planBudgetBytes = 0;
+    /** Autotune the GEMM schedule on the variant's first compile. */
+    bool autotuneSchedules = false;
+};
+
+/**
+ * Validate @p cfg, throwing std::invalid_argument naming the offending
+ * field. Every serving entry point (ServingSession, ShardedSession,
+ * Engine::registerVariant, OnlineServer) validates through here, so a
+ * zero maxBatch or negative deadline fails loudly at construction
+ * instead of silently misbehaving mid-serve.
+ *
+ * @param who  constructor name used as the message prefix
+ */
+void validateServingConfig(const ServingConfig &cfg, const char *who);
+
+/**
+ * The single construction path for per-variant weights: parse the
+ * pristine (pre-pass) program — so weights match what a training
+ * pipeline would have produced — and draw every parameter from @p rng
+ * in declaration order. ServingSession (via the engine), ShardedSession
+ * and the Engine registry all build weights here; the caller seeds
+ * @p rng with the variant's ServingConfig::seed *before* this call and
+ * keeps drawing its request-sampling stream from the same generator
+ * after it, which is what makes a dedicated session and an engine
+ * variant serve identical request streams with identical weights.
+ */
+models::WeightMap initVariantWeights(const std::string &model_source,
+                                     std::int64_t din, std::int64_t dout,
+                                     const graph::HeteroGraph &g,
+                                     std::mt19937_64 &rng);
+
+/** Per-variant latency/SLO rows of a multi-tenant report. */
+struct VariantReport
+{
+    std::string name;
+    std::size_t requests = 0;
+    double meanLatencyMs = 0.0;
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double sloAttainment = 1.0;
+};
+
+/** One drain cycle's modeled serving metrics. */
+struct ServingReport
+{
+    std::size_t requests = 0;
+    std::size_t batches = 0;
+    /** Modeled completion time of the whole cycle (transfers + exec). */
+    double makespanMs = 0.0;
+    double throughputReqPerSec = 0.0;
+    double meanLatencyMs = 0.0;
+    double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+    /**
+     * Mean time a request spent waiting (arrival/submission to the
+     * start of its batch's device execution), excluding the batch's
+     * own service time.
+     */
+    double meanQueueDelayMs = 0.0;
+    /**
+     * Fraction of requests whose arrival-relative latency met the
+     * configured deadline SLO; 1 when no deadline is configured. In a
+     * multi-variant cycle each request is judged against its own
+     * variant's deadline.
+     */
+    double sloAttainment = 1.0;
+    /** Makespan divided by requests: the bench's headline metric. */
+    double msPerRequest = 0.0;
+    /** Cumulative plan-cache stats at the end of the cycle. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Eviction-forced recompiles (bounded plan cache). */
+    std::uint64_t cacheRecompiles = 0;
+    /** Plans evicted under the cache's byte budget so far. */
+    std::uint64_t cacheEvictions = 0;
+    /** Modeled bytes of the plans resident after the cycle. */
+    std::size_t cacheResidentBytes = 0;
+    /** Kernel launches issued during the cycle. */
+    std::uint64_t launches = 0;
+    /** Per-variant breakdown (one row per variant served). */
+    std::vector<VariantReport> perVariant;
+};
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample; @p q in
+ * [0, 1]. Returns 0 on an empty sample.
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/**
+ * Fill @p report's latency fields (mean/p50/p95/p99/max, mean queue
+ * delay, SLO attainment against @p deadline_ms) from per-request
+ * samples in seconds. The one place this arithmetic lives: the
+ * single-device, sharded and engine drain paths all report through it.
+ */
+void fillLatencyStats(ServingReport &report,
+                      const std::vector<double> &latencies_sec,
+                      const std::vector<double> &queue_delays_sec,
+                      double deadline_ms);
+
+/** Copy @p stats into the report's cache* fields — the one place the
+ *  plan-cache counters map onto reports, shared by every serving
+ *  path (engine/session drain, sharded drain, all online modes). */
+void fillCacheStats(ServingReport &report, const PlanCache::Stats &stats);
+
+/**
+ * Build one per-variant report row from that variant's latency
+ * samples (seconds, any order; sorted in place) judged against its
+ * own deadline — shared by Engine::drain and the multi-tenant online
+ * loop so the two per-tenant reports cannot drift.
+ */
+VariantReport makeVariantReport(const std::string &name,
+                                std::vector<double> &latencies_sec,
+                                double deadline_ms);
+
+/** Accumulate the (after - before) plan-cache stat deltas into the
+ *  device's plan-lifecycle counters — the one delta-bookkeeping path
+ *  for every cache lookup and budget re-enforcement site. */
+void recordPlanEvents(sim::PlanEvents &events,
+                      const PlanCache::Stats &before,
+                      const PlanCache::Stats &after);
+
+/** Modeled cost of one micro-batch served by serveOldest(). */
+struct BatchCost
+{
+    std::size_t requests = 0;
+    /** Host-serialized time: launch overheads + host-side work. */
+    double overheadSec = 0.0;
+    /** Device-side execution time of the batch's kernels. */
+    double execSec = 0.0;
+};
+
+/**
+ * Per-variant compile closure shared by the Engine and ShardedSession:
+ * parses the model, optionally autotunes the GEMM schedule on a
+ * representative sampled subgraph (memoized, so an evicted plan
+ * recompiles to the identical schedule without re-tuning), compiles
+ * with the effective schedule, and prices the plan's modeled resident
+ * cost (generated plan + arena slot + weight bytes) for the bounded
+ * PlanCache.
+ */
+class PlanCompiler
+{
+  public:
+    /**
+     * @param label variant name, prefixed onto the schedule key
+     * @param autotune_schedules sweep core::autotuneSchedules on the
+     *        first compile; off keeps the config's schedule verbatim
+     */
+    PlanCompiler(const graph::HeteroGraph &g, std::string label,
+                 ServingConfig cfg, bool autotune_schedules);
+
+    /**
+     * CompileFn body for @p key. @p host_features and @p weights
+     * belong to the variant: features feed the tuning run, weight
+     * bytes enter the plan's modeled cost.
+     */
+    PlanCache::Compiled compile(const PlanKey &key,
+                                const tensor::Tensor &host_features,
+                                const models::WeightMap &weights);
+
+    /** "<variant>/n<shape bucket>/<schedule>" once tuned; "" before
+     *  the first compile or with tuning off. */
+    const std::string &scheduleKey() const { return scheduleKey_; }
+
+    /** The memoized tuned schedule (valid once scheduleKey() != ""). */
+    const core::GemmSchedule &tunedSchedule() const { return tunedSched_; }
+
+  private:
+    const graph::HeteroGraph *g_;
+    std::string label_;
+    ServingConfig cfg_;
+    bool autotune_;
+    bool tuned_ = false;
+    core::GemmSchedule tunedSched_{};
+    std::string scheduleKey_;
+};
+
+/** Engine-wide knobs (the per-variant knobs live in ServingConfig). */
+struct EngineConfig
+{
+    /** Simulated device streams shared by every variant's batches. */
+    int numStreams = 1;
+    /** PlanCache resident-byte budget; 0 = unbounded. */
+    std::size_t planBudgetBytes = 0;
+    /** Autotune each variant's GEMM schedule on first compile. */
+    bool autotuneSchedules = false;
+};
+
+/**
+ * The multi-tenant serving engine. One host graph, one simulated
+ * device, N registered model variants served through one bounded
+ * PlanCache. See the file comment for the design; ServingSession is
+ * the single-variant façade.
+ */
+class Engine
+{
+  public:
+    /** @param g host-resident full graph (outlives the engine). */
+    Engine(const graph::HeteroGraph &g, EngineConfig cfg,
+           sim::Runtime &rt);
+
+    /**
+     * Register a model variant under @p name. @p host_features is the
+     * host-resident [nodes, cfg.din] feature tensor this variant
+     * samples from (variants may disagree on din). Throws
+     * std::invalid_argument on invalid @p cfg or a duplicate name.
+     * Returns the dense variant id every request carries.
+     */
+    int registerVariant(const std::string &name,
+                        tensor::Tensor host_features,
+                        std::string model_source, ServingConfig cfg);
+
+    int numVariants() const { return static_cast<int>(variants_.size()); }
+    /** Id of @p name, or -1. */
+    int variantIndex(const std::string &name) const;
+    const std::string &variantName(int v) const;
+    const ServingConfig &variantConfig(int v) const;
+
+    /**
+     * Sample a neighborhood query on variant @p v's seeded stream, pay
+     * its host-to-device transfer, and enqueue it. Returns the
+     * engine-wide request id.
+     */
+    std::uint64_t submit(int v);
+
+    /** Enqueue an externally prepared request on variant @p v. */
+    std::uint64_t submit(int v, graph::Minibatch mb,
+                         tensor::Tensor feature);
+
+    /**
+     * Serve every queued request of every variant: per-variant FIFO
+     * micro-batches (never mixing variants), interleaved over the
+     * shared streams in global submission order. Returns the cycle's
+     * metrics with a per-variant breakdown.
+     */
+    ServingReport drain();
+
+    /**
+     * Serve the min(n, queuedOn(v)) oldest queued requests of variant
+     * @p v as ONE micro-batch issued to @p stream, retaining their
+     * results. No timeline is imposed: the online serving layer owns
+     * the clock. Returns the batch's modeled cost.
+     */
+    BatchCost serveOldest(int v, std::size_t n, int stream = 0);
+
+    /** Drop all retained request results (bounded-memory serving). */
+    void clearResults() { results_.clear(); }
+
+    /** Output of a served request; nullptr until served. Results are
+     *  retained until the next drain cycle starts. */
+    const tensor::Tensor *result(std::uint64_t id) const;
+
+    PlanCache &planCache() { return cache_; }
+    /** The cache key variant @p v compiles under (scoped by variant
+     *  name — same-model tenants never alias). */
+    PlanKey planKey(int v) const;
+    models::WeightMap &weights(int v);
+    std::size_t queued() const;
+    std::size_t queuedOn(int v) const;
+    /** Modeled per-request latencies of the last drain cycle, ms, in
+     *  batch completion order. */
+    const std::vector<double> &lastLatenciesMs() const
+    {
+        return lastLatenciesMs_;
+    }
+    /** The (variant, shape bucket, schedule) key of @p v's autotuned
+     *  plan; "" before its first compile or with tuning off. */
+    const std::string &scheduleKey(int v) const;
+    const EngineConfig &config() const { return cfg_; }
+    sim::Runtime &runtime() { return rt_; }
+
+  private:
+    /** Everything one registered variant owns. */
+    struct Variant
+    {
+        std::string name;
+        tensor::Tensor hostFeatures;
+        std::string modelSource;
+        ServingConfig cfg;
+        models::WeightMap weights;
+        std::mt19937_64 rng;
+        /** Pooled execution context: arena slot buffers survive
+         *  across cycles, so steady-state serving never allocates. */
+        core::ExecutionContext ctx;
+        models::WeightMap grads;
+        std::vector<Request> queue;
+        PlanCompiler compiler;
+
+        Variant(const graph::HeteroGraph &g, std::string name_,
+                tensor::Tensor features, std::string source,
+                ServingConfig cfg_, bool autotune);
+    };
+
+    Variant &at(int v);
+    const Variant &at(int v) const;
+
+    /** One plan-cache lookup for variant @p v (compiling through its
+     *  PlanCompiler on a miss) with sim::PlanEvents recorded. */
+    std::shared_ptr<const core::CompiledModel> planFor(int v);
+
+    const graph::HeteroGraph &g_;
+    EngineConfig cfg_;
+    sim::Runtime &rt_;
+    PlanCache cache_;
+
+    std::vector<Variant> variants_;
+    std::map<std::uint64_t, tensor::Tensor> results_;
+    std::vector<double> lastLatenciesMs_;
+    /**
+     * Cumulative host-serialized transfer clock (all variants share
+     * the one host thread; never rebased) and the prefix of it already
+     * charged to previous cycles. A drain charges only the
+     * un-charged remainder, and every request's submitSec is an
+     * absolute point on this clock — so serving one variant's oldest
+     * requests never erases another variant's accrued queue time.
+     */
+    double hostClockSec_ = 0.0;
+    double chargedHostSec_ = 0.0;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace hector::serve
+
+#endif // HECTOR_SERVE_ENGINE_HH

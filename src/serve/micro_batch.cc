@@ -20,7 +20,11 @@ coalesce(const std::vector<const Request *> &requests, sim::Runtime &rt)
 
     const HeteroGraph &g0 = requests.front()->mb.subgraph;
     const std::int64_t din = requests.front()->feature.dim(1);
+    const std::uint32_t variant = requests.front()->variant;
     for (const Request *r : requests) {
+        if (r->variant != variant)
+            throw std::runtime_error(
+                "coalesce: requests target different model variants");
         if (!r->mb.subgraph.sameSchema(g0))
             throw std::runtime_error(
                 "coalesce: requests target different graph schemas");

@@ -42,10 +42,18 @@ struct Request
     tensor::Tensor feature;
     /** Modeled arrival time within the current drain cycle. */
     double submitSec = 0.0;
+    /**
+     * Model variant this request targets (serve::Engine registry
+     * index; 0 in single-variant sessions). Requests of different
+     * variants run different plans, so coalesce() refuses to union
+     * them into one micro-batch.
+     */
+    std::uint32_t variant = 0;
 
     Request(std::uint64_t id_, graph::Minibatch mb_,
-            tensor::Tensor feature_)
-        : id(id_), mb(std::move(mb_)), feature(std::move(feature_))
+            tensor::Tensor feature_, std::uint32_t variant_ = 0)
+        : id(id_), mb(std::move(mb_)), feature(std::move(feature_)),
+          variant(variant_)
     {}
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <set>
 #include <stdexcept>
 
 namespace hector::serve
@@ -154,6 +156,62 @@ finalizeOnlineReport(OnlineReport &rep, std::size_t served,
     fillLatencyStats(rep, latencies_sec, queue_delays_sec, deadline_ms);
 }
 
+/**
+ * Single-device open-loop clocks, shared by runSingle() and
+ * runMulti() so the single- and multi-tenant tick machinery cannot
+ * drift: one host thread admits arrivals and issues launches
+ * (hostFree), each stream runs one batch at a time (streamFree), and
+ * the serialized fraction of every kernel occupies a device-wide
+ * shared resource (contendFree) — Runtime::makespanSec's overlap
+ * rule, applied per batch.
+ */
+struct OpenLoopClock
+{
+    std::vector<double> streamFree;
+    double hostFree = 0.0;
+    double contendFree = 0.0;
+    double serialFrac = 0.0;
+
+    OpenLoopClock(int num_streams, double serial_frac)
+        : streamFree(static_cast<std::size_t>(num_streams), 0.0),
+          serialFrac(serial_frac)
+    {}
+
+    /** Least-loaded stream (ties to the lower id). */
+    int
+    pickStream() const
+    {
+        int s = 0;
+        for (std::size_t i = 1; i < streamFree.size(); ++i)
+            if (streamFree[i] < streamFree[static_cast<std::size_t>(s)])
+                s = static_cast<int>(i);
+        return s;
+    }
+
+    struct Issued
+    {
+        double execStart = 0.0;
+        double done = 0.0;
+    };
+
+    /** Advance all three clocks for one batch issued to @p stream. */
+    Issued
+    issue(const BatchCost &cost, int stream)
+    {
+        const double issue_done = hostFree + cost.overheadSec;
+        Issued t;
+        t.execStart = std::max(
+            issue_done,
+            std::max(streamFree[static_cast<std::size_t>(stream)],
+                     contendFree));
+        t.done = t.execStart + cost.execSec;
+        hostFree = issue_done;
+        streamFree[static_cast<std::size_t>(stream)] = t.done;
+        contendFree = t.execStart + serialFrac * cost.execSec;
+        return t;
+    }
+};
+
 } // namespace
 
 OnlineServer::OnlineServer(const graph::HeteroGraph &g,
@@ -186,12 +244,42 @@ OnlineServer::OnlineServer(const graph::HeteroGraph &g,
         group);
 }
 
+OnlineServer::OnlineServer(Engine &engine, OnlineConfig cfg)
+    : cfg_(cfg), engine_(&engine),
+      batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
+               cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
+               cfg.deadlineBudgetFraction)
+{
+    if (cfg_.variants.empty())
+        throw std::invalid_argument(
+            "OnlineServer: multi-tenant mode needs at least one "
+            "VariantLoad");
+    std::set<std::string> seen;
+    for (const VariantLoad &load : cfg_.variants) {
+        if (engine.variantIndex(load.variant) < 0)
+            throw std::invalid_argument(
+                "OnlineServer: unregistered variant '" + load.variant +
+                "'");
+        if (!seen.insert(load.variant).second)
+            throw std::invalid_argument(
+                "OnlineServer: duplicate VariantLoad for variant '" +
+                load.variant +
+                "' (two lanes feeding one FIFO would scramble "
+                "per-request latency attribution)");
+        if (load.ratePerSec <= 0.0)
+            throw std::invalid_argument(
+                "OnlineServer: ratePerSec must be > 0 for variant '" +
+                load.variant + "'");
+    }
+}
+
 ServingSession &
 OnlineServer::session()
 {
     if (!session_)
         throw std::runtime_error(
-            "OnlineServer::session: server runs in sharded mode");
+            "OnlineServer::session: server does not run in "
+            "single-device mode");
     return *session_;
 }
 
@@ -200,13 +288,25 @@ OnlineServer::sharded()
 {
     if (!sharded_)
         throw std::runtime_error(
-            "OnlineServer::sharded: server runs in single-device mode");
+            "OnlineServer::sharded: server does not run in sharded mode");
     return *sharded_;
+}
+
+Engine &
+OnlineServer::engine()
+{
+    if (!engine_)
+        throw std::runtime_error(
+            "OnlineServer::engine: server does not run in multi-tenant "
+            "mode");
+    return *engine_;
 }
 
 OnlineReport
 OnlineServer::run()
 {
+    if (engine_)
+        return runMulti();
     return sharded_ ? runSharded() : runSingle();
 }
 
@@ -233,15 +333,9 @@ OnlineServer::runSingle()
         max_batch, cfg_.fixedBatch > 0 ? cfg_.fixedBatch : max_batch);
 
     // Open-loop timeline, per-batch application of the runtime's
-    // overlap rule: one host thread serializes transfers and launch
-    // overheads (host_free), each stream runs one batch at a time
-    // (stream_free), and the serialized fraction of every kernel
-    // occupies a device-wide shared resource (contend_free) so
-    // overlapped streams can never beat the contention floor.
-    std::vector<double> stream_free(
-        static_cast<std::size_t>(num_streams), 0.0);
-    double host_free = 0.0;
-    double contend_free = 0.0;
+    // overlap rule (OpenLoopClock — shared with the multi-tenant
+    // loop).
+    OpenLoopClock clock(num_streams, serial_frac);
 
     /** Arrival time of each queued request, FIFO like the session. */
     std::deque<double> queued_arrivals;
@@ -251,13 +345,13 @@ OnlineServer::runSingle()
     // Admit every arrival the host clock has passed; each pays its
     // modeled host-to-device transfer on the serialized host clock.
     auto admit = [&]() {
-        while (!gen.done() && gen.peekSec() <= host_free) {
+        while (!gen.done() && gen.peekSec() <= clock.hostFree) {
             const double arr = gen.next();
             rep.lastArrivalMs = arr * 1e3;
             const double host_before = rt_->hostTimeMs() * 1e-3;
             session_->submit();
             const double transfer = rt_->hostTimeMs() * 1e-3 - host_before;
-            host_free = std::max(host_free, arr) + transfer;
+            clock.hostFree = std::max(clock.hostFree, arr) + transfer;
             queued_arrivals.push_back(arr);
         }
     };
@@ -273,8 +367,8 @@ OnlineServer::runSingle()
         admit();
         if (queued_arrivals.empty()) {
             // Idle: jump the host clock to the next arrival.
-            host_free = std::max(host_free, gen.peekSec());
-            rt_->advanceTo(host_free);
+            clock.hostFree = std::max(clock.hostFree, gen.peekSec());
+            rt_->advanceTo(clock.hostFree);
             continue;
         }
 
@@ -289,8 +383,8 @@ OnlineServer::runSingle()
         } else {
             // Wait-to-fill: hold the queue until the fixed batch is
             // complete (or arrivals run out).
-            host_free = std::max(host_free, gen.peekSec());
-            rt_->advanceTo(host_free);
+            clock.hostFree = std::max(clock.hostFree, gen.peekSec());
+            rt_->advanceTo(clock.hostFree);
             continue;
         }
         batch = std::max<std::size_t>(1, std::min(batch, depth));
@@ -298,23 +392,10 @@ OnlineServer::runSingle()
         if (!cfg_.retainResults)
             session_->clearResults();
 
-        int s = 0;
-        for (int i = 1; i < num_streams; ++i)
-            if (stream_free[static_cast<std::size_t>(i)] <
-                stream_free[static_cast<std::size_t>(s)])
-                s = i;
-
+        const int s = clock.pickStream();
         const BatchCost cost = session_->serveOldest(batch, s);
-        const double issue_done = host_free + cost.overheadSec;
-        const double exec_start =
-            std::max(issue_done,
-                     std::max(stream_free[static_cast<std::size_t>(s)],
-                              contend_free));
-        const double done = exec_start + cost.execSec;
-        host_free = issue_done;
-        stream_free[static_cast<std::size_t>(s)] = done;
-        contend_free = exec_start + serial_frac * cost.execSec;
-        rt_->advanceTo(done);
+        const OpenLoopClock::Issued t = clock.issue(cost, s);
+        rt_->advanceTo(t.done);
 
         batcher_.observe(cost);
         batchSizes_.push_back(batch);
@@ -323,23 +404,231 @@ OnlineServer::runSingle()
         for (std::size_t i = 0; i < batch; ++i) {
             const double arr = queued_arrivals.front();
             queued_arrivals.pop_front();
-            const double lat = done - arr;
-            const double delay = std::max(0.0, exec_start - arr);
+            const double lat = t.done - arr;
+            const double delay = std::max(0.0, t.execStart - arr);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
         }
         served += batch;
-        last_completion = std::max(last_completion, done);
+        last_completion = std::max(last_completion, t.done);
     }
 
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
                          queue_delays_sec, cfg_.serving.deadlineMs);
 
-    rep.cacheHits = session_->planCache().stats().hits;
-    rep.cacheMisses = session_->planCache().stats().misses;
+    fillCacheStats(rep, session_->planCache().stats());
     rep.launches = rt_->counters().total().launches - launches_before;
+    return rep;
+}
+
+OnlineReport
+OnlineServer::runMulti()
+{
+    sim::Runtime &rt = engine_->runtime();
+    OnlineReport rep;
+    rep.deadlineMs = 0.0;
+    latenciesMs_.clear();
+    queueDelaysMs_.clear();
+    batchSizes_.clear();
+
+    /** One open-loop arrival process + queue + batcher per variant. */
+    struct Lane
+    {
+        int variant;
+        std::string name;
+        LoadGenerator gen;
+        std::deque<double> queued;
+        AdaptiveBatcher batcher;
+        double deadlineSec;
+        std::size_t fixed;
+        std::vector<double> latencies; ///< seconds, completion order
+        std::size_t met = 0;
+
+        Lane(int v, const VariantLoad &load, const ServingConfig &cfg,
+             double alpha, double budget_fraction)
+            : variant(v), name(load.variant),
+              gen(load.ratePerSec, load.numRequests, load.arrivalSeed),
+              batcher(std::max<std::size_t>(1, cfg.maxBatch),
+                      cfg.deadlineMs * 1e-3, alpha, budget_fraction),
+              deadlineSec(cfg.deadlineMs * 1e-3),
+              fixed(std::max<std::size_t>(1, cfg.maxBatch))
+        {}
+    };
+
+    std::vector<Lane> lanes;
+    lanes.reserve(cfg_.variants.size());
+    std::size_t total = 0;
+    for (const VariantLoad &load : cfg_.variants) {
+        const int v = engine_->variantIndex(load.variant);
+        const ServingConfig &vcfg = engine_->variantConfig(v);
+        lanes.emplace_back(v, load, vcfg, cfg_.ewmaAlpha,
+                           cfg_.deadlineBudgetFraction);
+        if (cfg_.fixedBatch > 0)
+            lanes.back().fixed =
+                std::min(lanes.back().fixed, cfg_.fixedBatch);
+        rep.offeredRatePerSec += load.ratePerSec;
+        rep.deadlineMs = std::max(rep.deadlineMs, vcfg.deadlineMs);
+        total += load.numRequests;
+    }
+    if (total == 0)
+        return rep;
+
+    const int num_streams = std::max(1, engine_->config().numStreams);
+    const double serial_frac = rt.spec().streamSerialFraction;
+
+    // The single-device overlap rule of runSingle, shared through
+    // OpenLoopClock and applied across lanes.
+    OpenLoopClock clock(num_streams, serial_frac);
+
+    const std::uint64_t launches_before = rt.counters().total().launches;
+
+    // Admit every arrival the host clock has passed, across lanes in
+    // global time order; each pays its modeled transfer on the
+    // serialized host clock.
+    auto admit = [&]() {
+        while (true) {
+            Lane *next = nullptr;
+            for (Lane &ln : lanes)
+                if (!ln.gen.done() &&
+                    ln.gen.peekSec() <= clock.hostFree &&
+                    (!next || ln.gen.peekSec() < next->gen.peekSec()))
+                    next = &ln;
+            if (!next)
+                break;
+            const double arr = next->gen.next();
+            rep.lastArrivalMs = std::max(rep.lastArrivalMs, arr * 1e3);
+            const double host_before = rt.hostTimeMs() * 1e-3;
+            engine_->submit(next->variant);
+            const double transfer = rt.hostTimeMs() * 1e-3 - host_before;
+            clock.hostFree = std::max(clock.hostFree, arr) + transfer;
+            next->queued.push_back(arr);
+        }
+    };
+
+    /** Earliest pending arrival across lanes; +inf when exhausted. */
+    auto next_arrival = [&]() {
+        double t = std::numeric_limits<double>::infinity();
+        for (Lane &ln : lanes)
+            if (!ln.gen.done())
+                t = std::min(t, ln.gen.peekSec());
+        return t;
+    };
+
+    // Deadline-aware variant interleaving: among lanes with queued
+    // work, the head-of-line request with the earliest ABSOLUTE
+    // deadline (arrival + its variant's SLO) wins the tick —
+    // earliest-deadline-first across tenants. Lanes without a deadline
+    // rank behind every deadline lane and compete on arrival order;
+    // ties go to the lower lane index, keeping the schedule
+    // deterministic.
+    auto pick_lane = [&](bool require_fill) -> Lane * {
+        Lane *best = nullptr;
+        double best_key = 0.0;
+        double best_arr = 0.0;
+        for (Lane &ln : lanes) {
+            if (ln.queued.empty())
+                continue;
+            if (require_fill && ln.queued.size() < ln.fixed &&
+                !ln.gen.done())
+                continue;
+            const double arr = ln.queued.front();
+            const double key =
+                ln.deadlineSec > 0.0
+                    ? arr + ln.deadlineSec
+                    : std::numeric_limits<double>::infinity();
+            if (!best || key < best_key ||
+                (key == best_key && arr < best_arr)) {
+                best = &ln;
+                best_key = key;
+                best_arr = arr;
+            }
+        }
+        return best;
+    };
+
+    std::size_t served = 0;
+    double last_completion = 0.0;
+    std::vector<double> latencies_sec;
+    std::vector<double> queue_delays_sec;
+    latencies_sec.reserve(total);
+    queue_delays_sec.reserve(total);
+    bool any_deadline = false;
+    std::size_t met = 0;
+
+    while (served < total) {
+        admit();
+        Lane *lane = pick_lane(!cfg_.adaptive);
+        if (!lane) {
+            // Idle (or wait-to-fill still filling): jump the host
+            // clock to the next arrival.
+            clock.hostFree = std::max(clock.hostFree, next_arrival());
+            rt.advanceTo(clock.hostFree);
+            continue;
+        }
+
+        const std::size_t depth = lane->queued.size();
+        rep.peakQueueDepth =
+            std::max(rep.peakQueueDepth, engine_->queued());
+
+        std::size_t batch = cfg_.adaptive ? lane->batcher.pick(depth)
+                                          : std::min(depth, lane->fixed);
+        batch = std::max<std::size_t>(1, std::min(batch, depth));
+
+        if (!cfg_.retainResults)
+            engine_->clearResults();
+
+        const int s = clock.pickStream();
+        const BatchCost cost =
+            engine_->serveOldest(lane->variant, batch, s);
+        const OpenLoopClock::Issued t = clock.issue(cost, s);
+        rt.advanceTo(t.done);
+
+        lane->batcher.observe(cost);
+        batchSizes_.push_back(batch);
+        ++rep.ticks;
+
+        if (lane->deadlineSec > 0.0)
+            any_deadline = true;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const double arr = lane->queued.front();
+            lane->queued.pop_front();
+            const double lat = t.done - arr;
+            const double delay = std::max(0.0, t.execStart - arr);
+            latencies_sec.push_back(lat);
+            queue_delays_sec.push_back(delay);
+            latenciesMs_.push_back(lat * 1e3);
+            queueDelaysMs_.push_back(delay * 1e3);
+            lane->latencies.push_back(lat);
+            if (lane->deadlineSec <= 0.0 || lat <= lane->deadlineSec)
+                ++lane->met;
+        }
+        served += batch;
+        last_completion = std::max(last_completion, t.done);
+    }
+
+    // Percentiles/means via the shared tail; attainment judges each
+    // request against its own variant's deadline.
+    finalizeOnlineReport(rep, served, last_completion, latencies_sec,
+                         queue_delays_sec, 0.0);
+    if (any_deadline && !latencies_sec.empty()) {
+        met = 0;
+        for (const Lane &ln : lanes)
+            met += ln.met;
+        rep.sloAttainment = static_cast<double>(met) /
+                            static_cast<double>(latencies_sec.size());
+    }
+
+    for (Lane &ln : lanes) {
+        if (ln.latencies.empty())
+            continue;
+        rep.perVariant.push_back(makeVariantReport(
+            ln.name, ln.latencies, ln.deadlineSec * 1e3));
+    }
+
+    fillCacheStats(rep, engine_->planCache().stats());
+    rep.launches = rt.counters().total().launches - launches_before;
     return rep;
 }
 
@@ -522,8 +811,7 @@ OnlineServer::runSharded()
 
     rep.interconnectMs =
         (group_->interconnect().totalBusySec() - ic_busy_before) * 1e3;
-    rep.cacheHits = sharded_->planCache().stats().hits;
-    rep.cacheMisses = sharded_->planCache().stats().misses;
+    fillCacheStats(rep, sharded_->planCache().stats());
     rep.launches = group_->totalLaunches() - launches_before;
     return rep;
 }

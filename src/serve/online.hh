@@ -46,8 +46,10 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
+#include "serve/engine.hh"
 #include "serve/session.hh"
 #include "serve/sharded.hh"
 
@@ -133,6 +135,19 @@ class AdaptiveBatcher
     bool observed_ = false;
 };
 
+/** Offered load of one engine variant in a multi-tenant run. */
+struct VariantLoad
+{
+    /** Name the variant was registered under (Engine registry). */
+    std::string variant;
+    /** Offered load in requests per simulated second. */
+    double ratePerSec = 1000.0;
+    /** Total arrivals of this variant in the run. */
+    std::size_t numRequests = 32;
+    /** Seed of this variant's Poisson arrival process. */
+    std::uint64_t arrivalSeed = 0xa223;
+};
+
 /** Knobs of one open-loop serving run. */
 struct OnlineConfig
 {
@@ -160,6 +175,14 @@ struct OnlineConfig
      * single-device constructor); numShards follows the device group.
      */
     graph::PartitionSpec partition;
+    /**
+     * Multi-tenant mode (the Engine constructor): one offered load per
+     * engine variant. arrivalRatePerSec / numRequests / arrivalSeed /
+     * serving above are ignored in that mode — every per-variant knob
+     * (deadline, maxBatch, sampling) comes from the variant's own
+     * ServingConfig in the engine registry.
+     */
+    std::vector<VariantLoad> variants;
 };
 
 /** Arrival-aware metrics of one open-loop run. */
@@ -200,14 +223,41 @@ class OnlineServer
                  std::string model_source, OnlineConfig cfg,
                  sim::DeviceGroup &group);
 
+    /**
+     * Multi-tenant: open-loop load over an externally built Engine
+     * (variants already registered). Each cfg.variants entry drives
+     * one seeded Poisson arrival process; ticks interleave variants
+     * deadline-first (earliest head-of-line absolute deadline wins;
+     * variants without a deadline compete on arrival order), and each
+     * tick serves one same-variant micro-batch sized by that
+     * variant's own AdaptiveBatcher. Throws std::invalid_argument on
+     * an empty load list or an unregistered variant name.
+     */
+    OnlineServer(Engine &engine, OnlineConfig cfg);
+
     /** Serve all configured arrivals to completion. */
     OnlineReport run();
 
-    /** The wrapped single-device session; throws in sharded mode. */
+    /** The wrapped single-device session; throws in other modes. */
     ServingSession &session();
-    /** The wrapped sharded session; throws in single-device mode. */
+    /** The wrapped sharded session; throws in other modes. */
     ShardedSession &sharded();
-    const AdaptiveBatcher &batcher() const { return batcher_; }
+    /** The served engine; throws outside multi-tenant mode. */
+    Engine &engine();
+    /**
+     * The single-session adaptive batcher. Throws in multi-tenant
+     * mode, where each variant lane owns its own batcher and this one
+     * would never observe any traffic.
+     */
+    const AdaptiveBatcher &
+    batcher() const
+    {
+        if (engine_)
+            throw std::runtime_error(
+                "OnlineServer::batcher: multi-tenant mode batches per "
+                "variant lane");
+        return batcher_;
+    }
     const OnlineConfig &config() const { return cfg_; }
 
     /** Per-request arrival-relative latencies of the last run, ms. */
@@ -226,11 +276,14 @@ class OnlineServer
   private:
     OnlineReport runSingle();
     OnlineReport runSharded();
+    OnlineReport runMulti();
 
     OnlineConfig cfg_;
-    /** Exactly one of rt_/group_ (and session_/sharded_) is set. */
+    /** Exactly one of rt_/group_/engine_ (and the matching wrapped
+     *  object) is set. */
     sim::Runtime *rt_ = nullptr;
     sim::DeviceGroup *group_ = nullptr;
+    Engine *engine_ = nullptr;
     std::unique_ptr<ServingSession> session_;
     std::unique_ptr<ShardedSession> sharded_;
     AdaptiveBatcher batcher_;

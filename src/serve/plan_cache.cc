@@ -8,7 +8,10 @@ namespace hector::serve
 std::string
 PlanKey::canonical() const
 {
-    std::string s = "din=" + std::to_string(din) +
+    // Length-prefixed scope: a crafted variant name can never forge a
+    // collision with another key's fields.
+    std::string s = "scope=" + std::to_string(scope.size()) + ':' + scope +
+                    ";din=" + std::to_string(din) +
                     ";dout=" + std::to_string(dout) + ';';
     s += core::cacheSignature(options);
     s += ';';
@@ -34,27 +37,118 @@ makePlanKey(const std::string &source, std::int64_t din, std::int64_t dout,
 std::shared_ptr<const core::CompiledModel>
 PlanCache::get(const PlanKey &key)
 {
+    return get(key, [&key]() {
+        core::Program program =
+            core::parseModel(key.modelSource, key.din, key.dout);
+        Compiled c;
+        c.plan = std::make_shared<core::CompiledModel>(
+            core::compile(std::move(program), key.options));
+        return c;
+    });
+}
+
+std::shared_ptr<const core::CompiledModel>
+PlanCache::get(const PlanKey &key, const CompileFn &compile)
+{
     const std::string k = key.canonical();
     auto it = plans_.find(k);
     if (it != plans_.end()) {
         ++stats_.hits;
-        return it->second;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return it->second.plan;
     }
 
-    ++stats_.misses;
-    core::Program program =
-        core::parseModel(key.modelSource, key.din, key.dout);
-    auto plan = std::make_shared<core::CompiledModel>(
-        core::compile(std::move(program), key.options));
+    if (everCompiled_.count(k))
+        ++stats_.recompiles;
+    else
+        ++stats_.misses;
 
-    stats_.passWork.reorderedLinears += plan->passStats.reorderedLinears;
-    stats_.passWork.composedWeights += plan->passStats.composedWeights;
-    stats_.passWork.compactedVars += plan->passStats.compactedVars;
-    stats_.passWork.fusedLoops += plan->passStats.fusedLoops;
-    stats_.passWork.virtualizedVars += plan->passStats.virtualizedVars;
+    Compiled c = compile();
+    const auto &plan = *c.plan;
 
-    plans_.emplace(k, plan);
-    return plan;
+    stats_.passWork.reorderedLinears += plan.passStats.reorderedLinears;
+    stats_.passWork.composedWeights += plan.passStats.composedWeights;
+    stats_.passWork.compactedVars += plan.passStats.compactedVars;
+    stats_.passWork.fusedLoops += plan.passStats.fusedLoops;
+    stats_.passWork.virtualizedVars += plan.passStats.virtualizedVars;
+
+    if (c.costBytes == 0)
+        c.costBytes = plan.code.cudaSource.size() +
+                      plan.code.hostSource.size() +
+                      plan.code.pythonSource.size();
+
+    Entry entry;
+    entry.plan = c.plan;
+    entry.costBytes = c.costBytes;
+    entry.scheduleKey = std::move(c.scheduleKey);
+    lru_.push_front(k);
+    entry.lruIt = lru_.begin();
+    plans_.emplace(k, std::move(entry));
+    everCompiled_.insert(k);
+    stats_.residentBytes += c.costBytes;
+
+    enforceBudget(k);
+    return c.plan;
+}
+
+void
+PlanCache::enforceBudget(const std::string &keep)
+{
+    if (budgetBytes_ == 0)
+        return;
+    // Walk from least recently used toward the front, dropping
+    // unpinned entries until the residents fit. Pinned = some caller
+    // still holds the plan's shared_ptr (in-flight execution), and the
+    // just-touched key is never a victim, so a hot working set that
+    // fits the budget never churns.
+    auto it = lru_.end();
+    while (stats_.residentBytes > budgetBytes_ && it != lru_.begin()) {
+        --it;
+        if (*it == keep)
+            continue;
+        auto pit = plans_.find(*it);
+        if (pit->second.plan.use_count() > 1)
+            continue; // pinned while in flight
+        stats_.residentBytes -= pit->second.costBytes;
+        ++stats_.evictions;
+        plans_.erase(pit);
+        it = lru_.erase(it);
+    }
+}
+
+void
+PlanCache::setBudgetBytes(std::size_t budget_bytes)
+{
+    // No lookup is in flight here, so no entry is specially protected;
+    // pinned (externally held) plans still survive.
+    budgetBytes_ = budget_bytes;
+    enforceBudget(std::string());
+}
+
+std::size_t
+PlanCache::costOf(const PlanKey &key) const
+{
+    auto it = plans_.find(key.canonical());
+    return it == plans_.end() ? 0 : it->second.costBytes;
+}
+
+std::string
+PlanCache::scheduleKeyOf(const PlanKey &key) const
+{
+    auto it = plans_.find(key.canonical());
+    return it == plans_.end() ? std::string() : it->second.scheduleKey;
+}
+
+void
+PlanCache::clear()
+{
+    plans_.clear();
+    lru_.clear();
+    // A clear is a full reset of residency AND history: compiling a
+    // key again afterwards is a fresh miss, not an eviction-forced
+    // recompile (recompiles specifically measure budget churn).
+    everCompiled_.clear();
+    stats_.residentBytes = 0;
 }
 
 } // namespace hector::serve

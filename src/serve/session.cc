@@ -1,261 +1,35 @@
 #include "serve/session.hh"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-#include "core/frontend.hh"
-
 namespace hector::serve
 {
 
-using tensor::Tensor;
-
-double
-percentileSorted(const std::vector<double> &sorted, double q)
+namespace
 {
-    if (sorted.empty())
-        return 0.0;
-    q = std::min(1.0, std::max(0.0, q));
-    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
-    const std::size_t idx =
-        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-    return sorted[std::min(idx, sorted.size() - 1)];
+
+/** Validate @p cfg under the session's name, then derive the engine
+ *  knobs from it — runs in the member-init list, so a bad config
+ *  throws before any engine state is built. */
+EngineConfig
+validatedEngineConfig(const ServingConfig &cfg)
+{
+    validateServingConfig(cfg, "ServingSession");
+    EngineConfig ec;
+    ec.numStreams = cfg.numStreams;
+    ec.planBudgetBytes = cfg.planBudgetBytes;
+    ec.autotuneSchedules = cfg.autotuneSchedules;
+    return ec;
 }
 
-void
-fillLatencyStats(ServingReport &report,
-                 const std::vector<double> &latencies_sec,
-                 const std::vector<double> &queue_delays_sec,
-                 double deadline_ms)
-{
-    std::vector<double> sorted = latencies_sec;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double l : latencies_sec)
-        sum += l;
-    report.meanLatencyMs =
-        latencies_sec.empty()
-            ? 0.0
-            : sum / static_cast<double>(latencies_sec.size()) * 1e3;
-    report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
-    report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
-    report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
-    report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
-
-    double delay_sum = 0.0;
-    for (double d : queue_delays_sec)
-        delay_sum += d;
-    report.meanQueueDelayMs =
-        queue_delays_sec.empty()
-            ? 0.0
-            : delay_sum / static_cast<double>(queue_delays_sec.size()) *
-                  1e3;
-
-    if (deadline_ms > 0.0 && !latencies_sec.empty()) {
-        std::size_t met = 0;
-        for (double l : latencies_sec)
-            if (l * 1e3 <= deadline_ms)
-                ++met;
-        report.sloAttainment =
-            static_cast<double>(met) /
-            static_cast<double>(latencies_sec.size());
-    }
-}
+} // namespace
 
 ServingSession::ServingSession(const graph::HeteroGraph &g,
-                               Tensor host_features,
+                               tensor::Tensor host_features,
                                std::string model_source, ServingConfig cfg,
                                sim::Runtime &rt)
-    : g_(g), hostFeatures_(std::move(host_features)),
-      modelSource_(std::move(model_source)), cfg_(cfg), rt_(rt),
-      rng_(cfg.seed)
+    : cfg_(cfg), engine_(g, validatedEngineConfig(cfg), rt)
 {
-    if (hostFeatures_.dim(1) != cfg_.din)
-        throw std::runtime_error(
-            "ServingSession: host feature dim != config din");
-    // Weights are initialized from the pristine (pre-pass) program so
-    // they match what a training pipeline would have produced; plan
-    // compilation itself goes through the cache in drain().
-    core::Program pristine =
-        core::parseModel(modelSource_, cfg_.din, cfg_.dout);
-    weights_ = models::initWeights(pristine, g_, rng_);
-}
-
-std::uint64_t
-ServingSession::submit()
-{
-    const double host_before = rt_.hostTimeMs() * 1e-3;
-    auto scope = rt_.memoryScope();
-    graph::Minibatch mb = graph::sampleNeighbors(g_, cfg_.sample, rng_);
-    Tensor feature = graph::transferFeatures(mb, hostFeatures_, rt_);
-    const std::uint64_t id = nextId_++;
-    queue_.emplace_back(id, std::move(mb), std::move(feature));
-    pendingHostSec_ += rt_.hostTimeMs() * 1e-3 - host_before;
-    queue_.back().submitSec = pendingHostSec_;
-    return id;
-}
-
-std::uint64_t
-ServingSession::submit(graph::Minibatch mb, Tensor feature)
-{
-    if (feature.ndim() != 2 ||
-        feature.dim(0) != mb.subgraph.numNodes() ||
-        feature.dim(1) != cfg_.din)
-        throw std::runtime_error(
-            "ServingSession::submit: feature must be [subgraph nodes, "
-            "din]");
-    const std::uint64_t id = nextId_++;
-    queue_.emplace_back(id, std::move(mb), std::move(feature));
-    queue_.back().submitSec = pendingHostSec_;
-    return id;
-}
-
-ServingReport
-ServingSession::drain()
-{
-    lastLatenciesMs_.clear();
-    // An empty cycle has no makespan to divide by: report all-zero
-    // metrics (full SLO attainment, nothing served) and leave every
-    // piece of session state — retained results, cache statistics,
-    // transfer bookkeeping — untouched.
-    if (queue_.empty())
-        return ServingReport{};
-
-    ServingReport report;
-
-    // Results are retained for one cycle only; a long-lived session
-    // would otherwise accumulate one output tensor per request served.
-    results_.clear();
-
-    const std::uint64_t launches_before = rt_.counters().total().launches;
-
-    const auto plan = cache_.get(makePlanKey(
-        modelSource_, cfg_.din, cfg_.dout, cfg_.compile, g_));
-
-    StreamScheduler sched(rt_, cfg_.numStreams);
-    auto scope = rt_.memoryScope();
-
-    // FIFO coalescing into micro-batches of at most maxBatch.
-    std::vector<std::size_t> batch_sizes;
-    const std::size_t cap = std::max<std::size_t>(1, cfg_.maxBatch);
-    for (std::size_t lo = 0; lo < queue_.size(); lo += cap) {
-        const std::size_t hi = std::min(queue_.size(), lo + cap);
-        std::vector<const Request *> reqs;
-        reqs.reserve(hi - lo);
-        for (std::size_t i = lo; i < hi; ++i)
-            reqs.push_back(&queue_[i]);
-
-        sched.run([&]() {
-            MicroBatch batch = coalesce(reqs, rt_);
-            std::vector<Tensor> outs =
-                executeBatch(*plan, batch, weights_, rt_, execCtx_,
-                             execGrads_, cfg_.useArena);
-            // Detach results from the device memory scope so they
-            // outlive the drain cycle.
-            tensor::TrackerScope untracked(nullptr);
-            for (std::size_t i = 0; i < reqs.size(); ++i)
-                results_.insert_or_assign(reqs[i]->id, outs[i].clone());
-        });
-        batch_sizes.push_back(hi - lo);
-    }
-
-    // Timeline: the queued transfers serialize before the drain's
-    // launches begin; per-batch completions come from the scheduler.
-    const std::vector<double> completions = sched.completionTimes();
-    const double makespan_sec = pendingHostSec_ + sched.makespanSec();
-
-    std::size_t req_idx = 0;
-    std::vector<double> latencies;
-    std::vector<double> queue_delays;
-    latencies.reserve(queue_.size());
-    queue_delays.reserve(queue_.size());
-    for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
-        const double completion = pendingHostSec_ + completions[b];
-        const ScheduledBatch &sb = sched.batches()[b];
-        const double service = sb.overheadSec + sb.execSec;
-        for (std::size_t i = 0; i < batch_sizes[b]; ++i, ++req_idx) {
-            const double lat = completion - queue_[req_idx].submitSec;
-            latencies.push_back(lat);
-            queue_delays.push_back(std::max(0.0, lat - service));
-        }
-    }
-
-    report.requests = queue_.size();
-    report.batches = batch_sizes.size();
-    report.makespanMs = makespan_sec * 1e3;
-    report.throughputReqPerSec =
-        makespan_sec > 0.0 ? static_cast<double>(report.requests) /
-                                 makespan_sec
-                           : 0.0;
-    report.msPerRequest =
-        report.requests
-            ? report.makespanMs / static_cast<double>(report.requests)
-            : 0.0;
-
-    fillLatencyStats(report, latencies, queue_delays, cfg_.deadlineMs);
-
-    for (double l : latencies)
-        lastLatenciesMs_.push_back(l * 1e3);
-
-    report.cacheHits = cache_.stats().hits;
-    report.cacheMisses = cache_.stats().misses;
-    report.launches = rt_.counters().total().launches - launches_before;
-
-    queue_.clear();
-    pendingHostSec_ = 0.0;
-    return report;
-}
-
-BatchCost
-ServingSession::serveOldest(std::size_t n, int stream)
-{
-    BatchCost cost;
-    n = std::min(n, queue_.size());
-    if (n == 0)
-        return cost;
-    cost.requests = n;
-
-    const auto plan = cache_.get(makePlanKey(
-        modelSource_, cfg_.din, cfg_.dout, cfg_.compile, g_));
-
-    const StreamRunCost run = runOnStream(rt_, stream, [&]() {
-        auto scope = rt_.memoryScope();
-        std::vector<const Request *> reqs;
-        reqs.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-            reqs.push_back(&queue_[i]);
-        MicroBatch batch = coalesce(reqs, rt_);
-        std::vector<Tensor> outs = executeBatch(
-            *plan, batch, weights_, rt_, execCtx_, execGrads_,
-            cfg_.useArena);
-        tensor::TrackerScope untracked(nullptr);
-        for (std::size_t i = 0; i < n; ++i)
-            results_.insert_or_assign(queue_[i].id, outs[i].clone());
-    });
-    cost.execSec = run.execSec;
-    cost.overheadSec = run.overheadSec;
-
-    // Rebase the drain-cycle transfer bookkeeping: the served
-    // requests' transfer time (cumulative through the last of them)
-    // leaves this submit epoch with them, so a later drain() only
-    // charges the transfers of the requests it actually serves.
-    // submitSec is non-decreasing along the queue, so the remaining
-    // entries stay non-negative.
-    const double served_host_sec = queue_[n - 1].submitSec;
-    queue_.erase(queue_.begin(),
-                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
-    pendingHostSec_ = std::max(0.0, pendingHostSec_ - served_host_sec);
-    for (Request &r : queue_)
-        r.submitSec = std::max(0.0, r.submitSec - served_host_sec);
-    return cost;
-}
-
-const Tensor *
-ServingSession::result(std::uint64_t id) const
-{
-    auto it = results_.find(id);
-    return it == results_.end() ? nullptr : &it->second;
+    engine_.registerVariant("default", std::move(host_features),
+                            std::move(model_source), cfg);
 }
 
 } // namespace hector::serve

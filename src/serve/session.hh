@@ -1,15 +1,17 @@
 /**
  * @file
- * ServingSession: the façade of the inference serving runtime.
+ * ServingSession: the single-variant façade of the serving runtime.
  *
  * A session serves one model over one host-resident graph, the way a
  * production deployment keeps a trained RGNN resident and answers a
- * stream of neighborhood queries. submit() samples (or accepts) a
- * per-request subgraph block, pays the modeled host-to-device
- * transfer, and queues it; drain() compiles-or-reuses the plan through
- * the PlanCache, coalesces queued requests into micro-batches of at
- * most `maxBatch`, multiplexes the batches over `numStreams` simulated
- * streams, and reports modeled throughput and per-request latency.
+ * stream of neighborhood queries. Since the multi-tenant refactor the
+ * session owns no serving machinery of its own: it registers exactly
+ * one variant ("default") with a serve::Engine and forwards every
+ * call, so the single-model path and the multi-variant path are the
+ * same code — plan caching (bounded, LRU), per-variant weights and
+ * pooled arena execution contexts, micro-batch coalescing, stream
+ * multiplexing, and (opt-in) autotuned GEMM schedules all live in
+ * engine.{hh,cc}.
  *
  * The serving pipeline is the first subsystem layered on *top* of the
  * compiler: it only consumes the public compile/execute API, never the
@@ -20,110 +22,13 @@
 #define HECTOR_SERVE_SESSION_HH
 
 #include <cstdint>
-#include <map>
-#include <random>
 #include <string>
 #include <vector>
 
-#include "core/executor.hh"
-#include "graph/sampler.hh"
-#include "models/models.hh"
-#include "serve/micro_batch.hh"
-#include "serve/plan_cache.hh"
-#include "serve/stream_scheduler.hh"
+#include "serve/engine.hh"
 
 namespace hector::serve
 {
-
-/** Serving-time knobs. */
-struct ServingConfig
-{
-    /** Max requests coalesced into one micro-batch. */
-    std::size_t maxBatch = 8;
-    /** Simulated device streams to multiplex batches over. */
-    int numStreams = 1;
-    /** Per-request subgraph sampling parameters. */
-    graph::SampleSpec sample;
-    /** Plan compilation options (inference by default). */
-    core::CompileOptions compile;
-    std::int64_t din = 32;
-    std::int64_t dout = 32;
-    /** Seed for request sampling and weight initialization. */
-    std::uint64_t seed = 0x5e12e;
-    /**
-     * Per-request deadline SLO in milliseconds, measured from arrival
-     * (online) or submission (drain cycles). 0 disables the SLO, in
-     * which case reports show full attainment.
-     */
-    double deadlineMs = 0.0;
-    /**
-     * Back executor intermediates with the session's pooled arena
-     * (core::MemoryPlan): zero hot-path tensor allocations in steady
-     * state. Off = the seed's allocate-per-request behavior, kept as
-     * the honest baseline for bench_exec_wallclock.
-     */
-    bool useArena = true;
-};
-
-/** One drain cycle's modeled serving metrics. */
-struct ServingReport
-{
-    std::size_t requests = 0;
-    std::size_t batches = 0;
-    /** Modeled completion time of the whole cycle (transfers + exec). */
-    double makespanMs = 0.0;
-    double throughputReqPerSec = 0.0;
-    double meanLatencyMs = 0.0;
-    double p50LatencyMs = 0.0;
-    double p95LatencyMs = 0.0;
-    double p99LatencyMs = 0.0;
-    double maxLatencyMs = 0.0;
-    /**
-     * Mean time a request spent waiting (arrival/submission to the
-     * start of its batch's device execution), excluding the batch's
-     * own service time.
-     */
-    double meanQueueDelayMs = 0.0;
-    /**
-     * Fraction of requests whose arrival-relative latency met the
-     * configured deadline SLO; 1 when no deadline is configured.
-     */
-    double sloAttainment = 1.0;
-    /** Makespan divided by requests: the bench's headline metric. */
-    double msPerRequest = 0.0;
-    /** Cumulative plan-cache stats at the end of the cycle. */
-    std::uint64_t cacheHits = 0;
-    std::uint64_t cacheMisses = 0;
-    /** Kernel launches issued during the cycle. */
-    std::uint64_t launches = 0;
-};
-
-/**
- * Nearest-rank percentile of an ascending-sorted sample; @p q in
- * [0, 1]. Returns 0 on an empty sample.
- */
-double percentileSorted(const std::vector<double> &sorted, double q);
-
-/**
- * Fill @p report's latency fields (mean/p50/p95/p99/max, mean queue
- * delay, SLO attainment against @p deadline_ms) from per-request
- * samples in seconds. The one place this arithmetic lives: the
- * single-device and sharded drain paths both report through it.
- */
-void fillLatencyStats(ServingReport &report,
-                      const std::vector<double> &latencies_sec,
-                      const std::vector<double> &queue_delays_sec,
-                      double deadline_ms);
-
-/** Modeled cost of one micro-batch served by serveOldest(). */
-struct BatchCost
-{
-    std::size_t requests = 0;
-    /** Host-serialized time: launch overheads + host-side work. */
-    double overheadSec = 0.0;
-    /** Device-side execution time of the batch's kernels. */
-    double execSec = 0.0;
-};
 
 class ServingSession
 {
@@ -132,6 +37,10 @@ class ServingSession
      * @param g             host-resident full graph (outlives session)
      * @param host_features host-resident node features, [nodes, din]
      * @param model_source  model in the textual DSL (model_sources.hh)
+     *
+     * Throws std::invalid_argument when @p cfg is invalid (zero
+     * maxBatch/numStreams/din/dout, negative deadline), naming the
+     * offending field.
      */
     ServingSession(const graph::HeteroGraph &g,
                    tensor::Tensor host_features, std::string model_source,
@@ -141,13 +50,17 @@ class ServingSession
      * Sample a neighborhood query, pay its host-to-device transfer,
      * and enqueue it. Returns the request id.
      */
-    std::uint64_t submit();
+    std::uint64_t submit() { return engine_.submit(0); }
 
     /** Enqueue an externally prepared request. */
-    std::uint64_t submit(graph::Minibatch mb, tensor::Tensor feature);
+    std::uint64_t
+    submit(graph::Minibatch mb, tensor::Tensor feature)
+    {
+        return engine_.submit(0, std::move(mb), std::move(feature));
+    }
 
     /** Serve every queued request; returns the cycle's metrics. */
-    ServingReport drain();
+    ServingReport drain() { return engine_.drain(); }
 
     /**
      * Serve the min(n, queued()) oldest queued requests as ONE
@@ -158,10 +71,14 @@ class ServingSession
      * on request arrivals and stream availability. Returns the batch's
      * modeled cost (zeroed when the queue is empty).
      */
-    BatchCost serveOldest(std::size_t n, int stream = 0);
+    BatchCost
+    serveOldest(std::size_t n, int stream = 0)
+    {
+        return engine_.serveOldest(0, n, stream);
+    }
 
     /** Drop all retained request results (bounded-memory serving). */
-    void clearResults() { results_.clear(); }
+    void clearResults() { engine_.clearResults(); }
 
     /**
      * Output of a served request, [its subgraph nodes, dout]; nullptr
@@ -169,41 +86,31 @@ class ServingSession
      * until the next drain cycle starts (the session stays
      * bounded-memory no matter how many requests it serves).
      */
-    const tensor::Tensor *result(std::uint64_t id) const;
-
-    /** Modeled per-request latencies of the last drain cycle, ms. */
-    const std::vector<double> &lastLatenciesMs() const
+    const tensor::Tensor *
+    result(std::uint64_t id) const
     {
-        return lastLatenciesMs_;
+        return engine_.result(id);
     }
 
-    PlanCache &planCache() { return cache_; }
-    models::WeightMap &weights() { return weights_; }
+    /** Modeled per-request latencies of the last drain cycle, ms. */
+    const std::vector<double> &
+    lastLatenciesMs() const
+    {
+        return engine_.lastLatenciesMs();
+    }
+
+    PlanCache &planCache() { return engine_.planCache(); }
+    models::WeightMap &weights() { return engine_.weights(0); }
     const ServingConfig &config() const { return cfg_; }
-    std::size_t queued() const { return queue_.size(); }
+    std::size_t queued() const { return engine_.queued(); }
+
+    /** The engine behind the façade (multi-tenant observability:
+     *  schedule keys, cache budget, plan events). */
+    Engine &engine() { return engine_; }
 
   private:
-    const graph::HeteroGraph &g_;
-    tensor::Tensor hostFeatures_;
-    std::string modelSource_;
     ServingConfig cfg_;
-    sim::Runtime &rt_;
-
-    PlanCache cache_;
-    models::WeightMap weights_;
-    std::mt19937_64 rng_;
-
-    /** Pooled execution context: arena slot buffers survive across
-     *  drain cycles, so steady-state serving does not allocate. */
-    core::ExecutionContext execCtx_;
-    models::WeightMap execGrads_;
-
-    std::vector<Request> queue_;
-    std::map<std::uint64_t, tensor::Tensor> results_;
-    std::vector<double> lastLatenciesMs_;
-    /** Host-serialized transfer time accrued by queued submits. */
-    double pendingHostSec_ = 0.0;
-    std::uint64_t nextId_ = 1;
+    Engine engine_;
 };
 
 } // namespace hector::serve

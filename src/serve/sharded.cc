@@ -18,10 +18,14 @@ ShardedSession::ShardedSession(const graph::HeteroGraph &g,
     : g_(g), hostFeatures_(std::move(host_features)),
       modelSource_(std::move(model_source)), cfg_(cfg), group_(group),
       partition_([&] {
+          validateServingConfig(cfg.serving, "ShardedSession");
           graph::PartitionSpec ps = cfg.partition;
           ps.numShards = group.size();
           return graph::partitionGraph(g, ps);
       }()),
+      cache_(cfg.serving.planBudgetBytes),
+      compiler_(g, "default", cfg.serving,
+                cfg.serving.autotuneSchedules),
       rng_(cfg.serving.seed),
       execCtxs_(static_cast<std::size_t>(group.size())),
       execGrads_(static_cast<std::size_t>(group.size())),
@@ -31,12 +35,13 @@ ShardedSession::ShardedSession(const graph::HeteroGraph &g,
     if (hostFeatures_.dim(1) != cfg_.serving.din)
         throw std::runtime_error(
             "ShardedSession: host feature dim != config din");
-    // Same seeding order as ServingSession: weights are drawn from the
-    // pristine program *before* any sampling, so the single-device and
-    // sharded sessions consume identical RNG streams.
-    core::Program pristine = core::parseModel(
-        modelSource_, cfg_.serving.din, cfg_.serving.dout);
-    weights_ = models::initWeights(pristine, g_, rng_);
+    // Same seeding order as ServingSession / the engine registry:
+    // weights are drawn from the pristine program *before* any
+    // sampling, so the single-device and sharded sessions consume
+    // identical RNG streams (initVariantWeights is the one
+    // construction path for per-variant weights).
+    weights_ = initVariantWeights(modelSource_, cfg_.serving.din,
+                                  cfg_.serving.dout, g_, rng_);
 
     // Replicate the weights: one broadcast from the all-gather root to
     // every other device over the interconnect, paid once per session.
@@ -60,6 +65,24 @@ ShardedSession::ShardedSession(const graph::HeteroGraph &g,
                 row_bytes,
             rt.spec()));
     }
+}
+
+std::shared_ptr<const core::CompiledModel>
+ShardedSession::compiledPlan()
+{
+    // One lookup per cycle/batch through the shared PlanCompiler
+    // (autotuned schedule, modeled plan cost); plan-lifecycle events
+    // are recorded against the all-gather root's runtime.
+    const PlanKey key =
+        makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
+                    cfg_.serving.compile, g_);
+    const PlanCache::Stats before = cache_.stats();
+    auto plan = cache_.get(key, [&]() {
+        return compiler_.compile(key, hostFeatures_, weights_);
+    });
+    recordPlanEvents(group_.device(0).planEvents(), before,
+                     cache_.stats());
+    return plan;
 }
 
 int
@@ -218,9 +241,7 @@ ShardedSession::drain()
     const std::uint64_t launches_before = group_.totalLaunches();
     const double ic_busy_before = group_.interconnect().totalBusySec();
 
-    const auto plan = cache_.get(
-        makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
-                    cfg_.serving.compile, g_));
+    const auto plan = compiledPlan();
 
     // Cycle timeline on the shared clock: each device's queued
     // structure transfers serialize on its own PCIe lanes (devices
@@ -342,8 +363,7 @@ ShardedSession::drain()
     report.gatherBytes = gather_bytes;
     report.interconnectMs =
         (group_.interconnect().totalBusySec() - ic_busy_before) * 1e3;
-    report.cacheHits = cache_.stats().hits;
-    report.cacheMisses = cache_.stats().misses;
+    fillCacheStats(report, cache_.stats());
     report.launches = group_.totalLaunches() - launches_before;
 
     for (auto &q : queues_)
@@ -365,9 +385,7 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
         return out;
     out.cost.requests = n;
 
-    const auto plan = cache_.get(
-        makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
-                    cfg_.serving.compile, g_));
+    const auto plan = compiledPlan();
 
     std::vector<const Request *> reqs;
     reqs.reserve(n);

@@ -170,6 +170,8 @@ class ShardedSession
     std::size_t queuedOn(int device) const;
 
   private:
+    /** One cached-plan lookup through the shared PlanCompiler. */
+    std::shared_ptr<const core::CompiledModel> compiledPlan();
     int homeShard(const graph::Minibatch &mb) const;
     SubmitInfo enqueue(int home, graph::Minibatch mb,
                        tensor::Tensor feature, double submit_sec);
@@ -184,7 +186,11 @@ class ShardedSession
     sim::DeviceGroup &group_;
 
     graph::Partition partition_;
+    /** Bounded like the engine's: cfg.serving.planBudgetBytes. */
     PlanCache cache_;
+    /** Parse + autotune + price closure shared with serve::Engine, so
+     *  the sharded path compiles plans exactly one way. */
+    PlanCompiler compiler_;
     models::WeightMap weights_;
     std::mt19937_64 rng_;
 

@@ -46,6 +46,22 @@ struct StreamStats
 };
 
 /**
+ * Plan-lifecycle accounting of the serving layer, recorded against the
+ * device the plans execute on. Compiles are first-time plan builds;
+ * recompiles are rebuilds forced by plan-cache eviction; evictions
+ * count plans dropped under the cache's byte budget. The serving
+ * engine records these from its PlanCache stat deltas, so multi-tenant
+ * benches can report cache churn per device alongside the kernel
+ * counters.
+ */
+struct PlanEvents
+{
+    std::uint64_t compiles = 0;
+    std::uint64_t recompiles = 0;
+    std::uint64_t evictions = 0;
+};
+
+/**
  * The multi-stream overlap/serialization rule, shared by
  * Runtime::makespanSec and the serving StreamScheduler so the
  * contention model lives in exactly one place:
@@ -215,6 +231,8 @@ class Runtime
     /// @}
 
     const Counters &counters() const { return counters_; }
+    PlanEvents &planEvents() { return planEvents_; }
+    const PlanEvents &planEvents() const { return planEvents_; }
     const std::vector<LaunchRecord> &records() const { return records_; }
 
     void setRecordLaunches(bool on) { recordLaunches_ = on; }
@@ -236,6 +254,7 @@ class Runtime
     DeviceModel model_;
     tensor::MemoryTracker tracker_;
     Counters counters_;
+    PlanEvents planEvents_;
     std::vector<LaunchRecord> records_;
     std::vector<StreamStats> streams_ = std::vector<StreamStats>(1);
     int currentStream_ = 0;

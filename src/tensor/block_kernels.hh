@@ -31,6 +31,24 @@ namespace hector::tensor::blocked
  */
 inline constexpr std::int64_t kBlockK = 64;
 
+/**
+ * k-block a GEMM schedule maps to on the host execution engine: the
+ * tile edge times the per-thread coarsening factor, scaled so the
+ * default schedule (tileSz 16, coarsening 1) lands exactly on the
+ * historical kBlockK. Changing the block size never changes results —
+ * per output element the kk chunks are visited in ascending order with
+ * kk ascending inside each chunk, so the accumulation order is the
+ * seed's regardless of where the chunk boundaries fall — it only moves
+ * the working-set/packing trade-off the autotuner measures.
+ */
+inline std::int64_t
+kBlockFor(int tile_sz, int coarsening)
+{
+    const std::int64_t blk = static_cast<std::int64_t>(tile_sz) * 4 *
+                             std::max(1, coarsening);
+    return std::clamp<std::int64_t>(blk, 16, 256);
+}
+
 /** Per-thread packed-weight panel, reused across kernels/launches. */
 inline std::vector<float> &
 panelBuffer()
@@ -39,14 +57,21 @@ panelBuffer()
     return buf;
 }
 
-/** The panel buffer, grown to hold kBlockK x n floats. */
+/** The panel buffer, grown to hold @p kb x n floats. */
+inline float *
+panelFor(std::int64_t kb, std::int64_t n)
+{
+    std::vector<float> &panel = panelBuffer();
+    if (panel.size() < static_cast<std::size_t>(kb * n))
+        panel.resize(static_cast<std::size_t>(kb * n));
+    return panel.data();
+}
+
+/** The panel buffer at the default kBlockK block (tensor/ops.cc). */
 inline float *
 panelFor(std::int64_t n)
 {
-    std::vector<float> &panel = panelBuffer();
-    if (panel.size() < static_cast<std::size_t>(kBlockK * n))
-        panel.resize(static_cast<std::size_t>(kBlockK * n));
-    return panel.data();
+    return panelFor(kBlockK, n);
 }
 
 /**

@@ -223,10 +223,11 @@ TEST(PlanCache, HitMissCountersExactAcrossRepeatedDrains)
 
 TEST(PlanCache, EvictionFreeInvariant)
 {
-    // The cache is eviction-free by design: size() is monotone
-    // non-decreasing, and a key's plan pointer stays valid and
-    // identical for the cache's whole lifetime (bounded-memory
-    // eviction is the ROADMAP's multi-plan item, not this layer).
+    // With no byte budget configured (the default), the cache is
+    // eviction-free: size() is monotone non-decreasing, and a key's
+    // plan pointer stays valid and identical for the cache's whole
+    // lifetime. The budgeted LRU behavior is pinned separately in
+    // tests/test_serve_engine.cc.
     graph::HeteroGraph g = servingGraph();
     serve::PlanCache cache;
     core::CompileOptions opts;
