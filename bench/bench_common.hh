@@ -27,6 +27,7 @@
 #include "models/models.hh"
 #include "models/reference.hh"
 #include "sim/runtime.hh"
+#include "util/json_log.hh"
 
 namespace hector::bench
 {
@@ -202,57 +203,14 @@ geomean(const std::vector<double> &v)
 }
 
 /**
- * Machine-readable benchmark log: collects one pre-formatted JSON
- * object per measurement and writes them as a JSON array to
- * BENCH_<name>.json in the working directory, giving every bench a
- * perf trajectory CI can archive and diff across commits. record()
- * also prints the object as a "JSON {...}" stdout line, the format the
- * existing CI greps consume.
+ * Machine-readable benchmark log (util::JsonLog): collects one
+ * pre-formatted JSON object per measurement and atomically writes them
+ * as a JSON array to BENCH_<name>.json in the working directory,
+ * giving every bench a perf trajectory CI can archive and diff across
+ * commits. record() also prints the object as a "JSON {...}" stdout
+ * line, the format the existing CI greps consume.
  */
-class JsonLog
-{
-  public:
-    explicit JsonLog(std::string bench_name)
-        : path_("BENCH_" + std::move(bench_name) + ".json")
-    {}
-
-    /** @param object a complete JSON object, e.g. {"x":1}. */
-    void
-    record(const std::string &object)
-    {
-        std::printf("JSON %s\n", object.c_str());
-        records_.push_back(object);
-    }
-
-    /** Write BENCH_<name>.json; diagnoses and returns false on I/O
-     *  failure (the perf trajectory silently missing would defeat the
-     *  point of recording it). */
-    bool
-    write() const
-    {
-        std::FILE *f = std::fopen(path_.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "ERROR: cannot write %s\n",
-                         path_.c_str());
-            return false;
-        }
-        std::fprintf(f, "[\n");
-        for (std::size_t i = 0; i < records_.size(); ++i)
-            std::fprintf(f, "  %s%s\n", records_[i].c_str(),
-                         i + 1 < records_.size() ? "," : "");
-        std::fprintf(f, "]\n");
-        std::fclose(f);
-        std::printf("wrote %s (%zu records)\n", path_.c_str(),
-                    records_.size());
-        return true;
-    }
-
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string path_;
-    std::vector<std::string> records_;
-};
+using util::JsonLog;
 
 } // namespace hector::bench
 

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hh"
 #include "serve/session.hh"
 #include "util/thread_pool.hh"
 
@@ -48,6 +49,8 @@ struct Config
     bool seedMode;
     int threads;
     bool useArena;
+    /** Run with the span tracer recording (obs::setEnabled(true)). */
+    bool traced = false;
 };
 
 struct RunResult
@@ -65,9 +68,12 @@ runConfig(const Config &c, models::ModelKind m, const BenchGraph &bg,
 {
     util::setSeedKernelMode(c.seedMode);
     util::setGlobalThreads(c.threads);
+    obs::setDeterministic(true);
+    obs::setEnabled(c.traced);
 
     RunResult best;
     for (int rep = 0; rep < reps; ++rep) {
+        obs::tracer().clear();
         sim::Runtime rt = makeRuntime(scale);
         serve::ServingConfig cfg;
         cfg.maxBatch = 8;
@@ -111,6 +117,7 @@ runConfig(const Config &c, models::ModelKind m, const BenchGraph &bg,
             best.outputs = std::move(outputs);
         }
     }
+    obs::setEnabled(false);
     return best;
 }
 
@@ -152,10 +159,15 @@ main()
     tensor::Tensor host_features =
         tensor::Tensor::uniform({bg.g.numNodes(), dim}, frng, 0.5f);
 
+    // "t1" carries the tracer's disabled-path instrumentation (every
+    // hot path checks obs::enabled()), so its delta vs "seed" prices
+    // the disabled overhead honestly; "t1-traced" measures the cost of
+    // actually recording spans at the same thread count.
     const std::vector<Config> configs = {
-        {"seed", true, 1, false}, {"t1", false, 1, true},
-        {"t2", false, 2, true},   {"t4", false, 4, true},
-        {"t8", false, 8, true},
+        {"seed", true, 1, false},        {"t1", false, 1, true},
+        {"t2", false, 2, true},          {"t4", false, 4, true},
+        {"t8", false, 8, true},          {"t1-traced", false, 1, true,
+                                          true},
     };
 
     JsonLog log("exec");
@@ -168,6 +180,7 @@ main()
         printRow({"config", "threads", "wall-ms", "speedup", "identical"});
 
         double seed_ms = 0.0;
+        double t1_ms = 0.0;
         std::vector<float> seed_outputs;
         for (const Config &c : configs) {
             const RunResult r = runConfig(c, m, bg, host_features, scale,
@@ -180,6 +193,13 @@ main()
                 identical = bitIdentical(seed_outputs, r.outputs);
                 all_identical = all_identical && identical;
             }
+            if (std::strcmp(c.name, "t1") == 0)
+                t1_ms = r.wallMs;
+            /** Tracing cost vs the same config untraced ("t1"). */
+            const double trace_overhead_pct =
+                c.traced && t1_ms > 0.0
+                    ? (r.wallMs / t1_ms - 1.0) * 100.0
+                    : 0.0;
             const double speedup =
                 r.wallMs > 0.0 ? seed_ms / r.wallMs : 0.0;
             if (m == models::ModelKind::Rgat) {
@@ -195,6 +215,10 @@ main()
             std::snprintf(b3, sizeof(b3), "%.2fx", speedup);
             std::snprintf(b4, sizeof(b4), "%s", identical ? "yes" : "NO");
             printRow({c.name, b1, b2, b3, b4});
+            if (c.traced)
+                std::printf("    tracing-enabled overhead vs t1: "
+                            "%+.1f%%\n",
+                            trace_overhead_pct);
 
             char json[512];
             std::snprintf(
@@ -202,10 +226,12 @@ main()
                 "{\"bench\":\"exec_wallclock\",\"dataset\":\"%s\","
                 "\"model\":\"%s\",\"config\":\"%s\",\"threads\":%d,"
                 "\"requests\":%d,\"cycles\":%d,\"wall_ms\":%.3f,"
-                "\"speedup_vs_seed\":%.3f,\"bit_identical\":%s}",
+                "\"speedup_vs_seed\":%.3f,\"bit_identical\":%s,"
+                "\"traced\":%s,\"trace_overhead_pct\":%.2f}",
                 dataset.c_str(), models::toString(m), c.name, c.threads,
                 requests, cycles, r.wallMs, speedup,
-                identical ? "true" : "false");
+                identical ? "true" : "false",
+                c.traced ? "true" : "false", trace_overhead_pct);
             log.record(json);
         }
         std::printf("\n");

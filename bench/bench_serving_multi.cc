@@ -17,16 +17,27 @@
  *
  *  3. mixed open-loop sweep — per-variant p99 / SLO attainment and
  *     engine throughput across offered-load mixes, with cache churn
- *     and schedule keys in the JSON records (BENCH_serving_multi.json).
+ *     and schedule keys in the JSON records (BENCH_serving_multi.json);
+ *
+ *  4. deterministic-trace gate — the same traced drain + open-loop run
+ *     must export byte-identical Chrome-trace JSON (and metrics
+ *     snapshot) across two repeats and across 1/2/4 host threads; any
+ *     divergence exits nonzero. The reference trace is written to
+ *     TRACE_serving_multi.json for CI to validate and archive.
  */
 
 #include "bench_common.hh"
 
 #include <cstring>
 
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/engine.hh"
 #include "serve/online.hh"
 #include "serve/session.hh"
+#include "sim/counters.hh"
+#include "util/thread_pool.hh"
 
 using namespace hector;
 using namespace hector::bench;
@@ -298,6 +309,107 @@ main()
             log.record(json);
         }
     }
+
+    // --------------------------------- 4. deterministic-trace gate
+    // One traced workload (closed-loop drains + a short multi-tenant
+    // open-loop run), repeated at different host thread counts. In
+    // deterministic mode the export carries only virtual-clock events,
+    // so every repeat must produce byte-identical JSON.
+    std::printf("\n-- deterministic-trace gate --\n");
+
+    struct TracedRun
+    {
+        std::string trace;
+        std::string metricsSnapshot;
+        std::size_t flightEvents = 0;
+    };
+    auto traced_run = [&](int threads) -> TracedRun {
+        util::setGlobalThreads(threads);
+        obs::setDeterministic(true);
+        obs::setEnabled(true);
+        obs::tracer().clear();
+        obs::metrics().clear();
+
+        sim::Runtime trt = makeRuntime(scale);
+        serve::EngineConfig tcfg;
+        tcfg.numStreams = 2;
+        serve::Engine eng(bg.g, tcfg, trt);
+        std::vector<int> tvids;
+        for (const VariantDef &v : kVariants)
+            tvids.push_back(eng.registerVariant(
+                v.name, featuresFor(bg.g, v), modelSource(v.kind),
+                configFor(v, scale)));
+
+        obs::FlightRecorder recorder;
+        eng.setFlightRecorder(&recorder);
+        for (int round = 0; round < 3; ++round) {
+            for (int vid : tvids)
+                for (int r = 0; r < 4; ++r)
+                    eng.submit(vid);
+            eng.drain();
+        }
+
+        serve::OnlineConfig ocfg;
+        for (const VariantDef &v : kVariants)
+            ocfg.variants.push_back(
+                {v.name, capacity_rps / 3.0, 8, 0xbead ^ v.seed});
+        serve::OnlineServer server(eng, ocfg);
+        server.setFlightRecorder(&recorder);
+        server.run();
+
+        serve::absorbStats(obs::metrics(), eng.planCache().stats(),
+                           "engine.plan_cache");
+        sim::absorbCounters(obs::metrics(), trt.counters(), trt.spec(),
+                            "device0");
+
+        TracedRun out;
+        out.trace = obs::tracer().exportJson();
+        out.metricsSnapshot = obs::metrics().snapshotJson();
+        for (std::uint64_t id : recorder.requests())
+            out.flightEvents += recorder.timeline(id)->size();
+        obs::setEnabled(false);
+        util::setGlobalThreads(0);
+        return out;
+    };
+
+    const TracedRun ref = traced_run(1);
+    std::size_t trace_divergent = 0;
+    for (int threads : {1, 2, 4}) {
+        const TracedRun rerun = traced_run(threads);
+        const bool same_trace = rerun.trace == ref.trace;
+        const bool same_metrics =
+            rerun.metricsSnapshot == ref.metricsSnapshot;
+        std::printf("  threads=%d: trace %s, metrics %s\n", threads,
+                    same_trace ? "identical" : "DIVERGENT",
+                    same_metrics ? "identical" : "DIVERGENT");
+        if (!same_trace || !same_metrics)
+            ++trace_divergent;
+    }
+    if (ref.flightEvents == 0) {
+        std::printf("  flight recorder captured no events (FAILURE)\n");
+        failed = true;
+    }
+    if (trace_divergent > 0)
+        failed = true;
+    if (!util::writeFileAtomic("TRACE_serving_multi.json", ref.trace))
+        failed = true;
+    std::printf("  trace: %zu bytes, flight events %zu -> %s\n",
+                ref.trace.size(), ref.flightEvents,
+                trace_divergent == 0 ? "byte-stable across runs and "
+                                       "thread counts"
+                                     : "FAILURE");
+
+    char tjson[256];
+    std::snprintf(tjson, sizeof(tjson),
+                  "{\"bench\":\"serving_multi\",\"phase\":\"trace\","
+                  "\"dataset\":\"%s\",\"trace_bytes\":%zu,"
+                  "\"flight_events\":%zu,\"divergent\":%zu}",
+                  dataset.c_str(), ref.trace.size(), ref.flightEvents,
+                  trace_divergent);
+    log.record(tjson);
+    log.record("{\"bench\":\"serving_multi\",\"phase\":\"metrics\","
+               "\"snapshot\":" +
+               ref.metricsSnapshot + "}");
 
     if (!log.write())
         failed = true;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "tensor/block_kernels.hh"
 #include "util/thread_pool.hh"
 
@@ -1680,6 +1681,32 @@ execute(const Program &p, const LoweredFunction &fn, ExecutionContext &ctx)
             for (std::int32_t slot : fn.zeroSlotsBefore[i])
                 ctx.materializeSlot(slot);
         const auto &step = fn.order[i];
+        // Per-step trace span on the modeled launch clock (thread-count
+        // invariant): start/end are totalTimeSec deltas, so the same
+        // plan traces identically at any pool size.
+        obs::Span span;
+        if (obs::enabled()) {
+            const std::string *name = nullptr;
+            const char *kind = "";
+            switch (step.kind) {
+              case LoweredFunction::Step::Kind::Gemm:
+                name = &fn.gemms[step.index].name;
+                kind = "gemm";
+                break;
+              case LoweredFunction::Step::Kind::Traversal:
+                name = &fn.traversals[step.index].name;
+                kind = "traversal";
+                break;
+              case LoweredFunction::Step::Kind::Fallback:
+                name = &fn.fallbacks[step.index].name;
+                kind = "fallback";
+                break;
+            }
+            span = obs::Span(*name, "exec", ctx.rt->totalTimeSec(),
+                             ctx.rt->deviceId(),
+                             ctx.rt->currentStream());
+            span.arg("kind", kind);
+        }
         switch (step.kind) {
           case LoweredFunction::Step::Kind::Gemm:
             execGemm(p, fn.gemms[step.index], ctx);
@@ -1691,6 +1718,8 @@ execute(const Program &p, const LoweredFunction &fn, ExecutionContext &ctx)
             execFallback(p, fn.fallbacks[step.index], ctx);
             break;
         }
+        if (span.active())
+            span.endAt(ctx.rt->totalTimeSec());
     }
 }
 

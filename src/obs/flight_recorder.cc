@@ -1,0 +1,86 @@
+#include "obs/flight_recorder.hh"
+
+#include <cstdio>
+
+#include "obs/trace.hh"
+
+namespace hector::obs
+{
+
+void
+FlightRecorder::event(std::uint64_t request_id, std::string what,
+                      double t_sec, int device, std::string detail)
+{
+    auto it = timelines_.find(request_id);
+    if (it == timelines_.end()) {
+        if (timelines_.size() >= maxRequests_) {
+            timelines_.erase(order_.front());
+            order_.pop_front();
+        }
+        it = timelines_.emplace(request_id,
+                                std::vector<FlightEvent>{}).first;
+        order_.push_back(request_id);
+    }
+    it->second.push_back(FlightEvent{std::move(what), t_sec, device,
+                                     std::move(detail)});
+}
+
+const std::vector<FlightEvent> *
+FlightRecorder::timeline(std::uint64_t request_id) const
+{
+    const auto it = timelines_.find(request_id);
+    return it == timelines_.end() ? nullptr : &it->second;
+}
+
+std::string
+FlightRecorder::timelineJson(std::uint64_t request_id) const
+{
+    const std::vector<FlightEvent> *tl = timeline(request_id);
+    if (!tl)
+        return "{}";
+    std::string out =
+        "{\"request\":" + std::to_string(request_id) + ",\"events\":[";
+    for (std::size_t i = 0; i < tl->size(); ++i) {
+        const FlightEvent &e = (*tl)[i];
+        if (i)
+            out += ',';
+        out += "{\"what\":\"" + jsonEscape(e.what) +
+               "\",\"t_ms\":" + jsonNum(e.tSec * 1e3) +
+               ",\"device\":" + std::to_string(e.device) +
+               ",\"detail\":\"" + jsonEscape(e.detail) + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+FlightRecorder::timelineText(std::uint64_t request_id) const
+{
+    const std::vector<FlightEvent> *tl = timeline(request_id);
+    if (!tl)
+        return "request " + std::to_string(request_id) +
+               ": no timeline recorded\n";
+    std::string out =
+        "request " + std::to_string(request_id) + " timeline:\n";
+    char buf[160];
+    const double t0 = tl->empty() ? 0.0 : tl->front().tSec;
+    double prev = t0;
+    for (const FlightEvent &e : *tl) {
+        std::snprintf(buf, sizeof buf,
+                      "  %10.4f ms  (+%8.4f)  dev%-2d %-12s %s\n",
+                      (e.tSec - t0) * 1e3, (e.tSec - prev) * 1e3,
+                      e.device, e.what.c_str(), e.detail.c_str());
+        out += buf;
+        prev = e.tSec;
+    }
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    timelines_.clear();
+    order_.clear();
+}
+
+} // namespace hector::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-request flight recorder: each serving request's lifecycle —
+ * arrival → enqueue → admission → batch-join → plan lookup →
+ * per-device exec → halo exchange → all-gather → completion — accrues
+ * as a timeline of (what, modeled time, device, detail) events keyed
+ * by the request id, so a single slow request's path through the
+ * stack is reconstructible after the fact.
+ *
+ * Attachment is the opt-in: Engine / OnlineServer / ShardedSession
+ * record into a recorder only when one has been attached via
+ * setFlightRecorder(), independent of the obs::enabled() tracer
+ * switch, so a caller can ask for one request's timeline without
+ * paying for full-trace recording. Bounded: beyond maxRequests() the
+ * oldest request's timeline is evicted (first-seen order).
+ *
+ * Not thread-safe by design — all serving-stack recording happens on
+ * the driving thread, like the engines themselves.
+ */
+
+#ifndef HECTOR_OBS_FLIGHT_RECORDER_HH
+#define HECTOR_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hector::obs
+{
+
+struct FlightEvent
+{
+    std::string what;   ///< lifecycle step, e.g. "enqueue", "exec-start"
+    double tSec = 0.0;  ///< modeled time of the step
+    int device = 0;
+    std::string detail; ///< free-form annotation, e.g. "stream=1"
+};
+
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t max_requests = 1024)
+        : maxRequests_(max_requests < 1 ? 1 : max_requests)
+    {}
+
+    void event(std::uint64_t request_id, std::string what, double t_sec,
+               int device = 0, std::string detail = {});
+
+    /** The timeline for @p request_id, or nullptr if unknown/evicted.
+     *  Events appear in record order. */
+    const std::vector<FlightEvent> *timeline(std::uint64_t request_id) const;
+
+    /** Request ids currently held, in first-seen order. */
+    const std::deque<std::uint64_t> &requests() const { return order_; }
+
+    /** One JSON object: {"request":id,"events":[{"what":..,"t_ms":..,
+     *  "device":..,"detail":..},..]}; "{}" if unknown. */
+    std::string timelineJson(std::uint64_t request_id) const;
+
+    /** Human-readable timeline table with per-step deltas. */
+    std::string timelineText(std::uint64_t request_id) const;
+
+    std::size_t maxRequests() const { return maxRequests_; }
+    void clear();
+
+  private:
+    std::size_t maxRequests_;
+    std::map<std::uint64_t, std::vector<FlightEvent>> timelines_;
+    std::deque<std::uint64_t> order_;
+};
+
+} // namespace hector::obs
+
+#endif // HECTOR_OBS_FLIGHT_RECORDER_HH

@@ -1,0 +1,204 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/trace.hh"
+
+namespace hector::obs
+{
+
+Histogram::Histogram(double lo_exp, double hi_exp,
+                     int buckets_per_decade)
+{
+    const int n = static_cast<int>(
+        std::lround((hi_exp - lo_exp) * buckets_per_decade));
+    edges_.reserve(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i <= n; ++i)
+        edges_.push_back(
+            std::pow(10.0, lo_exp + static_cast<double>(i) /
+                                        buckets_per_decade));
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    counts_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += 1;
+    sum_ += v;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+}
+
+double
+Histogram::min() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(q * count_));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return i < edges_.size() ? edges_[i] : edges_.back();
+    }
+    return edges_.back();
+}
+
+std::string
+Histogram::json() const
+{
+    std::string out = "{\"count\":" + std::to_string(count());
+    out += ",\"sum\":" + jsonNum(sum());
+    out += ",\"min\":" + jsonNum(min());
+    out += ",\"max\":" + jsonNum(max());
+    out += ",\"p50\":" + jsonNum(percentile(0.50));
+    out += ",\"p95\":" + jsonNum(percentile(0.95));
+    out += ",\"p99\":" + jsonNum(percentile(0.99));
+    out += ",\"p999\":" + jsonNum(percentile(0.999));
+    out += "}";
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::string
+Registry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\"" + jsonEscape(name) +
+               "\":" + std::to_string(c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + jsonNum(g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + h->json();
+    }
+    out += "}}";
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+Registry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+Registry &
+metrics()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace hector::obs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Typed metrics registry: counters, gauges, and log-bucketed latency
+ * histograms with bit-stable percentiles.
+ *
+ * This is the single sink the serving stack's ad-hoc stat structs
+ * (PlanCache::Stats, ServingReport, sim::Counters) absorb into —
+ * see absorbStats()/absorbReport()/absorbCounters() in the owning
+ * modules (obs is a base library and includes none of them) — and the
+ * single snapshotJson() emitter the benches share.
+ *
+ * Percentile stability: a Histogram never stores raw samples. It
+ * counts observations into FIXED log-spaced buckets and reports a
+ * percentile as the upper edge of the bucket holding the nearest-rank
+ * observation. The same multiset of observations — in any insertion
+ * order, at any thread count — therefore yields byte-identical
+ * p50/p95/p99/p99.9 strings in the snapshot.
+ */
+
+#ifndef HECTOR_OBS_METRICS_HH
+#define HECTOR_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hector::obs
+{
+
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Log-bucketed histogram. Default edges cover 10^-6 .. 10^4 (enough
+ * for microsecond kernel times through multi-second makespans, in ms
+ * or sec alike) with @p buckets_per_decade edges per power of ten,
+ * plus an implicit overflow bucket clamped to the top edge.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(double lo_exp = -6.0, double hi_exp = 4.0,
+                       int buckets_per_decade = 4);
+
+    void observe(double v);
+
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const; ///< exact smallest observation (0 if empty)
+    double max() const; ///< exact largest observation (0 if empty)
+
+    /**
+     * Nearest-rank percentile over the fixed bucket edges: the upper
+     * edge of the bucket containing observation ceil(q * count).
+     * Returns 0 when empty; @p q in [0, 1].
+     */
+    double percentile(double q) const;
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,
+     *  "p99":..,"p999":..} with jsonNum-rendered values. */
+    std::string json() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<double> edges_;          ///< ascending upper edges
+    std::vector<std::uint64_t> counts_;  ///< edges_.size() + 1 (overflow)
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named metric registry. Instruments are created on first use and live
+ * for the registry's lifetime (references stay valid); snapshotJson()
+ * renders everything sorted by name so the output is canonical.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** {"counters":{..},"gauges":{..},"histograms":{..}} sorted by
+     *  name — the one emitter every bench shares. */
+    std::string snapshotJson() const;
+
+    /** Zero every instrument, keep registrations. */
+    void reset();
+
+    /** Drop every instrument (invalidates outstanding references). */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry the instrumentation records into. */
+Registry &metrics();
+
+} // namespace hector::obs
+
+#endif // HECTOR_OBS_METRICS_HH

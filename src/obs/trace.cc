@@ -1,0 +1,462 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/json_log.hh"
+
+namespace hector::obs
+{
+
+namespace detail
+{
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_deterministic{true};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setDeterministic(bool on)
+{
+    detail::g_deterministic.store(on, std::memory_order_relaxed);
+}
+
+namespace
+{
+thread_local double tls_virtual_now = 0.0;
+} // namespace
+
+double
+virtualNow()
+{
+    return tls_virtual_now;
+}
+
+void
+setVirtualNow(double sec)
+{
+    tls_virtual_now = sec;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+double
+Tracer::wallNowSec()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+Tracer::Ring &
+Tracer::localRing()
+{
+    thread_local std::shared_ptr<Ring> tls_ring;
+    thread_local Tracer *tls_owner = nullptr;
+    if (!tls_ring || tls_owner != this) {
+        tls_ring = std::make_shared<Ring>(
+            capacity_.load(std::memory_order_relaxed));
+        tls_owner = this;
+        std::lock_guard<std::mutex> lock(mu_);
+        rings_.push_back(tls_ring);
+    }
+    return *tls_ring;
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    Ring &r = localRing();
+    const std::uint64_t n = r.count.load(std::memory_order_relaxed);
+    ev.seq = n;
+    r.events[static_cast<std::size_t>(n % r.events.size())] =
+        std::move(ev);
+    r.count.store(n + 1, std::memory_order_release);
+}
+
+void
+Tracer::complete(std::string name, const char *cat, double ts_sec,
+                 double dur_sec, int pid, int tid, std::string args,
+                 double wall_ms)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = 'X';
+    ev.clock = Clock::Virtual;
+    ev.tsSec = ts_sec;
+    ev.durSec = dur_sec;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.wallMs = wall_ms;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+Tracer::instant(std::string name, const char *cat, double ts_sec,
+                int pid, int tid, std::string args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = 'i';
+    ev.clock = Clock::Virtual;
+    ev.tsSec = ts_sec;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+Tracer::wallSpan(std::string name, const char *cat, double start_sec,
+                 double dur_sec, int tid, std::string args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = 'X';
+    ev.clock = Clock::Wall;
+    ev.tsSec = start_sec;
+    ev.durSec = dur_sec;
+    ev.pid = kWallPid;
+    ev.tid = tid;
+    ev.wallMs = dur_sec * 1e3;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    for (auto &r : rings_) {
+        r->count.store(0, std::memory_order_relaxed);
+        if (r->events.size() != cap) {
+            r->events.clear();
+            r->events.resize(cap);
+        }
+    }
+}
+
+void
+Tracer::setCapacity(std::size_t per_thread_events)
+{
+    capacity_.store(per_thread_events < 1 ? 1 : per_thread_events,
+                    std::memory_order_relaxed);
+}
+
+std::size_t
+Tracer::capacity() const
+{
+    return capacity_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t total = 0;
+    for (const auto &r : rings_) {
+        const std::uint64_t n = r->count.load(std::memory_order_acquire);
+        const std::uint64_t cap = r->events.size();
+        if (n > cap)
+            total += n - cap;
+    }
+    return total;
+}
+
+std::size_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto &r : rings_) {
+        const std::uint64_t n = r->count.load(std::memory_order_acquire);
+        const std::uint64_t cap = r->events.size();
+        total += static_cast<std::size_t>(n < cap ? n : cap);
+    }
+    return total;
+}
+
+std::vector<TraceEvent>
+Tracer::collect() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceEvent> out;
+    for (const auto &r : rings_) {
+        const std::uint64_t n = r->count.load(std::memory_order_acquire);
+        const std::uint64_t cap = r->events.size();
+        const std::uint64_t live = n < cap ? n : cap;
+        for (std::uint64_t i = n - live; i < n; ++i)
+            out.push_back(
+                r->events[static_cast<std::size_t>(i % cap)]);
+    }
+    return out;
+}
+
+std::string
+Tracer::exportJson() const
+{
+    std::vector<TraceEvent> evs = collect();
+    const bool det = deterministic();
+    if (det)
+        evs.erase(std::remove_if(evs.begin(), evs.end(),
+                                 [](const TraceEvent &e) {
+                                     return e.clock != Clock::Virtual;
+                                 }),
+                  evs.end());
+    // Global timestamp order (then pid, tid, per-thread sequence):
+    // makes the document canonical — the determinism gate compares it
+    // byte for byte — and monotone for the CI trace checker.
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.tsSec != b.tsSec)
+                             return a.tsSec < b.tsSec;
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         if (a.seq != b.seq)
+                             return a.seq < b.seq;
+                         return a.name < b.name;
+                     });
+
+    std::vector<int> pids;
+    for (const TraceEvent &e : evs)
+        pids.push_back(e.pid);
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+    for (const int pid : pids) {
+        const std::string label =
+            pid == kWallPid ? "wall" : "device" + std::to_string(pid);
+        emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) +
+             ",\"tid\":0,\"args\":{\"name\":\"" + label + "\"}}");
+    }
+    char buf[64];
+    for (const TraceEvent &e : evs) {
+        std::string line = "{\"name\":\"" + jsonEscape(e.name) +
+                           "\",\"cat\":\"" + jsonEscape(e.cat) +
+                           "\",\"ph\":\"";
+        line += e.ph;
+        line += "\",\"pid\":" + std::to_string(e.pid) +
+                ",\"tid\":" + std::to_string(e.tid);
+        std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.tsSec * 1e6);
+        line += buf;
+        if (e.ph == 'X') {
+            std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                          e.durSec * 1e6);
+            line += buf;
+        }
+        if (e.ph == 'i')
+            line += ",\"s\":\"t\"";
+        const double wall_ms = det ? 0.0 : e.wallMs;
+        std::snprintf(buf, sizeof buf, "%.6f", wall_ms);
+        line += ",\"args\":{\"wall_ms\":";
+        line += buf;
+        if (!e.args.empty()) {
+            line += ',';
+            line += e.args;
+        }
+        line += "}}";
+        emit(line);
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+           "\"clock\":\"virtual-us\",\"deterministic\":";
+    out += det ? "true" : "false";
+    if (!det)
+        out += ",\"dropped\":" + std::to_string(dropped());
+    out += "}}\n";
+    return out;
+}
+
+bool
+Tracer::writeJson(const std::string &name) const
+{
+    const std::string path = "TRACE_" + name + ".json";
+    if (!util::writeFileAtomic(path, exportJson()))
+        return false;
+    std::printf("wrote %s (%zu events)\n", path.c_str(), recorded());
+    return true;
+}
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+Span::Span(std::string name, const char *cat, double virtual_start_sec,
+           int pid, int tid)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    ev_.name = std::move(name);
+    ev_.cat = cat;
+    ev_.ph = 'X';
+    ev_.clock = Clock::Virtual;
+    ev_.tsSec = virtual_start_sec;
+    ev_.pid = pid;
+    ev_.tid = tid;
+    wallStartSec_ = Tracer::wallNowSec();
+}
+
+Span
+Span::wall(std::string name, const char *cat, int tid)
+{
+    Span s;
+    if (!enabled())
+        return s;
+    s.active_ = true;
+    s.ev_.name = std::move(name);
+    s.ev_.cat = cat;
+    s.ev_.ph = 'X';
+    s.ev_.clock = Clock::Wall;
+    s.ev_.pid = kWallPid;
+    s.ev_.tid = tid;
+    s.wallStartSec_ = Tracer::wallNowSec();
+    s.ev_.tsSec = s.wallStartSec_;
+    return s;
+}
+
+Span::Span(Span &&o) noexcept
+    : active_(o.active_), ev_(std::move(o.ev_)),
+      wallStartSec_(o.wallStartSec_), virtualEnd_(o.virtualEnd_)
+{
+    o.active_ = false;
+}
+
+Span &
+Span::operator=(Span &&o) noexcept
+{
+    if (this != &o) {
+        finish();
+        active_ = o.active_;
+        ev_ = std::move(o.ev_);
+        wallStartSec_ = o.wallStartSec_;
+        virtualEnd_ = o.virtualEnd_;
+        o.active_ = false;
+    }
+    return *this;
+}
+
+void
+Span::arg(const char *key, double v)
+{
+    if (!active_)
+        return;
+    if (!ev_.args.empty())
+        ev_.args += ',';
+    ev_.args += '"';
+    ev_.args += key;
+    ev_.args += "\":";
+    ev_.args += jsonNum(v);
+}
+
+void
+Span::arg(const char *key, std::uint64_t v)
+{
+    if (!active_)
+        return;
+    if (!ev_.args.empty())
+        ev_.args += ',';
+    ev_.args += '"';
+    ev_.args += key;
+    ev_.args += "\":";
+    ev_.args += std::to_string(v);
+}
+
+void
+Span::arg(const char *key, const char *v)
+{
+    if (!active_)
+        return;
+    if (!ev_.args.empty())
+        ev_.args += ',';
+    ev_.args += '"';
+    ev_.args += key;
+    ev_.args += "\":\"";
+    ev_.args += jsonEscape(v);
+    ev_.args += '"';
+}
+
+void
+Span::endAt(double virtual_end_sec)
+{
+    if (active_)
+        virtualEnd_ = virtual_end_sec;
+}
+
+void
+Span::finish()
+{
+    if (!active_)
+        return;
+    active_ = false;
+    const double wall_sec = Tracer::wallNowSec() - wallStartSec_;
+    ev_.wallMs = wall_sec * 1e3;
+    if (ev_.clock == Clock::Wall)
+        ev_.durSec = wall_sec;
+    else if (virtualEnd_ > ev_.tsSec)
+        ev_.durSec = virtualEnd_ - ev_.tsSec;
+    tracer().record(std::move(ev_));
+}
+
+} // namespace hector::obs

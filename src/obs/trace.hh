@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Deterministic span tracer: Chrome trace_event / Perfetto-compatible
+ * timeline recording for the serving stack.
+ *
+ * Two clocks, one timeline. Spans over modeled work carry virtual
+ * timestamps (the monotone `sim::Runtime` clocks), so the trace shows
+ * the *simulated* schedule — queue waits, halo exchanges, per-stream
+ * kernel packing — exactly as the cost model computed it. Each span
+ * additionally measures its own wall-clock duration (host time really
+ * spent) as an `args.wall_ms` annotation. Wall-only spans (thread-pool
+ * chunks) live on a separate reserved pid lane.
+ *
+ * Determinism contract: in deterministic mode (`setDeterministic`),
+ * exportJson() emits only virtual-clock events, zeroes every wall-time
+ * field, and orders events by (timestamp, pid, tid, per-thread
+ * sequence). All virtual-time instrumentation in the repo runs on the
+ * driving thread against thread-count-invariant modeled clocks, so two
+ * runs at the same seed — at *any* thread count — produce byte-identical
+ * trace JSON. Traces are regression-testable artifacts; the
+ * bench_serving_multi trace gate enforces this byte-for-byte.
+ *
+ * Hot-path cost when disabled: every instrumentation site guards on
+ * obs::enabled(), a single relaxed atomic load that inlines everywhere.
+ * When enabled, record() appends to a lock-free single-producer
+ * per-thread ring buffer (no shared mutable state on the record path);
+ * the registry mutex is touched only on a thread's first event and at
+ * export/clear time, which the callers reach only at quiescence.
+ */
+
+#ifndef HECTOR_OBS_TRACE_HH
+#define HECTOR_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hector::obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_deterministic;
+} // namespace detail
+
+/** Master tracing switch, default off. The guard every hot-path
+ *  instrumentation site checks before doing any work. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void setEnabled(bool on);
+
+/**
+ * Deterministic export mode: exportJson() drops wall-only events and
+ * zeroes wall_ms so the output depends only on modeled time. Default
+ * on — traces are regression artifacts first, profiles second.
+ */
+inline bool
+deterministic()
+{
+    return detail::g_deterministic.load(std::memory_order_relaxed);
+}
+void setDeterministic(bool on);
+
+/**
+ * Thread-local virtual "now" for instrumentation sites that have no
+ * runtime reference of their own (PlanCache). Callers that do own a
+ * clock (Engine, OnlineServer, ShardedSession) publish it here before
+ * descending into such code.
+ */
+double virtualNow();
+void setVirtualNow(double sec);
+
+/** Reserved pid lane for wall-clock-only events (thread-pool chunks),
+ *  keeping them visually and semantically apart from modeled devices. */
+constexpr int kWallPid = 999;
+
+enum class Clock : std::uint8_t
+{
+    Virtual, ///< modeled seconds; included in deterministic exports
+    Wall     ///< host seconds since trace epoch; dropped when deterministic
+};
+
+struct TraceEvent
+{
+    std::string name;
+    /** Category tag; must outlive the tracer (string literals only). */
+    const char *cat = "";
+    char ph = 'X'; ///< 'X' complete span, 'i' instant, 'M' metadata
+    Clock clock = Clock::Virtual;
+    double tsSec = 0.0;
+    double durSec = 0.0;
+    int pid = 0; ///< device id (virtual) or kWallPid (wall)
+    int tid = 0; ///< stream / lane (virtual) or chunk index (wall)
+    /** Measured host time; zeroed in deterministic exports. */
+    double wallMs = 0.0;
+    /** Pre-rendered extra args: comma-joined "key":value pairs
+     *  without the surrounding braces. */
+    std::string args;
+    /** Per-thread record sequence, assigned by the tracer; the export
+     *  sort's final tiebreaker so equal-timestamp events keep their
+     *  record order. */
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Process-wide event sink. Each recording thread owns a fixed-capacity
+ * ring (oldest events overwritten on overflow, counted in dropped());
+ * rings are registered as shared_ptr so they survive thread exit —
+ * pool rebuilds must not lose events already recorded.
+ */
+class Tracer
+{
+  public:
+    /** Append one event (single-producer per calling thread). */
+    void record(TraceEvent ev);
+
+    /** Record a complete ('X') virtual-time span. */
+    void complete(std::string name, const char *cat, double ts_sec,
+                  double dur_sec, int pid = 0, int tid = 0,
+                  std::string args = {}, double wall_ms = 0.0);
+
+    /** Record an instant ('i') virtual-time event. */
+    void instant(std::string name, const char *cat, double ts_sec,
+                 int pid = 0, int tid = 0, std::string args = {});
+
+    /** Record a complete wall-clock-only span on the kWallPid lane. */
+    void wallSpan(std::string name, const char *cat, double start_sec,
+                  double dur_sec, int tid = 0, std::string args = {});
+
+    /** Drop every recorded event and reset drop counts. Call only at
+     *  quiescence (no concurrent record()). */
+    void clear();
+
+    /** Per-thread ring capacity; applies to rings created (or cleared)
+     *  after the call. */
+    void setCapacity(std::size_t per_thread_events);
+    std::size_t capacity() const;
+
+    /** Events lost to ring overflow, summed over all rings. */
+    std::uint64_t dropped() const;
+
+    /** Events currently held (post-overflow), summed over all rings. */
+    std::size_t recorded() const;
+
+    /** Host seconds since the process trace epoch (steady_clock). */
+    static double wallNowSec();
+
+    /**
+     * Render the Chrome trace_event JSON document ("traceEvents"
+     * array envelope; ts/dur in microseconds). Load in
+     * chrome://tracing or https://ui.perfetto.dev. Call at quiescence.
+     */
+    std::string exportJson() const;
+
+    /** exportJson() to TRACE_<name>.json via util::writeFileAtomic. */
+    bool writeJson(const std::string &name) const;
+
+  private:
+    struct Ring
+    {
+        explicit Ring(std::size_t cap) : events(cap) {}
+        std::vector<TraceEvent> events;
+        std::atomic<std::uint64_t> count{0};
+    };
+
+    Ring &localRing();
+    std::vector<TraceEvent> collect() const;
+
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<Ring>> rings_;
+    std::atomic<std::size_t> capacity_{std::size_t{1} << 16};
+};
+
+/** The process-wide tracer every instrumentation site records to. */
+Tracer &tracer();
+
+/**
+ * RAII span. Construct with the modeled start time, optionally endAt()
+ * the modeled end time (defaults to a zero-duration modeled span), add
+ * args; the destructor measures the wall-clock duration and records.
+ * Default-constructed or constructed-while-disabled spans are inert.
+ */
+class Span
+{
+  public:
+    Span() = default;
+    Span(std::string name, const char *cat, double virtual_start_sec,
+         int pid = 0, int tid = 0);
+
+    /** A wall-clock-only span (kWallPid lane); excluded from
+     *  deterministic exports. */
+    static Span wall(std::string name, const char *cat, int tid = 0);
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    Span(Span &&o) noexcept;
+    Span &operator=(Span &&o) noexcept;
+    ~Span() { finish(); }
+
+    void arg(const char *key, double v);
+    void arg(const char *key, std::uint64_t v);
+    void arg(const char *key, const char *v);
+
+    /** Set the modeled end time (clamped to >= the start). */
+    void endAt(double virtual_end_sec);
+
+    /** Record now instead of at destruction. Idempotent. */
+    void finish();
+
+    bool active() const { return active_; }
+
+  private:
+    bool active_ = false;
+    TraceEvent ev_;
+    double wallStartSec_ = 0.0;
+    double virtualEnd_ = -1.0;
+};
+
+/** Shortest round-trippable rendering of @p v ("%.17g" tier only when
+ *  needed); the single number formatter for trace and metrics JSON so
+ *  identical doubles always render identically. */
+std::string jsonNum(double v);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace hector::obs
+
+#endif // HECTOR_OBS_TRACE_HH

@@ -6,6 +6,8 @@
 
 #include "core/autotune.hh"
 #include "core/frontend.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hector::serve
 {
@@ -340,6 +342,14 @@ Engine::submit(int v)
                            static_cast<std::uint32_t>(v));
     hostClockSec_ += rt_.hostTimeMs() * 1e-3 - host_before;
     var.queue.back().submitSec = hostClockSec_;
+    if (flight_)
+        flight_->event(id, "enqueue", hostClockSec_, rt_.deviceId(),
+                       "variant=" + var.name);
+    if (obs::enabled())
+        obs::tracer().instant("submit", "serve", hostClockSec_,
+                              rt_.deviceId(), 0,
+                              "\"variant\":\"" +
+                                  obs::jsonEscape(var.name) + "\"");
     return id;
 }
 
@@ -356,6 +366,9 @@ Engine::submit(int v, graph::Minibatch mb, Tensor feature)
     var.queue.emplace_back(id, std::move(mb), std::move(feature),
                            static_cast<std::uint32_t>(v));
     var.queue.back().submitSec = hostClockSec_;
+    if (flight_)
+        flight_->event(id, "enqueue", hostClockSec_, rt_.deviceId(),
+                       "variant=" + var.name);
     return id;
 }
 
@@ -374,11 +387,25 @@ Engine::planFor(int v)
 {
     Variant &var = at(v);
     const PlanKey key = planKey(v);
+    // Publish the engine clock so the cache (which has none) can
+    // timestamp its hit/miss/evict trace instants.
+    obs::setVirtualNow(std::max(hostClockSec_, rt_.nowSec()));
     const PlanCache::Stats before = cache_.stats();
     auto plan = cache_.get(key, [&]() {
         return var.compiler.compile(key, var.hostFeatures, var.weights);
     });
-    recordPlanEvents(rt_.planEvents(), before, cache_.stats());
+    const PlanCache::Stats &after = cache_.stats();
+    recordPlanEvents(rt_.planEvents(), before, after);
+    if (flight_) {
+        const char *outcome = after.hits > before.hits ? "hit"
+                              : after.recompiles > before.recompiles
+                                  ? "recompile"
+                                  : "miss";
+        for (const Request &r : var.queue)
+            flight_->event(r.id, "plan-lookup", obs::virtualNow(),
+                           rt_.deviceId(),
+                           "variant=" + var.name + " " + outcome);
+    }
     return plan;
 }
 
@@ -393,6 +420,13 @@ Engine::drain()
         return ServingReport{};
 
     ServingReport report;
+
+    // The cycle occupies [chargedHostSec_, hostClockSec_ + scheduler
+    // makespan] on the absolute host clock; remember the start before
+    // the bookkeeping below rebases it.
+    const double cycle_start_sec = chargedHostSec_;
+    obs::Span drain_span("engine.drain", "serve", cycle_start_sec,
+                         rt_.deviceId(), 0);
 
     // Results are retained for one cycle only; a long-lived engine
     // would otherwise accumulate one output tensor per request served.
@@ -482,6 +516,12 @@ Engine::drain()
         const double service = sb.overheadSec + sb.execSec;
         if (v.cfg.deadlineMs > 0.0)
             any_deadline = true;
+        const double exec_start = completion - service;
+        if (obs::enabled())
+            obs::tracer().complete(
+                "batch/" + v.name, "serve", exec_start, service,
+                rt_.deviceId(), sb.stream,
+                "\"requests\":" + std::to_string(pb.hi - pb.lo));
         for (std::size_t i = pb.lo; i < pb.hi; ++i) {
             const double lat = completion - v.queue[i].submitSec;
             latencies.push_back(lat);
@@ -489,6 +529,24 @@ Engine::drain()
             by_variant[pb.variant].push_back(lat);
             if (v.cfg.deadlineMs <= 0.0 || lat * 1e3 <= v.cfg.deadlineMs)
                 ++met;
+            if (flight_) {
+                const std::uint64_t id = v.queue[i].id;
+                flight_->event(id, "batch-join", exec_start,
+                               rt_.deviceId(),
+                               "batch=" + std::to_string(b) +
+                                   " size=" +
+                                   std::to_string(pb.hi - pb.lo));
+                flight_->event(id, "exec-start", exec_start,
+                               rt_.deviceId(),
+                               "stream=" + std::to_string(sb.stream));
+                flight_->event(id, "completion", completion,
+                               rt_.deviceId(),
+                               "latency_ms=" + obs::jsonNum(lat * 1e3));
+            }
+            if (obs::enabled())
+                obs::metrics()
+                    .histogram("serve.latency_ms")
+                    .observe(lat * 1e3);
         }
     }
 
@@ -539,6 +597,15 @@ Engine::drain()
 
     fillCacheStats(report, cache_.stats());
     report.launches = rt_.counters().total().launches - launches_before;
+    if (obs::enabled()) {
+        obs::metrics().counter("serve.requests").inc(report.requests);
+        obs::metrics().counter("serve.batches").inc(report.batches);
+    }
+    drain_span.arg("requests",
+                   static_cast<std::uint64_t>(report.requests));
+    drain_span.arg("batches",
+                   static_cast<std::uint64_t>(report.batches));
+    drain_span.endAt(cycle_start_sec + makespan_sec);
     return report;
 }
 
@@ -570,6 +637,15 @@ Engine::serveOldest(int v, std::size_t n, int stream)
     });
     cost.execSec = run.execSec;
     cost.overheadSec = run.overheadSec;
+    cost.servedIds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cost.servedIds.push_back(var.queue[i].id);
+    if (flight_)
+        for (std::size_t i = 0; i < n; ++i)
+            flight_->event(var.queue[i].id, "batch-join", rt_.nowSec(),
+                           rt_.deviceId(),
+                           "size=" + std::to_string(n) +
+                               " stream=" + std::to_string(stream));
 
     // The served requests' transfer time (the host clock through the
     // last of them) is now charged, so a later drain() only charges
@@ -595,6 +671,34 @@ Engine::result(std::uint64_t id) const
 {
     auto it = results_.find(id);
     return it == results_.end() ? nullptr : &it->second;
+}
+
+void
+absorbReport(obs::Registry &reg, const ServingReport &report,
+             const std::string &prefix)
+{
+    reg.gauge(prefix + ".requests")
+        .set(static_cast<double>(report.requests));
+    reg.gauge(prefix + ".batches")
+        .set(static_cast<double>(report.batches));
+    reg.gauge(prefix + ".makespan_ms").set(report.makespanMs);
+    reg.gauge(prefix + ".throughput_rps")
+        .set(report.throughputReqPerSec);
+    reg.gauge(prefix + ".mean_latency_ms").set(report.meanLatencyMs);
+    reg.gauge(prefix + ".p50_latency_ms").set(report.p50LatencyMs);
+    reg.gauge(prefix + ".p95_latency_ms").set(report.p95LatencyMs);
+    reg.gauge(prefix + ".p99_latency_ms").set(report.p99LatencyMs);
+    reg.gauge(prefix + ".max_latency_ms").set(report.maxLatencyMs);
+    reg.gauge(prefix + ".mean_queue_delay_ms")
+        .set(report.meanQueueDelayMs);
+    reg.gauge(prefix + ".slo_attainment").set(report.sloAttainment);
+    PlanCache::Stats cache;
+    cache.hits = report.cacheHits;
+    cache.misses = report.cacheMisses;
+    cache.recompiles = report.cacheRecompiles;
+    cache.evictions = report.cacheEvictions;
+    cache.residentBytes = report.cacheResidentBytes;
+    absorbStats(reg, cache, prefix + ".plan_cache");
 }
 
 } // namespace hector::serve

@@ -48,6 +48,7 @@
 #include "core/executor.hh"
 #include "graph/sampler.hh"
 #include "models/models.hh"
+#include "obs/flight_recorder.hh"
 #include "serve/micro_batch.hh"
 #include "serve/plan_cache.hh"
 #include "serve/stream_scheduler.hh"
@@ -221,6 +222,13 @@ struct BatchCost
     double overheadSec = 0.0;
     /** Device-side execution time of the batch's kernels. */
     double execSec = 0.0;
+    /**
+     * Request ids served in this batch, queue order. The online loops
+     * own the timeline (they know when the batch actually starts and
+     * completes on the open-loop clock), so they need the ids to
+     * attribute exec-start/completion flight-recorder events.
+     */
+    std::vector<std::uint64_t> servedIds;
 };
 
 /**
@@ -363,6 +371,16 @@ class Engine
     const EngineConfig &config() const { return cfg_; }
     sim::Runtime &runtime() { return rt_; }
 
+    /**
+     * Attach a per-request flight recorder (nullptr detaches). While
+     * attached — independent of the obs::enabled() tracer switch —
+     * every request accrues its lifecycle events (enqueue, plan
+     * lookup, batch-join, exec, completion) at modeled timestamps.
+     * The recorder must outlive the engine or be detached first.
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr) { flight_ = fr; }
+    obs::FlightRecorder *flightRecorder() const { return flight_; }
+
   private:
     /** Everything one registered variant owns. */
     struct Variant
@@ -411,7 +429,17 @@ class Engine
     double hostClockSec_ = 0.0;
     double chargedHostSec_ = 0.0;
     std::uint64_t nextId_ = 1;
+    obs::FlightRecorder *flight_ = nullptr;
 };
+
+/**
+ * Absorb a ServingReport into the obs metrics registry under
+ * @p prefix: latency percentiles land in a histogram-free gauge set
+ * (the report's percentiles are already exact), cache stats reuse
+ * absorbStats. One emitter path for every bench that snapshots.
+ */
+void absorbReport(obs::Registry &reg, const ServingReport &report,
+                  const std::string &prefix);
 
 } // namespace hector::serve
 

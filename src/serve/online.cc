@@ -7,6 +7,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace hector::serve
 {
 
@@ -165,6 +168,15 @@ finalizeOnlineReport(OnlineReport &rep, std::size_t served,
  * shared resource (contendFree) — Runtime::makespanSec's overlap
  * rule, applied per batch.
  */
+/** Arrival time and request id of one queued arrival (FIFO entries of
+ *  the tick loops; the id attributes flight-recorder lifecycle events
+ *  to the engine-assigned request). */
+struct QueuedArrival
+{
+    double arrivalSec = 0.0;
+    std::uint64_t id = 0;
+};
+
 struct OpenLoopClock
 {
     std::vector<double> streamFree;
@@ -302,6 +314,18 @@ OnlineServer::engine()
     return *engine_;
 }
 
+void
+OnlineServer::setFlightRecorder(obs::FlightRecorder *fr)
+{
+    flight_ = fr;
+    if (engine_)
+        engine_->setFlightRecorder(fr);
+    if (session_)
+        session_->engine().setFlightRecorder(fr);
+    if (sharded_)
+        sharded_->setFlightRecorder(fr);
+}
+
 OnlineReport
 OnlineServer::run()
 {
@@ -337,8 +361,9 @@ OnlineServer::runSingle()
     // loop).
     OpenLoopClock clock(num_streams, serial_frac);
 
-    /** Arrival time of each queued request, FIFO like the session. */
-    std::deque<double> queued_arrivals;
+    /** Arrival time and id of each queued request, FIFO like the
+     *  session. */
+    std::deque<QueuedArrival> queued_arrivals;
 
     const std::uint64_t launches_before = rt_->counters().total().launches;
 
@@ -349,10 +374,17 @@ OnlineServer::runSingle()
             const double arr = gen.next();
             rep.lastArrivalMs = arr * 1e3;
             const double host_before = rt_->hostTimeMs() * 1e-3;
-            session_->submit();
+            const std::uint64_t id = session_->submit();
             const double transfer = rt_->hostTimeMs() * 1e-3 - host_before;
             clock.hostFree = std::max(clock.hostFree, arr) + transfer;
-            queued_arrivals.push_back(arr);
+            if (flight_) {
+                flight_->event(id, "arrival", arr, rt_->deviceId());
+                flight_->event(id, "admission", clock.hostFree,
+                               rt_->deviceId(),
+                               "transfer_ms=" +
+                                   obs::jsonNum(transfer * 1e3));
+            }
+            queued_arrivals.push_back(QueuedArrival{arr, id});
         }
     };
 
@@ -397,19 +429,38 @@ OnlineServer::runSingle()
         const OpenLoopClock::Issued t = clock.issue(cost, s);
         rt_->advanceTo(t.done);
 
+        if (obs::enabled())
+            obs::tracer().complete(
+                "tick", "online", t.execStart, cost.execSec,
+                rt_->deviceId(), s,
+                "\"batch\":" + std::to_string(batch));
+
         batcher_.observe(cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
 
         for (std::size_t i = 0; i < batch; ++i) {
-            const double arr = queued_arrivals.front();
+            const QueuedArrival req = queued_arrivals.front();
             queued_arrivals.pop_front();
-            const double lat = t.done - arr;
-            const double delay = std::max(0.0, t.execStart - arr);
+            const double lat = t.done - req.arrivalSec;
+            const double delay =
+                std::max(0.0, t.execStart - req.arrivalSec);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
+            if (flight_) {
+                flight_->event(req.id, "exec-start", t.execStart,
+                               rt_->deviceId(),
+                               "stream=" + std::to_string(s));
+                flight_->event(req.id, "completion", t.done,
+                               rt_->deviceId(),
+                               "latency_ms=" + obs::jsonNum(lat * 1e3));
+            }
+            if (obs::enabled())
+                obs::metrics()
+                    .histogram("online.latency_ms")
+                    .observe(lat * 1e3);
         }
         served += batch;
         last_completion = std::max(last_completion, t.done);
@@ -439,7 +490,7 @@ OnlineServer::runMulti()
         int variant;
         std::string name;
         LoadGenerator gen;
-        std::deque<double> queued;
+        std::deque<QueuedArrival> queued;
         AdaptiveBatcher batcher;
         double deadlineSec;
         std::size_t fixed;
@@ -500,10 +551,18 @@ OnlineServer::runMulti()
             const double arr = next->gen.next();
             rep.lastArrivalMs = std::max(rep.lastArrivalMs, arr * 1e3);
             const double host_before = rt.hostTimeMs() * 1e-3;
-            engine_->submit(next->variant);
+            const std::uint64_t id = engine_->submit(next->variant);
             const double transfer = rt.hostTimeMs() * 1e-3 - host_before;
             clock.hostFree = std::max(clock.hostFree, arr) + transfer;
-            next->queued.push_back(arr);
+            if (flight_) {
+                flight_->event(id, "arrival", arr, rt.deviceId(),
+                               "variant=" + next->name);
+                flight_->event(id, "admission", clock.hostFree,
+                               rt.deviceId(),
+                               "transfer_ms=" +
+                                   obs::jsonNum(transfer * 1e3));
+            }
+            next->queued.push_back(QueuedArrival{arr, id});
         }
     };
 
@@ -533,7 +592,7 @@ OnlineServer::runMulti()
             if (require_fill && ln.queued.size() < ln.fixed &&
                 !ln.gen.done())
                 continue;
-            const double arr = ln.queued.front();
+            const double arr = ln.queued.front().arrivalSec;
             const double key =
                 ln.deadlineSec > 0.0
                     ? arr + ln.deadlineSec
@@ -585,6 +644,12 @@ OnlineServer::runMulti()
         const OpenLoopClock::Issued t = clock.issue(cost, s);
         rt.advanceTo(t.done);
 
+        if (obs::enabled())
+            obs::tracer().complete(
+                "tick/" + lane->name, "online", t.execStart,
+                cost.execSec, rt.deviceId(), s,
+                "\"batch\":" + std::to_string(batch));
+
         lane->batcher.observe(cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
@@ -592,10 +657,11 @@ OnlineServer::runMulti()
         if (lane->deadlineSec > 0.0)
             any_deadline = true;
         for (std::size_t i = 0; i < batch; ++i) {
-            const double arr = lane->queued.front();
+            const QueuedArrival req = lane->queued.front();
             lane->queued.pop_front();
-            const double lat = t.done - arr;
-            const double delay = std::max(0.0, t.execStart - arr);
+            const double lat = t.done - req.arrivalSec;
+            const double delay =
+                std::max(0.0, t.execStart - req.arrivalSec);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
@@ -603,6 +669,18 @@ OnlineServer::runMulti()
             lane->latencies.push_back(lat);
             if (lane->deadlineSec <= 0.0 || lat <= lane->deadlineSec)
                 ++lane->met;
+            if (flight_) {
+                flight_->event(req.id, "exec-start", t.execStart,
+                               rt.deviceId(),
+                               "stream=" + std::to_string(s));
+                flight_->event(req.id, "completion", t.done,
+                               rt.deviceId(),
+                               "latency_ms=" + obs::jsonNum(lat * 1e3));
+            }
+            if (obs::enabled())
+                obs::metrics()
+                    .histogram("online.latency_ms")
+                    .observe(lat * 1e3);
         }
         served += batch;
         last_completion = std::max(last_completion, t.done);
@@ -673,8 +751,9 @@ OnlineServer::runSharded()
                                      0.0);
     double host_free = 0.0;
 
-    /** Arrival time of each queued request, FIFO per home device. */
-    std::vector<std::deque<double>> queued_arrivals(
+    /** Arrival time and id of each queued request, FIFO per home
+     *  device. */
+    std::vector<std::deque<QueuedArrival>> queued_arrivals(
         static_cast<std::size_t>(devices));
 
     const std::uint64_t launches_before = group_->totalLaunches();
@@ -696,8 +775,15 @@ OnlineServer::runSharded()
             const ShardedSession::SubmitInfo info =
                 sharded_->submitRouted();
             host_free = std::max(host_free, arr) + info.transferSec;
+            if (flight_) {
+                flight_->event(info.id, "arrival", arr, info.device);
+                flight_->event(
+                    info.id, "admission", host_free, info.device,
+                    "transfer_ms=" +
+                        obs::jsonNum(info.transferSec * 1e3));
+            }
             queued_arrivals[static_cast<std::size_t>(info.device)]
-                .push_back(arr);
+                .push_back(QueuedArrival{arr, info.id});
         }
     };
 
@@ -712,9 +798,10 @@ OnlineServer::runSharded()
             if (require_fill && q.size() < fixed && !gen.done())
                 continue;
             if (best < 0 ||
-                q.front() <
+                q.front().arrivalSec <
                     queued_arrivals[static_cast<std::size_t>(best)]
-                        .front())
+                        .front()
+                        .arrivalSec)
                 best = d;
         }
         return best;
@@ -788,19 +875,57 @@ OnlineServer::runSharded()
                    : exec_done;
         group_->advanceTo(done);
 
+        const double halo_total = [&] {
+            double b = 0.0;
+            for (const auto &[owner, bytes] : sb.haloBytesByOwner)
+                b += bytes;
+            return b;
+        }();
+        if (obs::enabled()) {
+            if (comm_done > issue_done)
+                obs::tracer().complete(
+                    "halo", "comm", issue_done, comm_done - issue_done,
+                    d, s, "\"bytes\":" + obs::jsonNum(halo_total));
+            obs::tracer().complete(
+                "tick", "online", exec_start, sb.cost.execSec, d, s,
+                "\"batch\":" + std::to_string(batch));
+            if (d != 0)
+                obs::tracer().complete(
+                    "gather", "comm", exec_done, done - exec_done, d, s,
+                    "\"bytes\":" + obs::jsonNum(sb.gatherBytes));
+        }
+
         batcher_.observe(sb.cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
 
         for (std::size_t i = 0; i < batch; ++i) {
-            const double arr = q.front();
+            const QueuedArrival req = q.front();
             q.pop_front();
-            const double lat = done - arr;
-            const double delay = std::max(0.0, exec_start - arr);
+            const double lat = done - req.arrivalSec;
+            const double delay =
+                std::max(0.0, exec_start - req.arrivalSec);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
+            if (flight_) {
+                if (comm_done > issue_done)
+                    flight_->event(req.id, "halo", comm_done, d,
+                                   "bytes=" + obs::jsonNum(halo_total));
+                flight_->event(req.id, "exec-start", exec_start, d,
+                               "stream=" + std::to_string(s));
+                if (d != 0)
+                    flight_->event(
+                        req.id, "all-gather", done, d,
+                        "bytes=" + obs::jsonNum(sb.gatherBytes));
+                flight_->event(req.id, "completion", done, d,
+                               "latency_ms=" + obs::jsonNum(lat * 1e3));
+            }
+            if (obs::enabled())
+                obs::metrics()
+                    .histogram("online.latency_ms")
+                    .observe(lat * 1e3);
         }
         served += batch;
         last_completion = std::max(last_completion, done);

@@ -260,6 +260,16 @@ class OnlineServer
     }
     const OnlineConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a per-request flight recorder to the whole serving path:
+     * forwarded to the wrapped engine/session/sharded session (their
+     * enqueue/plan/batch events) and used by the tick loops for
+     * arrival/admission/exec/completion lifecycle events. nullptr
+     * detaches. The recorder must outlive the server or be detached.
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr);
+    obs::FlightRecorder *flightRecorder() const { return flight_; }
+
     /** Per-request arrival-relative latencies of the last run, ms. */
     const std::vector<double> &latenciesMs() const { return latenciesMs_; }
     /** Per-request queueing delays of the last run, ms. */
@@ -291,6 +301,7 @@ class OnlineServer
     std::vector<double> latenciesMs_;
     std::vector<double> queueDelaysMs_;
     std::vector<std::size_t> batchSizes_;
+    obs::FlightRecorder *flight_ = nullptr;
 };
 
 } // namespace hector::serve

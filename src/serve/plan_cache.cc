@@ -1,9 +1,30 @@
 #include "serve/plan_cache.hh"
 
 #include "core/frontend.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hector::serve
 {
+
+namespace
+{
+
+/**
+ * Emit one cache-event instant on the trace timeline and bump the
+ * matching live counter. The cache has no clock of its own, so the
+ * timestamp is the caller-published obs::virtualNow().
+ */
+void
+cacheEvent(const char *trace_name, const char *counter_name,
+           std::string args)
+{
+    obs::tracer().instant(trace_name, "plan", obs::virtualNow(), 0, 0,
+                          std::move(args));
+    obs::metrics().counter(counter_name).inc();
+}
+
+} // namespace
 
 std::string
 PlanKey::canonical() const
@@ -55,13 +76,26 @@ PlanCache::get(const PlanKey &key, const CompileFn &compile)
     if (it != plans_.end()) {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        if (obs::enabled())
+            cacheEvent("plan.hit", "plan_cache.hits",
+                       "\"scope\":\"" + obs::jsonEscape(key.scope) +
+                           "\"");
         return it->second.plan;
     }
 
-    if (everCompiled_.count(k))
+    if (everCompiled_.count(k)) {
         ++stats_.recompiles;
-    else
+        if (obs::enabled())
+            cacheEvent("plan.recompile", "plan_cache.recompiles",
+                       "\"scope\":\"" + obs::jsonEscape(key.scope) +
+                           "\"");
+    } else {
         ++stats_.misses;
+        if (obs::enabled())
+            cacheEvent("plan.miss", "plan_cache.misses",
+                       "\"scope\":\"" + obs::jsonEscape(key.scope) +
+                           "\"");
+    }
 
     Compiled c = compile();
     const auto &plan = *c.plan;
@@ -111,6 +145,10 @@ PlanCache::enforceBudget(const std::string &keep)
             continue; // pinned while in flight
         stats_.residentBytes -= pit->second.costBytes;
         ++stats_.evictions;
+        if (obs::enabled())
+            cacheEvent("plan.evict", "plan_cache.evictions",
+                       "\"evicted_bytes\":" +
+                           std::to_string(pit->second.costBytes));
         plans_.erase(pit);
         it = lru_.erase(it);
     }
@@ -149,6 +187,21 @@ PlanCache::clear()
     // recompile (recompiles specifically measure budget churn).
     everCompiled_.clear();
     stats_.residentBytes = 0;
+}
+
+void
+absorbStats(obs::Registry &reg, const PlanCache::Stats &stats,
+            const std::string &prefix)
+{
+    reg.gauge(prefix + ".hits").set(static_cast<double>(stats.hits));
+    reg.gauge(prefix + ".misses")
+        .set(static_cast<double>(stats.misses));
+    reg.gauge(prefix + ".recompiles")
+        .set(static_cast<double>(stats.recompiles));
+    reg.gauge(prefix + ".evictions")
+        .set(static_cast<double>(stats.evictions));
+    reg.gauge(prefix + ".resident_bytes")
+        .set(static_cast<double>(stats.residentBytes));
 }
 
 } // namespace hector::serve

@@ -39,6 +39,11 @@
 #include "core/compiler.hh"
 #include "graph/hetero_graph.hh"
 
+namespace hector::obs
+{
+class Registry;
+}
+
 namespace hector::serve
 {
 
@@ -172,6 +177,15 @@ class PlanCache
     std::unordered_set<std::string> everCompiled_;
     Stats stats_;
 };
+
+/**
+ * Absorb a PlanCache stat snapshot into the obs metrics registry
+ * under @p prefix (e.g. "plan_cache"): the registry's snapshotJson()
+ * supersedes the ad-hoc per-bench cache stat plumbing. Gauges are
+ * overwritten, so repeated absorption of the same cache is idempotent.
+ */
+void absorbStats(obs::Registry &reg, const PlanCache::Stats &stats,
+                 const std::string &prefix);
 
 } // namespace hector::serve
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/frontend.hh"
+#include "obs/trace.hh"
 
 namespace hector::serve
 {
@@ -76,6 +77,9 @@ ShardedSession::compiledPlan()
     const PlanKey key =
         makePlanKey(modelSource_, cfg_.serving.din, cfg_.serving.dout,
                     cfg_.serving.compile, g_);
+    // Timestamp the cache's trace instants with the group clock (the
+    // cache itself holds no runtime reference).
+    obs::setVirtualNow(group_.nowSec());
     const PlanCache::Stats before = cache_.stats();
     auto plan = cache_.get(key, [&]() {
         return compiler_.compile(key, hostFeatures_, weights_);
@@ -133,6 +137,13 @@ ShardedSession::enqueue(int home, graph::Minibatch mb, Tensor feature,
     auto &q = queues_[static_cast<std::size_t>(home)];
     q.emplace_back(info.id, std::move(mb), std::move(feature));
     q.back().submitSec = submit_sec;
+    if (flight_)
+        flight_->event(info.id, "enqueue", group_.nowSec(), home,
+                       "home=" + std::to_string(home));
+    if (obs::enabled())
+        obs::tracer().instant("submit", "serve", group_.nowSec(), home,
+                              0,
+                              "\"home\":" + std::to_string(home));
     return info;
 }
 
@@ -248,6 +259,7 @@ ShardedSession::drain()
     // overlap), then the device pulls its halo over the interconnect
     // and computes, and every batch's outputs gather onto device 0.
     const double base = group_.nowSec();
+    obs::Span drain_span("sharded.drain", "serve", base, 0, 0);
 
     const std::size_t cap =
         std::max<std::size_t>(1, cfg_.serving.maxBatch);
@@ -278,6 +290,7 @@ ShardedSession::drain()
         // Halo exchange for everything this device is about to serve,
         // charged per batch on the owner -> home links.
         double comm_done = host_end;
+        double device_halo = 0.0;
         std::vector<std::vector<const Request *>> batches;
         for (std::size_t lo = 0; lo < q.size(); lo += cap) {
             const std::size_t hi = std::min(q.size(), lo + cap);
@@ -290,9 +303,14 @@ ShardedSession::drain()
                     comm_done, group_.interconnect().transfer(
                                    owner, d, bytes, host_end));
                 halo_bytes += bytes;
+                device_halo += bytes;
             }
             batches.push_back(std::move(reqs));
         }
+        if (obs::enabled() && comm_done > host_end)
+            obs::tracer().complete(
+                "halo", "comm", host_end, comm_done - host_end, d, 0,
+                "\"bytes\":" + obs::jsonNum(device_halo));
 
         // Compute: this device's own driver thread and streams, on the
         // shared overlap rule, starting once the halo is resident.
@@ -331,12 +349,47 @@ ShardedSession::drain()
 
             const ScheduledBatch &sb = sched.batches()[b];
             const double service = sb.overheadSec + sb.execSec;
+            const double exec_start = compute_done - sb.execSec;
+            if (obs::enabled()) {
+                obs::tracer().complete(
+                    "batch", "serve", exec_start, sb.execSec, d,
+                    sb.stream,
+                    "\"requests\":" +
+                        std::to_string(batches[b].size()));
+                if (d != 0)
+                    obs::tracer().complete(
+                        "gather", "comm", compute_done,
+                        final_done - compute_done, d, sb.stream,
+                        "\"bytes\":" + obs::jsonNum(out_bytes));
+            }
             for (std::size_t i = 0; i < batches[b].size();
                  ++i, ++req_idx) {
                 const double lat =
                     final_done - (base + q[req_idx].submitSec);
                 latencies.push_back(lat);
                 queue_delays.push_back(std::max(0.0, lat - service));
+                if (flight_) {
+                    const std::uint64_t id = q[req_idx].id;
+                    flight_->event(id, "batch-join", host_end, d,
+                                   "batch=" + std::to_string(b) +
+                                       " size=" +
+                                       std::to_string(
+                                           batches[b].size()));
+                    if (comm_done > host_end)
+                        flight_->event(
+                            id, "halo", comm_done, d,
+                            "bytes=" + obs::jsonNum(device_halo));
+                    flight_->event(id, "exec-start", exec_start, d,
+                                   "stream=" +
+                                       std::to_string(sb.stream));
+                    if (d != 0)
+                        flight_->event(
+                            id, "all-gather", final_done, d,
+                            "bytes=" + obs::jsonNum(out_bytes));
+                    flight_->event(
+                        id, "completion", final_done, d,
+                        "latency_ms=" + obs::jsonNum(lat * 1e3));
+                }
             }
             report.batches += 1;
         }
@@ -344,6 +397,12 @@ ShardedSession::drain()
     }
 
     group_.advanceTo(cycle_end);
+
+    drain_span.arg("requests",
+                   static_cast<std::uint64_t>(report.requests));
+    drain_span.arg("devices", static_cast<std::uint64_t>(
+                                  static_cast<unsigned>(group_.size())));
+    drain_span.endAt(cycle_end);
 
     const double makespan_sec = cycle_end - base;
     report.makespanMs = makespan_sec * 1e3;
@@ -384,6 +443,15 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
     if (n == 0)
         return out;
     out.cost.requests = n;
+    out.cost.servedIds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.cost.servedIds.push_back(q[i].id);
+    if (flight_)
+        for (std::size_t i = 0; i < n; ++i)
+            flight_->event(q[i].id, "batch-join", group_.nowSec(),
+                           device,
+                           "size=" + std::to_string(n) +
+                               " stream=" + std::to_string(stream));
 
     const auto plan = compiledPlan();
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "graph/partition.hh"
+#include "obs/flight_recorder.hh"
 #include "serve/session.hh"
 #include "sim/device_group.hh"
 
@@ -160,6 +161,15 @@ class ShardedSession
      *  retains results for one cycle, like the single-device path). */
     const tensor::Tensor *result(std::uint64_t id) const;
 
+    /**
+     * Attach a per-request flight recorder: enqueue events are
+     * recorded at submit, batch-join/exec/halo/gather/completion
+     * events during drain()/serveOldestOn(). nullptr detaches. The
+     * recorder must outlive the session or be detached.
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr) { flight_ = fr; }
+    obs::FlightRecorder *flightRecorder() const { return flight_; }
+
     const graph::Partition &partition() const { return partition_; }
     PlanCache &planCache() { return cache_; }
     models::WeightMap &weights() { return weights_; }
@@ -207,6 +217,7 @@ class ShardedSession
      *  transfers to one device serialize, devices overlap. */
     std::vector<double> pendingHostSec_;
     std::uint64_t nextId_ = 1;
+    obs::FlightRecorder *flight_ = nullptr;
 };
 
 } // namespace hector::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+
 namespace hector::sim
 {
 
@@ -48,6 +50,34 @@ Counters::deriveMetrics(const CounterBucket &b, const DeviceSpec &spec)
         mem_instr / b.timeSec / (spec.smCount * spec.clockGhz * 1e9);
     m.lsuPct = std::min(100.0, 100.0 * lsu_rate);
     return m;
+}
+
+void
+absorbCounters(obs::Registry &reg, const Counters &c,
+               const DeviceSpec &spec, const std::string &prefix)
+{
+    static constexpr KernelCategory kCats[] = {
+        KernelCategory::Gemm, KernelCategory::Traversal,
+        KernelCategory::Index, KernelCategory::Elementwise,
+        KernelCategory::Fallback};
+    for (const KernelCategory cat : kCats) {
+        const CounterBucket b = c.categoryTotal(cat);
+        if (b.launches == 0)
+            continue;
+        const std::string base = prefix + "." + toString(cat);
+        reg.gauge(base + ".time_ms").set(b.timeSec * 1e3);
+        reg.gauge(base + ".launches")
+            .set(static_cast<double>(b.launches));
+    }
+    const CounterBucket t = c.total();
+    const ArchMetrics m = Counters::deriveMetrics(t, spec);
+    reg.gauge(prefix + ".total.time_ms").set(t.timeSec * 1e3);
+    reg.gauge(prefix + ".total.launches")
+        .set(static_cast<double>(t.launches));
+    reg.gauge(prefix + ".total.achieved_gflops").set(m.achievedGflops);
+    reg.gauge(prefix + ".total.avg_ipc").set(m.avgIpc);
+    reg.gauge(prefix + ".total.dram_tpt_pct").set(m.dramTptPct);
+    reg.gauge(prefix + ".total.lsu_pct").set(m.lsuPct);
 }
 
 } // namespace hector::sim

@@ -18,6 +18,11 @@
 
 #include "sim/device.hh"
 
+namespace hector::obs
+{
+class Registry;
+}
+
 namespace hector::sim
 {
 
@@ -100,6 +105,16 @@ class Counters
 
     std::array<CounterBucket, numCategories * numPhases> buckets_{};
 };
+
+/**
+ * Absorb a counter set into the obs metrics registry under @p prefix
+ * (e.g. "device0"): per-category gauges for time/launches plus the
+ * Fig. 12 derived metrics for the grand total, so the registry's
+ * snapshotJson() supersedes ad-hoc bench counter dumps. Gauges are
+ * overwritten — repeated absorption of the same device is idempotent.
+ */
+void absorbCounters(obs::Registry &reg, const Counters &c,
+                    const DeviceSpec &spec, const std::string &prefix);
 
 } // namespace hector::sim
 

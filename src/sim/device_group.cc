@@ -68,8 +68,10 @@ DeviceGroup::DeviceGroup(int devices, DeviceSpec spec, InterconnectSpec ic)
     if (devices < 1)
         throw std::runtime_error("DeviceGroup: need >= 1 device");
     devices_.reserve(static_cast<std::size_t>(devices));
-    for (int d = 0; d < devices; ++d)
+    for (int d = 0; d < devices; ++d) {
         devices_.push_back(std::make_unique<Runtime>(spec));
+        devices_.back()->setDeviceId(d);
+    }
 }
 
 Runtime &

@@ -148,7 +148,18 @@ class Runtime
     }
 
     double totalTimeMs() const { return totalTimeSec_ * 1e3; }
+    double totalTimeSec() const { return totalTimeSec_; }
     double hostTimeMs() const { return hostTimeSec_ * 1e3; }
+
+    /// @name Device identity (observability).
+    ///
+    /// Which modeled device this runtime represents; DeviceGroup
+    /// assigns ids at construction, single-device runtimes stay 0.
+    /// Trace spans use it as their pid lane.
+    /// @{
+    int deviceId() const { return deviceId_; }
+    void setDeviceId(int id) { deviceId_ = id; }
+    /// @}
 
     /// @name Multi-stream launch accounting (serving runtime).
     ///
@@ -258,6 +269,7 @@ class Runtime
     std::vector<LaunchRecord> records_;
     std::vector<StreamStats> streams_ = std::vector<StreamStats>(1);
     int currentStream_ = 0;
+    int deviceId_ = 0;
     double totalTimeSec_ = 0.0;
     double hostTimeSec_ = 0.0;
     double nowSec_ = 0.0;

@@ -1,0 +1,62 @@
+#include "util/json_log.hh"
+
+#include <cstdio>
+
+namespace hector::util
+{
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "ERROR: cannot open %s for writing\n",
+                     tmp.c_str());
+        return false;
+    }
+    const std::size_t written =
+        contents.empty()
+            ? 0
+            : std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != contents.size() || !flushed || !closed) {
+        std::fprintf(stderr, "ERROR: short write to %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "ERROR: cannot rename %s to %s\n",
+                     tmp.c_str(), path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+JsonLog::record(const std::string &object)
+{
+    std::printf("JSON %s\n", object.c_str());
+    records_.push_back(object);
+}
+
+bool
+JsonLog::write() const
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        out += "  ";
+        out += records_[i];
+        out += i + 1 < records_.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    if (!writeFileAtomic(path_, out))
+        return false;
+    std::printf("wrote %s (%zu records)\n", path_.c_str(),
+                records_.size());
+    return true;
+}
+
+} // namespace hector::util

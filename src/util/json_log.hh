@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable JSON logging shared by the benches and the tracer.
+ *
+ * Every bench writes a perf-trajectory file (BENCH_<name>.json) and the
+ * tracer writes Chrome-trace files (TRACE_<name>.json); both go through
+ * writeFileAtomic(): the contents land in a temporary sibling file
+ * first and are renamed over the target only once fully flushed, so an
+ * interrupted run can never leave a truncated artifact behind — CI
+ * either sees the previous complete file or the new complete file,
+ * never half of one.
+ */
+
+#ifndef HECTOR_UTIL_JSON_LOG_HH
+#define HECTOR_UTIL_JSON_LOG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hector::util
+{
+
+/**
+ * Write @p contents to @p path atomically: write + flush a temporary
+ * file (@p path + ".tmp"), then std::rename it over @p path (atomic on
+ * POSIX filesystems). On any failure the temporary is removed, the
+ * target is left untouched (previous contents intact), a diagnostic
+ * naming the path goes to stderr, and false is returned.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &contents);
+
+/**
+ * Machine-readable benchmark log: collects one pre-formatted JSON
+ * object per measurement and writes them as a JSON array to
+ * <prefix><name>.json in the working directory, giving every bench a
+ * perf trajectory CI can archive and diff across commits. record()
+ * also prints the object as a "JSON {...}" stdout line, the format the
+ * existing CI greps consume.
+ */
+class JsonLog
+{
+  public:
+    explicit JsonLog(std::string name, std::string prefix = "BENCH_")
+        : path_(std::move(prefix) + std::move(name) + ".json")
+    {}
+
+    /** @param object a complete JSON object, e.g. {"x":1}. */
+    void record(const std::string &object);
+
+    /**
+     * Write the collected array via writeFileAtomic(); diagnoses and
+     * returns false on I/O failure (the perf trajectory silently
+     * missing would defeat the point of recording it).
+     */
+    bool write() const;
+
+    const std::string &path() const { return path_; }
+    std::size_t records() const { return records_.size(); }
+
+  private:
+    std::string path_;
+    std::vector<std::string> records_;
+};
+
+} // namespace hector::util
+
+#endif // HECTOR_UTIL_JSON_LOG_HH

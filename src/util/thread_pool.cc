@@ -1,11 +1,13 @@
 #include "util/thread_pool.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "tensor/memory_tracker.hh"
 
 namespace hector::util
@@ -24,16 +26,32 @@ std::atomic<int> thread_override{0};
 int
 envThreads()
 {
-    if (const char *env = std::getenv("HECTOR_THREADS")) {
-        const long v = std::atol(env);
-        if (v >= 1 && v <= 1024)
-            return static_cast<int>(v);
-    }
+    const int parsed = parseThreadsEnv(std::getenv("HECTOR_THREADS"));
+    if (parsed > 0)
+        return parsed;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 } // namespace
+
+int
+parseThreadsEnv(const char *value)
+{
+    if (!value || *value == '\0')
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    // strtol tolerates leading whitespace and a sign; a thread count
+    // is a bare digit string, so demand one explicitly.
+    if (*value < '0' || *value > '9' || end == value || *end != '\0' ||
+        errno == ERANGE || v < 1 || v > 1024)
+        throw std::invalid_argument(
+            std::string("HECTOR_THREADS: invalid thread count '") +
+            value + "' (expected an integer in [1, 1024])");
+    return static_cast<int>(v);
+}
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
 {
@@ -130,10 +148,17 @@ ThreadPool::parallelFor(
         std::lock_guard<std::mutex> lock(mu_);
         for (std::int64_t c = 1; c < chunks; ++c) {
             const auto [lo, hi] = chunkBounds(c);
-            queue_.push_back(Task{[shared, tracker, lo, hi, &body]() {
+            queue_.push_back(Task{[shared, tracker, c, lo, hi, &body]() {
                 tensor::TrackerScope scope(tracker);
                 tls_in_parallel = true;
                 try {
+                    // Wall-only span: worker chunks have no modeled
+                    // clock, and their count varies with the thread
+                    // count, so they live on the wall lane that
+                    // deterministic exports exclude.
+                    obs::Span span =
+                        obs::Span::wall("chunk", "threadpool",
+                                        static_cast<int>(c));
                     body(lo, hi);
                 } catch (...) {
                     std::lock_guard<std::mutex> elock(shared->error_mu);
@@ -156,6 +181,7 @@ ThreadPool::parallelFor(
         const auto [lo, hi] = chunkBounds(0);
         tls_in_parallel = true;
         try {
+            obs::Span span = obs::Span::wall("chunk", "threadpool", 0);
             body(lo, hi);
         } catch (...) {
             std::lock_guard<std::mutex> elock(shared->error_mu);

@@ -96,6 +96,16 @@ ThreadPool &globalPool();
 int resolveThreads();
 
 /**
+ * Parse a HECTOR_THREADS value. nullptr/empty returns 0 ("unset, use
+ * the hardware default"). Anything else must be a plain base-10
+ * integer in [1, 1024]; garbage, trailing junk, zero, negatives and
+ * out-of-range counts throw std::invalid_argument naming the variable
+ * and the offending value — a typo'd thread count must fail loudly,
+ * not silently serve at hardware_concurrency.
+ */
+int parseThreadsEnv(const char *value);
+
+/**
  * Override the global pool's thread count (benches, tests, config).
  * n <= 0 restores the HECTOR_THREADS / hardware default.
  */

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Counter-aggregation and Fig. 12 metric-derivation tests: per-bucket
+ * accumulation, category/grand totals, reset semantics, the exact
+ * deriveMetrics formulas (GFLOP/s, DRAM %, IPC proxy and its clamp,
+ * LSU proxy and its clamp), and absorption into the metrics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "sim/counters.hh"
+#include "sim/device.hh"
+
+namespace
+{
+
+using namespace hector;
+
+sim::CounterBucket
+makeBucket(double time_sec, double flops, double read, double written,
+           double atomics, std::uint64_t launches)
+{
+    sim::CounterBucket b;
+    b.timeSec = time_sec;
+    b.flops = flops;
+    b.bytesRead = read;
+    b.bytesWritten = written;
+    b.atomics = atomics;
+    b.launches = launches;
+    return b;
+}
+
+TEST(Counters, BucketAddAccumulatesEveryField)
+{
+    sim::CounterBucket a = makeBucket(1.0, 10.0, 20.0, 30.0, 5.0, 2);
+    const sim::CounterBucket b = makeBucket(0.5, 1.0, 2.0, 3.0, 4.0, 7);
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.timeSec, 1.5);
+    EXPECT_DOUBLE_EQ(a.flops, 11.0);
+    EXPECT_DOUBLE_EQ(a.bytesRead, 22.0);
+    EXPECT_DOUBLE_EQ(a.bytesWritten, 33.0);
+    EXPECT_DOUBLE_EQ(a.atomics, 9.0);
+    EXPECT_EQ(a.launches, 9u);
+}
+
+TEST(Counters, CategoryTotalSumsBothPhases)
+{
+    sim::Counters c;
+    c.bucket(sim::KernelCategory::Gemm, sim::Phase::Forward) =
+        makeBucket(1.0, 100.0, 10.0, 5.0, 0.0, 3);
+    c.bucket(sim::KernelCategory::Gemm, sim::Phase::Backward) =
+        makeBucket(2.0, 200.0, 20.0, 15.0, 1.0, 4);
+    // A different category must not leak into the Gemm total.
+    c.bucket(sim::KernelCategory::Traversal, sim::Phase::Forward) =
+        makeBucket(9.0, 9.0, 9.0, 9.0, 9.0, 9);
+
+    const sim::CounterBucket t =
+        c.categoryTotal(sim::KernelCategory::Gemm);
+    EXPECT_DOUBLE_EQ(t.timeSec, 3.0);
+    EXPECT_DOUBLE_EQ(t.flops, 300.0);
+    EXPECT_DOUBLE_EQ(t.bytesRead, 30.0);
+    EXPECT_DOUBLE_EQ(t.bytesWritten, 20.0);
+    EXPECT_DOUBLE_EQ(t.atomics, 1.0);
+    EXPECT_EQ(t.launches, 7u);
+}
+
+TEST(Counters, GrandTotalSpansAllCategoriesAndPhases)
+{
+    sim::Counters c;
+    static constexpr sim::KernelCategory kCats[] = {
+        sim::KernelCategory::Gemm, sim::KernelCategory::Traversal,
+        sim::KernelCategory::Index, sim::KernelCategory::Elementwise,
+        sim::KernelCategory::Fallback};
+    static constexpr sim::Phase kPhases[] = {sim::Phase::Forward,
+                                             sim::Phase::Backward};
+    double expect_time = 0.0;
+    std::uint64_t expect_launches = 0;
+    double fill = 1.0;
+    for (const auto cat : kCats)
+        for (const auto ph : kPhases) {
+            c.bucket(cat, ph) =
+                makeBucket(fill, fill, fill, fill, fill,
+                           static_cast<std::uint64_t>(fill));
+            expect_time += fill;
+            expect_launches += static_cast<std::uint64_t>(fill);
+            fill += 1.0;
+        }
+    const sim::CounterBucket t = c.total();
+    EXPECT_DOUBLE_EQ(t.timeSec, expect_time);
+    EXPECT_DOUBLE_EQ(t.flops, expect_time);
+    EXPECT_EQ(t.launches, expect_launches);
+}
+
+TEST(Counters, ResetZeroesEveryBucket)
+{
+    sim::Counters c;
+    c.bucket(sim::KernelCategory::Fallback, sim::Phase::Backward) =
+        makeBucket(1.0, 2.0, 3.0, 4.0, 5.0, 6);
+    c.reset();
+    const sim::CounterBucket t = c.total();
+    EXPECT_DOUBLE_EQ(t.timeSec, 0.0);
+    EXPECT_DOUBLE_EQ(t.flops, 0.0);
+    EXPECT_DOUBLE_EQ(t.bytesRead, 0.0);
+    EXPECT_DOUBLE_EQ(t.bytesWritten, 0.0);
+    EXPECT_DOUBLE_EQ(t.atomics, 0.0);
+    EXPECT_EQ(t.launches, 0u);
+}
+
+TEST(Counters, DeriveMetricsMatchesHandComputedValues)
+{
+    sim::DeviceSpec spec;
+    spec.smCount = 82;
+    spec.clockGhz = 1.695;
+    spec.dramBandwidth = 936.0e9;
+
+    // Moderate load: no clamp should trigger.
+    const sim::CounterBucket b =
+        makeBucket(0.01, 2.0e9, 3.0e8, 1.0e8, 1.0e6, 5);
+    const sim::ArchMetrics m = sim::Counters::deriveMetrics(b, spec);
+
+    EXPECT_DOUBLE_EQ(m.achievedGflops, 2.0e9 / 0.01 / 1e9); // 200
+    const double bytes = 3.0e8 + 1.0e8;
+    EXPECT_DOUBLE_EQ(m.dramTptPct, 100.0 * bytes / 0.01 / 936.0e9);
+
+    const double instr = 2.0e9 / 2.0 + bytes / 32.0 + 1.0e6 * 4.0;
+    const double issue_rate =
+        instr / 0.01 / (82.0 * 1.695 * 1e9);
+    ASSERT_LT(issue_rate, 4.0) << "test bucket must not clamp IPC";
+    EXPECT_DOUBLE_EQ(m.avgIpc, issue_rate);
+
+    const double mem_instr = bytes / 32.0 + 1.0e6;
+    const double lsu_rate =
+        mem_instr / 0.01 / (82.0 * 1.695 * 1e9);
+    ASSERT_LT(100.0 * lsu_rate, 100.0)
+        << "test bucket must not clamp LSU";
+    EXPECT_DOUBLE_EQ(m.lsuPct, 100.0 * lsu_rate);
+}
+
+TEST(Counters, DeriveMetricsClampsIpcAtSchedulerLimit)
+{
+    sim::DeviceSpec spec;
+    // Absurd FLOP density in a tiny window saturates the issue rate.
+    const sim::CounterBucket b =
+        makeBucket(1e-6, 1.0e15, 0.0, 0.0, 0.0, 1);
+    const sim::ArchMetrics m = sim::Counters::deriveMetrics(b, spec);
+    EXPECT_DOUBLE_EQ(m.avgIpc, 4.0);
+}
+
+TEST(Counters, DeriveMetricsClampsLsuAtFullUtilization)
+{
+    sim::DeviceSpec spec;
+    const sim::CounterBucket b =
+        makeBucket(1e-6, 0.0, 1.0e15, 1.0e15, 0.0, 1);
+    const sim::ArchMetrics m = sim::Counters::deriveMetrics(b, spec);
+    EXPECT_DOUBLE_EQ(m.lsuPct, 100.0);
+}
+
+TEST(Counters, DeriveMetricsZeroTimeYieldsZeroMetrics)
+{
+    sim::DeviceSpec spec;
+    // Counted work but no elapsed time (e.g. a reset mid-run) must not
+    // divide by zero — it reports zeros.
+    const sim::CounterBucket b =
+        makeBucket(0.0, 1.0e9, 1.0e9, 1.0e9, 1.0e3, 4);
+    const sim::ArchMetrics m = sim::Counters::deriveMetrics(b, spec);
+    EXPECT_DOUBLE_EQ(m.achievedGflops, 0.0);
+    EXPECT_DOUBLE_EQ(m.avgIpc, 0.0);
+    EXPECT_DOUBLE_EQ(m.dramTptPct, 0.0);
+    EXPECT_DOUBLE_EQ(m.lsuPct, 0.0);
+}
+
+TEST(Counters, AbsorbPublishesGaugesAndSkipsEmptyCategories)
+{
+    sim::Counters c;
+    c.bucket(sim::KernelCategory::Gemm, sim::Phase::Forward) =
+        makeBucket(0.002, 1.0e9, 1.0e7, 1.0e6, 0.0, 12);
+    c.bucket(sim::KernelCategory::Index, sim::Phase::Forward) =
+        makeBucket(0.001, 0.0, 2.0e7, 2.0e7, 1.0e4, 30);
+
+    obs::Registry reg;
+    sim::absorbCounters(reg, c, sim::DeviceSpec{}, "dev0");
+
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.GEMM.time_ms").value(), 2.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.GEMM.launches").value(), 12.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.Index.launches").value(), 30.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.time_ms").value(), 3.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.launches").value(), 42.0);
+
+    const sim::ArchMetrics m =
+        sim::Counters::deriveMetrics(c.total(), sim::DeviceSpec{});
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.achieved_gflops").value(),
+                     m.achievedGflops);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.avg_ipc").value(), m.avgIpc);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.dram_tpt_pct").value(),
+                     m.dramTptPct);
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.lsu_pct").value(), m.lsuPct);
+
+    // Categories with zero launches publish nothing.
+    const std::string snap = reg.snapshotJson();
+    EXPECT_EQ(snap.find("dev0.Traversal"), std::string::npos);
+    EXPECT_EQ(snap.find("dev0.Fallback"), std::string::npos);
+
+    // Re-absorbing is idempotent: gauges overwrite, not accumulate.
+    sim::absorbCounters(reg, c, sim::DeviceSpec{}, "dev0");
+    EXPECT_DOUBLE_EQ(reg.gauge("dev0.total.launches").value(), 42.0);
+}
+
+TEST(Counters, CategoryNamesAreStable)
+{
+    // absorbCounters keys and bench JSON rely on these strings.
+    EXPECT_STREQ(sim::toString(sim::KernelCategory::Gemm), "GEMM");
+    EXPECT_STREQ(sim::toString(sim::KernelCategory::Traversal),
+                 "Traversal");
+    EXPECT_STREQ(sim::toString(sim::KernelCategory::Index), "Index");
+    EXPECT_STREQ(sim::toString(sim::KernelCategory::Elementwise),
+                 "Elementwise");
+    EXPECT_STREQ(sim::toString(sim::KernelCategory::Fallback),
+                 "Fallback");
+    EXPECT_STREQ(sim::toString(sim::Phase::Forward), "Forward");
+    EXPECT_STREQ(sim::toString(sim::Phase::Backward), "Backward");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Atomic JSON artifact writing tests: writeFileAtomic success, failure
+ * on an unwritable path (target untouched, no temp left behind), and
+ * JsonLog array assembly + overwrite semantics. Everything writes into
+ * the test's working directory and cleans up after itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json_log.hh"
+
+namespace
+{
+
+using namespace hector;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+exists(const std::string &path)
+{
+    std::ifstream in(path);
+    return in.good();
+}
+
+/** Removes the file (and its .tmp sibling) on scope exit. */
+struct ScopedFile
+{
+    std::string path;
+    explicit ScopedFile(std::string p) : path(std::move(p)) {}
+    ~ScopedFile()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+    }
+};
+
+TEST(JsonLog, WriteFileAtomicWritesExactContents)
+{
+    ScopedFile f("test_json_log_basic.json");
+    EXPECT_TRUE(util::writeFileAtomic(f.path, "{\"a\":1}"));
+    EXPECT_EQ(slurp(f.path), "{\"a\":1}");
+    EXPECT_FALSE(exists(f.path + ".tmp"))
+        << "temporary must be renamed away, not left behind";
+}
+
+TEST(JsonLog, WriteFileAtomicReplacesExistingGarbage)
+{
+    ScopedFile f("test_json_log_replace.json");
+    {
+        std::ofstream out(f.path, std::ios::binary);
+        out << "half-written garb";
+    }
+    EXPECT_TRUE(util::writeFileAtomic(f.path, "[1,2,3]"));
+    EXPECT_EQ(slurp(f.path), "[1,2,3]");
+}
+
+TEST(JsonLog, WriteFileAtomicFailureLeavesTargetUntouched)
+{
+    // The temp file cannot be created inside a directory that does not
+    // exist, so write() must fail — and must NOT clobber or create the
+    // target.
+    const std::string path =
+        "no_such_dir_for_json_log_test/out.json";
+    EXPECT_FALSE(util::writeFileAtomic(path, "{}"));
+    EXPECT_FALSE(exists(path));
+    EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(JsonLog, RecordsAccumulateAndWriteAsJsonArray)
+{
+    util::JsonLog log("json_log_unit", "TEST_");
+    ScopedFile f(log.path());
+    EXPECT_EQ(log.path(), "TEST_json_log_unit.json");
+
+    log.record("{\"rep\":0,\"ms\":1.5}");
+    log.record("{\"rep\":1,\"ms\":2.5}");
+    EXPECT_EQ(log.records(), 2u);
+
+    ASSERT_TRUE(log.write());
+    const std::string text = slurp(f.path);
+    EXPECT_EQ(text.front(), '[');
+    ASSERT_GE(text.size(), 2u);
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+    EXPECT_NE(text.find("{\"rep\":0,\"ms\":1.5}"), std::string::npos);
+    EXPECT_NE(text.find("{\"rep\":1,\"ms\":2.5}"), std::string::npos);
+    EXPECT_LT(text.find("\"rep\":0"), text.find("\"rep\":1"))
+        << "records must appear in insertion order";
+    EXPECT_FALSE(exists(f.path + ".tmp"));
+}
+
+TEST(JsonLog, EmptyLogWritesEmptyArray)
+{
+    util::JsonLog log("json_log_empty", "TEST_");
+    ScopedFile f(log.path());
+    ASSERT_TRUE(log.write());
+    const std::string text = slurp(f.path);
+    EXPECT_EQ(text.find('{'), std::string::npos);
+    EXPECT_EQ(text.front(), '[');
+    ASSERT_GE(text.size(), 2u);
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+}
+
+TEST(JsonLog, FailingIoReportsFalseAndPreservesPriorArtifact)
+{
+    // Point a log at an unwritable location: write() must return false
+    // rather than silently dropping the perf trajectory.
+    util::JsonLog log("out", "no_such_dir_for_json_log_test/");
+    log.record("{\"x\":1}");
+    EXPECT_FALSE(log.write());
+
+    // And a failure must not destroy a previous complete artifact:
+    // simulate by pre-seeding the target, then failing the temp write
+    // via an unwritable temp path is not possible on the same path, so
+    // instead verify the success path rewrites in place atomically.
+    util::JsonLog ok("json_log_atomic", "TEST_");
+    ScopedFile f(ok.path());
+    ASSERT_TRUE(util::writeFileAtomic(f.path, "[\"previous\"]"));
+    ok.record("{\"fresh\":true}");
+    ASSERT_TRUE(ok.write());
+    EXPECT_NE(slurp(f.path).find("\"fresh\":true"), std::string::npos);
+}
+
+} // namespace

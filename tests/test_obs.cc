@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Observability-layer tests: the deterministic span tracer (export
+ * byte-stability, wall-lane exclusion, ring overflow accounting), the
+ * metrics registry (bit-stable log-bucket percentiles, canonical
+ * snapshots, reset-vs-clear), the per-request flight recorder
+ * (ordering, bounded eviction), and integration through a real
+ * Engine::drain — tracing disabled by default must record nothing, and
+ * two identical drains must export byte-identical traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hh"
+#include "models/model_sources.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/engine.hh"
+#include "sim/runtime.hh"
+#include "tensor/tensor.hh"
+
+namespace
+{
+
+using namespace hector;
+
+/** Every test starts from quiescent, empty observability state. */
+class Obs : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::setEnabled(false);
+        obs::setDeterministic(true);
+        obs::setVirtualNow(0.0);
+        obs::tracer().clear();
+        obs::metrics().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::setDeterministic(true);
+        obs::tracer().clear();
+        obs::metrics().clear();
+    }
+};
+
+// ------------------------------------------------------------ span tracer
+
+TEST_F(Obs, DisabledByDefaultSpansAreInert)
+{
+    EXPECT_FALSE(obs::enabled());
+    {
+        obs::Span s("work", "test", 1.0);
+        EXPECT_FALSE(s.active());
+        s.arg("k", 1.0); // must be a harmless no-op
+        s.endAt(2.0);
+    }
+    {
+        obs::Span w = obs::Span::wall("chunk", "test");
+        EXPECT_FALSE(w.active());
+    }
+    EXPECT_EQ(obs::tracer().recorded(), 0u);
+}
+
+TEST_F(Obs, SpanRecordsNameArgsAndMicrosecondTimes)
+{
+    obs::setEnabled(true);
+    {
+        obs::Span s("kernel", "test", 1.0, /*pid=*/2, /*tid=*/3);
+        ASSERT_TRUE(s.active());
+        s.arg("flops", 64.0);
+        s.arg("note", "hi");
+        s.endAt(1.5);
+    }
+    const std::string json = obs::tracer().exportJson();
+    EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+    // ts/dur are microseconds: 1.0 s -> 1000000.000, 0.5 s -> 500000.000.
+    EXPECT_NE(json.find("\"ts\":1000000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":500000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"flops\":64"), std::string::npos);
+    EXPECT_NE(json.find("\"note\":\"hi\""), std::string::npos);
+}
+
+TEST_F(Obs, DeterministicExportIsByteIdenticalAcrossRecordings)
+{
+    auto record_sample = [] {
+        obs::tracer().complete("a", "t", 0.002, 0.001, 0, 1,
+                               "\"x\":1", /*wall_ms=*/3.25);
+        obs::tracer().instant("b", "t", 0.001, 1, 0, "\"y\":2");
+        obs::tracer().complete("c", "t", 0.002, 0.0005, 1, 0);
+        obs::tracer().wallSpan("chunk", "threadpool", 0.1, 0.05, 2);
+    };
+    obs::setEnabled(true);
+    record_sample();
+    const std::string first = obs::tracer().exportJson();
+    obs::tracer().clear();
+    record_sample();
+    const std::string second = obs::tracer().exportJson();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("\"deterministic\":true"), std::string::npos);
+}
+
+TEST_F(Obs, DeterministicExportDropsWallLaneAndZeroesWallMs)
+{
+    obs::setEnabled(true);
+    obs::tracer().complete("virt", "t", 0.001, 0.001, 0, 0, {},
+                           /*wall_ms=*/7.5);
+    obs::tracer().wallSpan("chunk", "threadpool", 0.0, 1.0);
+
+    const std::string det = obs::tracer().exportJson();
+    EXPECT_EQ(det.find("\"chunk\""), std::string::npos)
+        << "wall-only events must not appear in deterministic exports";
+    EXPECT_EQ(det.find("7.5"), std::string::npos)
+        << "measured wall time must be zeroed";
+
+    obs::setDeterministic(false);
+    const std::string full = obs::tracer().exportJson();
+    EXPECT_NE(full.find("\"chunk\""), std::string::npos);
+    EXPECT_NE(full.find("\"wall_ms\":7.500000"), std::string::npos);
+    EXPECT_EQ(full.find("\"deterministic\":true"), std::string::npos);
+}
+
+TEST_F(Obs, ExportOrdersEventsByTimestampRegardlessOfRecordOrder)
+{
+    obs::setEnabled(true);
+    obs::tracer().complete("late", "t", 0.003, 0.001);
+    obs::tracer().complete("early", "t", 0.001, 0.001);
+    obs::tracer().complete("mid", "t", 0.002, 0.001);
+    const std::string json = obs::tracer().exportJson();
+    const std::size_t e = json.find("\"early\"");
+    const std::size_t m = json.find("\"mid\"");
+    const std::size_t l = json.find("\"late\"");
+    ASSERT_NE(e, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    ASSERT_NE(l, std::string::npos);
+    EXPECT_LT(e, m);
+    EXPECT_LT(m, l);
+}
+
+TEST_F(Obs, RingOverflowKeepsNewestAndCountsDropped)
+{
+    obs::tracer().setCapacity(4);
+    obs::tracer().clear(); // adopt the new capacity on this thread's ring
+    obs::setEnabled(true);
+    for (int i = 0; i < 10; ++i)
+        obs::tracer().complete("ev" + std::to_string(i), "t",
+                               0.001 * (i + 1), 0.0001);
+    EXPECT_EQ(obs::tracer().recorded(), 4u);
+    EXPECT_EQ(obs::tracer().dropped(), 6u);
+    const std::string json = obs::tracer().exportJson();
+    EXPECT_EQ(json.find("\"ev0\""), std::string::npos)
+        << "oldest events are overwritten";
+    EXPECT_NE(json.find("\"ev9\""), std::string::npos)
+        << "newest events survive";
+    // Non-deterministic exports advertise the loss.
+    obs::setDeterministic(false);
+    EXPECT_NE(obs::tracer().exportJson().find("\"dropped\":6"),
+              std::string::npos);
+    obs::tracer().setCapacity(std::size_t{1} << 16);
+    obs::tracer().clear();
+}
+
+TEST_F(Obs, JsonNumRoundTripsDoubles)
+{
+    EXPECT_EQ(obs::jsonNum(0.1), "0.1");
+    EXPECT_EQ(obs::jsonNum(42.0), "42");
+    // A value whose %.9g rendering is lossy must fall back to a
+    // longer form that strtod round-trips exactly.
+    const double v = 0.12345678901234567;
+    EXPECT_EQ(std::strtod(obs::jsonNum(v).c_str(), nullptr), v);
+}
+
+TEST_F(Obs, JsonEscapeHandlesQuotesAndControlChars)
+{
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(obs::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ------------------------------------------------------- metrics registry
+
+TEST_F(Obs, HistogramPercentileIsUpperEdgeOfNearestRankBucket)
+{
+    obs::Histogram h;
+    // With 4 buckets per decade the edges around 1.0 are
+    // 10^0, 10^0.25, ... — observations land in the bucket whose upper
+    // edge is the smallest edge >= the value.
+    h.observe(1.0);
+    h.observe(1.5);
+    h.observe(100.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 102.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    // Rank ceil(0.5*3)=2 -> the bucket holding 1.5; its upper edge is
+    // 10^0.25.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), std::pow(10.0, 0.25));
+    // Rank 3 -> the bucket holding 100 = 10^2 exactly (an edge).
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST_F(Obs, HistogramPercentilesAreInsertionOrderInvariant)
+{
+    std::vector<double> samples;
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> dist(1e-4, 1e2);
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(dist(rng));
+
+    obs::Histogram fwd, rev;
+    for (const double s : samples)
+        fwd.observe(s);
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        rev.observe(*it);
+    // Percentiles come from fixed bucket edges, so they are exactly
+    // equal for the same multiset in any insertion order. (The sum is
+    // a float accumulation and legitimately order-sensitive — only
+    // the percentile fields carry the bit-stability contract.)
+    for (const double q : {0.5, 0.95, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(fwd.percentile(q), rev.percentile(q))
+            << "q=" << q;
+    EXPECT_EQ(fwd.count(), rev.count());
+    EXPECT_DOUBLE_EQ(fwd.min(), rev.min());
+    EXPECT_DOUBLE_EQ(fwd.max(), rev.max());
+}
+
+TEST_F(Obs, HistogramClampsOverflowToTopEdge)
+{
+    obs::Histogram h; // top edge 10^4
+    h.observe(1e9);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e4);
+    EXPECT_DOUBLE_EQ(h.max(), 1e9) << "max stays exact";
+}
+
+TEST_F(Obs, RegistrySnapshotIsSortedAndCanonical)
+{
+    obs::Registry reg;
+    reg.counter("zeta").inc(3);
+    reg.counter("alpha").inc(1);
+    reg.gauge("mid").set(2.5);
+    reg.histogram("lat_ms").observe(1.0);
+
+    const std::string snap = reg.snapshotJson();
+    EXPECT_LT(snap.find("\"alpha\""), snap.find("\"zeta\""));
+    EXPECT_NE(snap.find("\"counters\""), std::string::npos);
+    EXPECT_NE(snap.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(snap.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(snap.find("\"alpha\":1"), std::string::npos);
+    EXPECT_NE(snap.find("\"mid\":2.5"), std::string::npos);
+    EXPECT_EQ(reg.snapshotJson(), snap) << "snapshot is reproducible";
+}
+
+TEST_F(Obs, RegistryResetZeroesButKeepsInstruments)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("reqs");
+    c.inc(5);
+    reg.gauge("g").set(1.0);
+    reg.histogram("h").observe(2.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u) << "references stay valid across reset";
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    EXPECT_NE(reg.snapshotJson().find("\"reqs\""), std::string::npos)
+        << "registrations survive reset";
+
+    reg.clear();
+    EXPECT_EQ(reg.snapshotJson().find("\"reqs\""), std::string::npos)
+        << "clear drops registrations";
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST_F(Obs, FlightRecorderKeepsEventsInRecordOrder)
+{
+    obs::FlightRecorder fr;
+    fr.event(7, "arrival", 0.001, 0);
+    fr.event(7, "exec-start", 0.002, 1, "stream=0");
+    fr.event(7, "completion", 0.003, 1);
+    const auto *tl = fr.timeline(7);
+    ASSERT_NE(tl, nullptr);
+    ASSERT_EQ(tl->size(), 3u);
+    EXPECT_EQ((*tl)[0].what, "arrival");
+    EXPECT_EQ((*tl)[1].what, "exec-start");
+    EXPECT_EQ((*tl)[1].detail, "stream=0");
+    EXPECT_EQ((*tl)[1].device, 1);
+    EXPECT_EQ((*tl)[2].what, "completion");
+    EXPECT_EQ(fr.timeline(8), nullptr);
+
+    const std::string json = fr.timelineJson(7);
+    EXPECT_NE(json.find("\"request\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"what\":\"exec-start\""), std::string::npos);
+    EXPECT_EQ(fr.timelineJson(8), "{}");
+
+    const std::string text = fr.timelineText(7);
+    EXPECT_NE(text.find("arrival"), std::string::npos);
+    EXPECT_NE(text.find("completion"), std::string::npos);
+}
+
+TEST_F(Obs, FlightRecorderEvictsOldestBeyondCapacity)
+{
+    obs::FlightRecorder fr(/*max_requests=*/2);
+    fr.event(1, "arrival", 0.001);
+    fr.event(2, "arrival", 0.002);
+    fr.event(1, "completion", 0.003); // touch 1 again: still resident
+    fr.event(3, "arrival", 0.004);    // evicts 1 (first-seen order)
+    EXPECT_EQ(fr.timeline(1), nullptr);
+    ASSERT_NE(fr.timeline(2), nullptr);
+    ASSERT_NE(fr.timeline(3), nullptr);
+    ASSERT_EQ(fr.requests().size(), 2u);
+    EXPECT_EQ(fr.requests().front(), 2u);
+    EXPECT_EQ(fr.requests().back(), 3u);
+
+    fr.clear();
+    EXPECT_TRUE(fr.requests().empty());
+    EXPECT_EQ(fr.timeline(2), nullptr);
+}
+
+// ------------------------------------------------- serving integration
+
+struct TinyServing
+{
+    graph::HeteroGraph g;
+    tensor::Tensor features;
+    serve::ServingConfig scfg;
+
+    TinyServing() : g(graph::generate(graph::datasetSpec("aifb"), kScale))
+    {
+        std::mt19937_64 rng(5);
+        features = tensor::Tensor::uniform({g.numNodes(), 16}, rng, 0.5f);
+        scfg.maxBatch = 4;
+        scfg.numStreams = 2;
+        scfg.din = 16;
+        scfg.dout = 16;
+        scfg.sample.numSeeds = 8;
+        scfg.sample.fanout = 3;
+        scfg.seed = 99;
+    }
+
+    static constexpr double kScale = 1.0 / 64.0;
+
+    /** Submit @p n requests and drain; returns the last request id. */
+    std::uint64_t
+    run(serve::Engine &engine, int vid, int n)
+    {
+        std::uint64_t last = 0;
+        for (int i = 0; i < n; ++i)
+            last = engine.submit(vid);
+        engine.drain();
+        return last;
+    }
+};
+
+TEST_F(Obs, EngineDrainProducesByteIdenticalDeterministicTraces)
+{
+    TinyServing ts;
+    obs::setEnabled(true);
+
+    auto traced_drain = [&]() -> std::string {
+        obs::tracer().clear();
+        sim::Runtime rt(sim::makeScaledSpec(TinyServing::kScale));
+        serve::Engine engine(ts.g, serve::EngineConfig{}, rt);
+        const int vid = engine.registerVariant(
+            "rgat", ts.features, models::kRgatSource, ts.scfg);
+        ts.run(engine, vid, 6);
+        return obs::tracer().exportJson();
+    };
+
+    const std::string first = traced_drain();
+    const std::string second = traced_drain();
+    EXPECT_EQ(first, second)
+        << "identical workloads must export byte-identical traces";
+    EXPECT_NE(first.find("\"engine.drain\""), std::string::npos);
+    EXPECT_NE(first.find("\"submit\""), std::string::npos);
+}
+
+TEST_F(Obs, FlightRecorderCapturesLifecycleWithTracingDisabled)
+{
+    TinyServing ts;
+    ASSERT_FALSE(obs::enabled())
+        << "attachment must work without the tracer switch";
+
+    sim::Runtime rt(sim::makeScaledSpec(TinyServing::kScale));
+    serve::Engine engine(ts.g, serve::EngineConfig{}, rt);
+    const int vid = engine.registerVariant(
+        "rgat", ts.features, models::kRgatSource, ts.scfg);
+    obs::FlightRecorder fr;
+    engine.setFlightRecorder(&fr);
+    const std::uint64_t id = ts.run(engine, vid, 3);
+
+    const auto *tl = fr.timeline(id);
+    ASSERT_NE(tl, nullptr);
+    auto at = [&](const char *what) -> double {
+        for (const obs::FlightEvent &ev : *tl)
+            if (ev.what == what)
+                return ev.tSec;
+        return -1.0;
+    };
+    const double enq = at("enqueue");
+    const double join = at("batch-join");
+    const double start = at("exec-start");
+    const double done = at("completion");
+    ASSERT_GE(enq, 0.0) << fr.timelineText(id);
+    ASSERT_GE(join, 0.0) << fr.timelineText(id);
+    ASSERT_GE(start, 0.0) << fr.timelineText(id);
+    ASSERT_GE(done, 0.0) << fr.timelineText(id);
+    // exec-start is derived as completion - service, so it can land an
+    // ulp before the enqueue clock it conceptually follows.
+    const double ulp = 1e-12;
+    EXPECT_LE(enq, join + ulp);
+    EXPECT_LE(join, start + ulp);
+    EXPECT_LE(start, done + ulp);
+    EXPECT_EQ(obs::tracer().recorded(), 0u)
+        << "flight recording must not feed the tracer";
+}
+
+TEST_F(Obs, PlanCacheAndServeCountersIncrementWhenEnabled)
+{
+    TinyServing ts;
+    obs::setEnabled(true);
+
+    sim::Runtime rt(sim::makeScaledSpec(TinyServing::kScale));
+    serve::Engine engine(ts.g, serve::EngineConfig{}, rt);
+    const int vid = engine.registerVariant(
+        "rgat", ts.features, models::kRgatSource, ts.scfg);
+    ts.run(engine, vid, 6);
+
+    EXPECT_GT(obs::metrics().counter("plan_cache.misses").value(), 0u)
+        << "first drain compiles at least one plan";
+    EXPECT_EQ(obs::metrics().counter("serve.requests").value(), 6u);
+    EXPECT_GT(obs::metrics().counter("serve.batches").value(), 0u);
+    EXPECT_GT(obs::metrics().histogram("serve.latency_ms").count(), 0u);
+
+    // Same work again: the plan is resident now, so hits accrue.
+    ts.run(engine, vid, 6);
+    EXPECT_GT(obs::metrics().counter("plan_cache.hits").value(), 0u);
+
+    // The engine's own stats absorb into the same registry.
+    serve::absorbStats(obs::metrics(), engine.planCache().stats(),
+                       "engine.plan_cache");
+    EXPECT_GT(obs::metrics().gauge("engine.plan_cache.misses").value(),
+              0.0);
+}
+
+} // namespace

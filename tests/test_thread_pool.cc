@@ -151,6 +151,41 @@ TEST(ThreadPool, GlobalPoolHonorsOverride)
     EXPECT_GE(util::resolveThreads(), 1);
 }
 
+TEST(ThreadPool, ParseThreadsEnvAcceptsPlainIntegers)
+{
+    EXPECT_EQ(util::parseThreadsEnv("1"), 1);
+    EXPECT_EQ(util::parseThreadsEnv("4"), 4);
+    EXPECT_EQ(util::parseThreadsEnv("1024"), 1024);
+}
+
+TEST(ThreadPool, ParseThreadsEnvUnsetMeansHardwareDefault)
+{
+    EXPECT_EQ(util::parseThreadsEnv(nullptr), 0);
+    EXPECT_EQ(util::parseThreadsEnv(""), 0);
+}
+
+TEST(ThreadPool, ParseThreadsEnvRejectsMalformedValues)
+{
+    // A typo'd HECTOR_THREADS must fail loudly, not silently fall back
+    // to hardware_concurrency.
+    for (const char *bad :
+         {"abc", "4abc", "0", "-2", "99999", "0x4", " 4", "4 ", "1.5"})
+        EXPECT_THROW(util::parseThreadsEnv(bad), std::invalid_argument)
+            << "value '" << bad << "' must be rejected";
+}
+
+TEST(ThreadPool, ParseThreadsEnvDiagnosticNamesVariableAndValue)
+{
+    try {
+        util::parseThreadsEnv("garbage");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("HECTOR_THREADS"), std::string::npos);
+        EXPECT_NE(what.find("garbage"), std::string::npos);
+    }
+}
+
 TEST(ThreadPool, SeedKernelModeToggles)
 {
     EXPECT_FALSE(util::seedKernelMode());

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * CI validator for exported Chrome-trace JSON (TRACE_*.json).
+ *
+ * A trace that chrome://tracing silently refuses to load is worse
+ * than no trace, so the perf-smoke job runs every emitted file
+ * through this checker:
+ *
+ *  - the whole document must parse as JSON (a tiny recursive-descent
+ *    parser below — no external dependency);
+ *  - the top level must be an object with a "traceEvents" array;
+ *  - every event must carry a string "name", a string "ph", and
+ *    numeric "pid"/"tid"; non-metadata events must carry a numeric
+ *    "ts", and complete events ("X") a numeric "dur";
+ *  - "ts" must be non-decreasing across non-metadata events in array
+ *    order (the exporter sorts; an out-of-order timestamp means the
+ *    deterministic sort broke).
+ *
+ * Usage: trace_check FILE...   (exit 0 = all valid, 1 = any invalid)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ------------------------------------------------------------- JSON value
+
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+// ------------------------------------------------------------ JSON parser
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : s_(text) {}
+
+    /** Parse the full document; false on any syntax error. */
+    bool
+    parse(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size(); // no trailing garbage
+    }
+
+    std::size_t errorPos() const { return pos_; }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    bool atEnd() const { return pos_ >= s_.size(); }
+    char peek() const { return s_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                            s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (atEnd())
+            return false;
+        switch (peek()) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (atEnd() || peek() != '"' || !parseString(key))
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (!atEnd()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (atEnd())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                  case '"':
+                    out.push_back('"');
+                    break;
+                  case '\\':
+                    out.push_back('\\');
+                    break;
+                  case '/':
+                    out.push_back('/');
+                    break;
+                  case 'b':
+                    out.push_back('\b');
+                    break;
+                  case 'f':
+                    out.push_back('\f');
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_ + static_cast<
+                                                 std::size_t>(i)];
+                        const bool hex =
+                            (h >= '0' && h <= '9') ||
+                            (h >= 'a' && h <= 'f') ||
+                            (h >= 'A' && h <= 'F');
+                        if (!hex)
+                            return false;
+                    }
+                    // Validation only: the checker never needs the
+                    // decoded code point, just a well-formed escape.
+                    out.push_back('?');
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false; // raw control char
+            } else {
+                out.push_back(c);
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        while (!atEnd() && peek() >= '0' && peek() <= '9')
+            ++pos_;
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(s_.c_str() + start, nullptr);
+        return true;
+    }
+};
+
+// ---------------------------------------------------------- trace checks
+
+bool
+isNumber(const Value *v)
+{
+    return v && v->kind == Value::Kind::Number;
+}
+
+bool
+isString(const Value *v)
+{
+    return v && v->kind == Value::Kind::String;
+}
+
+bool
+checkTrace(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "%s: cannot open\n", path);
+        return false;
+    }
+    std::string text;
+    char buf[65536];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+
+    Value doc;
+    Parser parser(text);
+    if (!parser.parse(doc)) {
+        std::fprintf(stderr, "%s: JSON syntax error at byte %zu\n", path,
+                     parser.errorPos());
+        return false;
+    }
+    if (doc.kind != Value::Kind::Object) {
+        std::fprintf(stderr, "%s: top level is not an object\n", path);
+        return false;
+    }
+    const Value *events = doc.find("traceEvents");
+    if (!events || events->kind != Value::Kind::Array) {
+        std::fprintf(stderr, "%s: missing \"traceEvents\" array\n", path);
+        return false;
+    }
+
+    bool ok = true;
+    double last_ts = 0.0;
+    bool have_ts = false;
+    std::size_t timed = 0;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const Value &ev = events->array[i];
+        auto fail = [&](const char *what) {
+            std::fprintf(stderr, "%s: event %zu: %s\n", path, i, what);
+            ok = false;
+        };
+        if (ev.kind != Value::Kind::Object) {
+            fail("not an object");
+            continue;
+        }
+        if (!isString(ev.find("name")))
+            fail("missing string \"name\"");
+        const Value *ph = ev.find("ph");
+        if (!isString(ph)) {
+            fail("missing string \"ph\"");
+            continue;
+        }
+        if (!isNumber(ev.find("pid")))
+            fail("missing numeric \"pid\"");
+        if (!isNumber(ev.find("tid")))
+            fail("missing numeric \"tid\"");
+        if (ph->string == "M")
+            continue; // metadata: no timestamp
+        const Value *ts = ev.find("ts");
+        if (!isNumber(ts)) {
+            fail("missing numeric \"ts\"");
+            continue;
+        }
+        if (ph->string == "X" && !isNumber(ev.find("dur")))
+            fail("complete event missing numeric \"dur\"");
+        if (have_ts && ts->number < last_ts)
+            fail("timestamp decreases (export sort broken)");
+        last_ts = ts->number;
+        have_ts = true;
+        ++timed;
+    }
+    if (ok)
+        std::printf("%s: OK (%zu events, %zu timed)\n", path,
+                    events->array.size(), timed);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: trace_check FILE...\n");
+        return 1;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = checkTrace(argv[i]) && ok;
+    return ok ? 0 : 1;
+}
