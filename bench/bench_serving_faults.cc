@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Fault-tolerant sharded serving bench: availability across a mid-drain
+ * device failure, ASPIS-style detection coverage vs duplication
+ * fraction, and fault-run replayability.
+ *
+ * Three phases, each with a hard gate (exit nonzero on failure):
+ *
+ *  1. Availability: serve 64 requests on 4 devices; one device dies
+ *     halfway through the fault-free makespan. Gate: >= 95% of
+ *     requests complete within a 2x fault-free-makespan deadline, and
+ *     every recovered output is bit-identical to the fault-free run.
+ *  2. Detection coverage: scheduled transient corruptions under
+ *     duplication fractions {0.25, 0.5, 1.0}. Gate: full duplication
+ *     detects every injected corruption (coverage == 1.0), serves
+ *     bit-identical outputs, and its redundancy overhead is bounded.
+ *  3. Replay: the same (seed, schedule) twice produces byte-identical
+ *     fault event logs.
+ *
+ * Emits BENCH_serving_faults.json rows keyed by the glossary metrics
+ * availability / detectionCoverage / duplicationOverheadPct /
+ * requestsReplayed / devicesFailed.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "bench_common.hh"
+#include "serve/sharded.hh"
+#include "sim/device_group.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace hector;
+using namespace hector::bench;
+using tensor::Tensor;
+
+constexpr int kDevices = 4;
+constexpr std::size_t kRequests = 64;
+
+serve::ShardedConfig
+faultBenchConfig(std::int64_t dim)
+{
+    serve::ShardedConfig cfg;
+    cfg.serving.maxBatch = 8;
+    cfg.serving.numStreams = 2;
+    cfg.serving.din = dim;
+    cfg.serving.dout = dim;
+    cfg.serving.sample.numSeeds = 16;
+    cfg.serving.sample.fanout = 4;
+    cfg.serving.seed = 1337;
+    return cfg;
+}
+
+struct RunOut
+{
+    std::map<std::uint64_t, Tensor> outputs;
+    serve::ShardedReport report;
+    /** Group virtual time when drain() started, seconds. */
+    double drainStartSec = 0.0;
+    std::string faultLog;
+};
+
+/** One fresh-session drain of the canonical request stream. */
+RunOut
+runOnce(const BenchGraph &bg, const Tensor &feats, const char *source,
+        serve::ShardedConfig cfg, double scale, sim::FaultInjector *fi)
+{
+    sim::InterconnectSpec ic;
+    ic.overheadScale = scale;
+    sim::DeviceGroup group(kDevices, sim::makeScaledSpec(scale), ic);
+    if (fi)
+        group.setFaultInjector(fi);
+    serve::ShardedSession session(bg.g, feats, source, cfg, group);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kRequests);
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ids.push_back(session.submit());
+    RunOut out;
+    out.drainStartSec = group.nowSec();
+    out.report = session.drain();
+    for (std::uint64_t id : ids) {
+        const Tensor *t = session.result(id);
+        if (t)
+            out.outputs.emplace(id, t->clone());
+    }
+    if (fi)
+        out.faultLog = fi->logText();
+    return out;
+}
+
+bool
+bitIdentical(const std::map<std::uint64_t, Tensor> &a,
+             const std::map<std::uint64_t, Tensor> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (const auto &[id, t] : a) {
+        const auto it = b.find(id);
+        if (it == b.end() || it->second.shape() != t.shape())
+            return false;
+        if (std::memcmp(it->second.data(), t.data(),
+                        static_cast<std::size_t>(t.numel()) *
+                            sizeof(float)) != 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::int64_t dim = benchDim();
+    const char *dataset = std::getenv("HECTOR_SERVE_DATASET");
+    const std::string ds = dataset ? dataset : "bgs";
+    const char *source = modelSource(models::ModelKind::Rgat);
+
+    std::printf("Fault-tolerant sharded serving (%s, RGAT, scale %.6f, "
+                "dim %lld, %d devices, %zu requests)\n\n",
+                ds.c_str(), scale, static_cast<long long>(dim),
+                kDevices, kRequests);
+
+    const BenchGraph bg = loadGraph(ds, scale);
+    std::mt19937_64 frng(4242);
+    const Tensor feats =
+        Tensor::uniform({bg.g.numNodes(), dim}, frng, 0.5f);
+    const serve::ShardedConfig cfg = faultBenchConfig(dim);
+
+    JsonLog log("serving_faults");
+    bool gate_ok = true;
+
+    // ------------------------------------------- phase 1: availability
+    const RunOut oracle =
+        runOnce(bg, feats, source, cfg, scale, nullptr);
+    const double makespan_sec = oracle.report.makespanMs / 1e3;
+    const double deadline_ms = 2.0 * oracle.report.makespanMs;
+    const double t_fail = oracle.drainStartSec + 0.5 * makespan_sec;
+
+    sim::FaultSchedule fail_sched;
+    fail_sched.events.push_back(
+        {sim::FaultKind::DeviceFailure, kDevices - 1, t_fail, 1});
+    sim::FaultInjector fail_fi(fail_sched);
+    serve::ShardedConfig fail_cfg = cfg;
+    fail_cfg.serving.deadlineMs = deadline_ms;
+    const RunOut failed =
+        runOnce(bg, feats, source, fail_cfg, scale, &fail_fi);
+
+    const double availability = failed.report.sloAttainment;
+    const bool avail_identical =
+        bitIdentical(oracle.outputs, failed.outputs);
+    const bool avail_ok = availability >= 0.95 && avail_identical &&
+                          failed.report.devicesFailed == 1 &&
+                          failed.outputs.size() == kRequests;
+    gate_ok = gate_ok && avail_ok;
+
+    std::printf("phase 1: availability across mid-drain device "
+                "failure (device %d dies at %.1f%% of fault-free "
+                "makespan)\n",
+                kDevices - 1, 50.0);
+    printRow({"metric", "value"}, 26);
+    printRow({"availability", fmt("%.4f", availability)}, 26);
+    printRow({"deadlineMs", fmt("%.4f", deadline_ms / scale)}, 26);
+    printRow({"devicesFailed",
+              std::to_string(failed.report.devicesFailed)},
+             26);
+    printRow({"requestsReplayed",
+              std::to_string(failed.report.requestsReplayed)},
+             26);
+    printRow({"requestsRerouted",
+              std::to_string(failed.report.requestsRerouted)},
+             26);
+    printRow({"bitIdentical", avail_identical ? "yes" : "NO"}, 26);
+    std::printf("\n");
+
+    log.record(
+        "{\"phase\":\"availability\",\"dataset\":\"" + ds +
+        "\",\"devices\":" + std::to_string(kDevices) +
+        ",\"requests\":" + std::to_string(kRequests) +
+        ",\"availability\":" + fmt("%.6f", availability) +
+        ",\"devicesFailed\":" +
+        std::to_string(failed.report.devicesFailed) +
+        ",\"requestsReplayed\":" +
+        std::to_string(failed.report.requestsReplayed) +
+        ",\"requestsRerouted\":" +
+        std::to_string(failed.report.requestsRerouted) +
+        ",\"bitIdentical\":" + (avail_identical ? "true" : "false") +
+        ",\"gateOk\":" + (avail_ok ? "true" : "false") + "}");
+
+    // ------------------------------------- phase 2: detection coverage
+    std::printf("phase 2: detection coverage vs duplication fraction "
+                "(transients on every device's batches 1-2)\n");
+    printRow({"fraction", "injected", "detected", "escaped",
+              "coverage", "overheadPct"},
+             12);
+
+    sim::FaultSchedule trans_sched;
+    for (int d = 0; d < kDevices; ++d)
+        for (std::uint64_t b = 1; b <= 2; ++b)
+            trans_sched.events.push_back(
+                {sim::FaultKind::TransientCorruption, d, 0.0, b});
+
+    double coverage_full = 0.0;
+    double overhead_full = 0.0;
+    bool full_identical = false;
+    for (const double fraction : {0.25, 0.5, 1.0}) {
+        sim::FaultInjector fi(trans_sched);
+        serve::ShardedConfig dup_cfg = cfg;
+        dup_cfg.serving.duplicationFraction = fraction;
+        const RunOut run =
+            runOnce(bg, feats, source, dup_cfg, scale, &fi);
+        const sim::FaultStats &fs = fi.stats();
+        const double coverage =
+            fs.transientsInjected
+                ? static_cast<double>(fs.detections) /
+                      static_cast<double>(fs.transientsInjected)
+                : 1.0;
+        printRow({fmt("%.2f", fraction),
+                  std::to_string(fs.transientsInjected),
+                  std::to_string(fs.detections),
+                  std::to_string(fs.corruptionsEscaped),
+                  fmt("%.4f", coverage),
+                  fmt("%.2f", run.report.duplicationOverheadPct)},
+                 12);
+        if (fraction == 1.0) {
+            coverage_full = coverage;
+            overhead_full = run.report.duplicationOverheadPct;
+            full_identical =
+                bitIdentical(oracle.outputs, run.outputs);
+        }
+        log.record(
+            "{\"phase\":\"detection\",\"duplicationFraction\":" +
+            fmt("%.2f", fraction) + ",\"transientsInjected\":" +
+            std::to_string(fs.transientsInjected) +
+            ",\"detections\":" + std::to_string(fs.detections) +
+            ",\"corruptionsEscaped\":" +
+            std::to_string(fs.corruptionsEscaped) +
+            ",\"detectionCoverage\":" + fmt("%.6f", coverage) +
+            ",\"duplicationOverheadPct\":" +
+            fmt("%.4f", run.report.duplicationOverheadPct) +
+            ",\"requestsReplayed\":" +
+            std::to_string(run.report.requestsReplayed) + "}");
+    }
+    // Full duplication: every corruption caught, replays restore
+    // bit-identity, and redundancy costs about one extra execution per
+    // batch (plus the replays), never a runaway multiple.
+    const bool detect_ok = coverage_full == 1.0 && full_identical &&
+                           overhead_full >= 100.0 &&
+                           overhead_full <= 250.0;
+    gate_ok = gate_ok && detect_ok;
+    std::printf("\n");
+
+    // ----------------------------------------------- phase 3: replay
+    sim::FaultInjector replay_a(trans_sched);
+    sim::FaultInjector replay_b(trans_sched);
+    serve::ShardedConfig replay_cfg = cfg;
+    replay_cfg.serving.duplicationFraction = 1.0;
+    const RunOut run_a =
+        runOnce(bg, feats, source, replay_cfg, scale, &replay_a);
+    const RunOut run_b =
+        runOnce(bg, feats, source, replay_cfg, scale, &replay_b);
+    const bool replay_ok = !run_a.faultLog.empty() &&
+                           run_a.faultLog == run_b.faultLog;
+    gate_ok = gate_ok && replay_ok;
+
+    std::printf("phase 3: replay determinism — same (seed, schedule) "
+                "twice: %s (%zu log bytes)\n\n",
+                replay_ok ? "byte-identical" : "DIVERGED",
+                run_a.faultLog.size());
+    log.record("{\"phase\":\"replay\",\"logBytes\":" +
+               std::to_string(run_a.faultLog.size()) +
+               ",\"byteIdentical\":" +
+               (replay_ok ? "true" : "false") + "}");
+
+    log.write();
+
+    std::printf("acceptance: availability %.4f (>= 0.95 %s), recovered "
+                "outputs %s, coverage@1.0 %.4f (== 1.0 %s), overhead@1.0 "
+                "%.2f%% (in [100, 250] %s), replay %s\n",
+                availability, availability >= 0.95 ? "ok" : "FAIL",
+                avail_identical ? "bit-identical" : "DIVERGED",
+                coverage_full, coverage_full == 1.0 ? "ok" : "FAIL",
+                overhead_full,
+                overhead_full >= 100.0 && overhead_full <= 250.0
+                    ? "ok"
+                    : "FAIL",
+                replay_ok ? "ok" : "FAIL");
+    return gate_ok ? 0 : 1;
+}

@@ -8,11 +8,36 @@
 #include "core/frontend.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 
 namespace hector::serve
 {
 
 using tensor::Tensor;
+
+namespace
+{
+
+/**
+ * Deterministic dual-issue sampling: error diffusion over the
+ * duplication fraction, no RNG, so of the first k primary batches
+ * exactly round(k * fraction) duplicate — and a fault run replays
+ * identically at any thread count.
+ */
+bool
+sampleDuplicate(double fraction, double &acc)
+{
+    if (fraction <= 0.0)
+        return false;
+    acc += fraction;
+    if (acc >= 1.0 - 1e-12) {
+        acc -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
 
 // ------------------------------------------------------------------ helpers
 
@@ -131,6 +156,10 @@ validateServingConfig(const ServingConfig &cfg, const char *who)
         throw std::invalid_argument(prefix + "din must be > 0");
     if (cfg.dout <= 0)
         throw std::invalid_argument(prefix + "dout must be > 0");
+    if (!(cfg.duplicationFraction >= 0.0 &&
+          cfg.duplicationFraction <= 1.0))
+        throw std::invalid_argument(
+            prefix + "duplicationFraction must be in [0, 1]");
 }
 
 models::WeightMap
@@ -471,24 +500,76 @@ Engine::drain()
                   return a.firstId < b.firstId;
               });
 
-    for (const PlannedBatch &pb : batches) {
+    // Each logical batch is one primary scheduler run, optionally
+    // followed by an ASPIS-style redundant run (deterministically
+    // sampled per variant) whose output checksum is compared against
+    // the primary's, and — on a detected mismatch — a replay run whose
+    // output is the one served (bit-identical to fault-free, since
+    // execution is deterministic).
+    sim::FaultInjector *fi = rt_.faultInjector();
+    struct RunRefs
+    {
+        int primary = -1;
+        int dup = -1;
+        int replay = -1;
+    };
+    std::vector<RunRefs> runs(batches.size());
+    int run_idx = 0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const PlannedBatch &pb = batches[b];
         Variant &v = variants_[pb.variant];
         std::vector<const Request *> reqs;
         reqs.reserve(pb.hi - pb.lo);
         for (std::size_t i = pb.lo; i < pb.hi; ++i)
             reqs.push_back(&v.queue[i]);
 
-        sched.run([&]() {
-            MicroBatch batch = coalesce(reqs, rt_);
-            std::vector<Tensor> outs = executeBatch(
-                *plans[pb.variant], batch, v.weights, rt_, v.ctx,
-                v.grads, v.cfg.useArena);
-            // Detach results from the device memory scope so they
-            // outlive the drain cycle.
-            tensor::TrackerScope untracked(nullptr);
-            for (std::size_t i = 0; i < reqs.size(); ++i)
-                results_.insert_or_assign(reqs[i]->id, outs[i].clone());
-        });
+        std::vector<Tensor> outs;
+        const auto run_exec = [&](std::vector<Tensor> &dst) {
+            sched.run([&]() {
+                MicroBatch batch = coalesce(reqs, rt_);
+                dst = executeBatch(*plans[pb.variant], batch,
+                                   v.weights, rt_, v.ctx, v.grads,
+                                   v.cfg.useArena);
+            });
+        };
+        const bool hit = fi && fi->armTransient(rt_.deviceId());
+        const std::uint64_t ord =
+            fi ? fi->batchOrdinal(rt_.deviceId()) : 0;
+        runs[b].primary = run_idx++;
+        run_exec(outs);
+        if (hit)
+            fi->corruptBatch(outs, rt_.deviceId(), hostClockSec_);
+        if (sampleDuplicate(v.cfg.duplicationFraction, v.dupAccum)) {
+            if (fi)
+                fi->noteDuplicate(rt_.deviceId(), hostClockSec_, ord);
+            std::vector<Tensor> dup;
+            runs[b].dup = run_idx++;
+            run_exec(dup);
+            const std::uint64_t lhs = tensor::checksum(outs);
+            const std::uint64_t rhs = tensor::checksum(dup);
+            if (lhs != rhs) {
+                if (fi)
+                    fi->noteDetection(rt_.deviceId(), hostClockSec_,
+                                      ord, lhs, rhs);
+                if (obs::enabled())
+                    obs::tracer().instant(
+                        "fault.detect", "serve", hostClockSec_,
+                        rt_.deviceId(), 0,
+                        "\"batch\":" + std::to_string(ord));
+                runs[b].replay = run_idx++;
+                run_exec(outs);
+                if (fi)
+                    fi->noteReplay(rt_.deviceId(), hostClockSec_,
+                                   "transient");
+            }
+        } else if (hit) {
+            fi->noteEscape(rt_.deviceId(), hostClockSec_, ord);
+        }
+        // Detach results from the device memory scope so they
+        // outlive the drain cycle.
+        tensor::TrackerScope untracked(nullptr);
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            results_.insert_or_assign(reqs[i]->id, outs[i].clone());
     }
 
     // Timeline: the queued transfers not yet charged to an earlier
@@ -511,8 +592,23 @@ Engine::drain()
     for (std::size_t b = 0; b < batches.size(); ++b) {
         const PlannedBatch &pb = batches[b];
         const Variant &v = variants_[pb.variant];
-        const double completion = hostClockSec_ + completions[b];
-        const ScheduledBatch &sb = sched.batches()[b];
+        // A request completes when its batch's last run (primary, or
+        // the redundant/replay runs that guarded it) completes.
+        double completion =
+            hostClockSec_ +
+            completions[static_cast<std::size_t>(runs[b].primary)];
+        if (runs[b].dup >= 0)
+            completion = std::max(
+                completion,
+                hostClockSec_ + completions[static_cast<std::size_t>(
+                                    runs[b].dup)]);
+        if (runs[b].replay >= 0)
+            completion = std::max(
+                completion,
+                hostClockSec_ + completions[static_cast<std::size_t>(
+                                    runs[b].replay)]);
+        const ScheduledBatch &sb =
+            sched.batches()[static_cast<std::size_t>(runs[b].primary)];
         const double service = sb.overheadSec + sb.execSec;
         if (v.cfg.deadlineMs > 0.0)
             any_deadline = true;
@@ -621,22 +717,59 @@ Engine::serveOldest(int v, std::size_t n, int stream)
 
     auto plan = planFor(v);
 
-    const StreamRunCost run = runOnStream(rt_, stream, [&]() {
-        auto scope = rt_.memoryScope();
-        std::vector<const Request *> reqs;
-        reqs.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-            reqs.push_back(&var.queue[i]);
-        MicroBatch batch = coalesce(reqs, rt_);
-        std::vector<Tensor> outs =
-            executeBatch(*plan, batch, var.weights, rt_, var.ctx,
-                         var.grads, var.cfg.useArena);
+    std::vector<const Request *> reqs;
+    reqs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        reqs.push_back(&var.queue[i]);
+    std::vector<Tensor> outs;
+    const auto run_once = [&](std::vector<Tensor> &dst) {
+        return runOnStream(rt_, stream, [&]() {
+            auto scope = rt_.memoryScope();
+            MicroBatch batch = coalesce(reqs, rt_);
+            dst = executeBatch(*plan, batch, var.weights, rt_, var.ctx,
+                               var.grads, var.cfg.useArena);
+        });
+    };
+    const StreamRunCost run = run_once(outs);
+    cost.execSec = run.execSec;
+    cost.overheadSec = run.overheadSec;
+
+    // ASPIS sandwich, same semantics as drain(); the redundant and
+    // replay runs serialize on this stream, so their cost folds into
+    // the batch cost the online layer charges.
+    sim::FaultInjector *fi = rt_.faultInjector();
+    const bool hit = fi && fi->armTransient(rt_.deviceId());
+    const std::uint64_t ord = fi ? fi->batchOrdinal(rt_.deviceId()) : 0;
+    if (hit)
+        fi->corruptBatch(outs, rt_.deviceId(), rt_.nowSec());
+    if (sampleDuplicate(var.cfg.duplicationFraction, var.dupAccum)) {
+        if (fi)
+            fi->noteDuplicate(rt_.deviceId(), rt_.nowSec(), ord);
+        std::vector<Tensor> dup;
+        const StreamRunCost r2 = run_once(dup);
+        cost.execSec += r2.execSec;
+        cost.overheadSec += r2.overheadSec;
+        const std::uint64_t lhs = tensor::checksum(outs);
+        const std::uint64_t rhs = tensor::checksum(dup);
+        if (lhs != rhs) {
+            if (fi)
+                fi->noteDetection(rt_.deviceId(), rt_.nowSec(), ord,
+                                  lhs, rhs);
+            const StreamRunCost r3 = run_once(outs);
+            cost.execSec += r3.execSec;
+            cost.overheadSec += r3.overheadSec;
+            if (fi)
+                fi->noteReplay(rt_.deviceId(), rt_.nowSec(),
+                               "transient");
+        }
+    } else if (hit) {
+        fi->noteEscape(rt_.deviceId(), rt_.nowSec(), ord);
+    }
+    {
         tensor::TrackerScope untracked(nullptr);
         for (std::size_t i = 0; i < n; ++i)
             results_.insert_or_assign(var.queue[i].id, outs[i].clone());
-    });
-    cost.execSec = run.execSec;
-    cost.overheadSec = run.overheadSec;
+    }
     cost.servedIds.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         cost.servedIds.push_back(var.queue[i].id);

@@ -92,6 +92,20 @@ struct ServingConfig
     std::size_t planBudgetBytes = 0;
     /** Autotune the GEMM schedule on the variant's first compile. */
     bool autotuneSchedules = false;
+    /**
+     * ASPIS-style redundant execution: the fraction of micro-batches
+     * dual-issued on spare stream capacity and compared by output
+     * checksum (tensor::checksum). A mismatch is a detected transient
+     * fault; the batch is replayed and the replayed outputs are the
+     * ones served, so detected corruptions never reach a client. 0
+     * (default) disables redundancy; 1 duplicates every batch —
+     * detection coverage equals the sampled fraction of batches, paid
+     * for in duplicate execution time. Batches are sampled
+     * deterministically (an error-diffusion accumulator, not a random
+     * draw), so the same workload duplicates the same batches in
+     * every run and at every thread count.
+     */
+    double duplicationFraction = 0.0;
 };
 
 /**
@@ -397,6 +411,10 @@ class Engine
         models::WeightMap grads;
         std::vector<Request> queue;
         PlanCompiler compiler;
+        /** Error-diffusion accumulator of the ASPIS dual-issue
+         *  sampler (cfg.duplicationFraction); per variant so one
+         *  tenant's sampling never perturbs another's. */
+        double dupAccum = 0.0;
 
         Variant(const graph::HeteroGraph &g, std::string name_,
                 tensor::Tensor features, std::string source,

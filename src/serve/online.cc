@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 
 namespace hector::serve
 {
@@ -787,11 +788,52 @@ OnlineServer::runSharded()
         }
     };
 
+    // Scheduled device failures fire against the open-loop clock: the
+    // session quarantines the device and re-routes its queue (charging
+    // the structure re-sends on the admission thread), and this loop's
+    // per-device arrival deque mirrors the move — the session's
+    // re-route order IS the deque order, both FIFO by admission.
+    sim::FaultInjector *fi = group_->faultInjector();
+    auto check_failures = [&]() {
+        if (!fi)
+            return;
+        for (int d = 0; d < devices; ++d) {
+            if (sharded_->isDead(d) ||
+                !fi->failureDue(
+                    d, std::max(host_free, group_->nowSec())))
+                continue;
+            const double t_fail = fi->failureTimeSec(d);
+            const std::vector<ShardedSession::Rerouted> moved =
+                sharded_->quarantine(d, t_fail);
+            auto &dq = queued_arrivals[static_cast<std::size_t>(d)];
+            for (const ShardedSession::Rerouted &rr : moved) {
+                QueuedArrival qa{};
+                qa.id = rr.id;
+                if (!dq.empty()) {
+                    qa.arrivalSec = dq.front().arrivalSec;
+                    dq.pop_front();
+                }
+                queued_arrivals[static_cast<std::size_t>(rr.to)]
+                    .push_back(qa);
+                host_free += rr.transferSec;
+            }
+            dq.clear();
+            rep.requestsRerouted += moved.size();
+            if (obs::enabled())
+                obs::tracer().instant(
+                    "device.failure", "online", t_fail, d, 0,
+                    "\"rerouted\":" + std::to_string(moved.size()));
+        }
+        rep.devicesFailed = group_->size() - sharded_->aliveCount();
+    };
+
     // Oldest queued head across devices — FIFO-fair routing of ticks;
     // ties go to the lower device id. Returns -1 when all empty.
     auto oldest_device = [&](bool require_fill) {
         int best = -1;
         for (int d = 0; d < devices; ++d) {
+            if (sharded_->isDead(d))
+                continue;
             const auto &q = queued_arrivals[static_cast<std::size_t>(d)];
             if (q.empty())
                 continue;
@@ -816,6 +858,7 @@ OnlineServer::runSharded()
 
     while (served < cfg_.numRequests) {
         admit();
+        check_failures();
         const int d = oldest_device(!cfg_.adaptive);
         if (d < 0) {
             // Idle (or wait-to-fill still filling): jump the host
@@ -849,13 +892,22 @@ OnlineServer::runSharded()
         const double issue_done = issue_start + sb.cost.overheadSec;
         issue_free[static_cast<std::size_t>(d)] = issue_done;
 
-        // Halo rows must be resident before the batch's kernels start.
+        // Halo rows must be resident before the batch's kernels start;
+        // rows owned by failed shards re-gather from the host store
+        // over this device's PCIe lanes instead of the interconnect.
         double comm_done = issue_done;
         for (const auto &[owner, bytes] : sb.haloBytesByOwner) {
             comm_done = std::max(comm_done,
                                  group_->interconnect().transfer(
                                      owner, d, bytes, issue_done));
             rep.haloBytes += bytes;
+        }
+        if (sb.hostFallbackBytes > 0.0) {
+            sim::Runtime &frt = group_->device(d);
+            const double t = graph::hostTransferSec(
+                sb.hostFallbackBytes, frt.spec());
+            frt.hostOverhead(t);
+            comm_done = std::max(comm_done, issue_done + t);
         }
 
         const double exec_start = std::max(
@@ -867,12 +919,17 @@ OnlineServer::runSharded()
         contend_free[static_cast<std::size_t>(d)] =
             exec_start + serial_frac * sb.cost.execSec;
 
-        // All-gather the batch's outputs onto device 0.
+        // All-gather the batch's outputs onto the root (device 0
+        // unless it has been quarantined, then the lowest survivor).
+        int root = 0;
+        while (root < devices && sharded_->isDead(root))
+            ++root;
+        if (root >= devices)
+            root = d;
         const double done =
-            d != 0 ? group_->interconnect().transfer(d, 0,
-                                                     sb.gatherBytes,
-                                                     exec_done)
-                   : exec_done;
+            d != root ? group_->interconnect().transfer(
+                            d, root, sb.gatherBytes, exec_done)
+                      : exec_done;
         group_->advanceTo(done);
 
         const double halo_total = [&] {
@@ -889,7 +946,7 @@ OnlineServer::runSharded()
             obs::tracer().complete(
                 "tick", "online", exec_start, sb.cost.execSec, d, s,
                 "\"batch\":" + std::to_string(batch));
-            if (d != 0)
+            if (d != root)
                 obs::tracer().complete(
                     "gather", "comm", exec_done, done - exec_done, d, s,
                     "\"bytes\":" + obs::jsonNum(sb.gatherBytes));
@@ -915,7 +972,7 @@ OnlineServer::runSharded()
                                    "bytes=" + obs::jsonNum(halo_total));
                 flight_->event(req.id, "exec-start", exec_start, d,
                                "stream=" + std::to_string(s));
-                if (d != 0)
+                if (d != root)
                     flight_->event(
                         req.id, "all-gather", done, d,
                         "bytes=" + obs::jsonNum(sb.gatherBytes));

@@ -204,6 +204,10 @@ struct OnlineReport : ServingReport
     double haloBytes = 0.0;
     /** Link-seconds the interconnect was busy during the run, ms. */
     double interconnectMs = 0.0;
+    /** Devices quarantined as failed during the run (sharded path). */
+    int devicesFailed = 0;
+    /** Requests re-routed off failed devices to survivors. */
+    std::size_t requestsRerouted = 0;
 };
 
 /**

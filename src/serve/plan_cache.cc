@@ -24,7 +24,28 @@ cacheEvent(const char *trace_name, const char *counter_name,
     obs::metrics().counter(counter_name).inc();
 }
 
+/** FNV-1a over a string, continuing hash @p h. */
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 } // namespace
+
+std::uint64_t
+planSignature(const core::CompiledModel &plan)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, plan.code.cudaSource);
+    h = fnv1a(h, plan.code.hostSource);
+    h = fnv1a(h, plan.code.pythonSource);
+    return h;
+}
 
 std::string
 PlanKey::canonical() const
@@ -74,13 +95,30 @@ PlanCache::get(const PlanKey &key, const CompileFn &compile)
     const std::string k = key.canonical();
     auto it = plans_.find(k);
     if (it != plans_.end()) {
-        ++stats_.hits;
-        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-        if (obs::enabled())
-            cacheEvent("plan.hit", "plan_cache.hits",
-                       "\"scope\":\"" + obs::jsonEscape(key.scope) +
-                           "\"");
-        return it->second.plan;
+        // Integrity check before serving the resident plan: recompute
+        // the signature recorded at insert. A mismatch means the plan
+        // was corrupted while resident — discard it and fall through
+        // to a (counted) recompile instead of executing corrupt code.
+        ++stats_.signatureChecks;
+        if (planSignature(*it->second.plan) != it->second.signature) {
+            ++stats_.signatureMismatches;
+            if (obs::enabled())
+                cacheEvent("plan.signature-mismatch",
+                           "plan_cache.signature_mismatches",
+                           "\"scope\":\"" + obs::jsonEscape(key.scope) +
+                               "\"");
+            stats_.residentBytes -= it->second.costBytes;
+            lru_.erase(it->second.lruIt);
+            plans_.erase(it);
+        } else {
+            ++stats_.hits;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            if (obs::enabled())
+                cacheEvent("plan.hit", "plan_cache.hits",
+                           "\"scope\":\"" + obs::jsonEscape(key.scope) +
+                               "\"");
+            return it->second.plan;
+        }
     }
 
     if (everCompiled_.count(k)) {
@@ -115,6 +153,7 @@ PlanCache::get(const PlanKey &key, const CompileFn &compile)
     entry.plan = c.plan;
     entry.costBytes = c.costBytes;
     entry.scheduleKey = std::move(c.scheduleKey);
+    entry.signature = planSignature(*c.plan);
     lru_.push_front(k);
     entry.lruIt = lru_.begin();
     plans_.emplace(k, std::move(entry));
@@ -177,6 +216,30 @@ PlanCache::scheduleKeyOf(const PlanKey &key) const
     return it == plans_.end() ? std::string() : it->second.scheduleKey;
 }
 
+std::uint64_t
+PlanCache::signatureOf(const PlanKey &key) const
+{
+    auto it = plans_.find(key.canonical());
+    return it == plans_.end() ? 0 : it->second.signature;
+}
+
+bool
+PlanCache::tamperForTest(const PlanKey &key)
+{
+    auto it = plans_.find(key.canonical());
+    if (it == plans_.end())
+        return false;
+    // The cache shares the plan as a pointer-to-const; corrupting a
+    // byte in place (what a real memory fault would do) requires the
+    // one const_cast in the codebase, confined to this seam.
+    auto &code = const_cast<core::CompiledModel &>(*it->second.plan).code;
+    if (code.hostSource.empty())
+        code.hostSource.push_back('\0');
+    else
+        code.hostSource[code.hostSource.size() / 2] ^= 0x40;
+    return true;
+}
+
 void
 PlanCache::clear()
 {
@@ -202,6 +265,10 @@ absorbStats(obs::Registry &reg, const PlanCache::Stats &stats,
         .set(static_cast<double>(stats.evictions));
     reg.gauge(prefix + ".resident_bytes")
         .set(static_cast<double>(stats.residentBytes));
+    reg.gauge(prefix + ".signature_checks")
+        .set(static_cast<double>(stats.signatureChecks));
+    reg.gauge(prefix + ".signature_mismatches")
+        .set(static_cast<double>(stats.signatureMismatches));
 }
 
 } // namespace hector::serve

@@ -75,6 +75,16 @@ PlanKey makePlanKey(const std::string &source, std::int64_t din,
                     std::int64_t dout, const core::CompileOptions &options,
                     const graph::HeteroGraph &g);
 
+/**
+ * ASPIS-style integrity signature of a compiled plan: an FNV-1a
+ * fingerprint of the generated sources. Recorded when a plan enters
+ * the cache and re-verified on every hit, so a plan corrupted while
+ * resident is caught before it serves a request (the same
+ * signature-compare idea the redundant-execution path applies to
+ * outputs).
+ */
+std::uint64_t planSignature(const core::CompiledModel &plan);
+
 /** Memoizes core::compile() results; single-threaded like the sim. */
 class PlanCache
 {
@@ -91,6 +101,12 @@ class PlanCache
         std::uint64_t evictions = 0;
         /** Modeled bytes of the currently resident plans. */
         std::size_t residentBytes = 0;
+        /** Plan-signature verifications performed (one per hit). */
+        std::uint64_t signatureChecks = 0;
+        /** Resident plans whose recomputed signature no longer matched
+         *  the one recorded at insert (in-memory corruption); the
+         *  entry is discarded and recompiled. */
+        std::uint64_t signatureMismatches = 0;
         /** Pass work actually performed (misses + recompiles). */
         core::PassStats passWork;
     };
@@ -151,6 +167,19 @@ class PlanCache
      *  compile recorded none. */
     std::string scheduleKeyOf(const PlanKey &key) const;
 
+    /** Signature recorded for @p key at insert; 0 when not resident. */
+    std::uint64_t signatureOf(const PlanKey &key) const;
+
+    /**
+     * Fault-injection seam for the signature check: flip one byte of
+     * @p key's resident generated code, simulating in-memory plan
+     * corruption. The next get() of the key recomputes the signature,
+     * counts the mismatch, discards the entry and recompiles. Returns
+     * false when the key is not resident. Test-only by design — the
+     * one place the cache mutates a plan.
+     */
+    bool tamperForTest(const PlanKey &key);
+
     const Stats &stats() const { return stats_; }
     std::size_t size() const { return plans_.size(); }
     void clear();
@@ -161,6 +190,8 @@ class PlanCache
         std::shared_ptr<const core::CompiledModel> plan;
         std::size_t costBytes = 0;
         std::string scheduleKey;
+        /** planSignature() at insert, verified on every hit. */
+        std::uint64_t signature = 0;
         /** Position in lru_ (front = most recently used). */
         std::list<std::string>::iterator lruIt;
     };

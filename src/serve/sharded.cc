@@ -1,11 +1,14 @@
 #include "serve/sharded.hh"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "core/frontend.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 
 namespace hector::serve
 {
@@ -31,7 +34,8 @@ ShardedSession::ShardedSession(const graph::HeteroGraph &g,
       execCtxs_(static_cast<std::size_t>(group.size())),
       execGrads_(static_cast<std::size_t>(group.size())),
       queues_(static_cast<std::size_t>(group.size())),
-      pendingHostSec_(static_cast<std::size_t>(group.size()), 0.0)
+      pendingHostSec_(static_cast<std::size_t>(group.size()), 0.0),
+      dead_(static_cast<std::size_t>(group.size()), 0)
 {
     if (hostFeatures_.dim(1) != cfg_.serving.din)
         throw std::runtime_error(
@@ -100,18 +104,27 @@ ShardedSession::homeShard(const graph::Minibatch &mb) const
     // — the plurality owner alone routes ~40% of bgs requests to one
     // device). Scoring owned_vertices x queue_headroom with a hard
     // per-device queue cap keeps both bounded, deterministically; by
-    // pigeonhole some shard is always below the cap.
+    // pigeonhole some shard is always below the cap. Quarantined
+    // devices are never candidates; with every device alive the math
+    // is exactly the pre-fault-tolerance formula, so routing (and the
+    // whole timeline) stays bit-identical on fault-free runs.
     const std::int64_t k = group_.size();
+    const std::int64_t alive = aliveCount();
+    if (alive == 0)
+        throw std::runtime_error(
+            "ShardedSession: no surviving devices to route to");
     std::vector<std::int64_t> owned(static_cast<std::size_t>(k), 0);
     for (std::int64_t v : mb.nodeMap)
         ++owned[static_cast<std::size_t>(
             partition_.shardOf[static_cast<std::size_t>(v)])];
     const std::int64_t total =
         static_cast<std::int64_t>(queued()) + 1;
-    const std::int64_t cap = (total + k - 1) / k + 1;
+    const std::int64_t cap = (total + alive - 1) / alive + 1;
     int best = -1;
     std::int64_t best_score = -1;
     for (int s = 0; s < k; ++s) {
+        if (dead_[static_cast<std::size_t>(s)])
+            continue;
         const std::int64_t load = static_cast<std::int64_t>(
             queues_[static_cast<std::size_t>(s)].size());
         const std::int64_t headroom = cap - load;
@@ -124,7 +137,114 @@ ShardedSession::homeShard(const graph::Minibatch &mb) const
             best_score = score;
         }
     }
-    return best < 0 ? 0 : best;
+    if (best >= 0)
+        return best;
+    for (int s = 0; s < k; ++s)
+        if (!dead_[static_cast<std::size_t>(s)])
+            return s;
+    return 0;
+}
+
+bool
+ShardedSession::isDead(int device) const
+{
+    if (device < 0 || device >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    return dead_[static_cast<std::size_t>(device)] != 0;
+}
+
+int
+ShardedSession::aliveCount() const
+{
+    int n = 0;
+    for (char d : dead_)
+        if (!d)
+            ++n;
+    return n;
+}
+
+bool
+ShardedSession::shouldDuplicate()
+{
+    const double f = cfg_.serving.duplicationFraction;
+    if (f <= 0.0)
+        return false;
+    // Error diffusion: of the first k primary batches, exactly
+    // round(k * f) dual-issue, with no RNG — the sampling pattern is a
+    // pure function of the call sequence, so a fault run replays
+    // identically at any thread count.
+    dupAccum_ += f;
+    if (dupAccum_ >= 1.0 - 1e-12) {
+        dupAccum_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+std::vector<Tensor>
+ShardedSession::runBatch(const core::CompiledModel &plan,
+                         const std::vector<const Request *> &reqs, int d)
+{
+    sim::Runtime &rt = group_.device(d);
+    MicroBatch batch = coalesce(reqs, rt);
+    return executeBatch(plan, batch, weights_, rt,
+                        execCtxs_[static_cast<std::size_t>(d)],
+                        execGrads_[static_cast<std::size_t>(d)],
+                        cfg_.serving.useArena);
+}
+
+std::vector<ShardedSession::Rerouted>
+ShardedSession::quarantine(int device, double t_sec)
+{
+    if (device < 0 || device >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    std::vector<Rerouted> moved;
+    if (dead_[static_cast<std::size_t>(device)])
+        return moved;
+    dead_[static_cast<std::size_t>(device)] = 1;
+    sim::FaultInjector *fi = group_.faultInjector();
+    if (fi && !fi->isFailed(device))
+        fi->markFailed(device, t_sec);
+
+    auto &q = queues_[static_cast<std::size_t>(device)];
+    if (!q.empty() && aliveCount() == 0)
+        throw std::runtime_error(
+            "ShardedSession::quarantine: requests queued but no "
+            "surviving devices");
+    moved.reserve(q.size());
+    for (Request &r : q) {
+        // The dead device's resident copies are gone: the subgraph
+        // structure re-sends over the new home's PCIe lanes, exactly
+        // like a fresh submit (features re-gather at serve time, the
+        // dead shard's rows via the host-fallback halo path).
+        const int to = homeShard(r.mb);
+        sim::Runtime &rt = group_.device(to);
+        const double transfer = graph::hostTransferSec(
+            static_cast<double>(r.mb.subgraph.structureBytes()),
+            rt.spec());
+        rt.hostOverhead(transfer);
+        pendingHostSec_[static_cast<std::size_t>(to)] += transfer;
+        Rerouted rr;
+        rr.id = r.id;
+        rr.from = device;
+        rr.to = to;
+        rr.transferSec = transfer;
+        moved.push_back(rr);
+        if (fi)
+            fi->noteReroute(r.id, device, to, t_sec);
+        if (flight_)
+            flight_->event(r.id, "reroute", t_sec, to,
+                           "from=" + std::to_string(device));
+        r.submitSec = pendingHostSec_[static_cast<std::size_t>(to)];
+        queues_[static_cast<std::size_t>(to)].push_back(std::move(r));
+    }
+    q.clear();
+    pendingHostSec_[static_cast<std::size_t>(device)] = 0.0;
+    if (obs::enabled())
+        obs::tracer().instant(
+            "device.quarantine", "serve", t_sec, device, 0,
+            "\"rerouted\":" + std::to_string(moved.size()));
+    return moved;
 }
 
 ShardedSession::SubmitInfo
@@ -209,11 +329,13 @@ ShardedSession::queuedOn(int device) const
 
 std::vector<std::pair<int, double>>
 ShardedSession::batchHaloBytes(const std::vector<const Request *> &reqs,
-                               int home) const
+                               int home,
+                               double *host_fallback_bytes) const
 {
     // Unique full-graph vertices across the batch (the union gather
     // deduplicates them), grouped by owner shard. Each non-home row
-    // crosses the owner -> home link once.
+    // crosses the owner -> home link once; rows whose owner has failed
+    // can't — they re-gather from the host store instead.
     const double row_bytes =
         static_cast<double>(cfg_.serving.din) * sizeof(float);
     std::unordered_set<std::int64_t> seen;
@@ -224,9 +346,15 @@ ShardedSession::batchHaloBytes(const std::vector<const Request *> &reqs,
             if (seen.insert(v).second) {
                 const std::int32_t owner =
                     partition_.shardOf[static_cast<std::size_t>(v)];
-                if (owner != home)
+                if (owner == home)
+                    continue;
+                if (dead_[static_cast<std::size_t>(owner)]) {
+                    if (host_fallback_bytes)
+                        *host_fallback_bytes += row_bytes;
+                } else {
                     per_owner[static_cast<std::size_t>(owner)] +=
                         row_bytes;
+                }
             }
     std::vector<std::pair<int, double>> halo;
     for (int s = 0; s < group_.size(); ++s)
@@ -244,8 +372,25 @@ ShardedSession::drain()
         static_cast<std::size_t>(group_.size()), 0);
     report.cutEdges = partition_.cutEdges;
     report.cutRatio = partition_.cutRatio();
+
+    sim::FaultInjector *fi = group_.faultInjector();
+
+    // Phase 0: failures already due on the group clock fire before any
+    // work is placed — the dead device's queue re-routes to survivors.
+    if (fi)
+        for (int d = 0; d < group_.size(); ++d)
+            if (!dead_[static_cast<std::size_t>(d)] &&
+                fi->failureDue(d, group_.nowSec()))
+                report.requestsRerouted +=
+                    quarantine(d, fi->failureTimeSec(d)).size();
+    report.devicesFailed = group_.size() - aliveCount();
+
     if (queued() == 0)
         return report;
+    if (aliveCount() == 0)
+        throw std::runtime_error(
+            "ShardedSession::drain: requests queued but no surviving "
+            "devices");
 
     results_.clear();
 
@@ -257,7 +402,8 @@ ShardedSession::drain()
     // Cycle timeline on the shared clock: each device's queued
     // structure transfers serialize on its own PCIe lanes (devices
     // overlap), then the device pulls its halo over the interconnect
-    // and computes, and every batch's outputs gather onto device 0.
+    // and computes, and every batch's outputs gather onto the
+    // all-gather root (device 0 unless it is quarantined).
     const double base = group_.nowSec();
     obs::Span drain_span("sharded.drain", "serve", base, 0, 0);
 
@@ -265,6 +411,15 @@ ShardedSession::drain()
         std::max<std::size_t>(1, cfg_.serving.maxBatch);
     const double dout_bytes =
         static_cast<double>(cfg_.serving.dout) * sizeof(float);
+    const double kInf = std::numeric_limits<double>::infinity();
+
+    const auto lowest_alive = [&]() {
+        for (int d = 0; d < group_.size(); ++d)
+            if (!dead_[static_cast<std::size_t>(d)])
+                return d;
+        return 0;
+    };
+    const int root = lowest_alive();
 
     std::vector<double> latencies;
     std::vector<double> queue_delays;
@@ -273,12 +428,29 @@ ShardedSession::drain()
     double cycle_end = base;
     double halo_bytes = 0.0;
     double gather_bytes = 0.0;
+    double primary_exec_sec = 0.0;
+    double redundant_exec_sec = 0.0;
 
+    // A batch whose modeled compute finishes after its device's
+    // failure instant is lost with the device; copies of its requests
+    // replay on survivors in wave 2.
+    struct LostBatch
+    {
+        std::vector<Request> reqs;
+        int from = 0;
+        double tFail = 0.0;
+    };
+    std::vector<LostBatch> lost;
+    std::vector<double> dev_end(
+        static_cast<std::size_t>(group_.size()), base);
+
+    // Wave 1: every alive device serves its own queue.
     for (int d = 0; d < group_.size(); ++d) {
+        if (dead_[static_cast<std::size_t>(d)])
+            continue;
         auto &q = queues_[static_cast<std::size_t>(d)];
         if (q.empty())
             continue;
-        report.perDeviceRequests[static_cast<std::size_t>(d)] = q.size();
         sim::Runtime &rt = group_.device(d);
         StreamScheduler sched(rt, cfg_.serving.numStreams);
         auto scope = rt.memoryScope();
@@ -286,11 +458,16 @@ ShardedSession::drain()
         const double host_end =
             base + pendingHostSec_[static_cast<std::size_t>(d)];
         cycle_end = std::max(cycle_end, host_end);
+        const double t_fail = fi ? fi->failureTimeSec(d) : kInf;
 
-        // Halo exchange for everything this device is about to serve,
-        // charged per batch on the owner -> home links.
+        // Halo exchange for everything this device is about to serve:
+        // surviving owners charge the owner -> home links per batch,
+        // rows of failed owners re-gather from the host store over
+        // this device's PCIe lanes (serialized after its structure
+        // transfers).
         double comm_done = host_end;
         double device_halo = 0.0;
+        double fallback_sec = 0.0;
         std::vector<std::vector<const Request *>> batches;
         for (std::size_t lo = 0; lo < q.size(); lo += cap) {
             const std::size_t hi = std::min(q.size(), lo + cap);
@@ -298,15 +475,23 @@ ShardedSession::drain()
             reqs.reserve(hi - lo);
             for (std::size_t i = lo; i < hi; ++i)
                 reqs.push_back(&q[i]);
-            for (const auto &[owner, bytes] : batchHaloBytes(reqs, d)) {
+            double fb = 0.0;
+            for (const auto &[owner, bytes] :
+                 batchHaloBytes(reqs, d, &fb)) {
                 comm_done = std::max(
                     comm_done, group_.interconnect().transfer(
                                    owner, d, bytes, host_end));
                 halo_bytes += bytes;
                 device_halo += bytes;
             }
+            if (fb > 0.0) {
+                const double t = graph::hostTransferSec(fb, rt.spec());
+                rt.hostOverhead(t);
+                fallback_sec += t;
+            }
             batches.push_back(std::move(reqs));
         }
+        comm_done = std::max(comm_done, host_end + fallback_sec);
         if (obs::enabled() && comm_done > host_end)
             obs::tracer().complete(
                 "halo", "comm", host_end, comm_done - host_end, d, 0,
@@ -314,62 +499,162 @@ ShardedSession::drain()
 
         // Compute: this device's own driver thread and streams, on the
         // shared overlap rule, starting once the halo is resident.
-        for (const auto &reqs : batches) {
-            sched.run([&]() {
-                MicroBatch batch = coalesce(reqs, rt);
-                std::vector<Tensor> outs = executeBatch(
-                    *plan, batch, weights_, rt,
-                    execCtxs_[static_cast<std::size_t>(d)],
-                    execGrads_[static_cast<std::size_t>(d)],
-                    cfg_.serving.useArena);
-                tensor::TrackerScope untracked(nullptr);
-                for (std::size_t i = 0; i < reqs.size(); ++i)
-                    results_.insert_or_assign(reqs[i]->id,
-                                              outs[i].clone());
+        // Primary runs may be sandwiched by the ASPIS-style redundancy
+        // machinery: a scheduled transient corrupts the primary's
+        // output, a deterministically sampled duplicate re-executes and
+        // compares checksums, and a detected mismatch replays a third
+        // time (the replay is served — bit-identical to fault-free).
+        struct Runs
+        {
+            int primary = -1;
+            int dup = -1;
+            int replay = -1;
+        };
+        std::vector<Runs> runs(batches.size());
+        std::vector<std::vector<Tensor>> outs(batches.size());
+        int run_idx = 0;
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            const bool hit = fi && fi->armTransient(d);
+            const std::uint64_t ord = fi ? fi->batchOrdinal(d) : 0;
+            runs[b].primary = run_idx++;
+            sched.run([&, b]() {
+                outs[b] = runBatch(*plan, batches[b], d);
             });
+            if (hit)
+                fi->corruptBatch(outs[b], d, host_end);
+            if (shouldDuplicate()) {
+                ++report.duplicatesIssued;
+                if (fi)
+                    fi->noteDuplicate(d, host_end, ord);
+                std::vector<Tensor> dup;
+                runs[b].dup = run_idx++;
+                sched.run([&]() {
+                    dup = runBatch(*plan, batches[b], d);
+                });
+                const std::uint64_t lhs = tensor::checksum(outs[b]);
+                const std::uint64_t rhs = tensor::checksum(dup);
+                if (lhs != rhs) {
+                    ++report.transientsDetected;
+                    if (fi)
+                        fi->noteDetection(d, host_end, ord, lhs, rhs);
+                    if (obs::enabled())
+                        obs::tracer().instant(
+                            "fault.detect", "serve", host_end, d, 0,
+                            "\"batch\":" + std::to_string(ord));
+                    runs[b].replay = run_idx++;
+                    sched.run([&, b]() {
+                        outs[b] = runBatch(*plan, batches[b], d);
+                    });
+                    if (fi)
+                        fi->noteReplay(d, host_end, "transient");
+                    report.requestsReplayed += batches[b].size();
+                    if (flight_)
+                        for (const Request *r : batches[b])
+                            flight_->event(r->id, "replay", host_end,
+                                           d, "why=transient");
+                }
+            } else if (hit) {
+                fi->noteEscape(d, host_end, ord);
+            }
         }
 
         const std::vector<double> completions = sched.completionTimes();
-        std::size_t req_idx = 0;
         for (std::size_t b = 0; b < batches.size(); ++b) {
-            const double compute_done = comm_done + completions[b];
-            // All-gather this batch's outputs onto device 0.
+            primary_exec_sec +=
+                sched.batches()[static_cast<std::size_t>(
+                                    runs[b].primary)]
+                    .execSec;
+            if (runs[b].dup >= 0)
+                redundant_exec_sec +=
+                    sched.batches()[static_cast<std::size_t>(
+                                        runs[b].dup)]
+                        .execSec;
+            if (runs[b].replay >= 0)
+                redundant_exec_sec +=
+                    sched.batches()[static_cast<std::size_t>(
+                                        runs[b].replay)]
+                        .execSec;
+        }
+
+        double device_end = host_end;
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            double compute_done =
+                comm_done + completions[static_cast<std::size_t>(
+                                runs[b].primary)];
+            if (runs[b].dup >= 0)
+                compute_done = std::max(
+                    compute_done,
+                    comm_done + completions[static_cast<std::size_t>(
+                                    runs[b].dup)]);
+            if (runs[b].replay >= 0)
+                compute_done = std::max(
+                    compute_done,
+                    comm_done + completions[static_cast<std::size_t>(
+                                    runs[b].replay)]);
+            if (compute_done > t_fail) {
+                // Lost with the device: the outputs never left it.
+                LostBatch lb;
+                lb.from = d;
+                lb.tFail = t_fail;
+                lb.reqs.reserve(batches[b].size());
+                for (const Request *r : batches[b]) {
+                    lb.reqs.push_back(*r);
+                    if (flight_)
+                        flight_->event(r->id, "lost", t_fail, d,
+                                       "batch=" + std::to_string(b));
+                }
+                lost.push_back(std::move(lb));
+                continue;
+            }
+            {
+                tensor::TrackerScope untracked(nullptr);
+                for (std::size_t i = 0; i < batches[b].size(); ++i)
+                    results_.insert_or_assign(batches[b][i]->id,
+                                              outs[b][i].clone());
+            }
+            // All-gather this batch's outputs onto the root.
             double out_bytes = 0.0;
             for (const Request *r : batches[b])
                 out_bytes += static_cast<double>(
                                  r->mb.subgraph.numNodes()) *
                              dout_bytes;
             double final_done = compute_done;
-            if (d != 0) {
+            if (d != root) {
                 final_done = group_.interconnect().transfer(
-                    d, 0, out_bytes, compute_done);
+                    d, root, out_bytes, compute_done);
                 gather_bytes += out_bytes;
             }
             cycle_end = std::max(cycle_end, final_done);
+            device_end = std::max(device_end, final_done);
 
-            const ScheduledBatch &sb = sched.batches()[b];
+            const ScheduledBatch &sb =
+                sched.batches()[static_cast<std::size_t>(
+                    runs[b].primary)];
             const double service = sb.overheadSec + sb.execSec;
-            const double exec_start = compute_done - sb.execSec;
+            const double exec_start =
+                comm_done + completions[static_cast<std::size_t>(
+                                runs[b].primary)] -
+                sb.execSec;
             if (obs::enabled()) {
                 obs::tracer().complete(
                     "batch", "serve", exec_start, sb.execSec, d,
                     sb.stream,
                     "\"requests\":" +
                         std::to_string(batches[b].size()));
-                if (d != 0)
+                if (d != root)
                     obs::tracer().complete(
                         "gather", "comm", compute_done,
                         final_done - compute_done, d, sb.stream,
                         "\"bytes\":" + obs::jsonNum(out_bytes));
             }
-            for (std::size_t i = 0; i < batches[b].size();
-                 ++i, ++req_idx) {
+            for (std::size_t i = 0; i < batches[b].size(); ++i) {
+                const Request *r = batches[b][i];
                 const double lat =
-                    final_done - (base + q[req_idx].submitSec);
+                    final_done - (base + r->submitSec);
                 latencies.push_back(lat);
                 queue_delays.push_back(std::max(0.0, lat - service));
                 if (flight_) {
-                    const std::uint64_t id = q[req_idx].id;
+                    const std::uint64_t id = r->id;
                     flight_->event(id, "batch-join", host_end, d,
                                    "batch=" + std::to_string(b) +
                                        " size=" +
@@ -382,7 +667,7 @@ ShardedSession::drain()
                     flight_->event(id, "exec-start", exec_start, d,
                                    "stream=" +
                                        std::to_string(sb.stream));
-                    if (d != 0)
+                    if (d != root)
                         flight_->event(
                             id, "all-gather", final_done, d,
                             "bytes=" + obs::jsonNum(out_bytes));
@@ -391,9 +676,198 @@ ShardedSession::drain()
                         "latency_ms=" + obs::jsonNum(lat * 1e3));
                 }
             }
+            report.perDeviceRequests[static_cast<std::size_t>(d)] +=
+                batches[b].size();
             report.batches += 1;
+            report.requests += batches[b].size();
         }
-        report.requests += q.size();
+        dev_end[static_cast<std::size_t>(d)] = device_end;
+    }
+
+    // Fire failures that struck inside this cycle's window: the device
+    // is quarantined for the cycles to come (phase 0 above handles
+    // failures that were already due at entry).
+    double t_fail_max = base;
+    if (fi)
+        for (int d = 0; d < group_.size(); ++d) {
+            if (dead_[static_cast<std::size_t>(d)])
+                continue;
+            const double tf = fi->failureTimeSec(d);
+            if (tf <= cycle_end) {
+                dead_[static_cast<std::size_t>(d)] = 1;
+                fi->markFailed(d, tf);
+                t_fail_max = std::max(t_fail_max, tf);
+            }
+        }
+    report.devicesFailed = group_.size() - aliveCount();
+
+    // Wave 2: replay batches the failure lost, on the survivors.
+    if (!lost.empty()) {
+        if (aliveCount() == 0)
+            throw std::runtime_error(
+                "ShardedSession::drain: device failure with no "
+                "survivors to replay on");
+        const int root2 = lowest_alive();
+
+        // Route each lost request to a survivor by the same
+        // affinity x headroom rule, over the replay load alone.
+        std::vector<std::vector<Request>> replay_q(
+            static_cast<std::size_t>(group_.size()));
+        std::size_t n_lost = 0;
+        for (const LostBatch &lb : lost)
+            n_lost += lb.reqs.size();
+        const std::int64_t alive = aliveCount();
+        const std::int64_t rcap =
+            (static_cast<std::int64_t>(n_lost) + alive - 1) / alive + 1;
+        for (LostBatch &lb : lost)
+            for (Request &r : lb.reqs) {
+                std::vector<std::int64_t> owned(
+                    static_cast<std::size_t>(group_.size()), 0);
+                for (std::int64_t v : r.mb.nodeMap)
+                    ++owned[static_cast<std::size_t>(
+                        partition_.shardOf[static_cast<std::size_t>(
+                            v)])];
+                int best = -1;
+                std::int64_t best_score = -1;
+                for (int s = 0; s < group_.size(); ++s) {
+                    if (dead_[static_cast<std::size_t>(s)])
+                        continue;
+                    const std::int64_t headroom =
+                        rcap - static_cast<std::int64_t>(
+                                   replay_q[static_cast<std::size_t>(
+                                                s)]
+                                       .size());
+                    if (headroom <= 0)
+                        continue;
+                    const std::int64_t score =
+                        (owned[static_cast<std::size_t>(s)] + 1) *
+                        headroom;
+                    if (score > best_score) {
+                        best = s;
+                        best_score = score;
+                    }
+                }
+                if (best < 0)
+                    best = root2;
+                if (fi)
+                    fi->noteReroute(r.id, lb.from, best, lb.tFail);
+                ++report.requestsRerouted;
+                if (flight_)
+                    flight_->event(r.id, "reroute", lb.tFail, best,
+                                   "from=" + std::to_string(lb.from));
+                replay_q[static_cast<std::size_t>(best)].push_back(
+                    std::move(r));
+            }
+        report.requestsReplayed += n_lost;
+
+        for (int s = 0; s < group_.size(); ++s) {
+            auto &rq = replay_q[static_cast<std::size_t>(s)];
+            if (rq.empty())
+                continue;
+            sim::Runtime &rt = group_.device(s);
+            StreamScheduler sched(rt, cfg_.serving.numStreams);
+            auto scope = rt.memoryScope();
+
+            // The survivor starts once the failure has happened and
+            // its own wave-1 work is done; the lost requests' subgraph
+            // structures re-send serialized on its PCIe lanes, and
+            // the dead shard's feature rows re-gather from the host
+            // store (host-fallback halo).
+            double host_end = std::max(
+                t_fail_max, dev_end[static_cast<std::size_t>(s)]);
+            for (const Request &r : rq) {
+                const double t = graph::hostTransferSec(
+                    static_cast<double>(
+                        r.mb.subgraph.structureBytes()),
+                    rt.spec());
+                rt.hostOverhead(t);
+                host_end += t;
+            }
+            cycle_end = std::max(cycle_end, host_end);
+
+            double comm_done = host_end;
+            double fallback_sec = 0.0;
+            std::vector<std::vector<const Request *>> batches;
+            for (std::size_t lo = 0; lo < rq.size(); lo += cap) {
+                const std::size_t hi = std::min(rq.size(), lo + cap);
+                std::vector<const Request *> reqs;
+                reqs.reserve(hi - lo);
+                for (std::size_t i = lo; i < hi; ++i)
+                    reqs.push_back(&rq[i]);
+                double fb = 0.0;
+                for (const auto &[owner, bytes] :
+                     batchHaloBytes(reqs, s, &fb)) {
+                    comm_done = std::max(
+                        comm_done, group_.interconnect().transfer(
+                                       owner, s, bytes, host_end));
+                    halo_bytes += bytes;
+                }
+                if (fb > 0.0) {
+                    const double t =
+                        graph::hostTransferSec(fb, rt.spec());
+                    rt.hostOverhead(t);
+                    fallback_sec += t;
+                }
+                batches.push_back(std::move(reqs));
+            }
+            comm_done = std::max(comm_done, host_end + fallback_sec);
+
+            std::vector<std::vector<Tensor>> outs(batches.size());
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                sched.run([&, b]() {
+                    outs[b] = runBatch(*plan, batches[b], s);
+                });
+                if (fi)
+                    fi->noteReplay(s, host_end, "device-failure");
+            }
+
+            const std::vector<double> completions =
+                sched.completionTimes();
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                redundant_exec_sec += sched.batches()[b].execSec;
+                const double compute_done = comm_done + completions[b];
+                {
+                    tensor::TrackerScope untracked(nullptr);
+                    for (std::size_t i = 0; i < batches[b].size();
+                         ++i)
+                        results_.insert_or_assign(
+                            batches[b][i]->id, outs[b][i].clone());
+                }
+                double out_bytes = 0.0;
+                for (const Request *r : batches[b])
+                    out_bytes += static_cast<double>(
+                                     r->mb.subgraph.numNodes()) *
+                                 dout_bytes;
+                double final_done = compute_done;
+                if (s != root2) {
+                    final_done = group_.interconnect().transfer(
+                        s, root2, out_bytes, compute_done);
+                    gather_bytes += out_bytes;
+                }
+                cycle_end = std::max(cycle_end, final_done);
+
+                const ScheduledBatch &sb = sched.batches()[b];
+                const double service = sb.overheadSec + sb.execSec;
+                for (const Request *r : batches[b]) {
+                    const double lat =
+                        final_done - (base + r->submitSec);
+                    latencies.push_back(lat);
+                    queue_delays.push_back(
+                        std::max(0.0, lat - service));
+                    if (flight_) {
+                        flight_->event(r->id, "replay", host_end, s,
+                                       "why=device-failure");
+                        flight_->event(
+                            r->id, "completion", final_done, s,
+                            "latency_ms=" + obs::jsonNum(lat * 1e3));
+                    }
+                }
+                report.perDeviceRequests[static_cast<std::size_t>(
+                    s)] += batches[b].size();
+                report.batches += 1;
+                report.requests += batches[b].size();
+            }
+        }
     }
 
     group_.advanceTo(cycle_end);
@@ -422,8 +896,14 @@ ShardedSession::drain()
     report.gatherBytes = gather_bytes;
     report.interconnectMs =
         (group_.interconnect().totalBusySec() - ic_busy_before) * 1e3;
+    report.duplicationOverheadPct =
+        primary_exec_sec > 0.0
+            ? redundant_exec_sec / primary_exec_sec * 100.0
+            : 0.0;
     fillCacheStats(report, cache_.stats());
     report.launches = group_.totalLaunches() - launches_before;
+    if (fi && obs::enabled())
+        absorbFaultStats(obs::metrics(), fi->stats(), "fault");
 
     for (auto &q : queues_)
         q.clear();
@@ -436,6 +916,9 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
 {
     if (device < 0 || device >= group_.size())
         throw std::runtime_error("ShardedSession: device out of range");
+    if (dead_[static_cast<std::size_t>(device)])
+        throw std::runtime_error(
+            "ShardedSession::serveOldestOn: device is quarantined");
     ShardBatch out;
     out.device = device;
     auto &q = queues_[static_cast<std::size_t>(device)];
@@ -459,7 +942,8 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
     reqs.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         reqs.push_back(&q[i]);
-    out.haloBytesByOwner = batchHaloBytes(reqs, device);
+    out.haloBytesByOwner =
+        batchHaloBytes(reqs, device, &out.hostFallbackBytes);
     const double dout_bytes =
         static_cast<double>(cfg_.serving.dout) * sizeof(float);
     if (device != 0)
@@ -469,20 +953,58 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
                                dout_bytes;
 
     sim::Runtime &rt = group_.device(device);
-    const StreamRunCost run = runOnStream(rt, stream, [&]() {
-        auto scope = rt.memoryScope();
-        MicroBatch batch = coalesce(reqs, rt);
-        std::vector<Tensor> outs = executeBatch(
-            *plan, batch, weights_, rt,
-            execCtxs_[static_cast<std::size_t>(device)],
-            execGrads_[static_cast<std::size_t>(device)],
-            cfg_.serving.useArena);
+    sim::FaultInjector *fi = group_.faultInjector();
+    std::vector<Tensor> outs;
+    const auto run_once = [&](std::vector<Tensor> &dst) {
+        return runOnStream(rt, stream, [&]() {
+            auto scope = rt.memoryScope();
+            dst = runBatch(*plan, reqs, device);
+        });
+    };
+    const StreamRunCost run = run_once(outs);
+    out.cost.execSec = run.execSec;
+    out.cost.overheadSec = run.overheadSec;
+
+    // ASPIS sandwich, same semantics as drain(): scheduled transient
+    // corrupts the primary output, a sampled duplicate detects by
+    // checksum compare, a detection replays (and the replay is
+    // served). All runs serialize on this stream, so their cost folds
+    // into the batch's cost the online layer charges.
+    const bool hit = fi && fi->armTransient(device);
+    const std::uint64_t ord = fi ? fi->batchOrdinal(device) : 0;
+    if (hit)
+        fi->corruptBatch(outs, device, group_.nowSec());
+    if (shouldDuplicate()) {
+        if (fi)
+            fi->noteDuplicate(device, group_.nowSec(), ord);
+        std::vector<Tensor> dup;
+        const StreamRunCost r2 = run_once(dup);
+        out.cost.execSec += r2.execSec;
+        out.cost.overheadSec += r2.overheadSec;
+        const std::uint64_t lhs = tensor::checksum(outs);
+        const std::uint64_t rhs = tensor::checksum(dup);
+        if (lhs != rhs) {
+            if (fi)
+                fi->noteDetection(device, group_.nowSec(), ord, lhs,
+                                  rhs);
+            const StreamRunCost r3 = run_once(outs);
+            out.cost.execSec += r3.execSec;
+            out.cost.overheadSec += r3.overheadSec;
+            if (fi)
+                fi->noteReplay(device, group_.nowSec(), "transient");
+            if (flight_)
+                for (const Request *r : reqs)
+                    flight_->event(r->id, "replay", group_.nowSec(),
+                                   device, "why=transient");
+        }
+    } else if (hit) {
+        fi->noteEscape(device, group_.nowSec(), ord);
+    }
+    {
         tensor::TrackerScope untracked(nullptr);
         for (std::size_t i = 0; i < n; ++i)
             results_.insert_or_assign(q[i].id, outs[i].clone());
-    });
-    out.cost.execSec = run.execSec;
-    out.cost.overheadSec = run.overheadSec;
+    }
 
     // Rebase this device's transfer bookkeeping exactly like
     // ServingSession::serveOldest: the served requests' cumulative

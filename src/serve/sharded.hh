@@ -82,6 +82,20 @@ struct ShardedReport : ServingReport
     double gatherBytes = 0.0;
     /** Link-seconds the interconnect was busy this cycle, as ms. */
     double interconnectMs = 0.0;
+    /** Devices quarantined as failed by the end of the cycle. */
+    int devicesFailed = 0;
+    /** Requests re-executed on survivors after a mid-cycle device
+     *  failure or a detected transient corruption. */
+    std::size_t requestsReplayed = 0;
+    /** Requests re-routed off failed devices (quarantine + in-cycle). */
+    std::size_t requestsRerouted = 0;
+    /** Redundant (dual-issue) batch executions this cycle. */
+    std::uint64_t duplicatesIssued = 0;
+    /** Output-checksum mismatches the redundant executions caught. */
+    std::uint64_t transientsDetected = 0;
+    /** Redundant + replay execution seconds as a percentage of the
+     *  primary execution seconds: what detection coverage costs. */
+    double duplicationOverheadPct = 0.0;
 };
 
 /** Accounting of one micro-batch served by serveOldestOn(). */
@@ -91,10 +105,15 @@ struct ShardBatch
     BatchCost cost;
     /** Home device the batch ran on. */
     int device = 0;
-    /** Halo bytes owed per owner shard: (owner, bytes) pairs. */
+    /** Halo bytes owed per owner shard: (owner, bytes) pairs. Only
+     *  surviving owners appear; rows owned by failed shards fall back
+     *  to the host store (hostFallbackBytes). */
     std::vector<std::pair<int, double>> haloBytesByOwner;
     /** Output bytes to all-gather onto device 0 (0 when home is 0). */
     double gatherBytes = 0.0;
+    /** Halo rows whose owner shard has failed, re-gathered from the
+     *  host feature store over PCIe instead of the interconnect. */
+    double hostFallbackBytes = 0.0;
 };
 
 class ShardedSession
@@ -161,6 +180,46 @@ class ShardedSession
      *  retains results for one cycle, like the single-device path). */
     const tensor::Tensor *result(std::uint64_t id) const;
 
+    /// @name Fault tolerance.
+    ///
+    /// A device failure (sim::FaultInjector attached to the group, or
+    /// an explicit quarantine() call) removes the device from service:
+    /// its queued requests are re-routed to surviving shards — the
+    /// subgraph structure is re-sent over the survivor's PCIe lanes,
+    /// and at serve time any halo row the dead shard owned is
+    /// re-gathered from the host feature store instead of the
+    /// interconnect — and drain() replays work the failure lost
+    /// mid-cycle on the survivors. Recovered outputs are bit-identical
+    /// to the fault-free run (re-execution of the same requests with
+    /// the same weights; the batch-invariance property). With every
+    /// device failed, serving throws rather than hanging or dividing
+    /// by zero.
+    /// @{
+
+    /** One re-routed request of a quarantine. */
+    struct Rerouted
+    {
+        std::uint64_t id = 0;
+        int from = 0;
+        int to = 0;
+        /** Structure re-send charged on the new home's PCIe lanes. */
+        double transferSec = 0.0;
+    };
+
+    /**
+     * Quarantine @p device at virtual time @p t_sec: mark it failed
+     * (firing the injector's failure event if one is pending) and
+     * re-route its queued requests to surviving shards, preserving
+     * request ids and FIFO order. Throws when requests are queued and
+     * no survivor remains. Idempotent once the device is dead.
+     */
+    std::vector<Rerouted> quarantine(int device, double t_sec);
+
+    bool isDead(int device) const;
+    int aliveCount() const;
+
+    /// @}
+
     /**
      * Attach a per-request flight recorder: enqueue events are
      * recorded at submit, batch-join/exec/halo/gather/completion
@@ -185,9 +244,21 @@ class ShardedSession
     int homeShard(const graph::Minibatch &mb) const;
     SubmitInfo enqueue(int home, graph::Minibatch mb,
                        tensor::Tensor feature, double submit_sec);
+    /**
+     * Per-owner halo bytes of a batch served on @p home. Rows owned by
+     * failed shards are excluded from the pairs and accumulated into
+     * @p host_fallback_bytes instead (host-store re-gather over PCIe).
+     */
     std::vector<std::pair<int, double>>
-    batchHaloBytes(const std::vector<const Request *> &reqs,
-                   int home) const;
+    batchHaloBytes(const std::vector<const Request *> &reqs, int home,
+                   double *host_fallback_bytes) const;
+    /** Deterministic dual-issue sampling (error diffusion over
+     *  cfg.serving.duplicationFraction). */
+    bool shouldDuplicate();
+    /** Execute @p reqs as one micro-batch on device @p d. */
+    std::vector<tensor::Tensor>
+    runBatch(const core::CompiledModel &plan,
+             const std::vector<const Request *> &reqs, int d);
 
     const graph::HeteroGraph &g_;
     tensor::Tensor hostFeatures_;
@@ -216,6 +287,10 @@ class ShardedSession
     /** Per-device host-transfer time accrued by queued submits:
      *  transfers to one device serialize, devices overlap. */
     std::vector<double> pendingHostSec_;
+    /** Quarantined devices (failed; never routed to again). */
+    std::vector<char> dead_;
+    /** Error-diffusion accumulator of the dual-issue sampler. */
+    double dupAccum_ = 0.0;
     std::uint64_t nextId_ = 1;
     obs::FlightRecorder *flight_ = nullptr;
 };

@@ -129,10 +129,29 @@ class DeviceGroup
     /** Sum of kernel launches across every device. */
     std::uint64_t totalLaunches() const;
 
+    /// @name Fault injection (sim/fault.hh).
+    ///
+    /// One injector covers the whole group: attaching it here also
+    /// attaches it to every member runtime, so per-device code and
+    /// group-level serving code agree on the active fault scenario.
+    /// nullptr detaches. The injector must outlive the group or be
+    /// detached.
+    /// @{
+    void
+    setFaultInjector(FaultInjector *fi)
+    {
+        faultInjector_ = fi;
+        for (auto &d : devices_)
+            d->setFaultInjector(fi);
+    }
+    FaultInjector *faultInjector() const { return faultInjector_; }
+    /// @}
+
   private:
     std::vector<std::unique_ptr<Runtime>> devices_;
     Interconnect interconnect_;
     double nowSec_ = 0.0;
+    FaultInjector *faultInjector_ = nullptr;
 };
 
 } // namespace hector::sim

@@ -1,0 +1,336 @@
+#include "sim/fault.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hector::sim
+{
+
+namespace
+{
+
+/** splitmix64: tiny, seedable, platform-identical. The corruption
+ *  stream must be bit-stable everywhere, so the injector carries its
+ *  own generator instead of depending on library distributions. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t
+floatBits(float v)
+{
+    std::uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+float
+bitsFloat(std::uint32_t b)
+{
+    float v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+std::string
+hexBits(float v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", floatBits(v));
+    return std::string(buf);
+}
+
+} // namespace
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::TransientCorruption:
+        return "transient-corruption";
+    case FaultKind::DeviceFailure:
+        return "device-failure";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+    for (const FaultEvent &e : schedule_.events) {
+        if (e.device < 0)
+            throw std::runtime_error(
+                "FaultInjector: negative device in schedule");
+        if (e.kind == FaultKind::TransientCorruption && e.atBatch == 0)
+            throw std::runtime_error(
+                "FaultInjector: transient atBatch is 1-based");
+        if (e.kind == FaultKind::DeviceFailure &&
+            !(e.atSec >= 0.0 && std::isfinite(e.atSec)))
+            throw std::runtime_error(
+                "FaultInjector: failure atSec must be finite and >= 0");
+    }
+    reset();
+}
+
+std::uint64_t
+FaultInjector::nextRaw()
+{
+    return splitmix64(rngState_);
+}
+
+void
+FaultInjector::reset()
+{
+    rngState_ = schedule_.seed;
+    ordinal_.clear();
+    fired_.assign(schedule_.events.size(), 0);
+    failed_.clear();
+    stats_ = FaultStats{};
+    log_.clear();
+}
+
+bool
+FaultInjector::armTransient(int device)
+{
+    if (device < 0)
+        throw std::runtime_error("FaultInjector: negative device");
+    if (static_cast<std::size_t>(device) >= ordinal_.size())
+        ordinal_.resize(static_cast<std::size_t>(device) + 1, 0);
+    const std::uint64_t ord = ++ordinal_[static_cast<std::size_t>(device)];
+    for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+        const FaultEvent &e = schedule_.events[i];
+        if (fired_[i] || e.kind != FaultKind::TransientCorruption ||
+            e.device != device || e.atBatch != ord)
+            continue;
+        fired_[i] = 1;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultInjector::batchOrdinal(int device) const
+{
+    if (device < 0 ||
+        static_cast<std::size_t>(device) >= ordinal_.size())
+        return 0;
+    return ordinal_[static_cast<std::size_t>(device)];
+}
+
+FaultInjector::Corruption
+FaultInjector::corrupt(tensor::Tensor &t, int device, double t_sec)
+{
+    if (t.numel() == 0)
+        throw std::runtime_error("FaultInjector::corrupt: empty tensor");
+    Corruption c;
+    c.index = static_cast<std::size_t>(
+        nextRaw() % static_cast<std::uint64_t>(t.numel()));
+    c.mode = static_cast<int>(nextRaw() % 4);
+    float *elem = t.data() + c.index;
+    c.before = *elem;
+    const std::uint32_t before_bits = floatBits(c.before);
+    float after = c.before;
+    switch (c.mode) {
+    case 0: // sign flip (also turns +0 into -0)
+        after = bitsFloat(before_bits ^ 0x80000000u);
+        break;
+    case 1: { // mantissa bit flip: finite stays finite
+        const std::uint32_t bit = static_cast<std::uint32_t>(nextRaw() % 23);
+        after = bitsFloat(before_bits ^ (1u << bit));
+        break;
+    }
+    case 2: { // additive delta, 2^-8 .. 2^8
+        const int exp = static_cast<int>(nextRaw() % 17) - 8;
+        const float delta = std::ldexp(nextRaw() % 2 ? 1.0f : -1.0f, exp);
+        after = c.before + delta;
+        break;
+    }
+    case 3: // smallest possible step: one ulp (subnormal at zero)
+        after = std::nextafterf(
+            c.before, nextRaw() % 2
+                          ? std::numeric_limits<float>::infinity()
+                          : -std::numeric_limits<float>::infinity());
+        break;
+    }
+    // The injected value must differ bitwise, or the "fault" is a
+    // no-op no detector could (or should) see.
+    if (floatBits(after) == before_bits)
+        after = bitsFloat(before_bits ^ 1u);
+    *elem = after;
+    c.after = after;
+
+    ++stats_.transientsInjected;
+    log_.push_back({"inject-transient", device, t_sec,
+                    batchOrdinal(device),
+                    "idx=" + std::to_string(c.index) +
+                        " mode=" + std::to_string(c.mode) + " before=" +
+                        hexBits(c.before) + " after=" + hexBits(after)});
+    return c;
+}
+
+FaultInjector::Corruption
+FaultInjector::corruptBatch(std::vector<tensor::Tensor> &outs, int device,
+                            double t_sec)
+{
+    if (outs.empty())
+        throw std::runtime_error(
+            "FaultInjector::corruptBatch: empty batch");
+    const std::size_t which = static_cast<std::size_t>(
+        nextRaw() % static_cast<std::uint64_t>(outs.size()));
+    Corruption c = corrupt(outs[which], device, t_sec);
+    c.tensor = which;
+    return c;
+}
+
+double
+FaultInjector::failureTimeSec(int device) const
+{
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+        const FaultEvent &e = schedule_.events[i];
+        if (!fired_[i] && e.kind == FaultKind::DeviceFailure &&
+            e.device == device && e.atSec < t)
+            t = e.atSec;
+    }
+    return t;
+}
+
+void
+FaultInjector::markFailed(int device, double t_sec)
+{
+    if (device < 0)
+        throw std::runtime_error("FaultInjector: negative device");
+    if (isFailed(device))
+        return;
+    if (static_cast<std::size_t>(device) >= failed_.size())
+        failed_.resize(static_cast<std::size_t>(device) + 1, 0);
+    failed_[static_cast<std::size_t>(device)] = 1;
+    for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+        const FaultEvent &e = schedule_.events[i];
+        if (!fired_[i] && e.kind == FaultKind::DeviceFailure &&
+            e.device == device)
+            fired_[i] = 1;
+    }
+    ++stats_.failuresInjected;
+    log_.push_back({"device-failure", device, t_sec,
+                    batchOrdinal(device), ""});
+}
+
+bool
+FaultInjector::isFailed(int device) const
+{
+    return device >= 0 &&
+           static_cast<std::size_t>(device) < failed_.size() &&
+           failed_[static_cast<std::size_t>(device)] != 0;
+}
+
+int
+FaultInjector::failedCount() const
+{
+    int n = 0;
+    for (char f : failed_)
+        n += f != 0;
+    return n;
+}
+
+void
+FaultInjector::noteDuplicate(int device, double t_sec,
+                             std::uint64_t batch)
+{
+    ++stats_.duplicatesIssued;
+    log_.push_back({"duplicate", device, t_sec, batch, ""});
+}
+
+void
+FaultInjector::noteDetection(int device, double t_sec,
+                             std::uint64_t batch, std::uint64_t lhs,
+                             std::uint64_t rhs)
+{
+    ++stats_.detections;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "lhs=%016llx rhs=%016llx",
+                  static_cast<unsigned long long>(lhs),
+                  static_cast<unsigned long long>(rhs));
+    log_.push_back({"detect", device, t_sec, batch, std::string(buf)});
+}
+
+void
+FaultInjector::noteEscape(int device, double t_sec, std::uint64_t batch)
+{
+    ++stats_.corruptionsEscaped;
+    log_.push_back({"escape", device, t_sec, batch, ""});
+}
+
+void
+FaultInjector::noteReplay(int device, double t_sec,
+                          const std::string &why)
+{
+    ++stats_.batchesReplayed;
+    log_.push_back({"replay", device, t_sec, batchOrdinal(device), why});
+}
+
+void
+FaultInjector::noteReroute(std::uint64_t request_id, int from, int to,
+                           double t_sec)
+{
+    ++stats_.requestsRerouted;
+    log_.push_back({"reroute", from, t_sec, 0,
+                    "req=" + std::to_string(request_id) +
+                        " to=" + std::to_string(to)});
+}
+
+std::string
+FaultInjector::logText() const
+{
+    // Canonical one-line-per-entry form; timestamps use the shared
+    // shortest-roundtrip formatter so equal doubles print equal bytes.
+    std::string out;
+    for (const FaultLogEntry &e : log_) {
+        out += e.what;
+        out += " dev=";
+        out += std::to_string(e.device);
+        out += " t=";
+        out += obs::jsonNum(e.tSec);
+        out += " batch=";
+        out += std::to_string(e.batch);
+        if (!e.detail.empty()) {
+            out += ' ';
+            out += e.detail;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+absorbFaultStats(obs::Registry &reg, const FaultStats &stats,
+                 const std::string &prefix)
+{
+    reg.gauge(prefix + ".transients_injected")
+        .set(static_cast<double>(stats.transientsInjected));
+    reg.gauge(prefix + ".failures_injected")
+        .set(static_cast<double>(stats.failuresInjected));
+    reg.gauge(prefix + ".duplicates_issued")
+        .set(static_cast<double>(stats.duplicatesIssued));
+    reg.gauge(prefix + ".detections")
+        .set(static_cast<double>(stats.detections));
+    reg.gauge(prefix + ".corruptions_escaped")
+        .set(static_cast<double>(stats.corruptionsEscaped));
+    reg.gauge(prefix + ".batches_replayed")
+        .set(static_cast<double>(stats.batchesReplayed));
+    reg.gauge(prefix + ".requests_rerouted")
+        .set(static_cast<double>(stats.requestsRerouted));
+}
+
+} // namespace hector::sim

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Seeded, virtual-clock-scheduled fault injection for the simulated
+ * serving stack.
+ *
+ * Two fault models cover what takes a multi-device deployment down:
+ *
+ *  - TransientCorruption: a one-off bit-level corruption of a device
+ *    step's output (SEU-style). The target is the Nth *primary*
+ *    micro-batch executed on a device — duplicate and replay
+ *    executions never advance the ordinal, so the same schedule hits
+ *    the same logical batch no matter how much redundancy is
+ *    configured. Which element is corrupted, and how (sign flip,
+ *    mantissa bit flip, additive delta, smallest-subnormal write), is
+ *    drawn from the schedule's seeded generator in call order.
+ *
+ *  - DeviceFailure: a whole device dies at a chosen virtual time.
+ *    Batches whose modeled compute completes after that instant are
+ *    lost with the device; the serving layer quarantines it and
+ *    replays the lost work on survivors.
+ *
+ * Everything the injector does is a pure function of (seed, schedule)
+ * and the call sequence, and the serving layers drive it from their
+ * single orchestration thread on the modeled clock — so a fault run is
+ * replayable: the same (seed, schedule) produces a byte-identical
+ * event log (logText()) at every thread count. That log is the replay
+ * gate's artifact.
+ *
+ * The injector is detection/recovery *bookkeeping* too: the serving
+ * layers report duplicates issued, checksum mismatches detected,
+ * corruptions that escaped an unsampled batch, batches replayed and
+ * requests re-routed through the note*() calls, so one FaultStats
+ * struct carries the whole ASPIS-style story (inject -> detect ->
+ * recover) into reports, obs metrics and benches.
+ */
+
+#ifndef HECTOR_SIM_FAULT_HH
+#define HECTOR_SIM_FAULT_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace hector::obs
+{
+class Registry;
+}
+
+namespace hector::sim
+{
+
+enum class FaultKind
+{
+    /** Corrupt one element of a device step's output tensor. */
+    TransientCorruption,
+    /** The device dies at a virtual time; its in-flight work is lost. */
+    DeviceFailure,
+};
+
+const char *toString(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::TransientCorruption;
+    /** Device the fault strikes. */
+    int device = 0;
+    /** DeviceFailure: virtual time (seconds) the device dies. */
+    double atSec = 0.0;
+    /** TransientCorruption: 1-based ordinal of the primary batch on
+     *  @p device whose output is corrupted. */
+    std::uint64_t atBatch = 1;
+};
+
+/** A full fault scenario: the corruption stream's seed + the events. */
+struct FaultSchedule
+{
+    std::uint64_t seed = 0xfa017;
+    std::vector<FaultEvent> events;
+};
+
+/** Injection + detection + recovery counters (see file comment). */
+struct FaultStats
+{
+    std::uint64_t transientsInjected = 0;
+    std::uint64_t failuresInjected = 0;
+    /** Redundant (dual-issue) executions the serving layer ran. */
+    std::uint64_t duplicatesIssued = 0;
+    /** Checksum mismatches caught by redundant execution. */
+    std::uint64_t detections = 0;
+    /** Corruptions that hit an unduplicated batch and went unseen. */
+    std::uint64_t corruptionsEscaped = 0;
+    /** Batches re-executed after a detection or a device failure. */
+    std::uint64_t batchesReplayed = 0;
+    /** Requests re-routed off a failed device. */
+    std::uint64_t requestsRerouted = 0;
+};
+
+/** One line of the deterministic event log. */
+struct FaultLogEntry
+{
+    /** "inject-transient", "device-failure", "duplicate", "detect",
+     *  "escape", "replay", "reroute". */
+    std::string what;
+    int device = 0;
+    /** Virtual timestamp, seconds. */
+    double tSec = 0.0;
+    /** Primary-batch ordinal on the device (0 when not applicable). */
+    std::uint64_t batch = 0;
+    std::string detail;
+};
+
+/**
+ * The injector. Attach one to a Runtime or DeviceGroup
+ * (setFaultInjector); the serving layers consult it per batch/cycle.
+ * Single-threaded like the rest of the simulation.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSchedule schedule);
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /// @name Transient corruption.
+    /// @{
+
+    /**
+     * Advance @p device's primary-batch ordinal and return whether a
+     * TransientCorruption event targets the batch about to execute.
+     * Call exactly once per *primary* batch (never for duplicates or
+     * replays), before or after its execution — the decision depends
+     * only on the ordinal.
+     */
+    bool armTransient(int device);
+
+    /** Primary batches armed on @p device so far. */
+    std::uint64_t batchOrdinal(int device) const;
+
+    /** What corrupt() did to the tensor. */
+    struct Corruption
+    {
+        /** Flat element index within the chosen tensor. */
+        std::size_t index = 0;
+        /** Tensor chosen among the batch outputs (corruptBatch). */
+        std::size_t tensor = 0;
+        float before = 0.0f;
+        float after = 0.0f;
+        /** 0 sign flip, 1 mantissa bit flip, 2 additive delta,
+         *  3 smallest-subnormal write. */
+        int mode = 0;
+    };
+
+    /**
+     * Deterministically corrupt one element of @p t: position and mode
+     * come from the schedule's seeded stream, and the written value is
+     * guaranteed to differ bitwise from the original (so any sound
+     * checksum must notice). Logs "inject-transient".
+     */
+    Corruption corrupt(tensor::Tensor &t, int device, double t_sec);
+
+    /** corrupt() on one tensor of @p outs (chosen from the stream);
+     *  @p outs must be non-empty. */
+    Corruption corruptBatch(std::vector<tensor::Tensor> &outs, int device,
+                            double t_sec);
+
+    /// @}
+
+    /// @name Device failure.
+    /// @{
+
+    /** Earliest scheduled, not-yet-fired failure time of @p device;
+     *  +infinity when none is pending. */
+    double failureTimeSec(int device) const;
+
+    /** A pending failure of @p device is due at or before @p t_sec. */
+    bool
+    failureDue(int device, double t_sec) const
+    {
+        return failureTimeSec(device) <= t_sec;
+    }
+
+    /** Fire @p device's pending failure: mark it failed and log
+     *  "device-failure". Idempotent once failed. */
+    void markFailed(int device, double t_sec);
+
+    bool isFailed(int device) const;
+    int failedCount() const;
+
+    /// @}
+
+    /// @name Detection/recovery bookkeeping (serving layers report in).
+    /// @{
+
+    void noteDuplicate(int device, double t_sec, std::uint64_t batch);
+    void noteDetection(int device, double t_sec, std::uint64_t batch,
+                       std::uint64_t lhs, std::uint64_t rhs);
+    void noteEscape(int device, double t_sec, std::uint64_t batch);
+    void noteReplay(int device, double t_sec, const std::string &why);
+    void noteReroute(std::uint64_t request_id, int from, int to,
+                     double t_sec);
+
+    /// @}
+
+    FaultStats &stats() { return stats_; }
+    const FaultStats &stats() const { return stats_; }
+
+    const std::vector<FaultLogEntry> &log() const { return log_; }
+
+    /**
+     * Canonical text serialization of the event log, one line per
+     * entry. Byte-identical across runs and thread counts for the same
+     * (seed, schedule) and workload — the replay gate compares these.
+     */
+    std::string logText() const;
+
+    /** Re-arm the schedule: clear ordinals, fired events, the failed
+     *  set, stats and the log, and reseed the corruption stream. */
+    void reset();
+
+  private:
+    std::uint64_t nextRaw();
+
+    FaultSchedule schedule_;
+    std::uint64_t rngState_ = 0;
+    /** Per-device primary-batch ordinals (grown on demand). */
+    std::vector<std::uint64_t> ordinal_;
+    /** Per-event fired flags (transients consume their event). */
+    std::vector<char> fired_;
+    std::vector<char> failed_;
+    FaultStats stats_;
+    std::vector<FaultLogEntry> log_;
+};
+
+/** Publish @p stats as gauges under @p prefix (e.g. "fault"). */
+void absorbFaultStats(obs::Registry &reg, const FaultStats &stats,
+                      const std::string &prefix);
+
+} // namespace hector::sim
+
+#endif // HECTOR_SIM_FAULT_HH

@@ -26,6 +26,8 @@
 namespace hector::sim
 {
 
+class FaultInjector;
+
 /** One record per launch, kept for detailed breakdown reporting. */
 struct LaunchRecord
 {
@@ -241,6 +243,18 @@ class Runtime
 
     /// @}
 
+    /// @name Fault injection (sim/fault.hh).
+    ///
+    /// An attached injector models transient output corruption and
+    /// whole-device failure for this device; the serving layers
+    /// consult it per batch/cycle. nullptr (the default) disables
+    /// fault modeling entirely — the hot paths only test the pointer.
+    /// The injector must outlive the runtime or be detached.
+    /// @{
+    void setFaultInjector(FaultInjector *fi) { faultInjector_ = fi; }
+    FaultInjector *faultInjector() const { return faultInjector_; }
+    /// @}
+
     const Counters &counters() const { return counters_; }
     PlanEvents &planEvents() { return planEvents_; }
     const PlanEvents &planEvents() const { return planEvents_; }
@@ -270,6 +284,7 @@ class Runtime
     std::vector<StreamStats> streams_ = std::vector<StreamStats>(1);
     int currentStream_ = 0;
     int deviceId_ = 0;
+    FaultInjector *faultInjector_ = nullptr;
     double totalTimeSec_ = 0.0;
     double hostTimeSec_ = 0.0;
     double nowSec_ = 0.0;

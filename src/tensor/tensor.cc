@@ -1,9 +1,28 @@
 #include "tensor/tensor.hh"
 
 #include <cmath>
+#include <cstring>
 
 namespace hector::tensor
 {
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const unsigned char *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
 
 float
 maxAbsDiff(const Tensor &a, const Tensor &b)
@@ -23,6 +42,32 @@ allClose(const Tensor &a, const Tensor &b, float tol)
     if (a.shape() != b.shape())
         return false;
     return maxAbsDiff(a, b) <= tol;
+}
+
+std::uint64_t
+checksum(const Tensor &t)
+{
+    std::uint64_t h = kFnvOffset;
+    for (std::int64_t d : t.shape()) {
+        unsigned char dim[sizeof(d)];
+        std::memcpy(dim, &d, sizeof(d));
+        h = fnv1a(h, dim, sizeof(d));
+    }
+    return fnv1a(h, reinterpret_cast<const unsigned char *>(t.data()),
+                 t.numel() * sizeof(float));
+}
+
+std::uint64_t
+checksum(const std::vector<Tensor> &ts)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const Tensor &t : ts) {
+        const std::uint64_t c = checksum(t);
+        unsigned char bytes[sizeof(c)];
+        std::memcpy(bytes, &c, sizeof(c));
+        h = fnv1a(h, bytes, sizeof(c));
+    }
+    return h;
 }
 
 } // namespace hector::tensor

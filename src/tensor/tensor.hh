@@ -290,6 +290,19 @@ float maxAbsDiff(const Tensor &a, const Tensor &b);
 /** True when shapes match and every element differs by <= tol. */
 bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-4f);
 
+/**
+ * FNV-1a fingerprint over the tensor's shape and byte representation.
+ * Operating on bytes (not float values) makes every representational
+ * change visible: a sign flip, a one-ulp step, even +0 -> -0 changes
+ * the checksum, which is what the serving layer's redundant-execution
+ * fault detection compares. Deterministic across runs and thread
+ * counts (the data itself is, by the bit-identity invariant).
+ */
+std::uint64_t checksum(const Tensor &t);
+
+/** checksum() folded over a batch of tensors, order-sensitive. */
+std::uint64_t checksum(const std::vector<Tensor> &ts);
+
 } // namespace hector::tensor
 
 #endif // HECTOR_TENSOR_TENSOR_HH
