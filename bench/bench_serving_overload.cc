@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Overload soak benchmark + acceptance gates for admission control and
+ * policy-pluggable scheduling (the 2x-saturation SLO collapse fix).
+ *
+ * BENCH_serving_online.json documented the pathology this PR removes:
+ * past saturation an unbounded queue turns every policy into
+ * wait-to-fill, p99 grows with the backlog, and SLO attainment
+ * collapses to 0%. This bench drives the fixed path hard — two tenants
+ * (interactive, weight 3, tight deadline; batch, weight 1, loose
+ * deadline) under "wfq" with bounded queues, RejectNewest shedding and
+ * bursty MMPP arrivals at 4x the measured capacity — for >= 10^5
+ * offered requests on the virtual clock, and gates:
+ *
+ *  1. shed fraction in (0, 0.80]: overload is absorbed by explicit,
+ *     bounded shedding, not by unbounded queueing (and not by
+ *     shedding everything);
+ *  2. admitted-request SLO attainment >= 0.90: requests the admission
+ *     controller accepts still meet their deadline;
+ *  3. peak lane queue depth <= the configured maxQueueDepth bound;
+ *  4. weighted fairness: per-tenant served counts within 15% of the
+ *     configured 3:1 weight ratio;
+ *  5. determinism: the canonical soak report is byte-identical across
+ *     1/2/4 host threads;
+ *  6. traced sub-run: byte-identical Chrome-trace JSON across 1/2/4
+ *     threads, containing shed instants with recorded reasons, written
+ *     to TRACE_serving_overload.json for trace_check + CI archive.
+ *
+ * Any violation exits nonzero. Results land in
+ * BENCH_serving_overload.json.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/engine.hh"
+#include "serve/online.hh"
+#include "util/thread_pool.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+namespace
+{
+
+struct TenantDef
+{
+    const char *name;
+    std::uint64_t seed;
+    std::uint64_t featureSeed;
+    std::uint64_t arrivalSeed;
+    double weight;
+    std::size_t maxQueueDepth;
+    /** Fraction of the total offered rate (and of capacity at 1x). */
+    double rateShare;
+};
+
+// Weight ratio 3:1 with rate shares matching, so under sustained
+// overload WFQ's served split and the offered split agree and the
+// fairness gate measures the scheduler, not the load mix.
+const TenantDef kInteractive = {"interactive", 401, 41, 0xa1, 3.0, 24,
+                                0.75};
+const TenantDef kBatch = {"batch", 402, 42, 0xb2, 1.0, 48, 0.25};
+
+serve::ServingConfig
+tenantConfig(const TenantDef &t, double deadline_sec)
+{
+    serve::ServingConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.din = 8;
+    cfg.dout = 8;
+    cfg.sample.numSeeds = 8;
+    cfg.sample.fanout = 2;
+    cfg.seed = t.seed;
+    cfg.deadlineMs = deadline_sec * 1e3;
+    cfg.tenantWeight = t.weight;
+    cfg.tenantTier = 0;
+    cfg.maxQueueDepth = t.maxQueueDepth;
+    cfg.shed = serve::ShedMode::RejectNewest;
+    cfg.mmpp.enabled = true;
+    return cfg;
+}
+
+tensor::Tensor
+featuresFor(const graph::HeteroGraph &g, const TenantDef &t)
+{
+    std::mt19937_64 rng(t.featureSeed);
+    return tensor::Tensor::uniform({g.numNodes(), 8}, rng, 0.5f);
+}
+
+/** Canonical byte-exact serialization of a soak report: every value
+ *  the gates read, doubles at full precision, plus a latency-stream
+ *  checksum — the thread-determinism gate compares these strings. */
+std::string
+canonicalReport(const serve::OnlineReport &rep,
+                const std::vector<double> &latencies_ms)
+{
+    std::uint64_t lat_hash = 1469598103934665603ull; // FNV offset
+    for (double l : latencies_ms) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &l, sizeof(bits));
+        lat_hash = (lat_hash ^ bits) * 1099511628211ull;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "req=%zu shed=%zu ticks=%zu peak=%zu lane_peak=%zu "
+                  "p50=%.17g p99=%.17g slo=%.17g admitted=%.17g "
+                  "shed_frac=%.17g lat_hash=%llu",
+                  rep.requests, rep.requestsShed, rep.ticks,
+                  rep.peakQueueDepth, rep.peakLaneQueueDepth,
+                  rep.p50LatencyMs, rep.p99LatencyMs, rep.sloAttainment,
+                  rep.admittedSloAttainment, rep.shedFraction,
+                  static_cast<unsigned long long>(lat_hash));
+    std::string out = buf;
+    for (const serve::VariantReport &vr : rep.perVariant) {
+        std::snprintf(buf, sizeof(buf),
+                      " | %s req=%zu shed=%zu p50=%.17g p99=%.17g "
+                      "slo=%.17g",
+                      vr.name.c_str(), vr.requests, vr.requestsShed,
+                      vr.p50LatencyMs, vr.p99LatencyMs,
+                      vr.sloAttainment);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::string dataset = []() {
+        if (const char *env = std::getenv("HECTOR_SERVE_DATASET"))
+            return std::string(env);
+        return std::string("bgs");
+    }();
+    const std::size_t total_offered = []() -> std::size_t {
+        if (const char *env = std::getenv("HECTOR_OVERLOAD_REQUESTS")) {
+            const long v = std::atol(env);
+            if (v > 0)
+                return static_cast<std::size_t>(v);
+        }
+        return 100000; // the >= 10^5 soak floor
+    }();
+    const double overload = 4.0;
+
+    std::printf("== Overload soak: admission control + WFQ at %.0fx "
+                "capacity ==\n",
+                overload);
+    std::printf("dataset=%s, scale=1/%.0f, %zu offered requests, "
+                "tenants %s(w=%.0f,q<=%zu) / %s(w=%.0f,q<=%zu)\n\n",
+                dataset.c_str(), 1.0 / scale, total_offered,
+                kInteractive.name, kInteractive.weight,
+                kInteractive.maxQueueDepth, kBatch.name, kBatch.weight,
+                kBatch.maxQueueDepth);
+
+    BenchGraph bg = loadGraph(dataset, scale);
+    JsonLog log("serving_overload");
+    bool failed = false;
+
+    // ------------------------------------------------- 0. calibration
+    // Measured drain throughput over the tenant mix anchors the
+    // offered-load axis (capacity) and the deadlines, so the soak is
+    // self-scaling: the same gates hold at any HECTOR_SCALE.
+    double capacity_rps = 1.0;
+    {
+        sim::Runtime rt = makeRuntime(scale);
+        serve::EngineConfig ecfg;
+        ecfg.numStreams = 2;
+        serve::Engine eng(bg.g, ecfg, rt);
+        const int vi = eng.registerVariant(
+            kInteractive.name, featuresFor(bg.g, kInteractive),
+            models::kRgcnSource, tenantConfig(kInteractive, 0.0));
+        const int vb = eng.registerVariant(
+            kBatch.name, featuresFor(bg.g, kBatch),
+            models::kRgcnSource, tenantConfig(kBatch, 0.0));
+        for (int r = 0; r < 48; ++r) {
+            eng.submit(vi);
+            if (r % 3 == 0)
+                eng.submit(vb);
+        }
+        const serve::ServingReport cal = eng.drain();
+        capacity_rps = std::max(1.0, cal.throughputReqPerSec);
+        std::printf("calibration: capacity %.1f req/s (drained %zu "
+                    "requests, p99 %.4f ms)\n",
+                    capacity_rps * scale, cal.requests,
+                    cal.p99LatencyMs / scale);
+        char json[320];
+        std::snprintf(json, sizeof(json),
+                      "{\"bench\":\"serving_overload\","
+                      "\"phase\":\"calibration\",\"dataset\":\"%s\","
+                      "\"capacity_rps\":%.3f,\"p99_latency_ms\":%.6f}",
+                      dataset.c_str(), capacity_rps * scale,
+                      cal.p99LatencyMs / scale);
+        log.record(json);
+    }
+
+    // Deadlines sized from the admission bound: an admitted request
+    // waits at most ~maxQueueDepth requests drained at the tenant's
+    // weighted capacity share, plus service; factor 2 is SLO headroom.
+    const double deadline_i =
+        2.0 *
+        static_cast<double>(kInteractive.maxQueueDepth + 8) /
+        (kInteractive.rateShare * capacity_rps);
+    const double deadline_b =
+        2.0 * static_cast<double>(kBatch.maxQueueDepth + 8) /
+        (kBatch.rateShare * capacity_rps);
+
+    // ------------------------------------------------- 1. the 4x soak
+    const std::size_t offered_i = total_offered * 3 / 4;
+    const std::size_t offered_b = total_offered - offered_i;
+
+    struct SoakResult
+    {
+        serve::OnlineReport rep;
+        std::string canonical;
+    };
+    auto soak = [&](int threads) -> SoakResult {
+        util::setGlobalThreads(threads);
+        sim::Runtime rt = makeRuntime(scale);
+        serve::EngineConfig ecfg;
+        ecfg.numStreams = 2;
+        serve::Engine eng(bg.g, ecfg, rt);
+        eng.registerVariant(kInteractive.name,
+                            featuresFor(bg.g, kInteractive),
+                            models::kRgcnSource,
+                            tenantConfig(kInteractive, deadline_i));
+        eng.registerVariant(kBatch.name, featuresFor(bg.g, kBatch),
+                            models::kRgcnSource,
+                            tenantConfig(kBatch, deadline_b));
+
+        serve::OnlineConfig ocfg;
+        ocfg.policy = "wfq";
+        ocfg.variants.push_back(
+            {kInteractive.name,
+             overload * kInteractive.rateShare * capacity_rps,
+             offered_i, kInteractive.arrivalSeed});
+        ocfg.variants.push_back(
+            {kBatch.name, overload * kBatch.rateShare * capacity_rps,
+             offered_b, kBatch.arrivalSeed});
+
+        serve::OnlineServer server(eng, ocfg);
+        SoakResult out;
+        out.rep = server.run();
+        out.canonical = canonicalReport(out.rep, server.latenciesMs());
+        util::setGlobalThreads(0);
+        return out;
+    };
+
+    const SoakResult ref = soak(1);
+    const serve::OnlineReport &rep = ref.rep;
+
+    std::size_t served_i = 0, shed_i = 0, served_b = 0, shed_b = 0;
+    for (const serve::VariantReport &vr : rep.perVariant) {
+        if (vr.name == kInteractive.name) {
+            served_i = vr.requests;
+            shed_i = vr.requestsShed;
+        } else if (vr.name == kBatch.name) {
+            served_b = vr.requests;
+            shed_b = vr.requestsShed;
+        }
+    }
+    // Served throughput split normalized by the weight split.
+    const double fairness =
+        served_b > 0 ? (static_cast<double>(served_i) /
+                        kInteractive.weight) /
+                           (static_cast<double>(served_b) /
+                            kBatch.weight)
+                     : 0.0;
+
+    std::printf("\nsoak: offered %zu at %.0fx -> served %zu, shed %zu "
+                "(fraction %.3f)\n",
+                total_offered, overload, rep.requests, rep.requestsShed,
+                rep.shedFraction);
+    std::printf("  admitted SLO %.4f (overall %.4f), p99 %.4f ms, "
+                "peak lane queue %zu, ticks %zu, mean batch %.2f\n",
+                rep.admittedSloAttainment, rep.sloAttainment,
+                rep.p99LatencyMs / scale, rep.peakLaneQueueDepth,
+                rep.ticks, rep.meanBatchSize);
+    std::printf("  %s: served %zu shed %zu | %s: served %zu shed %zu "
+                "-> weighted-fairness ratio %.3f\n",
+                kInteractive.name, served_i, shed_i, kBatch.name,
+                served_b, shed_b, fairness);
+
+    // Gates 1-4.
+    const bool shed_ok =
+        rep.shedFraction > 0.0 && rep.shedFraction <= 0.80;
+    const bool slo_ok = rep.admittedSloAttainment >= 0.90;
+    const bool bound_ok =
+        rep.peakLaneQueueDepth <=
+        std::max(kInteractive.maxQueueDepth, kBatch.maxQueueDepth);
+    const bool fair_ok = std::fabs(fairness - 1.0) <= 0.15;
+    std::printf("  gates: shed %s, admitted-SLO %s, queue-bound %s, "
+                "fairness %s\n",
+                shed_ok ? "ok" : "FAILURE", slo_ok ? "ok" : "FAILURE",
+                bound_ok ? "ok" : "FAILURE", fair_ok ? "ok" : "FAILURE");
+    if (!shed_ok || !slo_ok || !bound_ok || !fair_ok)
+        failed = true;
+
+    // Gate 5: thread determinism of the full soak.
+    std::size_t soak_divergent = 0;
+    for (int threads : {2, 4}) {
+        const SoakResult rerun = soak(threads);
+        const bool same = rerun.canonical == ref.canonical;
+        std::printf("  threads=%d: soak report %s\n", threads,
+                    same ? "identical" : "DIVERGENT");
+        if (!same)
+            ++soak_divergent;
+    }
+    if (soak_divergent > 0)
+        failed = true;
+
+    char sjson[768];
+    std::snprintf(
+        sjson, sizeof(sjson),
+        "{\"bench\":\"serving_overload\",\"phase\":\"soak\","
+        "\"dataset\":\"%s\",\"policy\":\"%s\",\"overload\":%.1f,"
+        "\"offered\":%zu,\"served\":%zu,\"shed\":%zu,"
+        "\"shed_fraction\":%.4f,\"admitted_slo_attainment\":%.4f,"
+        "\"slo_attainment\":%.4f,\"p99_latency_ms\":%.6f,"
+        "\"peak_lane_queue_depth\":%zu,\"mean_batch\":%.3f,"
+        "\"fairness_ratio\":%.4f,\"interactive_served\":%zu,"
+        "\"interactive_shed\":%zu,\"batch_served\":%zu,"
+        "\"batch_shed\":%zu,\"divergent\":%zu}",
+        dataset.c_str(), rep.policy.c_str(), overload, total_offered,
+        rep.requests, rep.requestsShed, rep.shedFraction,
+        rep.admittedSloAttainment, rep.sloAttainment,
+        rep.p99LatencyMs / scale, rep.peakLaneQueueDepth,
+        rep.meanBatchSize, fairness, served_i, shed_i, served_b,
+        shed_b, soak_divergent);
+    log.record(sjson);
+
+    // ------------------------------- 2. traced deterministic sub-run
+    // A short overloaded run with full observability: the exported
+    // trace must be byte-identical across thread counts, and must
+    // contain shed instants with recorded reasons (what trace_check
+    // now validates in CI).
+    std::printf("\n-- traced overload sub-run --\n");
+    struct TracedRun
+    {
+        std::string trace;
+        std::string metricsSnapshot;
+        std::size_t flightEvents = 0;
+    };
+    auto traced_run = [&](int threads) -> TracedRun {
+        util::setGlobalThreads(threads);
+        obs::setDeterministic(true);
+        obs::setEnabled(true);
+        obs::tracer().clear();
+        obs::metrics().clear();
+
+        sim::Runtime rt = makeRuntime(scale);
+        serve::EngineConfig ecfg;
+        ecfg.numStreams = 2;
+        serve::Engine eng(bg.g, ecfg, rt);
+        eng.registerVariant(kInteractive.name,
+                            featuresFor(bg.g, kInteractive),
+                            models::kRgcnSource,
+                            tenantConfig(kInteractive, deadline_i));
+        eng.registerVariant(kBatch.name, featuresFor(bg.g, kBatch),
+                            models::kRgcnSource,
+                            tenantConfig(kBatch, deadline_b));
+
+        obs::FlightRecorder recorder(4096);
+        serve::OnlineConfig ocfg;
+        ocfg.policy = "wfq";
+        ocfg.variants.push_back(
+            {kInteractive.name,
+             overload * kInteractive.rateShare * capacity_rps, 300,
+             kInteractive.arrivalSeed});
+        ocfg.variants.push_back(
+            {kBatch.name, overload * kBatch.rateShare * capacity_rps,
+             100, kBatch.arrivalSeed});
+        serve::OnlineServer server(eng, ocfg);
+        server.setFlightRecorder(&recorder);
+        const serve::OnlineReport trep = server.run();
+
+        serve::absorbOnlineReport(obs::metrics(), trep, "online");
+        serve::absorbStats(obs::metrics(), eng.planCache().stats(),
+                           "engine.plan_cache");
+
+        TracedRun out;
+        out.trace = obs::tracer().exportJson();
+        out.metricsSnapshot = obs::metrics().snapshotJson();
+        for (std::uint64_t id : recorder.requests())
+            out.flightEvents += recorder.timeline(id)->size();
+        obs::setEnabled(false);
+        util::setGlobalThreads(0);
+        return out;
+    };
+
+    const TracedRun tref = traced_run(1);
+    std::size_t trace_divergent = 0;
+    for (int threads : {1, 2, 4}) {
+        const TracedRun rerun = traced_run(threads);
+        const bool same_trace = rerun.trace == tref.trace;
+        const bool same_metrics =
+            rerun.metricsSnapshot == tref.metricsSnapshot;
+        std::printf("  threads=%d: trace %s, metrics %s\n", threads,
+                    same_trace ? "identical" : "DIVERGENT",
+                    same_metrics ? "identical" : "DIVERGENT");
+        if (!same_trace || !same_metrics)
+            ++trace_divergent;
+    }
+    const bool has_shed_instant =
+        tref.trace.find("\"name\":\"shed\"") != std::string::npos &&
+        tref.trace.find("\"reason\":\"queue-full\"") !=
+            std::string::npos;
+    if (!has_shed_instant) {
+        std::printf("  trace carries no shed instants (FAILURE)\n");
+        failed = true;
+    }
+    if (tref.flightEvents == 0 || trace_divergent > 0)
+        failed = true;
+    if (!util::writeFileAtomic("TRACE_serving_overload.json",
+                               tref.trace))
+        failed = true;
+    std::printf("  trace: %zu bytes, flight events %zu, shed instants "
+                "%s -> %s\n",
+                tref.trace.size(), tref.flightEvents,
+                has_shed_instant ? "present" : "MISSING",
+                trace_divergent == 0
+                    ? "byte-stable across runs and thread counts"
+                    : "FAILURE");
+
+    char tjson[320];
+    std::snprintf(tjson, sizeof(tjson),
+                  "{\"bench\":\"serving_overload\",\"phase\":\"trace\","
+                  "\"dataset\":\"%s\",\"trace_bytes\":%zu,"
+                  "\"flight_events\":%zu,\"shed_instants\":%s,"
+                  "\"divergent\":%zu}",
+                  dataset.c_str(), tref.trace.size(), tref.flightEvents,
+                  has_shed_instant ? "true" : "false", trace_divergent);
+    log.record(tjson);
+    log.record("{\"bench\":\"serving_overload\",\"phase\":\"metrics\","
+               "\"snapshot\":" +
+               tref.metricsSnapshot + "}");
+
+    if (!log.write())
+        failed = true;
+    std::printf("\n%s\n",
+                failed ? "FAILURE: overload acceptance gates violated"
+                       : "OK: bounded queues + shedding hold the "
+                         "admitted SLO at 4x overload");
+    return failed ? 1 : 0;
+}

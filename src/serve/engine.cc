@@ -160,6 +160,29 @@ validateServingConfig(const ServingConfig &cfg, const char *who)
           cfg.duplicationFraction <= 1.0))
         throw std::invalid_argument(
             prefix + "duplicationFraction must be in [0, 1]");
+    if (cfg.shed != ShedMode::None && cfg.maxQueueDepth == 0)
+        throw std::invalid_argument(
+            prefix +
+            "maxQueueDepth must be > 0 when shedding is enabled");
+    if (!(cfg.tenantWeight > 0.0) || !std::isfinite(cfg.tenantWeight))
+        throw std::invalid_argument(
+            prefix + "tenantWeight must be finite and > 0");
+    if (cfg.tenantTier < 0)
+        throw std::invalid_argument(prefix + "tenantTier must be >= 0");
+    if (cfg.mmpp.enabled) {
+        if (!(cfg.mmpp.burstRateMultiplier > 0.0) ||
+            !std::isfinite(cfg.mmpp.burstRateMultiplier))
+            throw std::invalid_argument(
+                prefix +
+                "mmpp.burstRateMultiplier must be finite and > 0");
+        if (!(cfg.mmpp.pEnterBurst >= 0.0 &&
+              cfg.mmpp.pEnterBurst <= 1.0))
+            throw std::invalid_argument(
+                prefix + "mmpp.pEnterBurst must be in [0, 1]");
+        if (!(cfg.mmpp.pExitBurst >= 0.0 && cfg.mmpp.pExitBurst <= 1.0))
+            throw std::invalid_argument(
+                prefix + "mmpp.pExitBurst must be in [0, 1]");
+    }
 }
 
 models::WeightMap

@@ -56,6 +56,41 @@
 namespace hector::serve
 {
 
+/** Load-shedding mode of the online layer's admission control. */
+enum class ShedMode
+{
+    /** No admission control: the queue grows without bound (the
+     *  historical behavior, and the BENCH_serving_online 2x-overload
+     *  pathology — every queued request blows its deadline). */
+    None,
+    /** Reject an arrival outright once the lane's queue stands at
+     *  maxQueueDepth (newest-loses; deterministic). */
+    RejectNewest,
+    /** RejectNewest, plus drop arrivals whose deadline the calibrated
+     *  cost model already predicts unmeetable behind the backlog
+     *  ahead of them. */
+    DeadlineInfeasible,
+};
+
+/**
+ * Two-state Markov-modulated Poisson (MMPP) arrival knobs: the lane's
+ * Poisson process switches between a baseline state (ServingConfig's
+ * offered rate) and a burst state (rate x burstRateMultiplier), with
+ * per-arrival transition probabilities. Drawn from the same seeded
+ * mt19937_64 stream as the pure-Poisson path, so arrival sequences
+ * stay bit-stable across platforms and reruns.
+ */
+struct MmppSpec
+{
+    bool enabled = false;
+    /** Burst-state rate multiplier (> 0; 1 degenerates to Poisson). */
+    double burstRateMultiplier = 8.0;
+    /** Per-arrival probability of entering the burst state, [0, 1]. */
+    double pEnterBurst = 0.02;
+    /** Per-arrival probability of leaving the burst state, [0, 1]. */
+    double pExitBurst = 0.1;
+};
+
 /** Serving-time knobs (per variant in multi-tenant serving). */
 struct ServingConfig
 {
@@ -106,6 +141,26 @@ struct ServingConfig
      * every run and at every thread count.
      */
     double duplicationFraction = 0.0;
+    /**
+     * Admission bound on this variant's queue in the online layer
+     * (requests queued but not yet served); 0 = unbounded. Must be
+     * > 0 when shed != ShedMode::None — an admission policy with
+     * nothing to bound is a configuration error.
+     */
+    std::size_t maxQueueDepth = 0;
+    /** Load shedding at admission once the bound (or the deadline
+     *  feasibility check) trips; shed decisions are deterministic and
+     *  recorded per request in the flight recorder. */
+    ShedMode shed = ShedMode::None;
+    /** Weighted-fair share under the "wfq" scheduling policy; must be
+     *  finite and > 0. */
+    double tenantWeight = 1.0;
+    /** Priority tier under "wfq": lower tiers are served strictly
+     *  first (0 = most latency-critical); must be >= 0. */
+    int tenantTier = 0;
+    /** Bursty arrivals: two-state MMPP modulation of this variant's
+     *  open-loop arrival process. */
+    MmppSpec mmpp;
 };
 
 /**
@@ -143,7 +198,11 @@ struct VariantReport
     double meanLatencyMs = 0.0;
     double p50LatencyMs = 0.0;
     double p99LatencyMs = 0.0;
+    /** Attainment over the variant's ADMITTED requests (shed arrivals
+     *  are tallied separately in requestsShed). */
     double sloAttainment = 1.0;
+    /** The variant's arrivals rejected at admission (online layer). */
+    std::size_t requestsShed = 0;
 };
 
 /** One drain cycle's modeled serving metrics. */
@@ -342,6 +401,15 @@ class Engine
     /** Enqueue an externally prepared request on variant @p v. */
     std::uint64_t submit(int v, graph::Minibatch mb,
                          tensor::Tensor feature);
+
+    /**
+     * Consume one engine-wide request id WITHOUT enqueuing anything.
+     * Admission-rejected (shed) arrivals draw their id here so their
+     * flight-recorder lifecycle ("arrival" -> "shed") never aliases a
+     * served request; ids stay unique and sequential across admitted
+     * and shed requests alike.
+     */
+    std::uint64_t reserveId() { return nextId_++; }
 
     /**
      * Serve every queued request of every variant: per-variant FIFO

@@ -18,25 +18,50 @@ namespace hector::serve
 
 LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
                              std::uint64_t seed)
-    : ratePerSec_(rate_per_sec), left_(count), rng_(seed)
+    : LoadGenerator(rate_per_sec, count, seed, MmppSpec{})
+{}
+
+LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
+                             std::uint64_t seed, const MmppSpec &mmpp)
+    : ratePerSec_(rate_per_sec), left_(count), rng_(seed), mmpp_(mmpp)
 {
     if (rate_per_sec <= 0.0)
         throw std::runtime_error("LoadGenerator: rate must be positive");
+    if (mmpp_.enabled && mmpp_.burstRateMultiplier <= 0.0)
+        throw std::runtime_error(
+            "LoadGenerator: mmpp.burstRateMultiplier must be positive");
     if (left_ > 0)
         advance();
+}
+
+double
+LoadGenerator::nextU()
+{
+    // Inverse-CDF uniform over the raw 64-bit stream instead of
+    // std::*_distribution: the sequence is bit-stable across standard
+    // libraries, and u is rate-independent, so equal seeds give
+    // arrival times that scale exactly by 1/rate.
+    return (static_cast<double>(rng_() >> 11) + 0.5) *
+           (1.0 / 9007199254740992.0); // 2^-53, u in (0, 1)
 }
 
 void
 LoadGenerator::advance()
 {
-    // Inverse-CDF exponential over the raw 64-bit stream instead of
-    // std::exponential_distribution: the gap sequence is bit-stable
-    // across standard libraries, and u is rate-independent, so equal
-    // seeds give arrival times that scale exactly by 1/rate.
-    const double u =
-        (static_cast<double>(rng_() >> 11) + 0.5) *
-        (1.0 / 9007199254740992.0); // 2^-53, u in (0, 1)
-    nextSec_ += -std::log(1.0 - u) / ratePerSec_;
+    const double u = nextU();
+    // Pure Poisson draws exactly one uniform per gap (the historical
+    // stream, bit-identical); MMPP draws the gap at the CURRENT
+    // state's rate, then one extra uniform to decide the state the
+    // next gap is drawn in.
+    const double rate = mmpp_.enabled && burst_
+                            ? ratePerSec_ * mmpp_.burstRateMultiplier
+                            : ratePerSec_;
+    nextSec_ += -std::log(1.0 - u) / rate;
+    if (mmpp_.enabled) {
+        const double v = nextU();
+        if (burst_ ? v < mmpp_.pExitBurst : v < mmpp_.pEnterBurst)
+            burst_ = !burst_;
+    }
 }
 
 double
@@ -61,70 +86,19 @@ std::vector<double>
 LoadGenerator::arrivals(double rate_per_sec, std::size_t count,
                         std::uint64_t seed)
 {
-    LoadGenerator gen(rate_per_sec, count, seed);
+    return arrivals(rate_per_sec, count, seed, MmppSpec{});
+}
+
+std::vector<double>
+LoadGenerator::arrivals(double rate_per_sec, std::size_t count,
+                        std::uint64_t seed, const MmppSpec &mmpp)
+{
+    LoadGenerator gen(rate_per_sec, count, seed, mmpp);
     std::vector<double> times;
     times.reserve(count);
     while (!gen.done())
         times.push_back(gen.next());
     return times;
-}
-
-// ---------------------------------------------------------- AdaptiveBatcher
-
-AdaptiveBatcher::AdaptiveBatcher(std::size_t max_batch, double deadline_sec,
-                                 double alpha, double budget_fraction)
-    : maxBatch_(std::max<std::size_t>(1, max_batch)),
-      deadlineSec_(deadline_sec), alpha_(alpha),
-      budgetFraction_(budget_fraction)
-{
-    if (alpha_ <= 0.0 || alpha_ > 1.0)
-        throw std::runtime_error("AdaptiveBatcher: alpha must be in (0, 1]");
-}
-
-std::size_t
-AdaptiveBatcher::pick(std::size_t queue_depth) const
-{
-    if (queue_depth == 0)
-        return 0;
-    // Saturation: the queue alone fills a maximal batch, so amortizing
-    // launches over maxBatch requests is the throughput-optimal (and
-    // deadline-agnostic — they are blown either way) choice.
-    if (queue_depth >= maxBatch_)
-        return maxBatch_;
-    // Otherwise serve everything queued now; waiting to fill the batch
-    // only adds fill-wait latency in an open loop.
-    std::size_t b = queue_depth;
-    // ... unless the cost model predicts the batch itself would eat
-    // the queued requests' SLO headroom: cap so modeled service time
-    // (EWMA overhead + b * EWMA per-request exec) stays within the
-    // deadline budget.
-    if (observed_ && deadlineSec_ > 0.0 && ewmaExecPerReqSec_ > 0.0) {
-        const double budget =
-            budgetFraction_ * deadlineSec_ - ewmaOverheadSec_;
-        const std::size_t cap =
-            budget <= ewmaExecPerReqSec_
-                ? 1
-                : static_cast<std::size_t>(budget / ewmaExecPerReqSec_);
-        b = std::min(b, std::max<std::size_t>(1, cap));
-    }
-    return std::min(b, maxBatch_);
-}
-
-void
-AdaptiveBatcher::observe(const BatchCost &cost)
-{
-    if (cost.requests == 0)
-        return;
-    const double per_req =
-        cost.execSec / static_cast<double>(cost.requests);
-    if (!observed_) {
-        ewmaOverheadSec_ = cost.overheadSec;
-        ewmaExecPerReqSec_ = per_req;
-        observed_ = true;
-        return;
-    }
-    ewmaOverheadSec_ += alpha_ * (cost.overheadSec - ewmaOverheadSec_);
-    ewmaExecPerReqSec_ += alpha_ * (per_req - ewmaExecPerReqSec_);
 }
 
 // ------------------------------------------------------------- OnlineServer
@@ -133,16 +107,20 @@ namespace
 {
 
 /**
- * Shared finalization tail of runSingle()/runSharded(): rate and
- * batch-size metrics, then the per-request latency statistics via
- * fillLatencyStats so the drain and online paths cannot drift.
+ * Shared finalization tail of the three tick loops: rate and
+ * batch-size metrics, the per-request latency statistics via
+ * fillLatencyStats (so the drain and online paths cannot drift), and
+ * the shedding statistics — admittedSloAttainment keeps the
+ * admitted-only attainment, while sloAttainment counts shed arrivals
+ * as misses (denominator = offered), which reduces to the historical
+ * value whenever nothing was shed.
  */
 void
 finalizeOnlineReport(OnlineReport &rep, std::size_t served,
                      double last_completion_sec,
                      const std::vector<double> &latencies_sec,
                      const std::vector<double> &queue_delays_sec,
-                     double deadline_ms)
+                     double deadline_ms, std::size_t shed)
 {
     rep.requests = served;
     rep.batches = rep.ticks;
@@ -158,6 +136,22 @@ finalizeOnlineReport(OnlineReport &rep, std::size_t served,
                         static_cast<double>(rep.ticks)
                   : 0.0;
     fillLatencyStats(rep, latencies_sec, queue_delays_sec, deadline_ms);
+
+    rep.requestsShed = shed;
+    rep.admittedSloAttainment = rep.sloAttainment;
+    const std::size_t offered = served + shed;
+    rep.shedFraction =
+        offered > 0
+            ? static_cast<double>(shed) / static_cast<double>(offered)
+            : 0.0;
+    if (shed > 0 && deadline_ms > 0.0) {
+        std::size_t met = 0;
+        for (double l : latencies_sec)
+            if (l * 1e3 <= deadline_ms)
+                ++met;
+        rep.sloAttainment = static_cast<double>(met) /
+                            static_cast<double>(offered);
+    }
 }
 
 /**
@@ -225,6 +219,79 @@ struct OpenLoopClock
     }
 };
 
+/** One lane's LaneSpec from its ServingConfig + the run's OnlineConfig
+ *  — the single place the policy layer learns a lane's knobs. */
+LaneSpec
+laneSpecFrom(const std::string &name, const ServingConfig &scfg,
+             const OnlineConfig &cfg)
+{
+    LaneSpec spec;
+    spec.name = name;
+    spec.maxBatch = std::max<std::size_t>(1, scfg.maxBatch);
+    spec.deadlineSec = scfg.deadlineMs * 1e-3;
+    spec.fixedBatch = std::min(
+        spec.maxBatch,
+        cfg.fixedBatch > 0 ? cfg.fixedBatch : spec.maxBatch);
+    spec.weight = scfg.tenantWeight;
+    spec.tier = scfg.tenantTier;
+    spec.maxQueueDepth = scfg.maxQueueDepth;
+    spec.shed = scfg.shed;
+    spec.ewmaAlpha = cfg.ewmaAlpha;
+    spec.budgetFraction = cfg.deadlineBudgetFraction;
+    return spec;
+}
+
+/** Lane with the oldest head-of-line arrival — the forced-progress
+ *  fallback when a (custom) policy returns -1 with no arrivals left. */
+int
+oldestLane(const std::vector<LaneView> &views)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+        if (views[i].queueDepth == 0)
+            continue;
+        if (best < 0 ||
+            views[i].headArrivalSec <
+                views[static_cast<std::size_t>(best)].headArrivalSec)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+/** Record one shed arrival: flight-recorder lifecycle ("arrival" ->
+ *  "shed" with the policy's reason), metrics counter, trace instant. */
+void
+recordShed(obs::FlightRecorder *flight, std::uint64_t id,
+           double arrival_sec, int device, const char *reason,
+           const std::string &variant)
+{
+    if (flight) {
+        flight->event(id, "arrival", arrival_sec, device,
+                      variant.empty() ? std::string()
+                                      : "variant=" + variant);
+        flight->event(id, "shed", arrival_sec, device,
+                      std::string("reason=") + reason);
+    }
+    if (obs::enabled()) {
+        obs::metrics().counter("online.requests_shed").inc();
+        obs::tracer().instant("shed", "online", arrival_sec, device, 0,
+                              std::string("\"reason\":\"") + reason +
+                                  "\"");
+    }
+}
+
+/** Throw early (at construction) on a policy name the registry cannot
+ *  resolve, instead of failing mid-run. */
+void
+validatePolicyName(const OnlineConfig &cfg)
+{
+    if (!cfg.makePolicy && !cfg.policy.empty() &&
+        !schedulerPolicyRegistered(cfg.policy))
+        throw std::invalid_argument(
+            "OnlineServer: unknown scheduling policy '" + cfg.policy +
+            "'");
+}
+
 } // namespace
 
 OnlineServer::OnlineServer(const graph::HeteroGraph &g,
@@ -237,8 +304,12 @@ OnlineServer::OnlineServer(const graph::HeteroGraph &g,
           cfg.serving, rt)),
       batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
                cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
-               cfg.deadlineBudgetFraction)
-{}
+               cfg.deadlineBudgetFraction,
+               cfg.serving.maxQueueDepth > 0 &&
+                   cfg.serving.shed != ShedMode::None)
+{
+    validatePolicyName(cfg_);
+}
 
 OnlineServer::OnlineServer(const graph::HeteroGraph &g,
                            tensor::Tensor host_features,
@@ -247,8 +318,11 @@ OnlineServer::OnlineServer(const graph::HeteroGraph &g,
     : cfg_(cfg), group_(&group),
       batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
                cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
-               cfg.deadlineBudgetFraction)
+               cfg.deadlineBudgetFraction,
+               cfg.serving.maxQueueDepth > 0 &&
+                   cfg.serving.shed != ShedMode::None)
 {
+    validatePolicyName(cfg_);
     ShardedConfig scfg;
     scfg.serving = cfg.serving;
     scfg.partition = cfg.partition;
@@ -261,8 +335,11 @@ OnlineServer::OnlineServer(Engine &engine, OnlineConfig cfg)
     : cfg_(cfg), engine_(&engine),
       batcher_(std::max<std::size_t>(1, cfg.serving.maxBatch),
                cfg.serving.deadlineMs * 1e-3, cfg.ewmaAlpha,
-               cfg.deadlineBudgetFraction)
+               cfg.deadlineBudgetFraction,
+               cfg.serving.maxQueueDepth > 0 &&
+                   cfg.serving.shed != ShedMode::None)
 {
+    validatePolicyName(cfg_);
     if (cfg_.variants.empty())
         throw std::invalid_argument(
             "OnlineServer: multi-tenant mode needs at least one "
@@ -327,6 +404,25 @@ OnlineServer::setFlightRecorder(obs::FlightRecorder *fr)
         sharded_->setFlightRecorder(fr);
 }
 
+std::unique_ptr<SchedulerPolicy>
+OnlineServer::buildPolicy(PolicySetup setup) const
+{
+    std::unique_ptr<SchedulerPolicy> policy;
+    if (cfg_.makePolicy)
+        policy = cfg_.makePolicy(setup);
+    else
+        policy = makeSchedulerPolicy(
+            !cfg_.policy.empty()
+                ? cfg_.policy
+                : (cfg_.adaptive ? std::string("adaptive")
+                                 : std::string("fixed")),
+            std::move(setup));
+    if (!policy)
+        throw std::runtime_error(
+            "OnlineServer: policy factory returned null");
+    return policy;
+}
+
 OnlineReport
 OnlineServer::run()
 {
@@ -344,18 +440,21 @@ OnlineServer::runSingle()
     latenciesMs_.clear();
     queueDelaysMs_.clear();
     batchSizes_.clear();
+
+    PolicySetup setup;
+    setup.lanes.push_back(laneSpecFrom("default", cfg_.serving, cfg_));
+    setup.sharedBatcher = &batcher_;
+    const std::unique_ptr<SchedulerPolicy> policy =
+        buildPolicy(std::move(setup));
+    rep.policy = policy->name();
     if (cfg_.numRequests == 0)
         return rep;
 
     LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
-                      cfg_.arrivalSeed);
+                      cfg_.arrivalSeed, cfg_.serving.mmpp);
 
     const int num_streams = std::max(1, cfg_.serving.numStreams);
     const double serial_frac = rt_->spec().streamSerialFraction;
-    const std::size_t max_batch =
-        std::max<std::size_t>(1, cfg_.serving.maxBatch);
-    const std::size_t fixed = std::min(
-        max_batch, cfg_.fixedBatch > 0 ? cfg_.fixedBatch : max_batch);
 
     // Open-loop timeline, per-batch application of the runtime's
     // overlap rule (OpenLoopClock — shared with the multi-tenant
@@ -367,13 +466,30 @@ OnlineServer::runSingle()
     std::deque<QueuedArrival> queued_arrivals;
 
     const std::uint64_t launches_before = rt_->counters().total().launches;
+    std::size_t shed_total = 0;
 
-    // Admit every arrival the host clock has passed; each pays its
-    // modeled host-to-device transfer on the serialized host clock.
+    // Admit (or shed) every arrival the host clock has passed; each
+    // admitted request pays its modeled host-to-device transfer on the
+    // serialized host clock, while shed arrivals never sample, never
+    // transfer, and never touch a queue.
     auto admit = [&]() {
         while (!gen.done() && gen.peekSec() <= clock.hostFree) {
             const double arr = gen.next();
             rep.lastArrivalMs = arr * 1e3;
+            LaneView view;
+            view.queueDepth = queued_arrivals.size();
+            view.headArrivalSec = queued_arrivals.empty()
+                                      ? arr
+                                      : queued_arrivals.front().arrivalSec;
+            view.moreArrivals = !gen.done();
+            const AdmitDecision dec =
+                policy->admit(0, view, arr, clock.hostFree);
+            if (!dec.admit) {
+                ++shed_total;
+                recordShed(flight_, session_->reserveId(), arr,
+                           rt_->deviceId(), dec.reason, std::string());
+                continue;
+            }
             const double host_before = rt_->hostTimeMs() * 1e-3;
             const std::uint64_t id = session_->submit();
             const double transfer = rt_->hostTimeMs() * 1e-3 - host_before;
@@ -386,6 +502,8 @@ OnlineServer::runSingle()
                                    obs::jsonNum(transfer * 1e3));
             }
             queued_arrivals.push_back(QueuedArrival{arr, id});
+            rep.peakLaneQueueDepth = std::max(rep.peakLaneQueueDepth,
+                                              queued_arrivals.size());
         }
     };
 
@@ -396,9 +514,11 @@ OnlineServer::runSingle()
     latencies_sec.reserve(cfg_.numRequests);
     queue_delays_sec.reserve(cfg_.numRequests);
 
-    while (served < cfg_.numRequests) {
+    while (served + shed_total < cfg_.numRequests) {
         admit();
         if (queued_arrivals.empty()) {
+            if (gen.done())
+                break; // everything remaining was shed
             // Idle: jump the host clock to the next arrival.
             clock.hostFree = std::max(clock.hostFree, gen.peekSec());
             rt_->advanceTo(clock.hostFree);
@@ -407,19 +527,26 @@ OnlineServer::runSingle()
 
         const std::size_t depth = queued_arrivals.size();
         rep.peakQueueDepth = std::max(rep.peakQueueDepth, depth);
+        rep.peakLaneQueueDepth =
+            std::max(rep.peakLaneQueueDepth, depth);
 
-        std::size_t batch;
-        if (cfg_.adaptive) {
-            batch = batcher_.pick(depth);
-        } else if (depth >= fixed || gen.done()) {
-            batch = std::min(depth, fixed);
-        } else {
-            // Wait-to-fill: hold the queue until the fixed batch is
-            // complete (or arrivals run out).
-            clock.hostFree = std::max(clock.hostFree, gen.peekSec());
-            rt_->advanceTo(clock.hostFree);
-            continue;
+        std::vector<LaneView> views(1);
+        views[0].queueDepth = depth;
+        views[0].headArrivalSec = queued_arrivals.front().arrivalSec;
+        views[0].moreArrivals = !gen.done();
+        int lane = policy->pickLane(views);
+        if (lane < 0) {
+            if (!gen.done()) {
+                // Wait (e.g. wait-to-fill still filling): jump the
+                // host clock to the next arrival.
+                clock.hostFree = std::max(clock.hostFree, gen.peekSec());
+                rt_->advanceTo(clock.hostFree);
+                continue;
+            }
+            lane = oldestLane(views); // forced progress
         }
+
+        std::size_t batch = policy->pickBatch(0, views[0]);
         batch = std::max<std::size_t>(1, std::min(batch, depth));
 
         if (!cfg_.retainResults)
@@ -436,7 +563,7 @@ OnlineServer::runSingle()
                 rt_->deviceId(), s,
                 "\"batch\":" + std::to_string(batch));
 
-        batcher_.observe(cost);
+        policy->observe(0, cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
 
@@ -468,7 +595,8 @@ OnlineServer::runSingle()
     }
 
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
-                         queue_delays_sec, cfg_.serving.deadlineMs);
+                         queue_delays_sec, cfg_.serving.deadlineMs,
+                         shed_total);
 
     fillCacheStats(rep, session_->planCache().stats());
     rep.launches = rt_->counters().total().launches - launches_before;
@@ -480,50 +608,53 @@ OnlineServer::runMulti()
 {
     sim::Runtime &rt = engine_->runtime();
     OnlineReport rep;
-    rep.deadlineMs = 0.0;
+    // Start from the base config's deadline like the other two paths
+    // (historically this was zeroed here, so an empty multi-tenant run
+    // reported deadlineMs = 0 even when one was configured); lanes
+    // with their own SLOs below can only raise it.
+    rep.deadlineMs = cfg_.serving.deadlineMs;
     latenciesMs_.clear();
     queueDelaysMs_.clear();
     batchSizes_.clear();
 
-    /** One open-loop arrival process + queue + batcher per variant. */
+    /** One open-loop arrival process + queue per variant (batch
+     *  sizing and lane ordering live in the SchedulerPolicy). */
     struct Lane
     {
         int variant;
         std::string name;
         LoadGenerator gen;
         std::deque<QueuedArrival> queued;
-        AdaptiveBatcher batcher;
         double deadlineSec;
-        std::size_t fixed;
         std::vector<double> latencies; ///< seconds, completion order
         std::size_t met = 0;
+        std::size_t shed = 0;
 
-        Lane(int v, const VariantLoad &load, const ServingConfig &cfg,
-             double alpha, double budget_fraction)
+        Lane(int v, const VariantLoad &load, const ServingConfig &cfg)
             : variant(v), name(load.variant),
-              gen(load.ratePerSec, load.numRequests, load.arrivalSeed),
-              batcher(std::max<std::size_t>(1, cfg.maxBatch),
-                      cfg.deadlineMs * 1e-3, alpha, budget_fraction),
-              deadlineSec(cfg.deadlineMs * 1e-3),
-              fixed(std::max<std::size_t>(1, cfg.maxBatch))
+              gen(load.ratePerSec, load.numRequests, load.arrivalSeed,
+                  cfg.mmpp),
+              deadlineSec(cfg.deadlineMs * 1e-3)
         {}
     };
 
     std::vector<Lane> lanes;
     lanes.reserve(cfg_.variants.size());
+    PolicySetup setup;
+    setup.lanes.reserve(cfg_.variants.size());
     std::size_t total = 0;
     for (const VariantLoad &load : cfg_.variants) {
         const int v = engine_->variantIndex(load.variant);
         const ServingConfig &vcfg = engine_->variantConfig(v);
-        lanes.emplace_back(v, load, vcfg, cfg_.ewmaAlpha,
-                           cfg_.deadlineBudgetFraction);
-        if (cfg_.fixedBatch > 0)
-            lanes.back().fixed =
-                std::min(lanes.back().fixed, cfg_.fixedBatch);
+        lanes.emplace_back(v, load, vcfg);
+        setup.lanes.push_back(laneSpecFrom(load.variant, vcfg, cfg_));
         rep.offeredRatePerSec += load.ratePerSec;
         rep.deadlineMs = std::max(rep.deadlineMs, vcfg.deadlineMs);
         total += load.numRequests;
     }
+    const std::unique_ptr<SchedulerPolicy> policy =
+        buildPolicy(std::move(setup));
+    rep.policy = policy->name();
     if (total == 0)
         return rep;
 
@@ -535,35 +666,57 @@ OnlineServer::runMulti()
     OpenLoopClock clock(num_streams, serial_frac);
 
     const std::uint64_t launches_before = rt.counters().total().launches;
+    std::size_t shed_total = 0;
+    bool any_deadline = false;
 
-    // Admit every arrival the host clock has passed, across lanes in
-    // global time order; each pays its modeled transfer on the
-    // serialized host clock.
+    // Admit (or shed) every arrival the host clock has passed, across
+    // lanes in global time order; each admitted request pays its
+    // modeled transfer on the serialized host clock.
     auto admit = [&]() {
         while (true) {
-            Lane *next = nullptr;
-            for (Lane &ln : lanes)
-                if (!ln.gen.done() &&
-                    ln.gen.peekSec() <= clock.hostFree &&
-                    (!next || ln.gen.peekSec() < next->gen.peekSec()))
-                    next = &ln;
-            if (!next)
+            std::size_t next = lanes.size();
+            for (std::size_t i = 0; i < lanes.size(); ++i)
+                if (!lanes[i].gen.done() &&
+                    lanes[i].gen.peekSec() <= clock.hostFree &&
+                    (next == lanes.size() ||
+                     lanes[i].gen.peekSec() < lanes[next].gen.peekSec()))
+                    next = i;
+            if (next == lanes.size())
                 break;
-            const double arr = next->gen.next();
+            Lane &ln = lanes[next];
+            const double arr = ln.gen.next();
             rep.lastArrivalMs = std::max(rep.lastArrivalMs, arr * 1e3);
+            LaneView view;
+            view.queueDepth = ln.queued.size();
+            view.headArrivalSec =
+                ln.queued.empty() ? arr : ln.queued.front().arrivalSec;
+            view.moreArrivals = !ln.gen.done();
+            const AdmitDecision dec =
+                policy->admit(next, view, arr, clock.hostFree);
+            if (!dec.admit) {
+                ++ln.shed;
+                ++shed_total;
+                if (ln.deadlineSec > 0.0)
+                    any_deadline = true;
+                recordShed(flight_, engine_->reserveId(), arr,
+                           rt.deviceId(), dec.reason, ln.name);
+                continue;
+            }
             const double host_before = rt.hostTimeMs() * 1e-3;
-            const std::uint64_t id = engine_->submit(next->variant);
+            const std::uint64_t id = engine_->submit(ln.variant);
             const double transfer = rt.hostTimeMs() * 1e-3 - host_before;
             clock.hostFree = std::max(clock.hostFree, arr) + transfer;
             if (flight_) {
                 flight_->event(id, "arrival", arr, rt.deviceId(),
-                               "variant=" + next->name);
+                               "variant=" + ln.name);
                 flight_->event(id, "admission", clock.hostFree,
                                rt.deviceId(),
                                "transfer_ms=" +
                                    obs::jsonNum(transfer * 1e3));
             }
-            next->queued.push_back(QueuedArrival{arr, id});
+            ln.queued.push_back(QueuedArrival{arr, id});
+            rep.peakLaneQueueDepth =
+                std::max(rep.peakLaneQueueDepth, ln.queued.size());
         }
     };
 
@@ -576,36 +729,18 @@ OnlineServer::runMulti()
         return t;
     };
 
-    // Deadline-aware variant interleaving: among lanes with queued
-    // work, the head-of-line request with the earliest ABSOLUTE
-    // deadline (arrival + its variant's SLO) wins the tick —
-    // earliest-deadline-first across tenants. Lanes without a deadline
-    // rank behind every deadline lane and compete on arrival order;
-    // ties go to the lower lane index, keeping the schedule
-    // deterministic.
-    auto pick_lane = [&](bool require_fill) -> Lane * {
-        Lane *best = nullptr;
-        double best_key = 0.0;
-        double best_arr = 0.0;
-        for (Lane &ln : lanes) {
-            if (ln.queued.empty())
-                continue;
-            if (require_fill && ln.queued.size() < ln.fixed &&
-                !ln.gen.done())
-                continue;
-            const double arr = ln.queued.front().arrivalSec;
-            const double key =
-                ln.deadlineSec > 0.0
-                    ? arr + ln.deadlineSec
-                    : std::numeric_limits<double>::infinity();
-            if (!best || key < best_key ||
-                (key == best_key && arr < best_arr)) {
-                best = &ln;
-                best_key = key;
-                best_arr = arr;
-            }
+    /** Per-lane dynamic state for the policy's decision points. */
+    auto lane_views = [&]() {
+        std::vector<LaneView> views(lanes.size());
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            views[i].queueDepth = lanes[i].queued.size();
+            views[i].headArrivalSec =
+                lanes[i].queued.empty()
+                    ? 0.0
+                    : lanes[i].queued.front().arrivalSec;
+            views[i].moreArrivals = !lanes[i].gen.done();
         }
-        return best;
+        return views;
     };
 
     std::size_t served = 0;
@@ -614,26 +749,36 @@ OnlineServer::runMulti()
     std::vector<double> queue_delays_sec;
     latencies_sec.reserve(total);
     queue_delays_sec.reserve(total);
-    bool any_deadline = false;
     std::size_t met = 0;
 
-    while (served < total) {
+    while (served + shed_total < total) {
         admit();
-        Lane *lane = pick_lane(!cfg_.adaptive);
-        if (!lane) {
-            // Idle (or wait-to-fill still filling): jump the host
-            // clock to the next arrival.
-            clock.hostFree = std::max(clock.hostFree, next_arrival());
-            rt.advanceTo(clock.hostFree);
-            continue;
+        const std::vector<LaneView> views = lane_views();
+        int li = policy->pickLane(views);
+        if (li < 0) {
+            const double na = next_arrival();
+            if (std::isfinite(na)) {
+                // Idle (or wait-to-fill still filling): jump the host
+                // clock to the next arrival.
+                clock.hostFree = std::max(clock.hostFree, na);
+                rt.advanceTo(clock.hostFree);
+                continue;
+            }
+            li = oldestLane(views); // forced progress
+            if (li < 0)
+                break; // nothing queued, nothing arriving
         }
+        Lane *lane = &lanes[static_cast<std::size_t>(li)];
 
         const std::size_t depth = lane->queued.size();
         rep.peakQueueDepth =
             std::max(rep.peakQueueDepth, engine_->queued());
+        rep.peakLaneQueueDepth =
+            std::max(rep.peakLaneQueueDepth, depth);
 
-        std::size_t batch = cfg_.adaptive ? lane->batcher.pick(depth)
-                                          : std::min(depth, lane->fixed);
+        std::size_t batch = policy->pickBatch(
+            static_cast<std::size_t>(li),
+            views[static_cast<std::size_t>(li)]);
         batch = std::max<std::size_t>(1, std::min(batch, depth));
 
         if (!cfg_.retainResults)
@@ -651,7 +796,7 @@ OnlineServer::runMulti()
                 cost.execSec, rt.deviceId(), s,
                 "\"batch\":" + std::to_string(batch));
 
-        lane->batcher.observe(cost);
+        policy->observe(static_cast<std::size_t>(li), cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
 
@@ -688,9 +833,10 @@ OnlineServer::runMulti()
     }
 
     // Percentiles/means via the shared tail; attainment judges each
-    // request against its own variant's deadline.
+    // request against its own variant's deadline, so the overall
+    // numbers are recomputed from the per-lane tallies below.
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
-                         queue_delays_sec, 0.0);
+                         queue_delays_sec, 0.0, shed_total);
     if (any_deadline && !latencies_sec.empty()) {
         met = 0;
         for (const Lane &ln : lanes)
@@ -698,12 +844,23 @@ OnlineServer::runMulti()
         rep.sloAttainment = static_cast<double>(met) /
                             static_cast<double>(latencies_sec.size());
     }
+    rep.admittedSloAttainment = rep.sloAttainment;
+    if (shed_total > 0 && any_deadline) {
+        std::size_t met_total = 0;
+        for (const Lane &ln : lanes)
+            met_total += ln.met;
+        rep.sloAttainment =
+            static_cast<double>(met_total) /
+            static_cast<double>(served + shed_total);
+    }
 
     for (Lane &ln : lanes) {
-        if (ln.latencies.empty())
+        if (ln.latencies.empty() && ln.shed == 0)
             continue;
-        rep.perVariant.push_back(makeVariantReport(
-            ln.name, ln.latencies, ln.deadlineSec * 1e3));
+        VariantReport vr = makeVariantReport(ln.name, ln.latencies,
+                                             ln.deadlineSec * 1e3);
+        vr.requestsShed = ln.shed;
+        rep.perVariant.push_back(std::move(vr));
     }
 
     fillCacheStats(rep, engine_->planCache().stats());
@@ -721,20 +878,30 @@ OnlineServer::runSharded()
     latenciesMs_.clear();
     queueDelaysMs_.clear();
     batchSizes_.clear();
+
+    const int devices = group_->size();
+
+    // One lane per home shard, all sharing the run's ServingConfig —
+    // and one shared cost model (the server's batcher), exactly the
+    // pre-policy behavior where every device fed the same EWMAs.
+    PolicySetup setup;
+    setup.lanes.reserve(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d)
+        setup.lanes.push_back(laneSpecFrom(
+            "dev" + std::to_string(d), cfg_.serving, cfg_));
+    setup.sharedBatcher = &batcher_;
+    const std::unique_ptr<SchedulerPolicy> policy =
+        buildPolicy(std::move(setup));
+    rep.policy = policy->name();
     if (cfg_.numRequests == 0)
         return rep;
 
     LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
-                      cfg_.arrivalSeed);
+                      cfg_.arrivalSeed, cfg_.serving.mmpp);
 
-    const int devices = group_->size();
     const int num_streams = std::max(1, cfg_.serving.numStreams);
     const double serial_frac =
         group_->device(0).spec().streamSerialFraction;
-    const std::size_t max_batch =
-        std::max<std::size_t>(1, cfg_.serving.maxBatch);
-    const std::size_t fixed = std::min(
-        max_batch, cfg_.fixedBatch > 0 ? cfg_.fixedBatch : max_batch);
 
     // Multi-device open-loop timeline. The shared pieces stay shared:
     // one PCIe link admits arrivals (host_free) and the interconnect
@@ -760,19 +927,34 @@ OnlineServer::runSharded()
     const std::uint64_t launches_before = group_->totalLaunches();
     const double ic_busy_before =
         group_->interconnect().totalBusySec();
+    std::size_t shed_total = 0;
 
-    // Admit arrivals the simulation has reached. Unlike the
+    // Admit (or shed) arrivals the simulation has reached. Unlike the
     // single-device loop — whose one host thread both admits and
     // issues, so admission stalls behind issue overheads — the group's
     // admission thread is free while devices execute: anything that
     // arrived by the group clock (advanced to each batch completion)
     // is admitted, which is what lets queue depth build under load and
-    // the adaptive batcher actually batch.
+    // the adaptive batcher actually batch. The admission bound applies
+    // to the whole session's backlog (one variant, one bound), judged
+    // BEFORE routing — shed arrivals never sample and never route.
     auto admit = [&]() {
         while (!gen.done() &&
                gen.peekSec() <= std::max(host_free, group_->nowSec())) {
             const double arr = gen.next();
             rep.lastArrivalMs = arr * 1e3;
+            LaneView view;
+            view.queueDepth = sharded_->queued();
+            view.headArrivalSec = arr;
+            view.moreArrivals = !gen.done();
+            const AdmitDecision dec = policy->admit(
+                0, view, arr, std::max(host_free, group_->nowSec()));
+            if (!dec.admit) {
+                ++shed_total;
+                recordShed(flight_, sharded_->reserveId(), arr, -1,
+                           dec.reason, std::string());
+                continue;
+            }
             const ShardedSession::SubmitInfo info =
                 sharded_->submitRouted();
             host_free = std::max(host_free, arr) + info.transferSec;
@@ -785,6 +967,10 @@ OnlineServer::runSharded()
             }
             queued_arrivals[static_cast<std::size_t>(info.device)]
                 .push_back(QueuedArrival{arr, info.id});
+            rep.peakLaneQueueDepth = std::max(
+                rep.peakLaneQueueDepth,
+                queued_arrivals[static_cast<std::size_t>(info.device)]
+                    .size());
         }
     };
 
@@ -827,26 +1013,20 @@ OnlineServer::runSharded()
         rep.devicesFailed = group_->size() - sharded_->aliveCount();
     };
 
-    // Oldest queued head across devices — FIFO-fair routing of ticks;
-    // ties go to the lower device id. Returns -1 when all empty.
-    auto oldest_device = [&](bool require_fill) {
-        int best = -1;
+    /** Per-device dynamic state for the policy (dead devices hold no
+     *  queue — quarantine re-routed it — so they are never picked). */
+    auto lane_views = [&]() {
+        std::vector<LaneView> views(static_cast<std::size_t>(devices));
         for (int d = 0; d < devices; ++d) {
-            if (sharded_->isDead(d))
-                continue;
-            const auto &q = queued_arrivals[static_cast<std::size_t>(d)];
-            if (q.empty())
-                continue;
-            if (require_fill && q.size() < fixed && !gen.done())
-                continue;
-            if (best < 0 ||
-                q.front().arrivalSec <
-                    queued_arrivals[static_cast<std::size_t>(best)]
-                        .front()
-                        .arrivalSec)
-                best = d;
+            const auto &q =
+                queued_arrivals[static_cast<std::size_t>(d)];
+            views[static_cast<std::size_t>(d)].queueDepth = q.size();
+            views[static_cast<std::size_t>(d)].headArrivalSec =
+                q.empty() ? 0.0 : q.front().arrivalSec;
+            views[static_cast<std::size_t>(d)].moreArrivals =
+                !gen.done();
         }
-        return best;
+        return views;
     };
 
     std::size_t served = 0;
@@ -856,24 +1036,33 @@ OnlineServer::runSharded()
     latencies_sec.reserve(cfg_.numRequests);
     queue_delays_sec.reserve(cfg_.numRequests);
 
-    while (served < cfg_.numRequests) {
+    while (served + shed_total < cfg_.numRequests) {
         admit();
         check_failures();
-        const int d = oldest_device(!cfg_.adaptive);
+        const std::vector<LaneView> views = lane_views();
+        int d = policy->pickLane(views);
         if (d < 0) {
-            // Idle (or wait-to-fill still filling): jump the host
-            // clock to the next arrival.
-            host_free = std::max(host_free, gen.peekSec());
-            group_->advanceTo(host_free);
-            continue;
+            if (!gen.done()) {
+                // Idle (or wait-to-fill still filling): jump the host
+                // clock to the next arrival.
+                host_free = std::max(host_free, gen.peekSec());
+                group_->advanceTo(host_free);
+                continue;
+            }
+            d = oldestLane(views); // forced progress
+            if (d < 0)
+                break; // nothing queued, nothing arriving
         }
         auto &q = queued_arrivals[static_cast<std::size_t>(d)];
         const std::size_t depth = q.size();
         rep.peakQueueDepth =
             std::max(rep.peakQueueDepth, sharded_->queued());
+        rep.peakLaneQueueDepth =
+            std::max(rep.peakLaneQueueDepth, depth);
 
-        std::size_t batch = cfg_.adaptive ? batcher_.pick(depth)
-                                          : std::min(depth, fixed);
+        std::size_t batch =
+            policy->pickBatch(static_cast<std::size_t>(d),
+                              views[static_cast<std::size_t>(d)]);
         batch = std::max<std::size_t>(1, std::min(batch, depth));
 
         if (!cfg_.retainResults)
@@ -952,7 +1141,7 @@ OnlineServer::runSharded()
                     "\"bytes\":" + obs::jsonNum(sb.gatherBytes));
         }
 
-        batcher_.observe(sb.cost);
+        policy->observe(static_cast<std::size_t>(d), sb.cost);
         batchSizes_.push_back(batch);
         ++rep.ticks;
 
@@ -989,13 +1178,32 @@ OnlineServer::runSharded()
     }
 
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
-                         queue_delays_sec, cfg_.serving.deadlineMs);
+                         queue_delays_sec, cfg_.serving.deadlineMs,
+                         shed_total);
 
     rep.interconnectMs =
         (group_->interconnect().totalBusySec() - ic_busy_before) * 1e3;
     fillCacheStats(rep, sharded_->planCache().stats());
     rep.launches = group_->totalLaunches() - launches_before;
     return rep;
+}
+
+// ------------------------------------------------------------ absorb helper
+
+void
+absorbOnlineReport(obs::Registry &reg, const OnlineReport &report,
+                   const std::string &prefix)
+{
+    absorbReport(reg, report, prefix);
+    reg.gauge(prefix + ".requests_shed")
+        .set(static_cast<double>(report.requestsShed));
+    reg.gauge(prefix + ".shed_fraction").set(report.shedFraction);
+    reg.gauge(prefix + ".admitted_slo_attainment")
+        .set(report.admittedSloAttainment);
+    reg.gauge(prefix + ".peak_queue_depth")
+        .set(static_cast<double>(report.peakQueueDepth));
+    reg.gauge(prefix + ".peak_lane_queue_depth")
+        .set(static_cast<double>(report.peakLaneQueueDepth));
 }
 
 } // namespace hector::serve

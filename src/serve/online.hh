@@ -13,24 +13,25 @@
  *  - LoadGenerator draws seeded Poisson inter-arrival times (inverse
  *    CDF over a raw mt19937_64 stream, so the sequence is bit-stable
  *    across platforms and scales exactly as 1/rate for a fixed seed);
+ *    an optional two-state MMPP mode (ServingConfig::mmpp) modulates
+ *    the rate between baseline and burst states for bursty traffic,
+ *    drawn from the same seeded stream;
  *  - OnlineServer wraps a ServingSession and serves in timed ticks:
  *    arrivals are admitted as the host clock passes them (each paying
  *    its modeled host-to-device transfer), one micro-batch is issued
  *    per tick, and completions are gated on host serialization, stream
  *    availability, and the shared-resource serial fraction — the same
  *    overlap rule as sim::Runtime::makespanSec, applied per batch;
- *  - AdaptiveBatcher picks each tick's batch size from observed queue
- *    depth and EWMA estimates of per-batch overhead / per-request
- *    execution time: under low load it serves what is queued
- *    immediately (latency), under saturation it grows to maxBatch
- *    (throughput), and in between it caps the batch so modeled service
- *    time stays within a fraction of the deadline budget.
- *
- * The fixed-batch alternative (OnlineConfig::adaptive = false) is the
- * classic wait-to-fill policy: hold requests until `fixedBatch` have
- * arrived. It matches adaptive throughput under saturation but pays
- * brutal fill-wait latency at low load — the comparison
- * bench_serving_online quantifies.
+ *  - every batching / admission / lane-ordering decision is delegated
+ *    to a SchedulerPolicy (serve/scheduler_policy.hh): "adaptive"
+ *    (EDF interleave + deadline-budget AdaptiveBatcher, the default),
+ *    "fixed" (classic wait-to-fill — matches adaptive throughput
+ *    under saturation but pays brutal fill-wait latency at low load),
+ *    "wfq" (priority tiers + weighted-fair tenant sharing), or any
+ *    registered custom policy. Admission control (ServingConfig::
+ *    maxQueueDepth + ShedMode) sheds deterministically at the bound,
+ *    so p99 of admitted requests stays bounded under overload instead
+ *    of growing with the queue.
  *
  * Constructed over a sim::DeviceGroup instead of a single Runtime, the
  * server drives a ShardedSession: arrivals are admitted on the shared
@@ -50,6 +51,7 @@
 #include <vector>
 
 #include "serve/engine.hh"
+#include "serve/scheduler_policy.hh"
 #include "serve/session.hh"
 #include "serve/sharded.hh"
 
@@ -61,15 +63,25 @@ namespace hector::serve
  * requests per simulated second. Deterministic under a fixed seed, and
  * for equal seeds the arrival times scale exactly by rate (gaps are
  * u_i / rate with a rate-independent u_i sequence).
+ *
+ * With an enabled MmppSpec the process is a two-state Markov-modulated
+ * Poisson: gaps are drawn at the current state's rate (baseline rate
+ * or rate x burstRateMultiplier), and after each arrival one extra
+ * uniform from the same seeded stream decides the state transition —
+ * still bit-stable across platforms, thread counts and reruns.
  */
 class LoadGenerator
 {
   public:
     LoadGenerator(double rate_per_sec, std::size_t count,
                   std::uint64_t seed);
+    LoadGenerator(double rate_per_sec, std::size_t count,
+                  std::uint64_t seed, const MmppSpec &mmpp);
 
     bool done() const { return left_ == 0; }
     std::size_t remaining() const { return left_; }
+    /** In the MMPP burst state (always false for pure Poisson). */
+    bool inBurst() const { return burst_; }
 
     /** Absolute time of the next arrival; call only when !done(). */
     double peekSec() const;
@@ -81,58 +93,21 @@ class LoadGenerator
     static std::vector<double> arrivals(double rate_per_sec,
                                         std::size_t count,
                                         std::uint64_t seed);
+    static std::vector<double> arrivals(double rate_per_sec,
+                                        std::size_t count,
+                                        std::uint64_t seed,
+                                        const MmppSpec &mmpp);
 
   private:
     double ratePerSec_;
     std::size_t left_;
     std::mt19937_64 rng_;
     double nextSec_ = 0.0;
+    MmppSpec mmpp_{};
+    bool burst_ = false;
 
+    double nextU();
     void advance();
-};
-
-/**
- * Per-tick micro-batch sizing from queue depth + cost EWMAs.
- *
- * Policy: a queue at or above maxBatch means the server is saturated
- * and throughput is all that matters — serve maxBatch. Below that,
- * serve everything queued, except when the EWMA cost model predicts
- * the batch's own service time would eat more than `budgetFraction`
- * of the deadline, in which case the batch is capped so queued
- * requests keep their SLO headroom.
- */
-class AdaptiveBatcher
-{
-  public:
-    /**
-     * @param max_batch       upper bound on the micro-batch size
-     * @param deadline_sec    per-request SLO (0 disables the cap)
-     * @param alpha           EWMA smoothing factor in (0, 1]
-     * @param budget_fraction fraction of the deadline a single batch's
-     *                        service time may consume
-     */
-    AdaptiveBatcher(std::size_t max_batch, double deadline_sec,
-                    double alpha = 0.25, double budget_fraction = 0.5);
-
-    /** Batch size for a tick that sees @p queue_depth queued requests. */
-    std::size_t pick(std::size_t queue_depth) const;
-
-    /** Feed one served batch's modeled cost into the EWMAs. */
-    void observe(const BatchCost &cost);
-
-    bool calibrated() const { return observed_; }
-    double ewmaOverheadSec() const { return ewmaOverheadSec_; }
-    double ewmaExecPerRequestSec() const { return ewmaExecPerReqSec_; }
-    std::size_t maxBatch() const { return maxBatch_; }
-
-  private:
-    std::size_t maxBatch_;
-    double deadlineSec_;
-    double alpha_;
-    double budgetFraction_;
-    double ewmaOverheadSec_ = 0.0;
-    double ewmaExecPerReqSec_ = 0.0;
-    bool observed_ = false;
 };
 
 /** Offered load of one engine variant in a multi-tenant run. */
@@ -159,8 +134,21 @@ struct OnlineConfig
     std::size_t numRequests = 64;
     /** Seed of the Poisson arrival process. */
     std::uint64_t arrivalSeed = 0xa221;
-    /** Adaptive batch sizing; false selects wait-to-fill fixedBatch. */
+    /** Adaptive batch sizing; false selects wait-to-fill fixedBatch.
+     *  Consulted only when `policy` and `makePolicy` are unset. */
     bool adaptive = true;
+    /**
+     * Scheduling policy by registry name ("fixed", "adaptive", "wfq",
+     * or any policy registered via registerSchedulerPolicy). Empty
+     * falls back to the legacy `adaptive` flag above. Unknown names
+     * throw std::invalid_argument at construction.
+     */
+    std::string policy;
+    /**
+     * Custom policy factory; wins over `policy` when set, so a
+     * scheduler is a one-file addition without touching the registry.
+     */
+    PolicyFactory makePolicy;
     /** Wait-to-fill batch size when !adaptive; 0 means maxBatch, and
      *  larger values are clamped to maxBatch. */
     std::size_t fixedBatch = 0;
@@ -208,6 +196,27 @@ struct OnlineReport : ServingReport
     int devicesFailed = 0;
     /** Requests re-routed off failed devices to survivors. */
     std::size_t requestsRerouted = 0;
+    /** Arrivals rejected at admission (load shedding). */
+    std::size_t requestsShed = 0;
+    /** requestsShed / offered arrivals; 0 when nothing was shed. */
+    double shedFraction = 0.0;
+    /**
+     * SLO attainment over ADMITTED requests only. The inherited
+     * sloAttainment counts shed arrivals as misses (denominator =
+     * offered = served + shed), so the two are identical when nothing
+     * is shed and under overload the gap is the price of shedding.
+     */
+    double admittedSloAttainment = 1.0;
+    /**
+     * Peak depth of any single lane's queue at an admission or
+     * scheduling point. peakQueueDepth keeps its historical meaning
+     * (engine-wide queued requests in multi-tenant mode); this one is
+     * the per-lane bound admission control enforces — it never
+     * exceeds ServingConfig::maxQueueDepth when shedding is on.
+     */
+    std::size_t peakLaneQueueDepth = 0;
+    /** Resolved name of the scheduling policy the run used. */
+    std::string policy;
 };
 
 /**
@@ -292,6 +301,10 @@ class OnlineServer
     OnlineReport runSharded();
     OnlineReport runMulti();
 
+    /** Resolve cfg_ (makePolicy > policy name > adaptive flag) into a
+     *  policy instance over @p setup's lanes. */
+    std::unique_ptr<SchedulerPolicy> buildPolicy(PolicySetup setup) const;
+
     OnlineConfig cfg_;
     /** Exactly one of rt_/group_/engine_ (and the matching wrapped
      *  object) is set. */
@@ -307,6 +320,16 @@ class OnlineServer
     std::vector<std::size_t> batchSizes_;
     obs::FlightRecorder *flight_ = nullptr;
 };
+
+/**
+ * Absorb an OnlineReport into the obs metrics registry under
+ * @p prefix: the shared ServingReport gauges via absorbReport, plus
+ * the online-only overload metrics (requests_shed, shed_fraction,
+ * admitted_slo_attainment, peak_queue_depth, peak_lane_queue_depth).
+ * One emitter path for every bench that snapshots an online run.
+ */
+void absorbOnlineReport(obs::Registry &reg, const OnlineReport &report,
+                        const std::string &prefix);
 
 } // namespace hector::serve
 

@@ -59,6 +59,10 @@ class ServingSession
         return engine_.submit(0, std::move(mb), std::move(feature));
     }
 
+    /** Consume one request id without enqueuing (shed arrivals keep a
+     *  unique flight-recorder identity); see Engine::reserveId. */
+    std::uint64_t reserveId() { return engine_.reserveId(); }
+
     /** Serve every queued request; returns the cycle's metrics. */
     ServingReport drain() { return engine_.drain(); }
 

@@ -156,6 +156,10 @@ class ShardedSession
     /** submitRouted() discarding the routing info. */
     std::uint64_t submit() { return submitRouted().id; }
 
+    /** Consume one request id without sampling, routing, or enqueuing
+     *  (shed arrivals keep a unique flight-recorder identity). */
+    std::uint64_t reserveId() { return nextId_++; }
+
     /** Enqueue an externally prepared request; routes like submit(). */
     SubmitInfo submitRouted(graph::Minibatch mb, tensor::Tensor feature);
 

@@ -126,8 +126,11 @@ TEST(AdaptiveBatcher, ReachesMaxBatchUnderSaturation)
     serve::AdaptiveBatcher b(8, 1e-3);
     EXPECT_EQ(b.pick(8), 8u);
     EXPECT_EQ(b.pick(100), 8u);
-    // Still true once calibrated, even with costly batches: saturation
-    // means deadlines are blown either way and throughput rules.
+    // Still true once calibrated, even with costly batches: with an
+    // UNBOUNDED queue (the default here) saturation means deadlines
+    // are blown either way and throughput rules. A bounded-queue
+    // batcher keeps its deadline cap instead — see
+    // test_serve_overload.cc.
     b.observe({8, 1e-3, 8e-3});
     EXPECT_EQ(b.pick(8), 8u);
     EXPECT_EQ(b.pick(1000), 8u);

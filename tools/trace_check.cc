@@ -14,7 +14,11 @@
  *    "ts", and complete events ("X") a numeric "dur";
  *  - "ts" must be non-decreasing across non-metadata events in array
  *    order (the exporter sorts; an out-of-order timestamp means the
- *    deterministic sort broke).
+ *    deterministic sort broke);
+ *  - load-shedding events (name "shed", emitted by the online
+ *    admission controller) must be instants ("i") carrying an "args"
+ *    object with a non-empty string "reason" — a shed without a
+ *    recorded reason cannot be audited after the fact.
  *
  * Usage: trace_check FILE...   (exit 0 = all valid, 1 = any invalid)
  */
@@ -352,6 +356,7 @@ checkTrace(const char *path)
     double last_ts = 0.0;
     bool have_ts = false;
     std::size_t timed = 0;
+    std::size_t sheds = 0;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const Value &ev = events->array[i];
         auto fail = [&](const char *what) {
@@ -362,12 +367,24 @@ checkTrace(const char *path)
             fail("not an object");
             continue;
         }
-        if (!isString(ev.find("name")))
+        const Value *name = ev.find("name");
+        if (!isString(name))
             fail("missing string \"name\"");
         const Value *ph = ev.find("ph");
         if (!isString(ph)) {
             fail("missing string \"ph\"");
             continue;
+        }
+        if (isString(name) && name->string == "shed") {
+            ++sheds;
+            if (ph->string != "i")
+                fail("shed event is not an instant (\"i\")");
+            const Value *args = ev.find("args");
+            const Value *reason =
+                args ? args->find("reason") : nullptr;
+            if (!isString(reason) || reason->string.empty())
+                fail("shed event missing non-empty string "
+                     "args.reason");
         }
         if (!isNumber(ev.find("pid")))
             fail("missing numeric \"pid\"");
@@ -389,8 +406,8 @@ checkTrace(const char *path)
         ++timed;
     }
     if (ok)
-        std::printf("%s: OK (%zu events, %zu timed)\n", path,
-                    events->array.size(), timed);
+        std::printf("%s: OK (%zu events, %zu timed, %zu shed)\n", path,
+                    events->array.size(), timed, sheds);
     return ok;
 }
 
