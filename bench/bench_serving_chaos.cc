@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Combined fault x overload chaos soak + acceptance gates for the
+ * request-resilience frontend (deadlines, retries, hedging, circuit
+ * breakers, brownout).
+ *
+ * PR 7 proved the device layer recovers from faults, PR 8 proved
+ * admission control holds the SLO at 4x overload — each in isolation.
+ * This bench composes the two worst cases on the virtual clock: a
+ * 4-device sharded server under bursty MMPP arrivals at 4x measured
+ * capacity, with mid-soak transient corruptions and a device failure
+ * injected by sim::FaultInjector, served through the resilience layer
+ * (deadline fail-fast, seeded retries, hedged requests, per-device
+ * breakers, brownout). Gates (exit nonzero on violation):
+ *
+ *  1. availability >= 0.95 over ADMITTED requests: served /
+ *     (served + timedOut + retryFailed) — shedding is the admission
+ *     layer's business, but a request the frontend accepted must
+ *     almost always come back;
+ *  2. p99.9 latency is reported (> 0, >= p99) and bounded by the
+ *     fail-fast deadline budget (<= 2x deadline): the 10^-3 tail is
+ *     measured, not imputed, at >= 10^6 offered requests;
+ *  3. exact accounting: served + shed + timedOut + failed == offered,
+ *     no request invented or lost under combined fault x overload;
+ *  4. the injected device failure is detected (devicesFailed == 1)
+ *     and the resilience machinery engaged (retries, hedges and
+ *     brownout ticks all > 0);
+ *  5. determinism: the canonical soak report (all gate inputs + a
+ *     latency-stream FNV hash) is byte-identical across 1/2/4 host
+ *     threads;
+ *  6. traced sub-run: byte-identical Chrome-trace + metrics JSON
+ *     across 1/2/4 threads, carrying audited resilience instants
+ *     (retry/hedge/breaker/brownout/timeout, each with args.reason —
+ *     what trace_check validates), written to TRACE_serving_chaos.json.
+ *
+ * HECTOR_CHAOS_REQUESTS overrides the offered-request count (default
+ * 10^6). Results land in BENCH_serving_chaos.json.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/online.hh"
+#include "serve/sharded.hh"
+#include "sim/device_group.hh"
+#include "sim/fault.hh"
+#include "util/thread_pool.hh"
+
+using namespace hector;
+using namespace hector::bench;
+
+namespace
+{
+
+constexpr int kDevices = 4;
+constexpr double kOverload = 4.0;
+
+/** Serving knobs shared by calibration, soak and traced sub-run. */
+serve::ShardedConfig
+chaosConfig()
+{
+    serve::ShardedConfig cfg;
+    cfg.serving.maxBatch = 8;
+    cfg.serving.numStreams = 2;
+    cfg.serving.din = 8;
+    cfg.serving.dout = 8;
+    cfg.serving.sample.numSeeds = 8;
+    cfg.serving.sample.fanout = 2;
+    cfg.serving.seed = 900;
+    return cfg;
+}
+
+/** Resilience knobs scaled to the measured capacity: backoff and
+ *  breaker windows are multiples of one request's service share, so
+ *  the same gates hold at every HECTOR_SCALE. */
+serve::ResilienceConfig
+chaosResilience(double capacity_rps)
+{
+    const double service_ms = 1e3 / capacity_rps;
+    serve::ResilienceConfig r;
+    r.enabled = true;
+    r.failFast = true;
+    r.maxRetries = 2;
+    r.retryBackoffMs = service_ms;
+    r.retryBackoffCapMs = 50.0 * service_ms;
+    r.hedge = true;
+    r.hedgeDelayFactor = 0.5;
+    r.breakerFailureThreshold = 4;
+    r.breakerOpenMs = 16.0 * service_ms;
+    return r;
+}
+
+/** Canonical byte-exact serialization of one soak: every value the
+ *  gates read, doubles at full precision, plus a latency-stream FNV
+ *  hash — the thread-determinism gate compares these strings. */
+std::string
+canonicalReport(const serve::OnlineReport &rep,
+                const std::vector<double> &latencies_ms)
+{
+    std::uint64_t lat_hash = 1469598103934665603ull; // FNV offset
+    for (double l : latencies_ms) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &l, sizeof(bits));
+        lat_hash = (lat_hash ^ bits) * 1099511628211ull;
+    }
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "req=%zu shed=%zu timeout=%zu failed=%zu retried=%zu "
+        "hedged=%zu hedge_wins=%zu breaker_opens=%zu brownout=%zu "
+        "rerouted=%zu devices_failed=%d ticks=%zu lane_peak=%zu "
+        "p50=%.17g p99=%.17g p999=%.17g slo=%.17g admitted=%.17g "
+        "lat_hash=%llu",
+        rep.requests, rep.requestsShed, rep.requestsTimedOut,
+        rep.requestsFailed, rep.requestsRetried, rep.requestsHedged,
+        rep.hedgeWins, rep.breakerOpens, rep.brownoutTicks,
+        rep.requestsRerouted, rep.devicesFailed, rep.ticks,
+        rep.peakLaneQueueDepth, rep.p50LatencyMs, rep.p99LatencyMs,
+        rep.p999LatencyMs, rep.sloAttainment, rep.admittedSloAttainment,
+        static_cast<unsigned long long>(lat_hash));
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::string dataset = []() {
+        if (const char *env = std::getenv("HECTOR_SERVE_DATASET"))
+            return std::string(env);
+        return std::string("bgs");
+    }();
+    const std::size_t total_offered = []() -> std::size_t {
+        if (const char *env = std::getenv("HECTOR_CHAOS_REQUESTS")) {
+            const long v = std::atol(env);
+            if (v > 0)
+                return static_cast<std::size_t>(v);
+        }
+        return 1000000; // the >= 10^6 soak floor
+    }();
+
+    std::printf("== Chaos soak: resilience frontend under fault x "
+                "%.0fx overload ==\n",
+                kOverload);
+    std::printf("dataset=%s, scale=1/%.0f, %d devices, %zu offered "
+                "requests\n\n",
+                dataset.c_str(), 1.0 / scale, kDevices, total_offered);
+
+    BenchGraph bg = loadGraph(dataset, scale);
+    std::mt19937_64 frng(77);
+    const tensor::Tensor feats =
+        tensor::Tensor::uniform({bg.g.numNodes(), 8}, frng, 0.5f);
+    const char *source = models::kRgatSource;
+    JsonLog log("serving_chaos");
+    bool failed_gates = false;
+
+    // ------------------------------------------------- 0. calibration
+    // Measured drain throughput anchors the offered-load axis, the
+    // deadline, and the backoff/breaker windows.
+    double capacity_rps = 1.0;
+    {
+        sim::InterconnectSpec ic;
+        ic.overheadScale = scale;
+        sim::DeviceGroup group(kDevices, sim::makeScaledSpec(scale), ic);
+        serve::ShardedSession session(bg.g, feats, source, chaosConfig(),
+                                      group);
+        for (int i = 0; i < 64; ++i)
+            session.submit();
+        const serve::ShardedReport cal = session.drain();
+        capacity_rps = std::max(1.0, cal.throughputReqPerSec);
+        std::printf("calibration: capacity %.1f req/s (drained %zu, "
+                    "p99 %.4f ms)\n",
+                    capacity_rps * scale, cal.requests,
+                    cal.p99LatencyMs / scale);
+        char json[256];
+        std::snprintf(json, sizeof(json),
+                      "{\"bench\":\"serving_chaos\","
+                      "\"phase\":\"calibration\",\"dataset\":\"%s\","
+                      "\"capacity_rps\":%.3f}",
+                      dataset.c_str(), capacity_rps * scale);
+        log.record(json);
+    }
+
+    const std::size_t queue_bound = 32;
+    // An admitted request waits at most ~queue_bound requests drained
+    // at capacity, plus batching/duplication overhead the calibration
+    // drain amortized away; factor 4 is the SLO headroom that keeps
+    // deadline expiry an exceptional (burst/failure) event rather than
+    // the steady state.
+    const double deadline_sec =
+        4.0 * static_cast<double>(queue_bound + 8) / capacity_rps;
+    const double soak_span_sec =
+        static_cast<double>(total_offered) / (kOverload * capacity_rps);
+
+    auto soakConfig = [&](std::size_t offered, double span_sec) {
+        serve::OnlineConfig ocfg;
+        ocfg.serving = chaosConfig().serving;
+        ocfg.serving.deadlineMs = deadline_sec * 1e3;
+        ocfg.serving.maxQueueDepth = queue_bound;
+        ocfg.serving.shed = serve::ShedMode::RejectNewest;
+        ocfg.serving.mmpp.enabled = true;
+        // Diurnal swing around the 4x mean: peaks near 8x shed hard,
+        // valleys near 0.4x drain the backlog — the oscillation is
+        // what exercises the whole resilience ladder (hedges fire on
+        // rising pressure, brownout at the peaks, recovery after).
+        ocfg.serving.diurnal.enabled = true;
+        ocfg.serving.diurnal.amplitude = 0.9;
+        ocfg.serving.diurnal.periodSec = span_sec / 4.0;
+        ocfg.serving.duplicationFraction = 0.25;
+        ocfg.serving.resilience = chaosResilience(capacity_rps);
+        ocfg.numRequests = offered;
+        ocfg.arrivalRatePerSec = kOverload * capacity_rps;
+        ocfg.arrivalSeed = 0xc4a05;
+        return ocfg;
+    };
+
+    // The failure instant: half way into the offered-arrival span,
+    // measured from the group clock after session construction (the
+    // same deterministic pre-run instant at every thread count).
+    double group_start_sec = 0.0;
+    {
+        sim::InterconnectSpec ic;
+        ic.overheadScale = scale;
+        sim::DeviceGroup group(kDevices, sim::makeScaledSpec(scale), ic);
+        serve::OnlineServer probe(bg.g, feats, source,
+                                  soakConfig(total_offered, soak_span_sec), group);
+        group_start_sec = group.nowSec();
+    }
+    const double t_fail = group_start_sec + 0.5 * soak_span_sec;
+
+    auto chaosSchedule = [&]() {
+        sim::FaultSchedule sched;
+        // One whole device dies mid-soak...
+        sched.events.push_back(
+            {sim::FaultKind::DeviceFailure, kDevices - 1, t_fail, 1});
+        // ...and transient corruptions strike every surviving device's
+        // early batches (the 0.25 duplication fraction detects ~1/4;
+        // escapes are the cost of sampling, not a gate).
+        for (int d = 0; d < kDevices; ++d)
+            for (std::uint64_t b = 2; b <= 4; ++b)
+                sched.events.push_back(
+                    {sim::FaultKind::TransientCorruption, d, 0.0, b});
+        return sched;
+    };
+
+    // ------------------------------------------------- 1. the 4x soak
+    struct SoakResult
+    {
+        serve::OnlineReport rep;
+        std::string canonical;
+    };
+    auto soak = [&](int threads) -> SoakResult {
+        util::setGlobalThreads(threads);
+        sim::FaultSchedule sched = chaosSchedule();
+        sim::FaultInjector fi(sched);
+        sim::InterconnectSpec ic;
+        ic.overheadScale = scale;
+        sim::DeviceGroup group(kDevices, sim::makeScaledSpec(scale), ic);
+        group.setFaultInjector(&fi);
+        serve::OnlineServer server(bg.g, feats, source,
+                                   soakConfig(total_offered, soak_span_sec), group);
+        SoakResult out;
+        out.rep = server.run();
+        out.canonical = canonicalReport(out.rep, server.latenciesMs());
+        util::setGlobalThreads(0);
+        return out;
+    };
+
+    const SoakResult ref = soak(1);
+    const serve::OnlineReport &rep = ref.rep;
+
+    const std::size_t admitted =
+        rep.requests + rep.requestsTimedOut + rep.requestsFailed;
+    const double availability =
+        admitted ? static_cast<double>(rep.requests) /
+                       static_cast<double>(admitted)
+                 : 1.0;
+    const std::size_t accounted = rep.requests + rep.requestsShed +
+                                  rep.requestsTimedOut +
+                                  rep.requestsFailed;
+
+    std::printf("\nsoak: offered %zu at %.0fx -> served %zu, shed %zu, "
+                "timed out %zu, failed %zu\n",
+                total_offered, kOverload, rep.requests, rep.requestsShed,
+                rep.requestsTimedOut, rep.requestsFailed);
+    std::printf("  availability %.6f, p99 %.4f ms, p99.9 %.4f ms "
+                "(deadline %.4f ms), admitted-SLO %.4f\n",
+                availability, rep.p99LatencyMs / scale,
+                rep.p999LatencyMs / scale, deadline_sec * 1e3 / scale,
+                rep.admittedSloAttainment);
+    std::printf("  retried %zu, hedged %zu (wins %zu), breaker opens "
+                "%zu, brownout ticks %zu, rerouted %zu, devices failed "
+                "%d\n",
+                rep.requestsRetried, rep.requestsHedged, rep.hedgeWins,
+                rep.breakerOpens, rep.brownoutTicks,
+                rep.requestsRerouted, rep.devicesFailed);
+
+    // Gates 1-4.
+    const bool avail_ok = availability >= 0.95;
+    const bool p999_ok = rep.p999LatencyMs > 0.0 &&
+                         rep.p999LatencyMs >= rep.p99LatencyMs &&
+                         rep.p999LatencyMs <= 2.0 * deadline_sec * 1e3;
+    const bool account_ok = accounted == total_offered;
+    const bool chaos_ok = rep.devicesFailed == 1 &&
+                          rep.requestsRetried > 0 &&
+                          rep.requestsHedged > 0 &&
+                          rep.brownoutTicks > 0;
+    std::printf("  gates: availability %s, p99.9 %s, accounting %s "
+                "(%zu/%zu), chaos-engaged %s\n",
+                avail_ok ? "ok" : "FAILURE",
+                p999_ok ? "ok" : "FAILURE",
+                account_ok ? "ok" : "FAILURE", accounted, total_offered,
+                chaos_ok ? "ok" : "FAILURE");
+    if (!avail_ok || !p999_ok || !account_ok || !chaos_ok)
+        failed_gates = true;
+
+    // Gate 5: thread determinism of the full soak.
+    std::size_t soak_divergent = 0;
+    for (int threads : {2, 4}) {
+        const SoakResult rerun = soak(threads);
+        const bool same = rerun.canonical == ref.canonical;
+        std::printf("  threads=%d: soak report %s\n", threads,
+                    same ? "identical" : "DIVERGENT");
+        if (!same)
+            ++soak_divergent;
+    }
+    if (soak_divergent > 0)
+        failed_gates = true;
+
+    char sjson[896];
+    std::snprintf(
+        sjson, sizeof(sjson),
+        "{\"bench\":\"serving_chaos\",\"phase\":\"soak\","
+        "\"dataset\":\"%s\",\"overload\":%.1f,\"offered\":%zu,"
+        "\"served\":%zu,\"shed\":%zu,\"timed_out\":%zu,\"failed\":%zu,"
+        "\"availability\":%.6f,\"p99_latency_ms\":%.6f,"
+        "\"p999_latency_ms\":%.6f,\"deadline_ms\":%.6f,"
+        "\"admitted_slo_attainment\":%.4f,\"requests_retried\":%zu,"
+        "\"requests_hedged\":%zu,\"hedge_wins\":%zu,"
+        "\"breaker_opens\":%zu,\"brownout_ticks\":%zu,"
+        "\"requests_rerouted\":%zu,\"devices_failed\":%d,"
+        "\"divergent\":%zu}",
+        dataset.c_str(), kOverload, total_offered, rep.requests,
+        rep.requestsShed, rep.requestsTimedOut, rep.requestsFailed,
+        availability, rep.p99LatencyMs / scale,
+        rep.p999LatencyMs / scale, deadline_sec * 1e3 / scale,
+        rep.admittedSloAttainment, rep.requestsRetried,
+        rep.requestsHedged, rep.hedgeWins, rep.breakerOpens,
+        rep.brownoutTicks, rep.requestsRerouted, rep.devicesFailed,
+        soak_divergent);
+    log.record(sjson);
+
+    // ------------------------------- 2. traced deterministic sub-run
+    // A short chaos run with full observability: byte-identical trace
+    // and metrics JSON across thread counts, carrying the audited
+    // resilience instants trace_check validates in CI.
+    std::printf("\n-- traced chaos sub-run --\n");
+    const std::size_t traced_offered = 600;
+    const double traced_span_sec =
+        static_cast<double>(traced_offered) / (kOverload * capacity_rps);
+    const double traced_t_fail = group_start_sec + 0.4 * traced_span_sec;
+
+    struct TracedRun
+    {
+        std::string trace;
+        std::string metricsSnapshot;
+        std::size_t flightEvents = 0;
+    };
+    auto traced_run = [&](int threads) -> TracedRun {
+        util::setGlobalThreads(threads);
+        obs::setDeterministic(true);
+        obs::setEnabled(true);
+        obs::tracer().clear();
+        obs::metrics().clear();
+
+        sim::FaultSchedule sched;
+        sched.events.push_back({sim::FaultKind::DeviceFailure,
+                                kDevices - 1, traced_t_fail, 1});
+        for (int d = 0; d < kDevices; ++d)
+            sched.events.push_back(
+                {sim::FaultKind::TransientCorruption, d, 0.0, 2});
+        sim::FaultInjector fi(sched);
+        sim::InterconnectSpec ic;
+        ic.overheadScale = scale;
+        sim::DeviceGroup group(kDevices, sim::makeScaledSpec(scale), ic);
+        group.setFaultInjector(&fi);
+
+        serve::OnlineConfig ocfg = soakConfig(traced_offered, traced_span_sec);
+        // Tighter knobs so every audited event kind fires within the
+        // short window: low breaker threshold, eager hedging.
+        ocfg.serving.resilience.breakerFailureThreshold = 3;
+        ocfg.serving.resilience.hedgeDelayFactor = 0.25;
+
+        obs::FlightRecorder recorder(4096);
+        serve::OnlineServer server(bg.g, feats, source, ocfg, group);
+        server.setFlightRecorder(&recorder);
+        const serve::OnlineReport trep = server.run();
+
+        serve::absorbOnlineReport(obs::metrics(), trep, "online");
+
+        TracedRun out;
+        out.trace = obs::tracer().exportJson();
+        out.metricsSnapshot = obs::metrics().snapshotJson();
+        for (std::uint64_t id : recorder.requests())
+            out.flightEvents += recorder.timeline(id)->size();
+        obs::setEnabled(false);
+        util::setGlobalThreads(0);
+        return out;
+    };
+
+    const TracedRun tref = traced_run(1);
+    std::size_t trace_divergent = 0;
+    for (int threads : {2, 4}) {
+        const TracedRun rerun = traced_run(threads);
+        const bool same_trace = rerun.trace == tref.trace;
+        const bool same_metrics =
+            rerun.metricsSnapshot == tref.metricsSnapshot;
+        std::printf("  threads=%d: trace %s, metrics %s\n", threads,
+                    same_trace ? "identical" : "DIVERGENT",
+                    same_metrics ? "identical" : "DIVERGENT");
+        if (!same_trace || !same_metrics)
+            ++trace_divergent;
+    }
+
+    auto has_instant = [&](const char *name) {
+        return tref.trace.find(std::string("\"name\":\"") + name +
+                               "\"") != std::string::npos;
+    };
+    const bool has_retry = has_instant("retry");
+    const bool has_hedge = has_instant("hedge");
+    const bool has_breaker = has_instant("breaker");
+    const bool has_brownout = has_instant("brownout");
+    const bool has_timeout = has_instant("timeout");
+    const bool has_shed = has_instant("shed");
+    std::printf("  instants: shed=%d retry=%d hedge=%d breaker=%d "
+                "brownout=%d timeout=%d (trace %zu bytes, flight "
+                "events %zu)\n",
+                has_shed, has_retry, has_hedge, has_breaker,
+                has_brownout, has_timeout, tref.trace.size(),
+                tref.flightEvents);
+    const bool instants_ok = has_shed && has_retry && has_hedge &&
+                             has_breaker && has_brownout;
+    if (!instants_ok || tref.flightEvents == 0 || trace_divergent > 0)
+        failed_gates = true;
+    if (!util::writeFileAtomic("TRACE_serving_chaos.json", tref.trace))
+        failed_gates = true;
+
+    char tjson[384];
+    std::snprintf(tjson, sizeof(tjson),
+                  "{\"bench\":\"serving_chaos\",\"phase\":\"trace\","
+                  "\"dataset\":\"%s\",\"trace_bytes\":%zu,"
+                  "\"flight_events\":%zu,\"shed\":%s,\"retry\":%s,"
+                  "\"hedge\":%s,\"breaker\":%s,\"brownout\":%s,"
+                  "\"timeout\":%s,\"divergent\":%zu}",
+                  dataset.c_str(), tref.trace.size(), tref.flightEvents,
+                  has_shed ? "true" : "false",
+                  has_retry ? "true" : "false",
+                  has_hedge ? "true" : "false",
+                  has_breaker ? "true" : "false",
+                  has_brownout ? "true" : "false",
+                  has_timeout ? "true" : "false", trace_divergent);
+    log.record(tjson);
+    log.record("{\"bench\":\"serving_chaos\",\"phase\":\"metrics\","
+               "\"snapshot\":" +
+               tref.metricsSnapshot + "}");
+
+    if (!log.write())
+        failed_gates = true;
+    std::printf("\n%s\n",
+                failed_gates
+                    ? "FAILURE: chaos acceptance gates violated"
+                    : "OK: the resilience frontend holds availability "
+                      ">= 0.95 under combined fault x 4x overload");
+    return failed_gates ? 1 : 0;
+}

@@ -71,6 +71,7 @@ fillLatencyStats(ServingReport &report,
     report.p50LatencyMs = percentileSorted(sorted, 0.50) * 1e3;
     report.p95LatencyMs = percentileSorted(sorted, 0.95) * 1e3;
     report.p99LatencyMs = percentileSorted(sorted, 0.99) * 1e3;
+    report.p999LatencyMs = percentileSorted(sorted, 0.999) * 1e3;
     report.maxLatencyMs = sorted.empty() ? 0.0 : sorted.back() * 1e3;
 
     double delay_sum = 0.0;
@@ -182,6 +183,65 @@ validateServingConfig(const ServingConfig &cfg, const char *who)
         if (!(cfg.mmpp.pExitBurst >= 0.0 && cfg.mmpp.pExitBurst <= 1.0))
             throw std::invalid_argument(
                 prefix + "mmpp.pExitBurst must be in [0, 1]");
+    }
+    if (cfg.diurnal.enabled) {
+        if (!(cfg.diurnal.amplitude >= 0.0 &&
+              cfg.diurnal.amplitude < 1.0))
+            throw std::invalid_argument(
+                prefix + "diurnal.amplitude must be in [0, 1)");
+        if (!(cfg.diurnal.periodSec > 0.0) ||
+            !std::isfinite(cfg.diurnal.periodSec))
+            throw std::invalid_argument(
+                prefix + "diurnal.periodSec must be finite and > 0");
+    }
+    if (cfg.resilience.enabled) {
+        const ResilienceConfig &r = cfg.resilience;
+        if (r.maxRetries < 0)
+            throw std::invalid_argument(
+                prefix + "resilience.maxRetries must be >= 0");
+        if (r.retryBackoffMs < 0.0 || !std::isfinite(r.retryBackoffMs))
+            throw std::invalid_argument(
+                prefix +
+                "resilience.retryBackoffMs must be finite and >= 0");
+        if (!(r.retryBackoffMultiplier >= 1.0) ||
+            !std::isfinite(r.retryBackoffMultiplier))
+            throw std::invalid_argument(
+                prefix +
+                "resilience.retryBackoffMultiplier must be >= 1");
+        if (r.retryBackoffCapMs < r.retryBackoffMs ||
+            !std::isfinite(r.retryBackoffCapMs))
+            throw std::invalid_argument(
+                prefix + "resilience.retryBackoffCapMs must be >= "
+                         "retryBackoffMs");
+        if (!(r.retryJitterFraction >= 0.0 &&
+              r.retryJitterFraction <= 1.0))
+            throw std::invalid_argument(
+                prefix +
+                "resilience.retryJitterFraction must be in [0, 1]");
+        if (r.hedge &&
+            (!(r.hedgeDelayFactor > 0.0) ||
+             !std::isfinite(r.hedgeDelayFactor)))
+            throw std::invalid_argument(
+                prefix + "resilience.hedgeDelayFactor must be > 0 "
+                         "when hedging is enabled");
+        if (r.breakerFailureThreshold < 1)
+            throw std::invalid_argument(
+                prefix +
+                "resilience.breakerFailureThreshold must be >= 1");
+        if (r.breakerOpenMs < 0.0 || !std::isfinite(r.breakerOpenMs))
+            throw std::invalid_argument(
+                prefix +
+                "resilience.breakerOpenMs must be finite and >= 0");
+        if (!(r.brownoutHighWatermark > 0.0 &&
+              r.brownoutHighWatermark <= 1.0))
+            throw std::invalid_argument(
+                prefix +
+                "resilience.brownoutHighWatermark must be in (0, 1]");
+        if (!(r.brownoutLowWatermark >= 0.0 &&
+              r.brownoutLowWatermark < r.brownoutHighWatermark))
+            throw std::invalid_argument(
+                prefix + "resilience.brownoutLowWatermark must be in "
+                         "[0, brownoutHighWatermark)");
     }
 }
 
@@ -562,7 +622,8 @@ Engine::drain()
         run_exec(outs);
         if (hit)
             fi->corruptBatch(outs, rt_.deviceId(), hostClockSec_);
-        if (sampleDuplicate(v.cfg.duplicationFraction, v.dupAccum)) {
+        if (sampleDuplicate(v.cfg.duplicationFraction * dupScale_,
+                            v.dupAccum)) {
             if (fi)
                 fi->noteDuplicate(rt_.deviceId(), hostClockSec_, ord);
             std::vector<Tensor> dup;
@@ -765,7 +826,8 @@ Engine::serveOldest(int v, std::size_t n, int stream)
     const std::uint64_t ord = fi ? fi->batchOrdinal(rt_.deviceId()) : 0;
     if (hit)
         fi->corruptBatch(outs, rt_.deviceId(), rt_.nowSec());
-    if (sampleDuplicate(var.cfg.duplicationFraction, var.dupAccum)) {
+    if (sampleDuplicate(var.cfg.duplicationFraction * dupScale_,
+                        var.dupAccum)) {
         if (fi)
             fi->noteDuplicate(rt_.deviceId(), rt_.nowSec(), ord);
         std::vector<Tensor> dup;
@@ -822,6 +884,62 @@ Engine::serveOldest(int v, std::size_t n, int stream)
     return cost;
 }
 
+std::vector<std::uint64_t>
+Engine::dropOldest(int v, std::size_t n)
+{
+    Variant &var = at(v);
+    n = std::min(n, var.queue.size());
+    std::vector<std::uint64_t> ids;
+    if (n == 0)
+        return ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ids.push_back(var.queue[i].id);
+    // Same transfer-clock rebase as serveOldest: the dropped requests'
+    // host transfers were charged at submit and leave the epoch with
+    // them, so a later drain() only charges surviving requests.
+    chargedHostSec_ =
+        std::max(chargedHostSec_, var.queue[n - 1].submitSec);
+    var.queue.erase(var.queue.begin(),
+                    var.queue.begin() + static_cast<std::ptrdiff_t>(n));
+    return ids;
+}
+
+BatchCost
+Engine::hedgeOldest(int v, int stream)
+{
+    Variant &var = at(v);
+    BatchCost cost;
+    if (var.queue.empty())
+        return cost;
+    cost.requests = 1;
+    cost.servedIds.push_back(var.queue.front().id);
+
+    auto plan = planFor(v);
+    std::vector<const Request *> reqs{&var.queue.front()};
+    std::vector<Tensor> outs;
+    const StreamRunCost run = runOnStream(rt_, stream, [&]() {
+        auto scope = rt_.memoryScope();
+        MicroBatch batch = coalesce(reqs, rt_);
+        outs = executeBatch(*plan, batch, var.weights, rt_, var.ctx,
+                            var.grads, var.cfg.useArena);
+    });
+    cost.execSec = run.execSec;
+    cost.overheadSec = run.overheadSec;
+    // The hedge run's output is bit-identical to the primary's (batch
+    // invariance), so nothing is stored: the primary serveOldest()
+    // remains the one result producer and dedup is purely first-wins
+    // on the modeled timeline. No fault injection / ASPIS sandwich —
+    // the hedge is itself the backup path.
+    plan.reset();
+    {
+        const PlanCache::Stats before = cache_.stats();
+        cache_.enforceBudget();
+        recordPlanEvents(rt_.planEvents(), before, cache_.stats());
+    }
+    return cost;
+}
+
 const Tensor *
 Engine::result(std::uint64_t id) const
 {
@@ -844,6 +962,7 @@ absorbReport(obs::Registry &reg, const ServingReport &report,
     reg.gauge(prefix + ".p50_latency_ms").set(report.p50LatencyMs);
     reg.gauge(prefix + ".p95_latency_ms").set(report.p95LatencyMs);
     reg.gauge(prefix + ".p99_latency_ms").set(report.p99LatencyMs);
+    reg.gauge(prefix + ".p999_latency_ms").set(report.p999LatencyMs);
     reg.gauge(prefix + ".max_latency_ms").set(report.maxLatencyMs);
     reg.gauge(prefix + ".mean_queue_delay_ms")
         .set(report.meanQueueDelayMs);

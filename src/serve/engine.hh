@@ -91,6 +91,80 @@ struct MmppSpec
     double pExitBurst = 0.1;
 };
 
+/**
+ * Diurnal (sinusoidal) rate modulation of an arrival process: the
+ * instantaneous rate is rate x (1 + amplitude x sin(2 pi t / period)),
+ * evaluated at each gap's start (a piecewise-constant-rate
+ * approximation of the non-homogeneous Poisson process). One uniform
+ * per arrival, same as the pure-Poisson path, so the disabled path is
+ * bit-identical to the historical stream and the enabled path stays
+ * bit-stable across platforms and thread counts. Composes with MMPP
+ * (the burst multiplier applies on top of the diurnal rate).
+ */
+struct DiurnalSpec
+{
+    bool enabled = false;
+    /** Peak-to-mean modulation depth, in [0, 1). */
+    double amplitude = 0.5;
+    /** Period of the modulation in simulated seconds (> 0). */
+    double periodSec = 1.0;
+};
+
+/**
+ * Request-resilience knobs of the online serving layer (see
+ * serve/resilience.hh): deadline fail-fast, seeded retry with capped
+ * exponential backoff, hedged requests, per-lane circuit breakers and
+ * brownout degradation. Default-disabled; with `enabled = false` the
+ * serving timeline is bit-identical to a build without the layer.
+ */
+struct ResilienceConfig
+{
+    bool enabled = false;
+
+    /**
+     * Fail a queued request fast once the policy's calibrated service
+     * estimate says its remaining deadline budget cannot be met
+     * (timeout cancellation). Only meaningful with a deadline.
+     */
+    bool failFast = true;
+
+    /** Retry attempts after the first failure (0 disables retries). */
+    int maxRetries = 2;
+    /** Initial retry backoff, milliseconds (>= 0). */
+    double retryBackoffMs = 1.0;
+    /** Exponential backoff multiplier per attempt (>= 1). */
+    double retryBackoffMultiplier = 2.0;
+    /** Backoff cap, milliseconds (>= retryBackoffMs). */
+    double retryBackoffCapMs = 50.0;
+    /** Jitter fraction in [0, 1]: each backoff is scaled by a seeded
+     *  uniform in [1 - j/2, 1 + j/2] so synchronized retry storms
+     *  de-correlate deterministically. */
+    double retryJitterFraction = 0.1;
+    /** Seed of the backoff-jitter stream. */
+    std::uint64_t retrySeed = 0x7e517;
+
+    /** Hedge the oldest queued request onto a second lane/stream once
+     *  it has waited hedgeDelayFactor x the observed latency EWMA. */
+    bool hedge = false;
+    /** Hedge delay as a multiple of the latency EWMA (> 0). */
+    double hedgeDelayFactor = 3.0;
+
+    /** Consecutive failures/sheds on a lane that open its breaker
+     *  (>= 1). */
+    int breakerFailureThreshold = 8;
+    /** How long an open breaker blocks its lane before the half-open
+     *  probe, milliseconds (>= 0). */
+    double breakerOpenMs = 10.0;
+
+    /** Brownout high water mark: lane queue depth as a fraction of
+     *  maxQueueDepth above which degradation steps up (hedging off
+     *  first, then redundant duplication off). In (0, 1]. */
+    double brownoutHighWatermark = 0.75;
+    /** Low water mark below which degradation steps back down; must be
+     *  < brownoutHighWatermark and >= 0. */
+    double brownoutLowWatermark = 0.25;
+};
+
 /** Serving-time knobs (per variant in multi-tenant serving). */
 struct ServingConfig
 {
@@ -161,6 +235,12 @@ struct ServingConfig
     /** Bursty arrivals: two-state MMPP modulation of this variant's
      *  open-loop arrival process. */
     MmppSpec mmpp;
+    /** Diurnal (sinusoidal) modulation of this variant's open-loop
+     *  arrival rate; composes with mmpp. */
+    DiurnalSpec diurnal;
+    /** Request-resilience layer of the online loops (deadline
+     *  fail-fast, retries, hedging, circuit breakers, brownout). */
+    ResilienceConfig resilience;
 };
 
 /**
@@ -217,6 +297,8 @@ struct ServingReport
     double p50LatencyMs = 0.0;
     double p95LatencyMs = 0.0;
     double p99LatencyMs = 0.0;
+    /** Nearest-rank p99.9 — the tail the 10^6-request soaks gate on. */
+    double p999LatencyMs = 0.0;
     double maxLatencyMs = 0.0;
     /**
      * Mean time a request spent waiting (arrival/submission to the
@@ -427,6 +509,37 @@ class Engine
      */
     BatchCost serveOldest(int v, std::size_t n, int stream = 0);
 
+    /**
+     * Drop the min(n, queuedOn(v)) oldest queued requests of variant
+     * @p v WITHOUT serving them (deadline fail-fast cancellation by
+     * the resilience layer). Transfer bookkeeping is rebased exactly
+     * like serveOldest, so a later drain charges only surviving
+     * requests' transfers. Returns the dropped request ids in queue
+     * order.
+     */
+    std::vector<std::uint64_t> dropOldest(int v, std::size_t n);
+
+    /**
+     * Execute variant @p v's OLDEST queued request as a duplicate
+     * batch-of-1 on @p stream without popping it or storing results —
+     * the hedged-request backup run. By batch invariance its output is
+     * bit-identical to the primary's, so "first completion wins" can
+     * only change the modeled timeline, never a served bit. No fault
+     * injection or ASPIS sandwich applies (the hedge IS the backup
+     * path). Returns the run's modeled cost; zeroed when the queue is
+     * empty.
+     */
+    BatchCost hedgeOldest(int v, int stream = 0);
+
+    /**
+     * Scale every variant's duplicationFraction by @p scale in [0, 1]
+     * (brownout degradation: redundancy is shed before requests are).
+     * 1 restores the configured fractions; the error-diffusion
+     * accumulators are preserved, so scale 1 -> identical sampling.
+     */
+    void setDuplicationScale(double scale) { dupScale_ = scale; }
+    double duplicationScale() const { return dupScale_; }
+
     /** Drop all retained request results (bounded-memory serving). */
     void clearResults() { results_.clear(); }
 
@@ -514,6 +627,8 @@ class Engine
      */
     double hostClockSec_ = 0.0;
     double chargedHostSec_ = 0.0;
+    /** Brownout scale on every variant's duplicationFraction. */
+    double dupScale_ = 1.0;
     std::uint64_t nextId_ = 1;
     obs::FlightRecorder *flight_ = nullptr;
 };

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <fstream>
 #include <limits>
+#include <numbers>
 #include <set>
 #include <stdexcept>
+
+#include "serve/resilience.hh"
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -23,15 +27,78 @@ LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
 
 LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
                              std::uint64_t seed, const MmppSpec &mmpp)
-    : ratePerSec_(rate_per_sec), left_(count), rng_(seed), mmpp_(mmpp)
+    : LoadGenerator(rate_per_sec, count, seed, mmpp, DiurnalSpec{})
+{}
+
+LoadGenerator::LoadGenerator(double rate_per_sec, std::size_t count,
+                             std::uint64_t seed, const MmppSpec &mmpp,
+                             const DiurnalSpec &diurnal)
+    : ratePerSec_(rate_per_sec), left_(count), rng_(seed), mmpp_(mmpp),
+      diurnal_(diurnal)
 {
     if (rate_per_sec <= 0.0)
         throw std::runtime_error("LoadGenerator: rate must be positive");
     if (mmpp_.enabled && mmpp_.burstRateMultiplier <= 0.0)
         throw std::runtime_error(
             "LoadGenerator: mmpp.burstRateMultiplier must be positive");
+    if (diurnal_.enabled &&
+        (!(diurnal_.amplitude >= 0.0) || diurnal_.amplitude >= 1.0))
+        throw std::runtime_error(
+            "LoadGenerator: diurnal.amplitude must be in [0, 1)");
+    if (diurnal_.enabled && !(diurnal_.periodSec > 0.0))
+        throw std::runtime_error(
+            "LoadGenerator: diurnal.periodSec must be positive");
     if (left_ > 0)
         advance();
+}
+
+LoadGenerator::LoadGenerator(std::vector<double> times_sec)
+    : ratePerSec_(1.0), left_(times_sec.size()), rng_(0),
+      trace_(std::move(times_sec))
+{
+    double prev = 0.0;
+    for (double t : trace_) {
+        if (!(t >= prev)) // also rejects NaN
+            throw std::invalid_argument(
+                "LoadGenerator: trace timestamps must be non-negative "
+                "and non-decreasing");
+        prev = t;
+    }
+    if (left_ > 0)
+        advance();
+}
+
+std::vector<double>
+LoadGenerator::loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("LoadGenerator::loadTrace: cannot open " +
+                                 path);
+    std::vector<double> times;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos || line[b] == '#')
+            continue;
+        const std::size_t e = line.find_last_not_of(" \t\r");
+        const std::string tok = line.substr(b, e - b + 1);
+        std::size_t pos = 0;
+        double t = 0.0;
+        try {
+            t = std::stod(tok, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != tok.size() || !std::isfinite(t))
+            throw std::runtime_error(
+                "LoadGenerator::loadTrace: malformed timestamp at " +
+                path + ":" + std::to_string(lineno));
+        times.push_back(t);
+    }
+    return times;
 }
 
 double
@@ -48,14 +115,26 @@ LoadGenerator::nextU()
 void
 LoadGenerator::advance()
 {
+    if (!trace_.empty()) {
+        nextSec_ = trace_[traceIdx_++];
+        return;
+    }
     const double u = nextU();
     // Pure Poisson draws exactly one uniform per gap (the historical
     // stream, bit-identical); MMPP draws the gap at the CURRENT
     // state's rate, then one extra uniform to decide the state the
     // next gap is drawn in.
-    const double rate = mmpp_.enabled && burst_
-                            ? ratePerSec_ * mmpp_.burstRateMultiplier
-                            : ratePerSec_;
+    double rate = mmpp_.enabled && burst_
+                      ? ratePerSec_ * mmpp_.burstRateMultiplier
+                      : ratePerSec_;
+    // Diurnal modulation composes multiplicatively on top of the MMPP
+    // state; amplitude < 1 keeps the instantaneous rate positive.
+    // Disabled, the expression above is untouched — the historical
+    // arrival stream stays bit-identical.
+    if (diurnal_.enabled)
+        rate *= 1.0 + diurnal_.amplitude *
+                          std::sin(2.0 * std::numbers::pi * nextSec_ /
+                                   diurnal_.periodSec);
     nextSec_ += -std::log(1.0 - u) / rate;
     if (mmpp_.enabled) {
         const double v = nextU();
@@ -120,7 +199,8 @@ finalizeOnlineReport(OnlineReport &rep, std::size_t served,
                      double last_completion_sec,
                      const std::vector<double> &latencies_sec,
                      const std::vector<double> &queue_delays_sec,
-                     double deadline_ms, std::size_t shed)
+                     double deadline_ms, std::size_t shed,
+                     std::size_t failed = 0)
 {
     rep.requests = served;
     rep.batches = rep.ticks;
@@ -139,12 +219,15 @@ finalizeOnlineReport(OnlineReport &rep, std::size_t served,
 
     rep.requestsShed = shed;
     rep.admittedSloAttainment = rep.sloAttainment;
-    const std::size_t offered = served + shed;
+    // Resilience-failed requests (timeouts, exhausted retries) were
+    // admitted, so they stay out of shedFraction but count as misses
+    // in the offered-denominator sloAttainment, exactly like sheds.
+    const std::size_t offered = served + shed + failed;
     rep.shedFraction =
         offered > 0
             ? static_cast<double>(shed) / static_cast<double>(offered)
             : 0.0;
-    if (shed > 0 && deadline_ms > 0.0) {
+    if ((shed > 0 || failed > 0) && deadline_ms > 0.0) {
         std::size_t met = 0;
         for (double l : latencies_sec)
             if (l * 1e3 <= deadline_ms)
@@ -170,6 +253,10 @@ struct QueuedArrival
 {
     double arrivalSec = 0.0;
     std::uint64_t id = 0;
+    /** Failed attempts so far (resilience retry bookkeeping). */
+    int attempts = 0;
+    /** Earliest time a retried request may be served (backoff hold). */
+    double notBeforeSec = 0.0;
 };
 
 struct OpenLoopClock
@@ -278,6 +365,23 @@ recordShed(obs::FlightRecorder *flight, std::uint64_t id,
                               std::string("\"reason\":\"") + reason +
                                   "\"");
     }
+}
+
+/** Copy a run's resilience counters into its report (no-op without a
+ *  manager, keeping the no-resilience report bytes untouched). */
+void
+applyResilienceStats(OnlineReport &rep, const ResilienceManager *resil)
+{
+    if (!resil)
+        return;
+    const ResilienceStats &s = resil->stats();
+    rep.requestsRetried = s.requestsRetried;
+    rep.requestsHedged = s.requestsHedged;
+    rep.hedgeWins = s.hedgeWins;
+    rep.requestsTimedOut = s.requestsTimedOut;
+    rep.requestsFailed = s.requestsFailed;
+    rep.breakerOpens = s.breakerOpens;
+    rep.brownoutTicks = s.brownoutTicks;
 }
 
 /** Throw early (at construction) on a policy name the registry cannot
@@ -447,11 +551,26 @@ OnlineServer::runSingle()
     const std::unique_ptr<SchedulerPolicy> policy =
         buildPolicy(std::move(setup));
     rep.policy = policy->name();
-    if (cfg_.numRequests == 0)
+    const std::size_t total_requests = cfg_.arrivalTrace.empty()
+                                           ? cfg_.numRequests
+                                           : cfg_.arrivalTrace.size();
+    if (total_requests == 0)
         return rep;
 
-    LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
-                      cfg_.arrivalSeed, cfg_.serving.mmpp);
+    LoadGenerator gen =
+        cfg_.arrivalTrace.empty()
+            ? LoadGenerator(cfg_.arrivalRatePerSec, cfg_.numRequests,
+                            cfg_.arrivalSeed, cfg_.serving.mmpp,
+                            cfg_.serving.diurnal)
+            : LoadGenerator(cfg_.arrivalTrace);
+
+    std::unique_ptr<ResilienceManager> resil;
+    if (cfg_.serving.resilience.enabled) {
+        resil = std::make_unique<ResilienceManager>(
+            cfg_.serving.resilience, 1);
+        resil->setFlightRecorder(flight_);
+    }
+    const double deadline_sec = cfg_.serving.deadlineMs * 1e-3;
 
     const int num_streams = std::max(1, cfg_.serving.numStreams);
     const double serial_frac = rt_->spec().streamSerialFraction;
@@ -467,6 +586,7 @@ OnlineServer::runSingle()
 
     const std::uint64_t launches_before = rt_->counters().total().launches;
     std::size_t shed_total = 0;
+    std::size_t failed_total = 0;
 
     // Admit (or shed) every arrival the host clock has passed; each
     // admitted request pays its modeled host-to-device transfer on the
@@ -488,8 +608,12 @@ OnlineServer::runSingle()
                 ++shed_total;
                 recordShed(flight_, session_->reserveId(), arr,
                            rt_->deviceId(), dec.reason, std::string());
+                if (resil)
+                    resil->noteFailure(0, clock.hostFree, "shed");
                 continue;
             }
+            if (resil)
+                resil->noteAdmit(0);
             const double host_before = rt_->hostTimeMs() * 1e-3;
             const std::uint64_t id = session_->submit();
             const double transfer = rt_->hostTimeMs() * 1e-3 - host_before;
@@ -511,11 +635,33 @@ OnlineServer::runSingle()
     double last_completion = 0.0;
     std::vector<double> latencies_sec;
     std::vector<double> queue_delays_sec;
-    latencies_sec.reserve(cfg_.numRequests);
-    queue_delays_sec.reserve(cfg_.numRequests);
+    latencies_sec.reserve(total_requests);
+    queue_delays_sec.reserve(total_requests);
 
-    while (served + shed_total < cfg_.numRequests) {
+    // Timeout cancellation: fail the queue head fast while its
+    // remaining deadline budget cannot cover the policy's calibrated
+    // service estimate. Read-only unless it fires, so a run where no
+    // deadline ever expires keeps the pre-resilience timeline.
+    auto failfast = [&]() {
+        if (!resil || deadline_sec <= 0.0)
+            return;
+        while (!queued_arrivals.empty()) {
+            const QueuedArrival head = queued_arrivals.front();
+            const double est = policy->estimateServiceSec(0, 1);
+            if (!resil->deadlineExpired(head.arrivalSec, deadline_sec,
+                                        clock.hostFree, est))
+                break;
+            session_->dropOldest(1);
+            queued_arrivals.pop_front();
+            resil->recordTimeout(head.id, 0, rt_->deviceId(),
+                                 head.arrivalSec, clock.hostFree);
+            ++failed_total;
+        }
+    };
+
+    while (served + shed_total + failed_total < total_requests) {
         admit();
+        failfast();
         if (queued_arrivals.empty()) {
             if (gen.done())
                 break; // everything remaining was shed
@@ -530,20 +676,28 @@ OnlineServer::runSingle()
         rep.peakLaneQueueDepth =
             std::max(rep.peakLaneQueueDepth, depth);
 
+        if (resil) {
+            resil->tickBrownout(depth, cfg_.serving.maxQueueDepth,
+                                clock.hostFree);
+            session_->engine().setDuplicationScale(
+                resil->duplicationScale());
+        }
+
         std::vector<LaneView> views(1);
         views[0].queueDepth = depth;
         views[0].headArrivalSec = queued_arrivals.front().arrivalSec;
         views[0].moreArrivals = !gen.done();
+        views[0].blocked = resil && resil->blocked(0, clock.hostFree);
         int lane = policy->pickLane(views);
         if (lane < 0) {
             if (!gen.done()) {
-                // Wait (e.g. wait-to-fill still filling): jump the
-                // host clock to the next arrival.
+                // Wait (e.g. wait-to-fill still filling, or an open
+                // breaker): jump the host clock to the next arrival.
                 clock.hostFree = std::max(clock.hostFree, gen.peekSec());
                 rt_->advanceTo(clock.hostFree);
                 continue;
             }
-            lane = oldestLane(views); // forced progress
+            lane = oldestLane(views); // forced progress (breaker probe)
         }
 
         std::size_t batch = policy->pickBatch(0, views[0]);
@@ -552,10 +706,47 @@ OnlineServer::runSingle()
         if (!cfg_.retainResults)
             session_->clearResults();
 
+        // Hedge: the head request has waited past the EWMA-derived
+        // delay, so a backup copy runs on a second stream; the first
+        // completion wins. The primary result stays authoritative
+        // (hedgeOldest stores nothing), so outputs are bit-identical
+        // to the unhedged run by construction.
         const int s = clock.pickStream();
+        const QueuedArrival head = queued_arrivals.front();
+        bool hedged = false;
+        BatchCost hedge_cost;
+        int hs = -1;
+        if (resil && resil->hedgeReady() && num_streams > 1) {
+            const double waited = clock.hostFree - head.arrivalSec;
+            if (waited > resil->hedgeDelaySec()) {
+                hs = s == 0 ? 1 : 0;
+                for (int i = 0; i < num_streams; ++i)
+                    if (i != s &&
+                        clock.streamFree[static_cast<std::size_t>(i)] <
+                            clock.streamFree[static_cast<std::size_t>(
+                                hs)])
+                        hs = i;
+                hedge_cost = session_->hedgeOldest(hs);
+                hedged = hedge_cost.requests > 0;
+                if (hedged)
+                    resil->recordHedge(head.id, 0, rt_->deviceId(),
+                                       clock.hostFree, waited);
+            }
+        }
+
         const BatchCost cost = session_->serveOldest(batch, s);
         const OpenLoopClock::Issued t = clock.issue(cost, s);
-        rt_->advanceTo(t.done);
+        double head_done = t.done;
+        if (hedged) {
+            const OpenLoopClock::Issued th =
+                clock.issue(hedge_cost, hs);
+            const bool hedge_won = th.done < t.done;
+            head_done = std::min(t.done, th.done);
+            resil->recordHedgeOutcome(head.id, rt_->deviceId(),
+                                      head_done, hedge_won);
+            last_completion = std::max(last_completion, th.done);
+        }
+        rt_->advanceTo(std::max(t.done, last_completion));
 
         if (obs::enabled())
             obs::tracer().complete(
@@ -570,18 +761,21 @@ OnlineServer::runSingle()
         for (std::size_t i = 0; i < batch; ++i) {
             const QueuedArrival req = queued_arrivals.front();
             queued_arrivals.pop_front();
-            const double lat = t.done - req.arrivalSec;
+            const double done_at = i == 0 ? head_done : t.done;
+            const double lat = done_at - req.arrivalSec;
             const double delay =
                 std::max(0.0, t.execStart - req.arrivalSec);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
+            if (resil)
+                resil->observeLatency(lat);
             if (flight_) {
                 flight_->event(req.id, "exec-start", t.execStart,
                                rt_->deviceId(),
                                "stream=" + std::to_string(s));
-                flight_->event(req.id, "completion", t.done,
+                flight_->event(req.id, "completion", done_at,
                                rt_->deviceId(),
                                "latency_ms=" + obs::jsonNum(lat * 1e3));
             }
@@ -591,12 +785,15 @@ OnlineServer::runSingle()
                     .observe(lat * 1e3);
         }
         served += batch;
+        if (resil)
+            resil->noteSuccess(0, t.done);
         last_completion = std::max(last_completion, t.done);
     }
 
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
                          queue_delays_sec, cfg_.serving.deadlineMs,
-                         shed_total);
+                         shed_total, failed_total);
+    applyResilienceStats(rep, resil.get());
 
     fillCacheStats(rep, session_->planCache().stats());
     rep.launches = rt_->counters().total().launches - launches_before;
@@ -633,7 +830,7 @@ OnlineServer::runMulti()
         Lane(int v, const VariantLoad &load, const ServingConfig &cfg)
             : variant(v), name(load.variant),
               gen(load.ratePerSec, load.numRequests, load.arrivalSeed,
-                  cfg.mmpp),
+                  cfg.mmpp, cfg.diurnal),
               deadlineSec(cfg.deadlineMs * 1e-3)
         {}
     };
@@ -658,6 +855,18 @@ OnlineServer::runMulti()
     if (total == 0)
         return rep;
 
+    std::unique_ptr<ResilienceManager> resil;
+    if (cfg_.serving.resilience.enabled) {
+        resil = std::make_unique<ResilienceManager>(
+            cfg_.serving.resilience, lanes.size());
+        resil->setFlightRecorder(flight_);
+    }
+    std::size_t brownout_bound = 0;
+    for (const Lane &ln : lanes)
+        brownout_bound =
+            std::max(brownout_bound,
+                     engine_->variantConfig(ln.variant).maxQueueDepth);
+
     const int num_streams = std::max(1, engine_->config().numStreams);
     const double serial_frac = rt.spec().streamSerialFraction;
 
@@ -667,6 +876,7 @@ OnlineServer::runMulti()
 
     const std::uint64_t launches_before = rt.counters().total().launches;
     std::size_t shed_total = 0;
+    std::size_t failed_total = 0;
     bool any_deadline = false;
 
     // Admit (or shed) every arrival the host clock has passed, across
@@ -700,8 +910,12 @@ OnlineServer::runMulti()
                     any_deadline = true;
                 recordShed(flight_, engine_->reserveId(), arr,
                            rt.deviceId(), dec.reason, ln.name);
+                if (resil)
+                    resil->noteFailure(next, clock.hostFree, "shed");
                 continue;
             }
+            if (resil)
+                resil->noteAdmit(next);
             const double host_before = rt.hostTimeMs() * 1e-3;
             const std::uint64_t id = engine_->submit(ln.variant);
             const double transfer = rt.hostTimeMs() * 1e-3 - host_before;
@@ -739,8 +953,35 @@ OnlineServer::runMulti()
                     ? 0.0
                     : lanes[i].queued.front().arrivalSec;
             views[i].moreArrivals = !lanes[i].gen.done();
+            views[i].blocked =
+                resil && resil->blocked(i, clock.hostFree);
         }
         return views;
+    };
+
+    // Timeout cancellation per lane (see runSingle's failfast).
+    auto failfast = [&]() {
+        if (!resil)
+            return;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            Lane &ln = lanes[i];
+            if (ln.deadlineSec <= 0.0)
+                continue;
+            while (!ln.queued.empty()) {
+                const QueuedArrival head = ln.queued.front();
+                const double est = policy->estimateServiceSec(i, 1);
+                if (!resil->deadlineExpired(head.arrivalSec,
+                                            ln.deadlineSec,
+                                            clock.hostFree, est))
+                    break;
+                engine_->dropOldest(ln.variant, 1);
+                ln.queued.pop_front();
+                resil->recordTimeout(head.id, i, rt.deviceId(),
+                                     head.arrivalSec, clock.hostFree);
+                ++failed_total;
+                any_deadline = true;
+            }
+        }
     };
 
     std::size_t served = 0;
@@ -751,8 +992,9 @@ OnlineServer::runMulti()
     queue_delays_sec.reserve(total);
     std::size_t met = 0;
 
-    while (served + shed_total < total) {
+    while (served + shed_total + failed_total < total) {
         admit();
+        failfast();
         const std::vector<LaneView> views = lane_views();
         int li = policy->pickLane(views);
         if (li < 0) {
@@ -776,6 +1018,15 @@ OnlineServer::runMulti()
         rep.peakLaneQueueDepth =
             std::max(rep.peakLaneQueueDepth, depth);
 
+        if (resil) {
+            std::size_t max_depth = 0;
+            for (const Lane &ln : lanes)
+                max_depth = std::max(max_depth, ln.queued.size());
+            resil->tickBrownout(max_depth, brownout_bound,
+                                clock.hostFree);
+            engine_->setDuplicationScale(resil->duplicationScale());
+        }
+
         std::size_t batch = policy->pickBatch(
             static_cast<std::size_t>(li),
             views[static_cast<std::size_t>(li)]);
@@ -784,11 +1035,46 @@ OnlineServer::runMulti()
         if (!cfg_.retainResults)
             engine_->clearResults();
 
+        // Hedge the head on a second stream (see runSingle).
         const int s = clock.pickStream();
+        const QueuedArrival head = lane->queued.front();
+        bool hedged = false;
+        BatchCost hedge_cost;
+        int hs = -1;
+        if (resil && resil->hedgeReady() && num_streams > 1) {
+            const double waited = clock.hostFree - head.arrivalSec;
+            if (waited > resil->hedgeDelaySec()) {
+                hs = s == 0 ? 1 : 0;
+                for (int i = 0; i < num_streams; ++i)
+                    if (i != s &&
+                        clock.streamFree[static_cast<std::size_t>(i)] <
+                            clock.streamFree[static_cast<std::size_t>(
+                                hs)])
+                        hs = i;
+                hedge_cost = engine_->hedgeOldest(lane->variant, hs);
+                hedged = hedge_cost.requests > 0;
+                if (hedged)
+                    resil->recordHedge(head.id,
+                                       static_cast<std::size_t>(li),
+                                       rt.deviceId(), clock.hostFree,
+                                       waited);
+            }
+        }
+
         const BatchCost cost =
             engine_->serveOldest(lane->variant, batch, s);
         const OpenLoopClock::Issued t = clock.issue(cost, s);
-        rt.advanceTo(t.done);
+        double head_done = t.done;
+        if (hedged) {
+            const OpenLoopClock::Issued th =
+                clock.issue(hedge_cost, hs);
+            const bool hedge_won = th.done < t.done;
+            head_done = std::min(t.done, th.done);
+            resil->recordHedgeOutcome(head.id, rt.deviceId(),
+                                      head_done, hedge_won);
+            last_completion = std::max(last_completion, th.done);
+        }
+        rt.advanceTo(std::max(t.done, last_completion));
 
         if (obs::enabled())
             obs::tracer().complete(
@@ -805,7 +1091,8 @@ OnlineServer::runMulti()
         for (std::size_t i = 0; i < batch; ++i) {
             const QueuedArrival req = lane->queued.front();
             lane->queued.pop_front();
-            const double lat = t.done - req.arrivalSec;
+            const double done_at = i == 0 ? head_done : t.done;
+            const double lat = done_at - req.arrivalSec;
             const double delay =
                 std::max(0.0, t.execStart - req.arrivalSec);
             latencies_sec.push_back(lat);
@@ -815,11 +1102,13 @@ OnlineServer::runMulti()
             lane->latencies.push_back(lat);
             if (lane->deadlineSec <= 0.0 || lat <= lane->deadlineSec)
                 ++lane->met;
+            if (resil)
+                resil->observeLatency(lat);
             if (flight_) {
                 flight_->event(req.id, "exec-start", t.execStart,
                                rt.deviceId(),
                                "stream=" + std::to_string(s));
-                flight_->event(req.id, "completion", t.done,
+                flight_->event(req.id, "completion", done_at,
                                rt.deviceId(),
                                "latency_ms=" + obs::jsonNum(lat * 1e3));
             }
@@ -829,6 +1118,8 @@ OnlineServer::runMulti()
                     .observe(lat * 1e3);
         }
         served += batch;
+        if (resil)
+            resil->noteSuccess(static_cast<std::size_t>(li), t.done);
         last_completion = std::max(last_completion, t.done);
     }
 
@@ -836,7 +1127,9 @@ OnlineServer::runMulti()
     // request against its own variant's deadline, so the overall
     // numbers are recomputed from the per-lane tallies below.
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
-                         queue_delays_sec, 0.0, shed_total);
+                         queue_delays_sec, 0.0, shed_total,
+                         failed_total);
+    applyResilienceStats(rep, resil.get());
     if (any_deadline && !latencies_sec.empty()) {
         met = 0;
         for (const Lane &ln : lanes)
@@ -845,13 +1138,13 @@ OnlineServer::runMulti()
                             static_cast<double>(latencies_sec.size());
     }
     rep.admittedSloAttainment = rep.sloAttainment;
-    if (shed_total > 0 && any_deadline) {
+    if ((shed_total > 0 || failed_total > 0) && any_deadline) {
         std::size_t met_total = 0;
         for (const Lane &ln : lanes)
             met_total += ln.met;
         rep.sloAttainment =
             static_cast<double>(met_total) /
-            static_cast<double>(served + shed_total);
+            static_cast<double>(served + shed_total + failed_total);
     }
 
     for (Lane &ln : lanes) {
@@ -893,11 +1186,27 @@ OnlineServer::runSharded()
     const std::unique_ptr<SchedulerPolicy> policy =
         buildPolicy(std::move(setup));
     rep.policy = policy->name();
-    if (cfg_.numRequests == 0)
+    const std::size_t total_requests = cfg_.arrivalTrace.empty()
+                                           ? cfg_.numRequests
+                                           : cfg_.arrivalTrace.size();
+    if (total_requests == 0)
         return rep;
 
-    LoadGenerator gen(cfg_.arrivalRatePerSec, cfg_.numRequests,
-                      cfg_.arrivalSeed, cfg_.serving.mmpp);
+    LoadGenerator gen =
+        cfg_.arrivalTrace.empty()
+            ? LoadGenerator(cfg_.arrivalRatePerSec, cfg_.numRequests,
+                            cfg_.arrivalSeed, cfg_.serving.mmpp,
+                            cfg_.serving.diurnal)
+            : LoadGenerator(cfg_.arrivalTrace);
+
+    std::unique_ptr<ResilienceManager> resil;
+    if (cfg_.serving.resilience.enabled) {
+        resil = std::make_unique<ResilienceManager>(
+            cfg_.serving.resilience,
+            static_cast<std::size_t>(devices));
+        resil->setFlightRecorder(flight_);
+    }
+    const double deadline_sec = cfg_.serving.deadlineMs * 1e-3;
 
     const int num_streams = std::max(1, cfg_.serving.numStreams);
     const double serial_frac =
@@ -928,6 +1237,7 @@ OnlineServer::runSharded()
     const double ic_busy_before =
         group_->interconnect().totalBusySec();
     std::size_t shed_total = 0;
+    std::size_t failed_total = 0;
 
     // Admit (or shed) arrivals the simulation has reached. Unlike the
     // single-device loop — whose one host thread both admits and
@@ -957,6 +1267,9 @@ OnlineServer::runSharded()
             }
             const ShardedSession::SubmitInfo info =
                 sharded_->submitRouted();
+            if (resil)
+                resil->noteAdmit(
+                    static_cast<std::size_t>(info.device));
             host_free = std::max(host_free, arr) + info.transferSec;
             if (flight_) {
                 flight_->event(info.id, "arrival", arr, info.device);
@@ -996,12 +1309,30 @@ OnlineServer::runSharded()
                 QueuedArrival qa{};
                 qa.id = rr.id;
                 if (!dq.empty()) {
-                    qa.arrivalSec = dq.front().arrivalSec;
+                    qa = dq.front();
                     dq.pop_front();
+                }
+                host_free += rr.transferSec;
+                if (resil) {
+                    // Retry with seeded capped backoff: a quarantine
+                    // is a transient per-request failure. Exhausted
+                    // budgets fail the request outright — its
+                    // re-routed copy leaves the destination queue.
+                    const ResilienceManager::RetryDecision rd =
+                        resil->onFailure(
+                            rr.id, static_cast<std::size_t>(rr.from),
+                            rr.from, t_fail, "quarantine",
+                            qa.attempts);
+                    if (!rd.retry) {
+                        sharded_->dropQueued(rr.id);
+                        ++failed_total;
+                        continue;
+                    }
+                    qa.attempts = rd.attempt;
+                    qa.notBeforeSec = rd.notBeforeSec;
                 }
                 queued_arrivals[static_cast<std::size_t>(rr.to)]
                     .push_back(qa);
-                host_free += rr.transferSec;
             }
             dq.clear();
             rep.requestsRerouted += moved.size();
@@ -1016,6 +1347,7 @@ OnlineServer::runSharded()
     /** Per-device dynamic state for the policy (dead devices hold no
      *  queue — quarantine re-routed it — so they are never picked). */
     auto lane_views = [&]() {
+        const double now = std::max(host_free, group_->nowSec());
         std::vector<LaneView> views(static_cast<std::size_t>(devices));
         for (int d = 0; d < devices; ++d) {
             const auto &q =
@@ -1025,8 +1357,57 @@ OnlineServer::runSharded()
                 q.empty() ? 0.0 : q.front().arrivalSec;
             views[static_cast<std::size_t>(d)].moreArrivals =
                 !gen.done();
+            // An open breaker blocks the lane, and so does a head
+            // still inside its retry-backoff hold.
+            views[static_cast<std::size_t>(d)].blocked =
+                resil &&
+                (resil->blocked(static_cast<std::size_t>(d), now) ||
+                 (!q.empty() && q.front().notBeforeSec > now));
         }
         return views;
+    };
+
+    // Timeout cancellation per device lane (see runSingle's failfast).
+    auto failfast = [&]() {
+        if (!resil || deadline_sec <= 0.0)
+            return;
+        const double now = std::max(host_free, group_->nowSec());
+        for (int d = 0; d < devices; ++d) {
+            if (sharded_->isDead(d))
+                continue;
+            auto &q = queued_arrivals[static_cast<std::size_t>(d)];
+            while (!q.empty()) {
+                const QueuedArrival head = q.front();
+                const double est = policy->estimateServiceSec(
+                    static_cast<std::size_t>(d), 1);
+                if (!resil->deadlineExpired(head.arrivalSec,
+                                            deadline_sec, now, est))
+                    break;
+                sharded_->dropOldestOn(d, 1);
+                q.pop_front();
+                resil->recordTimeout(head.id,
+                                     static_cast<std::size_t>(d), d,
+                                     head.arrivalSec, now);
+                ++failed_total;
+            }
+        }
+    };
+
+    // Circuit breakers steer the router: open-breaker devices are
+    // avoided by homeShard while any unmasked alive device remains.
+    auto update_route_avoid = [&]() {
+        if (!resil)
+            return;
+        const double now = std::max(host_free, group_->nowSec());
+        std::vector<char> avoid(static_cast<std::size_t>(devices), 0);
+        bool any = false;
+        for (int d = 0; d < devices; ++d)
+            if (resil->blocked(static_cast<std::size_t>(d), now)) {
+                avoid[static_cast<std::size_t>(d)] = 1;
+                any = true;
+            }
+        sharded_->setRouteAvoid(any ? std::move(avoid)
+                                    : std::vector<char>{});
     };
 
     std::size_t served = 0;
@@ -1036,9 +1417,11 @@ OnlineServer::runSharded()
     latencies_sec.reserve(cfg_.numRequests);
     queue_delays_sec.reserve(cfg_.numRequests);
 
-    while (served + shed_total < cfg_.numRequests) {
+    while (served + shed_total + failed_total < total_requests) {
         admit();
         check_failures();
+        update_route_avoid();
+        failfast();
         const std::vector<LaneView> views = lane_views();
         int d = policy->pickLane(views);
         if (d < 0) {
@@ -1049,7 +1432,26 @@ OnlineServer::runSharded()
                 group_->advanceTo(host_free);
                 continue;
             }
-            d = oldestLane(views); // forced progress
+            if (resil) {
+                // Arrivals exhausted but heads may be backoff-held:
+                // jump to the earliest hold expiry, then re-evaluate.
+                const double now =
+                    std::max(host_free, group_->nowSec());
+                double wake = std::numeric_limits<double>::infinity();
+                for (int dd = 0; dd < devices; ++dd) {
+                    const auto &q =
+                        queued_arrivals[static_cast<std::size_t>(dd)];
+                    if (!q.empty() && q.front().notBeforeSec > now)
+                        wake =
+                            std::min(wake, q.front().notBeforeSec);
+                }
+                if (std::isfinite(wake)) {
+                    host_free = std::max(host_free, wake);
+                    group_->advanceTo(host_free);
+                    continue;
+                }
+            }
+            d = oldestLane(views); // forced progress (breaker probe)
             if (d < 0)
                 break; // nothing queued, nothing arriving
         }
@@ -1059,6 +1461,19 @@ OnlineServer::runSharded()
             std::max(rep.peakQueueDepth, sharded_->queued());
         rep.peakLaneQueueDepth =
             std::max(rep.peakLaneQueueDepth, depth);
+
+        if (resil) {
+            // Admission bounds the whole session's backlog (judged
+            // before routing), so brownout pressure is the TOTAL
+            // queued fraction — a per-lane max would never cross the
+            // watermark once the bound spreads across devices.
+            std::size_t total_depth = 0;
+            for (const auto &dq : queued_arrivals)
+                total_depth += dq.size();
+            resil->tickBrownout(total_depth, cfg_.serving.maxQueueDepth,
+                                std::max(host_free, group_->nowSec()));
+            sharded_->setDuplicationScale(resil->duplicationScale());
+        }
 
         std::size_t batch =
             policy->pickBatch(static_cast<std::size_t>(d),
@@ -1074,6 +1489,53 @@ OnlineServer::runSharded()
             if (streams[static_cast<std::size_t>(i)] <
                 streams[static_cast<std::size_t>(s)])
                 s = i;
+
+        // Hedge: re-issue the waiting head on a second alive device
+        // before serving the primary batch; the first completion wins
+        // and the loser is an audited discard. hedgeOldestOn stores no
+        // result, so outputs are bit-identical to the unhedged run.
+        const QueuedArrival head = q.front();
+        bool hedged = false;
+        ShardBatch hb;
+        int hedge_dev = -1;
+        int hedge_stream = 0;
+        if (resil && resil->hedgeReady() &&
+            sharded_->aliveCount() > 1) {
+            const double now = std::max(host_free, group_->nowSec());
+            const double waited = now - head.arrivalSec;
+            if (waited > resil->hedgeDelaySec()) {
+                // Deterministic backup pick: alive, not the primary,
+                // shallowest queue, ties to the lowest device id.
+                for (int dd = 0; dd < devices; ++dd) {
+                    if (dd == d || sharded_->isDead(dd))
+                        continue;
+                    if (hedge_dev < 0 ||
+                        queued_arrivals[static_cast<std::size_t>(dd)]
+                                .size() <
+                            queued_arrivals[static_cast<std::size_t>(
+                                                hedge_dev)]
+                                .size())
+                        hedge_dev = dd;
+                }
+                if (hedge_dev >= 0) {
+                    auto &hstreams =
+                        stream_free[static_cast<std::size_t>(
+                            hedge_dev)];
+                    for (int i = 1; i < num_streams; ++i)
+                        if (hstreams[static_cast<std::size_t>(i)] <
+                            hstreams[static_cast<std::size_t>(
+                                hedge_stream)])
+                            hedge_stream = i;
+                    hb = sharded_->hedgeOldestOn(d, hedge_dev,
+                                                 hedge_stream);
+                    hedged = hb.cost.requests > 0;
+                    if (hedged)
+                        resil->recordHedge(head.id,
+                                           static_cast<std::size_t>(d),
+                                           hedge_dev, now, waited);
+                }
+            }
+        }
 
         const ShardBatch sb = sharded_->serveOldestOn(d, batch, s);
         const double issue_start =
@@ -1119,7 +1581,64 @@ OnlineServer::runSharded()
             d != root ? group_->interconnect().transfer(
                             d, root, sb.gatherBytes, exec_done)
                       : exec_done;
-        group_->advanceTo(done);
+
+        // The hedge copy runs through the SAME per-device clock
+        // machinery on its backup device: issue, halo, contention,
+        // gather to the root. First completion wins the race.
+        double head_done = done;
+        if (hedged) {
+            const std::size_t hd =
+                static_cast<std::size_t>(hedge_dev);
+            auto &hstreams = stream_free[hd];
+            const double h_issue_start =
+                std::max(issue_free[hd], host_free);
+            const double h_issue_done =
+                h_issue_start + hb.cost.overheadSec;
+            issue_free[hd] = h_issue_done;
+            double h_comm_done = h_issue_done;
+            for (const auto &[owner, bytes] : hb.haloBytesByOwner) {
+                h_comm_done =
+                    std::max(h_comm_done,
+                             group_->interconnect().transfer(
+                                 owner, hedge_dev, bytes,
+                                 h_issue_done));
+                rep.haloBytes += bytes;
+            }
+            if (hb.hostFallbackBytes > 0.0) {
+                sim::Runtime &hrt = group_->device(hedge_dev);
+                const double ht = graph::hostTransferSec(
+                    hb.hostFallbackBytes, hrt.spec());
+                hrt.hostOverhead(ht);
+                h_comm_done = std::max(h_comm_done, h_issue_done + ht);
+            }
+            const double h_exec_start = std::max(
+                h_comm_done,
+                std::max(hstreams[static_cast<std::size_t>(
+                             hedge_stream)],
+                         contend_free[hd]));
+            const double h_exec_done = h_exec_start + hb.cost.execSec;
+            hstreams[static_cast<std::size_t>(hedge_stream)] =
+                h_exec_done;
+            contend_free[hd] =
+                h_exec_start + serial_frac * hb.cost.execSec;
+            const double hedge_done =
+                hedge_dev != root
+                    ? group_->interconnect().transfer(
+                          hedge_dev, root, hb.gatherBytes,
+                          h_exec_done)
+                    : h_exec_done;
+            const bool hedge_won = hedge_done < done;
+            head_done = std::min(done, hedge_done);
+            resil->recordHedgeOutcome(head.id, hedge_dev, head_done,
+                                      hedge_won);
+            if (obs::enabled())
+                obs::tracer().complete(
+                    "tick/hedge", "online", h_exec_start,
+                    hb.cost.execSec, hedge_dev, hedge_stream,
+                    "\"batch\":1");
+            last_completion = std::max(last_completion, hedge_done);
+        }
+        group_->advanceTo(std::max(done, last_completion));
 
         const double halo_total = [&] {
             double b = 0.0;
@@ -1148,13 +1667,16 @@ OnlineServer::runSharded()
         for (std::size_t i = 0; i < batch; ++i) {
             const QueuedArrival req = q.front();
             q.pop_front();
-            const double lat = done - req.arrivalSec;
+            const double done_at = i == 0 ? head_done : done;
+            const double lat = done_at - req.arrivalSec;
             const double delay =
                 std::max(0.0, exec_start - req.arrivalSec);
             latencies_sec.push_back(lat);
             queue_delays_sec.push_back(delay);
             latenciesMs_.push_back(lat * 1e3);
             queueDelaysMs_.push_back(delay * 1e3);
+            if (resil)
+                resil->observeLatency(lat);
             if (flight_) {
                 if (comm_done > issue_done)
                     flight_->event(req.id, "halo", comm_done, d,
@@ -1165,7 +1687,7 @@ OnlineServer::runSharded()
                     flight_->event(
                         req.id, "all-gather", done, d,
                         "bytes=" + obs::jsonNum(sb.gatherBytes));
-                flight_->event(req.id, "completion", done, d,
+                flight_->event(req.id, "completion", done_at, d,
                                "latency_ms=" + obs::jsonNum(lat * 1e3));
             }
             if (obs::enabled())
@@ -1174,12 +1696,15 @@ OnlineServer::runSharded()
                     .observe(lat * 1e3);
         }
         served += batch;
+        if (resil)
+            resil->noteSuccess(static_cast<std::size_t>(d), done);
         last_completion = std::max(last_completion, done);
     }
 
     finalizeOnlineReport(rep, served, last_completion, latencies_sec,
                          queue_delays_sec, cfg_.serving.deadlineMs,
-                         shed_total);
+                         shed_total, failed_total);
+    applyResilienceStats(rep, resil.get());
 
     rep.interconnectMs =
         (group_->interconnect().totalBusySec() - ic_busy_before) * 1e3;
@@ -1204,6 +1729,20 @@ absorbOnlineReport(obs::Registry &reg, const OnlineReport &report,
         .set(static_cast<double>(report.peakQueueDepth));
     reg.gauge(prefix + ".peak_lane_queue_depth")
         .set(static_cast<double>(report.peakLaneQueueDepth));
+    reg.gauge(prefix + ".requests_retried")
+        .set(static_cast<double>(report.requestsRetried));
+    reg.gauge(prefix + ".requests_hedged")
+        .set(static_cast<double>(report.requestsHedged));
+    reg.gauge(prefix + ".hedge_wins")
+        .set(static_cast<double>(report.hedgeWins));
+    reg.gauge(prefix + ".requests_timed_out")
+        .set(static_cast<double>(report.requestsTimedOut));
+    reg.gauge(prefix + ".requests_failed")
+        .set(static_cast<double>(report.requestsFailed));
+    reg.gauge(prefix + ".breaker_opens")
+        .set(static_cast<double>(report.breakerOpens));
+    reg.gauge(prefix + ".brownout_ticks")
+        .set(static_cast<double>(report.brownoutTicks));
 }
 
 } // namespace hector::serve

@@ -69,6 +69,16 @@ namespace hector::serve
  * or rate x burstRateMultiplier), and after each arrival one extra
  * uniform from the same seeded stream decides the state transition —
  * still bit-stable across platforms, thread counts and reruns.
+ *
+ * With an enabled DiurnalSpec the instantaneous rate is additionally
+ * modulated sinusoidally — rate(t) = base x (1 + amplitude x
+ * sin(2 pi t / period)) — composing with the MMPP burst multiplier;
+ * disabled, the gap computation is the exact pre-diurnal expression,
+ * so existing arrival sequences stay bit-identical.
+ *
+ * Trace-replay mode (the vector ctor / loadTrace()) bypasses the RNG
+ * entirely and replays a recorded, non-decreasing timestamp sequence —
+ * the same open-loop interface over production traces.
  */
 class LoadGenerator
 {
@@ -77,6 +87,20 @@ class LoadGenerator
                   std::uint64_t seed);
     LoadGenerator(double rate_per_sec, std::size_t count,
                   std::uint64_t seed, const MmppSpec &mmpp);
+    LoadGenerator(double rate_per_sec, std::size_t count,
+                  std::uint64_t seed, const MmppSpec &mmpp,
+                  const DiurnalSpec &diurnal);
+
+    /** Trace replay: arrivals at exactly @p times_sec (non-decreasing,
+     *  non-negative; throws std::invalid_argument otherwise). */
+    explicit LoadGenerator(std::vector<double> times_sec);
+
+    /**
+     * Parse an arrival-trace file: one non-negative timestamp (seconds)
+     * per line, '#'-prefixed and blank lines skipped. Throws
+     * std::runtime_error on an unreadable file or malformed line.
+     */
+    static std::vector<double> loadTrace(const std::string &path);
 
     bool done() const { return left_ == 0; }
     std::size_t remaining() const { return left_; }
@@ -104,7 +128,11 @@ class LoadGenerator
     std::mt19937_64 rng_;
     double nextSec_ = 0.0;
     MmppSpec mmpp_{};
+    DiurnalSpec diurnal_{};
     bool burst_ = false;
+    /** Trace-replay mode: arrivals come from trace_, not the RNG. */
+    std::vector<double> trace_;
+    std::size_t traceIdx_ = 0;
 
     double nextU();
     void advance();
@@ -134,6 +162,14 @@ struct OnlineConfig
     std::size_t numRequests = 64;
     /** Seed of the Poisson arrival process. */
     std::uint64_t arrivalSeed = 0xa221;
+    /**
+     * Trace-replay arrivals: when non-empty, the single-device and
+     * sharded paths replay exactly these timestamps (seconds,
+     * non-decreasing) instead of drawing a Poisson/MMPP process, and
+     * the effective request count is the trace length (numRequests is
+     * ignored). Build from a file with LoadGenerator::loadTrace().
+     */
+    std::vector<double> arrivalTrace;
     /** Adaptive batch sizing; false selects wait-to-fill fixedBatch.
      *  Consulted only when `policy` and `makePolicy` are unset. */
     bool adaptive = true;
@@ -217,6 +253,29 @@ struct OnlineReport : ServingReport
     std::size_t peakLaneQueueDepth = 0;
     /** Resolved name of the scheduling policy the run used. */
     std::string policy;
+
+    /// @name Resilience accounting (0 unless resilience.enabled).
+    ///
+    /// Offered arrivals partition exactly: offered = served + shed +
+    /// requestsTimedOut + requestsFailed. Timed-out and retry-exhausted
+    /// requests were ADMITTED and then failed, so they count against
+    /// availability (served / admitted), not against shedFraction.
+    /// @{
+    /** Requests given a retry attempt after a transient failure. */
+    std::size_t requestsRetried = 0;
+    /** Requests re-issued on a second lane/device (hedged). */
+    std::size_t requestsHedged = 0;
+    /** Hedges whose backup completed before the primary. */
+    std::size_t hedgeWins = 0;
+    /** Admitted requests failed fast by deadline timeout. */
+    std::size_t requestsTimedOut = 0;
+    /** Admitted requests failed after exhausting retries. */
+    std::size_t requestsFailed = 0;
+    /** Circuit-breaker transitions into the open state. */
+    std::size_t breakerOpens = 0;
+    /** Serving ticks spent at a brownout level > 0. */
+    std::size_t brownoutTicks = 0;
+    /// @}
 };
 
 /**

@@ -1,0 +1,312 @@
+#include "serve/resilience.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hector::serve
+{
+
+ResilienceManager::ResilienceManager(ResilienceConfig cfg,
+                                     std::size_t num_lanes)
+    : cfg_(cfg), breakers_(num_lanes), rng_(cfg.retrySeed)
+{
+    if (num_lanes == 0)
+        throw std::invalid_argument(
+            "ResilienceManager: num_lanes must be >= 1");
+}
+
+bool
+ResilienceManager::deadlineExpired(double arrival_sec,
+                                   double deadline_sec, double now_sec,
+                                   double est_service_sec) const
+{
+    if (!cfg_.failFast || deadline_sec <= 0.0)
+        return false;
+    const double start = std::max(now_sec, arrival_sec);
+    return start + est_service_sec > arrival_sec + deadline_sec;
+}
+
+void
+ResilienceManager::recordTimeout(std::uint64_t id, std::size_t lane,
+                                 int device, double arrival_sec,
+                                 double now_sec)
+{
+    (void)arrival_sec;
+    ++stats_.requestsTimedOut;
+    if (flight_)
+        flight_->event(id, "timeout", now_sec, device,
+                       "reason=deadline-expired");
+    if (obs::enabled()) {
+        obs::metrics().counter("resilience.requests_timed_out").inc();
+        obs::tracer().instant("timeout", "resilience", now_sec, device,
+                              0,
+                              "\"reason\":\"deadline-expired\",\"id\":" +
+                                  std::to_string(id));
+    }
+    // Deliberately NOT a breaker failure: deadline expiry is an
+    // overload signal (the bounded queue and brownout own that story),
+    // not evidence the lane's device is sick. Feeding timeouts to the
+    // breaker couples the two control loops — a blocked lane makes its
+    // heads rot past deadline, each expiry re-opens the breaker at the
+    // half-open probe, and the lane never recovers.
+    (void)lane;
+}
+
+double
+ResilienceManager::backoffSec(int attempt)
+{
+    double base = cfg_.retryBackoffMs * 1e-3;
+    for (int i = 1; i < attempt; ++i)
+        base *= cfg_.retryBackoffMultiplier;
+    base = std::min(base, cfg_.retryBackoffCapMs * 1e-3);
+    // Same raw-bits -> uniform mapping as LoadGenerator: bit-stable
+    // across platforms, one draw per decision.
+    const double u =
+        (static_cast<double>(rng_() >> 11) + 0.5) * 0x1.0p-53;
+    const double j = cfg_.retryJitterFraction;
+    return base * (1.0 - j / 2.0 + j * u);
+}
+
+ResilienceManager::RetryDecision
+ResilienceManager::onFailure(std::uint64_t id, std::size_t lane,
+                             int device, double now_sec,
+                             const char *reason, int prior_attempts)
+{
+    RetryDecision d;
+    d.attempt = prior_attempts + 1;
+    if (d.attempt <= cfg_.maxRetries) {
+        d.retry = true;
+        d.notBeforeSec = now_sec + backoffSec(d.attempt);
+        ++stats_.requestsRetried;
+        if (flight_)
+            flight_->event(id, "retry", now_sec, device,
+                           std::string("reason=") + reason +
+                               " attempt=" + std::to_string(d.attempt));
+        if (obs::enabled()) {
+            obs::metrics().counter("resilience.requests_retried").inc();
+            obs::tracer().instant(
+                "retry", "resilience", now_sec, device, 0,
+                std::string("\"reason\":\"") + reason +
+                    "\",\"attempt\":" + std::to_string(d.attempt) +
+                    ",\"id\":" + std::to_string(id));
+        }
+    } else {
+        ++stats_.requestsFailed;
+        if (flight_)
+            flight_->event(id, "failed", now_sec, device,
+                           std::string("reason=") + reason +
+                               " attempts-exhausted");
+        if (obs::enabled()) {
+            obs::metrics().counter("resilience.requests_failed").inc();
+            obs::tracer().instant(
+                "retry", "resilience", now_sec, device, 0,
+                std::string("\"reason\":\"") + reason +
+                    "-exhausted\",\"id\":" + std::to_string(id));
+        }
+    }
+    noteFailure(lane, now_sec, reason);
+    return d;
+}
+
+void
+ResilienceManager::observeLatency(double latency_sec)
+{
+    if (!latencyObserved_) {
+        ewmaLatencySec_ = latency_sec;
+        latencyObserved_ = true;
+        return;
+    }
+    // Fixed smoothing keeps the trigger stable against single spikes
+    // while still tracking load shifts within a few tens of requests.
+    constexpr double kAlpha = 0.1;
+    ewmaLatencySec_ =
+        (1.0 - kAlpha) * ewmaLatencySec_ + kAlpha * latency_sec;
+}
+
+bool
+ResilienceManager::hedgeReady() const
+{
+    return cfg_.hedge && latencyObserved_ && brownoutLevel_ < 1 &&
+           ewmaLatencySec_ > 0.0;
+}
+
+double
+ResilienceManager::hedgeDelaySec() const
+{
+    return cfg_.hedgeDelayFactor * ewmaLatencySec_;
+}
+
+void
+ResilienceManager::recordHedge(std::uint64_t id, std::size_t lane,
+                               int device, double now_sec,
+                               double waited_sec)
+{
+    (void)lane;
+    ++stats_.requestsHedged;
+    if (flight_)
+        flight_->event(id, "hedge", now_sec, device,
+                       "reason=hedge-issued waited_ms=" +
+                           std::to_string(waited_sec * 1e3));
+    if (obs::enabled()) {
+        obs::metrics().counter("resilience.requests_hedged").inc();
+        obs::tracer().instant("hedge", "resilience", now_sec, device, 0,
+                              "\"reason\":\"hedge-issued\",\"id\":" +
+                                  std::to_string(id));
+    }
+}
+
+void
+ResilienceManager::recordHedgeOutcome(std::uint64_t id, int device,
+                                      double now_sec, bool hedge_won)
+{
+    const char *reason =
+        hedge_won ? "hedge-win" : "duplicate-discarded";
+    if (hedge_won) {
+        ++stats_.hedgeWins;
+        if (obs::enabled())
+            obs::metrics().counter("resilience.hedge_wins").inc();
+    }
+    if (flight_)
+        flight_->event(id, "hedge-outcome", now_sec, device,
+                       std::string("reason=") + reason);
+    if (obs::enabled())
+        obs::tracer().instant("hedge", "resilience", now_sec, device, 0,
+                              std::string("\"reason\":\"") + reason +
+                                  "\",\"id\":" + std::to_string(id));
+}
+
+void
+ResilienceManager::noteSuccess(std::size_t lane, double now_sec)
+{
+    if (lane >= breakers_.size())
+        return;
+    Breaker &b = breakers_[lane];
+    b.consecutive = 0;
+    if (b.state != Breaker::State::Closed) {
+        b.state = Breaker::State::Closed;
+        ++stats_.breakerCloses;
+        emitInstant("breaker", now_sec, static_cast<int>(lane),
+                    "\"reason\":\"close\",\"lane\":" +
+                        std::to_string(lane));
+        if (obs::enabled())
+            obs::metrics().counter("resilience.breaker_closes").inc();
+    }
+}
+
+void
+ResilienceManager::noteAdmit(std::size_t lane)
+{
+    // An accepted admission proves the lane is draining; without this
+    // a shed storm at a full-but-healthy queue would open the breaker.
+    if (lane < breakers_.size() &&
+        breakers_[lane].state == Breaker::State::Closed)
+        breakers_[lane].consecutive = 0;
+}
+
+void
+ResilienceManager::noteFailure(std::size_t lane, double now_sec,
+                               const char *what)
+{
+    if (lane >= breakers_.size())
+        return;
+    Breaker &b = breakers_[lane];
+    ++b.consecutive;
+    const bool trip =
+        b.state == Breaker::State::HalfOpen ||
+        (b.state == Breaker::State::Closed &&
+         b.consecutive >= cfg_.breakerFailureThreshold);
+    if (!trip)
+        return;
+    b.state = Breaker::State::Open;
+    b.consecutive = 0;
+    b.openUntilSec = now_sec + cfg_.breakerOpenMs * 1e-3;
+    ++stats_.breakerOpens;
+    emitInstant("breaker", now_sec, static_cast<int>(lane),
+                std::string("\"reason\":\"open\",\"cause\":\"") + what +
+                    "\",\"lane\":" + std::to_string(lane));
+    if (obs::enabled())
+        obs::metrics().counter("resilience.breaker_opens").inc();
+}
+
+bool
+ResilienceManager::blocked(std::size_t lane, double now_sec)
+{
+    if (lane >= breakers_.size())
+        return false;
+    Breaker &b = breakers_[lane];
+    if (b.state != Breaker::State::Open)
+        return false;
+    if (now_sec < b.openUntilSec)
+        return true;
+    b.state = Breaker::State::HalfOpen;
+    emitInstant("breaker", now_sec, static_cast<int>(lane),
+                "\"reason\":\"half-open\",\"lane\":" +
+                    std::to_string(lane));
+    return false;
+}
+
+const char *
+ResilienceManager::breakerState(std::size_t lane) const
+{
+    if (lane >= breakers_.size())
+        return "closed";
+    switch (breakers_[lane].state) {
+    case Breaker::State::Open:
+        return "open";
+    case Breaker::State::HalfOpen:
+        return "half-open";
+    case Breaker::State::Closed:
+    default:
+        return "closed";
+    }
+}
+
+void
+ResilienceManager::tickBrownout(std::size_t depth, std::size_t bound,
+                                double now_sec)
+{
+    int level = brownoutLevel_;
+    if (bound == 0) {
+        level = 0;
+    } else {
+        const double frac = static_cast<double>(depth) /
+                            static_cast<double>(bound);
+        // Hysteresis: step up past the high watermark, all the way
+        // back down only below the low one — no flapping at the edge.
+        if (frac >= cfg_.brownoutHighWatermark)
+            level = std::min(2, level + 1);
+        else if (frac < cfg_.brownoutLowWatermark)
+            level = 0;
+    }
+    if (level != brownoutLevel_) {
+        brownoutLevel_ = level;
+        stats_.maxBrownoutLevel =
+            std::max(stats_.maxBrownoutLevel, level);
+        emitInstant("brownout", now_sec, 0,
+                    "\"reason\":\"level-" + std::to_string(level) +
+                        "\"");
+        if (obs::enabled())
+            obs::metrics()
+                .gauge("resilience.brownout_level")
+                .set(static_cast<double>(level));
+    }
+    if (brownoutLevel_ > 0)
+        ++stats_.brownoutTicks;
+}
+
+void
+ResilienceManager::emitInstant(const char *name, double t_sec,
+                               int device,
+                               const std::string &reason_args)
+{
+    if (obs::enabled())
+        obs::tracer().instant(name, "resilience", t_sec, device, 0,
+                              reason_args);
+}
+
+} // namespace hector::serve

@@ -182,7 +182,7 @@ class FixedFillPolicy : public SchedulerPolicy
         double best_arr = 0.0;
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             const LaneView &view = lanes[i];
-            if (view.queueDepth == 0)
+            if (view.queueDepth == 0 || view.blocked)
                 continue;
             if (view.queueDepth < lane(i).fixedBatch &&
                 view.moreArrivals)
@@ -228,7 +228,7 @@ class AdaptiveEdfPolicy : public SchedulerPolicy
         double best_arr = 0.0;
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             const LaneView &view = lanes[i];
-            if (view.queueDepth == 0)
+            if (view.queueDepth == 0 || view.blocked)
                 continue;
             const double key = edfKey(lane(i), view);
             if (best < 0 || key < best_key ||
@@ -276,7 +276,7 @@ class WeightedFairPolicy : public SchedulerPolicy
         double best_arr = 0.0;
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             const LaneView &view = lanes[i];
-            if (view.queueDepth == 0)
+            if (view.queueDepth == 0 || view.blocked)
                 continue;
             const LaneSpec &spec = lane(i);
             const double wserved =

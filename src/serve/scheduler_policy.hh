@@ -136,6 +136,9 @@ struct LaneView
     double headArrivalSec = 0.0;
     /** The lane's arrival process has arrivals left. */
     bool moreArrivals = true;
+    /** The resilience layer blocks this lane (open circuit breaker or
+     *  backoff-held head); built-in policies skip blocked lanes. */
+    bool blocked = false;
 };
 
 /** Outcome of one admission decision. */

@@ -81,6 +81,23 @@ class ServingSession
         return engine_.serveOldest(0, n, stream);
     }
 
+    /** Fail-fast cancel the min(n, queued()) oldest queued requests
+     *  without serving them; returns the dropped ids in queue order.
+     *  See Engine::dropOldest. */
+    std::vector<std::uint64_t>
+    dropOldest(std::size_t n)
+    {
+        return engine_.dropOldest(0, n);
+    }
+
+    /** Re-issue the oldest queued request as a hedge batch-of-1 on
+     *  @p stream without popping it; see Engine::hedgeOldest. */
+    BatchCost
+    hedgeOldest(int stream = 0)
+    {
+        return engine_.hedgeOldest(0, stream);
+    }
+
     /** Drop all retained request results (bounded-memory serving). */
     void clearResults() { engine_.clearResults(); }
 

@@ -120,10 +120,20 @@ ShardedSession::homeShard(const graph::Minibatch &mb) const
     const std::int64_t total =
         static_cast<std::int64_t>(queued()) + 1;
     const std::int64_t cap = (total + alive - 1) / alive + 1;
+    // The breaker mask is advisory: honored only while some alive
+    // device is unmasked, so routing always makes progress.
+    bool use_avoid = false;
+    if (!routeAvoid_.empty())
+        for (int s = 0; s < k; ++s)
+            if (!dead_[static_cast<std::size_t>(s)] &&
+                !routeAvoid_[static_cast<std::size_t>(s)])
+                use_avoid = true;
     int best = -1;
     std::int64_t best_score = -1;
     for (int s = 0; s < k; ++s) {
         if (dead_[static_cast<std::size_t>(s)])
+            continue;
+        if (use_avoid && routeAvoid_[static_cast<std::size_t>(s)])
             continue;
         const std::int64_t load = static_cast<std::int64_t>(
             queues_[static_cast<std::size_t>(s)].size());
@@ -140,9 +150,24 @@ ShardedSession::homeShard(const graph::Minibatch &mb) const
     if (best >= 0)
         return best;
     for (int s = 0; s < k; ++s)
+        if (!dead_[static_cast<std::size_t>(s)] &&
+            (!use_avoid || !routeAvoid_[static_cast<std::size_t>(s)]))
+            return s;
+    for (int s = 0; s < k; ++s)
         if (!dead_[static_cast<std::size_t>(s)])
             return s;
     return 0;
+}
+
+void
+ShardedSession::setRouteAvoid(std::vector<char> avoid)
+{
+    if (!avoid.empty() &&
+        avoid.size() != static_cast<std::size_t>(group_.size()))
+        throw std::runtime_error(
+            "ShardedSession::setRouteAvoid: mask must be empty or one "
+            "entry per device");
+    routeAvoid_ = std::move(avoid);
 }
 
 bool
@@ -166,7 +191,7 @@ ShardedSession::aliveCount() const
 bool
 ShardedSession::shouldDuplicate()
 {
-    const double f = cfg_.serving.duplicationFraction;
+    const double f = cfg_.serving.duplicationFraction * dupScale_;
     if (f <= 0.0)
         return false;
     // Error diffusion: of the first k primary batches, exactly
@@ -1018,6 +1043,98 @@ ShardedSession::serveOldestOn(int device, std::size_t n, int stream)
     pending = std::max(0.0, pending - served_host_sec);
     for (Request &r : q)
         r.submitSec = std::max(0.0, r.submitSec - served_host_sec);
+    return out;
+}
+
+std::vector<std::uint64_t>
+ShardedSession::dropOldestOn(int device, std::size_t n)
+{
+    if (device < 0 || device >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    auto &q = queues_[static_cast<std::size_t>(device)];
+    n = std::min(n, q.size());
+    std::vector<std::uint64_t> ids;
+    if (n == 0)
+        return ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ids.push_back(q[i].id);
+    // Rebase exactly like serveOldestOn: the cancelled requests'
+    // submit transfers already happened and leave with them.
+    const double served_host_sec = q[n - 1].submitSec;
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+    double &pending = pendingHostSec_[static_cast<std::size_t>(device)];
+    pending = std::max(0.0, pending - served_host_sec);
+    for (Request &r : q)
+        r.submitSec = std::max(0.0, r.submitSec - served_host_sec);
+    return ids;
+}
+
+bool
+ShardedSession::dropQueued(std::uint64_t id)
+{
+    for (auto &q : queues_)
+        for (auto it = q.begin(); it != q.end(); ++it)
+            if (it->id == id) {
+                q.erase(it);
+                return true;
+            }
+    return false;
+}
+
+ShardBatch
+ShardedSession::hedgeOldestOn(int from, int to, int stream)
+{
+    if (from < 0 || from >= group_.size() || to < 0 ||
+        to >= group_.size())
+        throw std::runtime_error("ShardedSession: device out of range");
+    if (dead_[static_cast<std::size_t>(to)])
+        throw std::runtime_error(
+            "ShardedSession::hedgeOldestOn: backup device is "
+            "quarantined");
+    ShardBatch out;
+    out.device = to;
+    auto &q = queues_[static_cast<std::size_t>(from)];
+    if (q.empty())
+        return out;
+    Request &head = q.front();
+    out.cost.requests = 1;
+    out.cost.servedIds.push_back(head.id);
+    if (flight_)
+        flight_->event(head.id, "hedge-exec", group_.nowSec(), to,
+                       "from=" + std::to_string(from) +
+                           " stream=" + std::to_string(stream));
+
+    const auto plan = compiledPlan();
+    std::vector<const Request *> reqs{&head};
+
+    // The backup copy's subgraph structure re-sends over the backup
+    // device's PCIe lanes (the primary's resident copy is elsewhere),
+    // like a quarantine re-route; charged as batch overhead, not as a
+    // queued submit — the hedge never joins a queue.
+    sim::Runtime &rt = group_.device(to);
+    const double transfer = graph::hostTransferSec(
+        static_cast<double>(head.mb.subgraph.structureBytes()),
+        rt.spec());
+    rt.hostOverhead(transfer);
+
+    out.haloBytesByOwner =
+        batchHaloBytes(reqs, to, &out.hostFallbackBytes);
+    if (to != 0)
+        out.gatherBytes += static_cast<double>(
+                               head.mb.subgraph.numNodes()) *
+                           static_cast<double>(cfg_.serving.dout) *
+                           sizeof(float);
+
+    std::vector<Tensor> outs;
+    const StreamRunCost run = runOnStream(rt, stream, [&]() {
+        auto scope = rt.memoryScope();
+        outs = runBatch(*plan, reqs, to);
+    });
+    out.cost.execSec = run.execSec;
+    out.cost.overheadSec = run.overheadSec + transfer;
+    // No ASPIS sandwich and no result store: the hedge IS the backup
+    // path, and the primary copy stays authoritative for outputs.
     return out;
 }
 

@@ -177,6 +177,38 @@ class ShardedSession
      */
     ShardBatch serveOldestOn(int device, std::size_t n, int stream = 0);
 
+    /**
+     * Fail-fast cancel the min(n, queuedOn(device)) oldest requests of
+     * @p device without serving them (timeout cancellation); returns
+     * the dropped ids in queue order. The device's transfer
+     * bookkeeping is rebased exactly as if the requests were served,
+     * so later batches charge only their own submit transfers.
+     */
+    std::vector<std::uint64_t> dropOldestOn(int device, std::size_t n);
+
+    /**
+     * Remove one queued request by id (retry-budget exhaustion after a
+     * re-route); true when found. Mid-queue removal is safe: submitSec
+     * stays non-decreasing along the queue and the request's submit
+     * transfer already happened, so no rebase is needed.
+     */
+    bool dropQueued(std::uint64_t id);
+
+    /**
+     * Re-issue the oldest queued request of @p from as a hedge
+     * batch-of-1 on alive device @p to (stream @p stream) WITHOUT
+     * popping it from @p from's queue and without storing a result —
+     * the primary copy remains authoritative, so outputs are
+     * bit-identical to the unhedged run by construction; only the
+     * modeled timeline can move. The returned ShardBatch carries the
+     * backup's exec cost, the structure re-send over @p to's PCIe
+     * lanes (transferSec-style, folded into overheadSec), and @p to's
+     * halo/gather bytes for the caller's clock. No ASPIS sandwich: the
+     * hedge IS the backup path. Returns an empty batch when @p from
+     * has nothing queued.
+     */
+    ShardBatch hedgeOldestOn(int from, int to, int stream = 0);
+
     /** Drop all retained request results (bounded-memory serving). */
     void clearResults() { results_.clear(); }
 
@@ -232,6 +264,20 @@ class ShardedSession
      */
     void setFlightRecorder(obs::FlightRecorder *fr) { flight_ = fr; }
     obs::FlightRecorder *flightRecorder() const { return flight_; }
+
+    /**
+     * Devices the resilience layer's circuit breakers want routing to
+     * avoid (index -> avoid). Softer than quarantine: homeShard skips
+     * avoided devices while at least one alive device is not avoided,
+     * and ignores the mask entirely otherwise (routing must always
+     * make progress). Empty vector clears the mask.
+     */
+    void setRouteAvoid(std::vector<char> avoid);
+
+    /** Scale applied to cfg.serving.duplicationFraction by the
+     *  brownout path (0 disables ASPIS dual-issue, 1 is nominal). */
+    void setDuplicationScale(double scale) { dupScale_ = scale; }
+    double duplicationScale() const { return dupScale_; }
 
     const graph::Partition &partition() const { return partition_; }
     PlanCache &planCache() { return cache_; }
@@ -293,8 +339,13 @@ class ShardedSession
     std::vector<double> pendingHostSec_;
     /** Quarantined devices (failed; never routed to again). */
     std::vector<char> dead_;
+    /** Breaker-avoided devices (soft: ignored when all alive devices
+     *  are avoided); empty = no mask. */
+    std::vector<char> routeAvoid_;
     /** Error-diffusion accumulator of the dual-issue sampler. */
     double dupAccum_ = 0.0;
+    /** Brownout scale on duplicationFraction (1 = nominal). */
+    double dupScale_ = 1.0;
     std::uint64_t nextId_ = 1;
     obs::FlightRecorder *flight_ = nullptr;
 };

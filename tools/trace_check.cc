@@ -15,9 +15,11 @@
  *  - "ts" must be non-decreasing across non-metadata events in array
  *    order (the exporter sorts; an out-of-order timestamp means the
  *    deterministic sort broke);
- *  - load-shedding events (name "shed", emitted by the online
- *    admission controller) must be instants ("i") carrying an "args"
- *    object with a non-empty string "reason" — a shed without a
+ *  - audited decision events (names "shed", "retry", "hedge",
+ *    "breaker", "brownout", "timeout" — the online admission
+ *    controller and the resilience layer) must be instants ("i")
+ *    carrying an "args" object with a non-empty string "reason" — a
+ *    dropped/retried/hedged request or breaker flip without a
  *    recorded reason cannot be audited after the fact.
  *
  * Usage: trace_check FILE...   (exit 0 = all valid, 1 = any invalid)
@@ -357,6 +359,7 @@ checkTrace(const char *path)
     bool have_ts = false;
     std::size_t timed = 0;
     std::size_t sheds = 0;
+    std::size_t resilience_events = 0;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const Value &ev = events->array[i];
         auto fail = [&](const char *what) {
@@ -375,15 +378,27 @@ checkTrace(const char *path)
             fail("missing string \"ph\"");
             continue;
         }
-        if (isString(name) && name->string == "shed") {
-            ++sheds;
+        // Audited decision events: every one must be an instant
+        // carrying a non-empty string args.reason — a shed / retry /
+        // hedge / breaker / brownout / timeout without a recorded
+        // reason cannot be audited after the fact.
+        const bool audited =
+            isString(name) &&
+            (name->string == "shed" || name->string == "retry" ||
+             name->string == "hedge" || name->string == "breaker" ||
+             name->string == "brownout" || name->string == "timeout");
+        if (audited) {
+            if (name->string == "shed")
+                ++sheds;
+            else
+                ++resilience_events;
             if (ph->string != "i")
-                fail("shed event is not an instant (\"i\")");
+                fail("audited decision event is not an instant (\"i\")");
             const Value *args = ev.find("args");
             const Value *reason =
                 args ? args->find("reason") : nullptr;
             if (!isString(reason) || reason->string.empty())
-                fail("shed event missing non-empty string "
+                fail("audited decision event missing non-empty string "
                      "args.reason");
         }
         if (!isNumber(ev.find("pid")))
@@ -406,8 +421,10 @@ checkTrace(const char *path)
         ++timed;
     }
     if (ok)
-        std::printf("%s: OK (%zu events, %zu timed, %zu shed)\n", path,
-                    events->array.size(), timed, sheds);
+        std::printf("%s: OK (%zu events, %zu timed, %zu shed, %zu "
+                    "resilience)\n",
+                    path, events->array.size(), timed, sheds,
+                    resilience_events);
     return ok;
 }
 
