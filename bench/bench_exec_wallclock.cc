@@ -22,8 +22,12 @@
 #include <chrono>
 #include <cstring>
 
+#include "core/compiler.hh"
+#include "core/jit.hh"
 #include "obs/trace.hh"
 #include "serve/session.hh"
+#include "tensor/ops.hh"
+#include "tensor/simd.hh"
 #include "util/thread_pool.hh"
 
 using namespace hector;
@@ -127,6 +131,194 @@ bitIdentical(const std::vector<float> &a, const std::vector<float> &b)
     return a.size() == b.size() &&
            (a.empty() ||
             std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/** Best-of-@p reps wall milliseconds of @p fn(). */
+template <typename Fn>
+double
+bestMs(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/**
+ * Roofline section: per-kernel GF/s for the SIMD and JIT backends
+ * against the scalar-seed baseline, with the PR's two hard perf
+ * gates (SIMD GEMM >= 1.5x scalar blocked; a JIT-attached plan never
+ * slower than the generic blocked path) and bit-identity of every
+ * backend against the seed interpreter at 1/2/4 threads.
+ */
+bool
+rooflineSection(JsonLog &log, const BenchGraph &bg, std::int64_t dim,
+                int reps)
+{
+    namespace simd = tensor::simd;
+    bool ok = true;
+
+    std::printf("-- roofline: SIMD / JIT kernels vs scalar seed "
+                "(isa=%s, lanes=%d) --\n",
+                simd::isaName(), simd::vectorWidth());
+
+    // (1) Raw GEMM micro-roofline: the 1.5x SIMD gate. Measured on
+    // the packed-panel kernel directly so the gate prices the kernel,
+    // not traversal/framework time. Portable builds (lane width 1)
+    // have nothing to vectorize with and are exempt.
+    util::setSeedKernelMode(false);
+    util::setGlobalThreads(1);
+    const std::int64_t rows = 8192;
+    std::mt19937_64 rng(11);
+    tensor::Tensor gx = tensor::Tensor::uniform({rows, dim}, rng, 0.5f);
+    tensor::Tensor gw = tensor::Tensor::uniform({dim, dim}, rng, 0.5f);
+    tensor::Tensor gy({rows, dim});
+    const double gemm_flops = 2.0 * static_cast<double>(rows) *
+                              static_cast<double>(dim) *
+                              static_cast<double>(dim);
+    simd::setSimdMode(simd::SimdMode::Off);
+    const double scalar_ms =
+        bestMs(reps, [&]() { tensor::gemm(gx, gw, gy); });
+    simd::setSimdMode(simd::SimdMode::On);
+    const double simd_ms =
+        bestMs(reps, [&]() { tensor::gemm(gx, gw, gy); });
+    const double simd_speedup =
+        simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
+    const bool simd_gate =
+        simd::vectorWidth() <= 1 || simd_speedup >= 1.5;
+    ok = ok && simd_gate;
+    std::printf("  gemm %lldx%lldx%lld: scalar-blocked %.3f ms "
+                "(%.2f GF/s), simd %.3f ms (%.2f GF/s), %.2fx %s\n",
+                static_cast<long long>(rows), static_cast<long long>(dim),
+                static_cast<long long>(dim), scalar_ms,
+                gemm_flops / (scalar_ms * 1e6), simd_ms,
+                gemm_flops / (simd_ms * 1e6), simd_speedup,
+                simd_gate ? "(meets >= 1.5x)" : "(FAILS >= 1.5x gate)");
+    {
+        char json[512];
+        std::snprintf(
+            json, sizeof(json),
+            "{\"bench\":\"exec_roofline\",\"kernel\":\"gemm\","
+            "\"rows\":%lld,\"dim\":%lld,\"isa\":\"%s\",\"lanes\":%d,"
+            "\"scalar_ms\":%.4f,\"simd_ms\":%.4f,"
+            "\"gf_per_s\":%.3f,\"simd_speedup\":%.3f,"
+            "\"gate_1_5x\":%s}",
+            static_cast<long long>(rows), static_cast<long long>(dim),
+            simd::isaName(), simd::vectorWidth(), scalar_ms, simd_ms,
+            gemm_flops / (simd_ms * 1e6), simd_speedup,
+            simd_gate ? "true" : "false");
+        log.record(json);
+    }
+
+    // (2) Whole-model forward: JIT-specialized plan vs generic
+    // blocked vs the scalar seed oracle, bit-identical at every
+    // thread count; GF/s from the modeled GEMM flop count over
+    // measured wall time.
+    for (models::ModelKind m : kModels) {
+        ModelInputs in = makeInputs(m, bg.g, dim, dim);
+        core::CompileOptions opts;
+        core::Program prog = models::buildModel(m, bg.g, dim, dim);
+        core::CompiledModel generic = core::compile(prog, opts);
+        core::CompiledModel jplan = generic;
+        const bool attached = core::jit::attach(jplan);
+
+        models::WeightMap grads;
+        auto runForward = [&](const core::CompiledModel &plan,
+                              bool seed_mode, int threads,
+                              double *flops_out) {
+            util::setSeedKernelMode(seed_mode);
+            util::setGlobalThreads(threads);
+            sim::Runtime rt = makeRuntime(1.0);
+            core::ExecutionContext ctx;
+            ctx.g = &bg.g;
+            ctx.cmap = &bg.cmap;
+            ctx.rt = &rt;
+            ctx.weights = &in.weights;
+            ctx.weightGrads = &grads;
+            core::bindInputs(plan, ctx, in.feature);
+            tensor::Tensor out = plan.forward(ctx);
+            if (flops_out)
+                *flops_out = static_cast<double>(
+                    rt.counters()
+                        .categoryTotal(sim::KernelCategory::Gemm)
+                        .flops);
+            return std::vector<float>(out.data(),
+                                      out.data() + out.numel());
+        };
+
+        double fwd_flops = 0.0;
+        const std::vector<float> oracle =
+            runForward(generic, true, 1, &fwd_flops);
+
+        simd::setSimdMode(simd::SimdMode::On);
+        const double seed_ms = bestMs(
+            reps, [&]() { (void)runForward(generic, true, 1, nullptr); });
+        const double generic_ms = bestMs(reps, [&]() {
+            (void)runForward(generic, false, 1, nullptr);
+        });
+        const double jit_ms = bestMs(
+            reps, [&]() { (void)runForward(jplan, false, 1, nullptr); });
+
+        bool identical = true;
+        for (int threads : {1, 2, 4}) {
+            identical = identical &&
+                        bitIdentical(oracle, runForward(generic, false,
+                                                        threads, nullptr));
+            identical = identical &&
+                        bitIdentical(oracle, runForward(jplan, false,
+                                                        threads, nullptr));
+        }
+        // The JIT gate: a specialized plan must never lose to the
+        // generic blocked path (10% margin absorbs timer noise on
+        // shared CI runners). Only enforced when a module attached —
+        // no-toolchain environments run the fallback by design.
+        const bool jit_gate =
+            !attached || jit_ms <= generic_ms * 1.10;
+        ok = ok && identical && jit_gate;
+
+        const core::jit::JitStats js = core::jit::jitStats();
+        std::printf("  %s forward: seed %.3f ms, generic %.3f ms, jit%s "
+                    "%.3f ms (%.2f GF/s, %.1f%% of seed pace), "
+                    "identical@t1/2/4=%s, jit<=generic=%s\n",
+                    models::toString(m), seed_ms, generic_ms,
+                    attached ? "" : "(fallback)", jit_ms,
+                    fwd_flops / (jit_ms * 1e6),
+                    jit_ms > 0.0 ? 100.0 * seed_ms / jit_ms : 0.0,
+                    identical ? "yes" : "NO",
+                    jit_gate ? "yes" : "NO");
+
+        char json[640];
+        std::snprintf(
+            json, sizeof(json),
+            "{\"bench\":\"exec_roofline\",\"kernel\":\"%s_forward\","
+            "\"isa\":\"%s\",\"lanes\":%d,\"seed_ms\":%.4f,"
+            "\"generic_ms\":%.4f,\"jit_ms\":%.4f,\"gf_per_s\":%.3f,"
+            "\"pct_of_scalar_seed\":%.1f,\"jit_attached\":%s,"
+            "\"jit_compiles\":%llu,\"jit_cache_hits\":%llu,"
+            "\"jit_fallbacks\":%llu,\"bit_identical\":%s,"
+            "\"jit_not_slower\":%s}",
+            models::toString(m), simd::isaName(), simd::vectorWidth(),
+            seed_ms, generic_ms, jit_ms, fwd_flops / (jit_ms * 1e6),
+            jit_ms > 0.0 ? 100.0 * seed_ms / jit_ms : 0.0,
+            attached ? "true" : "false",
+            static_cast<unsigned long long>(js.compiles),
+            static_cast<unsigned long long>(js.cacheHits),
+            static_cast<unsigned long long>(js.fallbacks),
+            identical ? "true" : "false", jit_gate ? "true" : "false");
+        log.record(json);
+    }
+
+    util::setSeedKernelMode(false);
+    util::setGlobalThreads(0);
+    std::printf("\n");
+    return ok;
 }
 
 } // namespace
@@ -242,6 +434,8 @@ main()
     util::setSeedKernelMode(false);
     util::setGlobalThreads(0);
 
+    const bool roofline_ok = rooflineSection(log, bg, dim, reps);
+
     log.write();
 
     std::printf("RGAT 1-thread blocked+arena vs seed: %.2fx %s\n",
@@ -254,8 +448,11 @@ main()
                     : "(below 2.5x target; needs >= 4 host cores)");
     std::printf("bitwise determinism across all configs: %s\n",
                 all_identical ? "PASS" : "FAIL");
+    std::printf("roofline SIMD/JIT gates: %s\n",
+                roofline_ok ? "PASS" : "FAIL");
 
-    // CI gate: divergence between the single-threaded and any
-    // multithreaded/blocked configuration is a correctness bug.
-    return all_identical ? 0 : 1;
+    // CI gates: divergence between the single-threaded and any
+    // multithreaded/blocked configuration is a correctness bug, and a
+    // SIMD or JIT kernel losing to its baseline is a perf regression.
+    return (all_identical && roofline_ok) ? 0 : 1;
 }

@@ -1,97 +1,306 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the host math kernels the whole
- * reproduction rests on (wall-clock, not modeled time): GEMM, segment
- * MM, the gathered segment MM that implements the GEMM template's
- * on-the-fly access schemes, and the compaction-map construction.
+ * Wall-clock microbenchmarks of the host math kernels the whole
+ * reproduction rests on: GEMM, segment MM, the gathered segment MM
+ * that implements the GEMM template's on-the-fly access schemes, the
+ * elementwise family, rowDot/rowAxpy, and compaction-map
+ * construction.
+ *
+ * Standalone (std::chrono, best-of-N) — no external benchmark
+ * dependency. Each kernel runs in three configurations:
+ *
+ *   seed    seed-mode scalar loops (the oracle; 1 thread)
+ *   scalar  blocked path with the SIMD dispatcher forced Off
+ *   simd    blocked path with the active ISA table (AVX2/NEON)
+ *
+ * and reports GF/s plus speedup over the scalar blocked baseline.
+ * Kernels under the bitwise contract are compared bit-for-bit against
+ * the seed output (any divergence exits nonzero); rowDot's fast mode
+ * is checked against its documented tolerance instead.
+ *
+ * Results land in BENCH_kernels.json (util::JsonLog) for the CI
+ * perf-smoke artifact trail.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <functional>
 #include <random>
 
 #include "graph/compaction.hh"
-#include "graph/datasets.hh"
 #include "tensor/ops.hh"
+#include "tensor/simd.hh"
+#include "util/thread_pool.hh"
+
+using namespace hector;
+using namespace hector::bench;
 
 namespace
 {
 
-using namespace hector;
-
-void
-BM_Gemm(benchmark::State &state)
+std::int64_t
+envInt(const char *name, std::int64_t def)
 {
-    const std::int64_t n = state.range(0);
-    std::mt19937_64 rng(1);
-    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
-    tensor::Tensor w = tensor::Tensor::uniform({64, 64}, rng);
-    tensor::Tensor y({n, 64});
-    for (auto _ : state) {
-        tensor::gemm(x, w, y);
-        benchmark::DoNotOptimize(y.data());
+    if (const char *env = std::getenv(name)) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return v;
     }
-    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+    return def;
 }
-BENCHMARK(BM_Gemm)->Arg(1024)->Arg(16384);
 
-void
-BM_SegmentMm(benchmark::State &state)
+/** Best-of-@p reps wall milliseconds of @p fn(). */
+template <typename Fn>
+double
+bestMs(int reps, Fn &&fn)
 {
-    const std::int64_t n = state.range(0);
-    const int types = 32;
-    std::mt19937_64 rng(2);
-    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
-    tensor::Tensor w = tensor::Tensor::uniform({types, 64, 64}, rng);
-    tensor::Tensor y({n, 64});
-    std::vector<std::int64_t> seg(types + 1);
-    for (int t = 0; t <= types; ++t)
-        seg[static_cast<std::size_t>(t)] = n * t / types;
-    for (auto _ : state) {
-        tensor::segmentMm(x, w, y, seg);
-        benchmark::DoNotOptimize(y.data());
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best)
+            best = ms;
     }
-    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+    return best;
 }
-BENCHMARK(BM_SegmentMm)->Arg(1024)->Arg(16384);
+
+bool
+bitIdentical(const tensor::Tensor &a, const tensor::Tensor &b)
+{
+    return a.numel() == b.numel() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
 
 void
-BM_GatherSegmentMm(benchmark::State &state)
+configure(int mode) // 0 = seed, 1 = scalar blocked, 2 = simd blocked
 {
-    const std::int64_t n = state.range(0);
+    util::setSeedKernelMode(mode == 0);
+    tensor::simd::setSimdMode(mode == 2 ? tensor::simd::SimdMode::On
+                                        : tensor::simd::SimdMode::Off);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = envInt("HECTOR_BENCH_ROWS", 8192);
+    const std::int64_t d = 64;
     const int types = 32;
-    std::mt19937_64 rng(3);
-    tensor::Tensor x = tensor::Tensor::uniform({n, 64}, rng);
-    tensor::Tensor w = tensor::Tensor::uniform({types, 64, 64}, rng);
-    tensor::Tensor y({n, 64});
-    std::vector<std::int64_t> seg(types + 1);
+    const int reps = static_cast<int>(envInt("HECTOR_BENCH_REPS", 5));
+
+    util::setGlobalThreads(1); // isolate kernel speed from parallelism
+
+    std::printf("== Micro-kernels: seed / scalar-blocked / SIMD (%s, "
+                "lanes=%d) ==\n",
+                tensor::simd::isaName(), tensor::simd::vectorWidth());
+    std::printf("rows=%lld, dim=%lld, best of %d\n\n",
+                static_cast<long long>(n), static_cast<long long>(d),
+                reps);
+
+    std::mt19937_64 rng(7);
+    tensor::Tensor x = tensor::Tensor::uniform({n, d}, rng, 0.5f);
+    tensor::Tensor w2 = tensor::Tensor::uniform({d, d}, rng, 0.5f);
+    tensor::Tensor w3 = tensor::Tensor::uniform({types, d, d}, rng, 0.5f);
+    tensor::Tensor alpha = tensor::Tensor::uniform({n}, rng, 0.5f);
+    std::vector<std::int64_t> seg(static_cast<std::size_t>(types) + 1);
     for (int t = 0; t <= types; ++t)
         seg[static_cast<std::size_t>(t)] = n * t / types;
     std::vector<std::int64_t> gather(static_cast<std::size_t>(n));
     std::uniform_int_distribution<std::int64_t> pick(0, n - 1);
-    for (auto &gi : gather)
-        gi = pick(rng);
-    for (auto _ : state) {
-        tensor::gatherSegmentMm(x, w, y, seg, gather, {});
-        benchmark::DoNotOptimize(y.data());
+    for (auto &g : gather)
+        g = pick(rng);
+    // Sparse input exercises the zero-skip in the accumulation order.
+    tensor::Tensor xs = x.clone();
+    for (std::size_t i = 0; i < xs.numel(); i += 3)
+        xs.data()[i] = 0.0f;
+
+    const double gemm_flops = 2.0 * static_cast<double>(n) *
+                              static_cast<double>(d) *
+                              static_cast<double>(d);
+
+    // Each entry: name, flops/invocation, bitwise-contract flag, and a
+    // runner writing into the given output tensor under the current
+    // configuration.
+    struct Case
+    {
+        const char *name;
+        double flops;
+        bool bitwise;
+        std::function<void(tensor::Tensor &)> run;
+    };
+    const std::vector<Case> cases = {
+        {"gemm", gemm_flops, true,
+         [&](tensor::Tensor &out) { tensor::gemm(x, w2, out); }},
+        {"segment_mm", gemm_flops, true,
+         [&](tensor::Tensor &out) { tensor::segmentMm(x, w3, out, seg); }},
+        {"gather_segment_mm", gemm_flops, true,
+         [&](tensor::Tensor &out) {
+             tensor::gatherSegmentMm(x, w3, out, seg, gather, {});
+         }},
+        {"gemm_sparse_x", gemm_flops, true,
+         [&](tensor::Tensor &out) { tensor::gemm(xs, w2, out); }},
+        {"relu", static_cast<double>(n * d), true,
+         [&](tensor::Tensor &out) {
+             std::memcpy(out.data(), x.data(), x.bytes());
+             tensor::reluInPlace(out);
+         }},
+        {"row_axpy", 2.0 * static_cast<double>(n * d), true,
+         [&](tensor::Tensor &out) {
+             std::memcpy(out.data(), x.data(), x.bytes());
+             tensor::rowAxpy(alpha, xs, out);
+         }},
+    };
+
+    JsonLog log("kernels");
+    bool all_ok = true;
+
+    printRow({"kernel", "seed-ms", "scalar-ms", "simd-ms", "gf/s",
+              "speedup", "identical"}, 19);
+    for (const Case &c : cases) {
+        tensor::Tensor seed_out({n, d});
+        tensor::Tensor scalar_out({n, d});
+        tensor::Tensor simd_out({n, d});
+
+        configure(0);
+        const double seed_ms =
+            bestMs(reps, [&]() { c.run(seed_out); });
+        configure(1);
+        const double scalar_ms =
+            bestMs(reps, [&]() { c.run(scalar_out); });
+        configure(2);
+        const double simd_ms =
+            bestMs(reps, [&]() { c.run(simd_out); });
+
+        const bool identical = bitIdentical(seed_out, scalar_out) &&
+                               bitIdentical(seed_out, simd_out);
+        all_ok = all_ok && identical;
+
+        const double gfs =
+            simd_ms > 0.0 ? c.flops / (simd_ms * 1e6) : 0.0;
+        const double speedup =
+            simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
+
+        char b1[32], b2[32], b3[32], b4[32], b5[32];
+        std::snprintf(b1, sizeof(b1), "%.3f", seed_ms);
+        std::snprintf(b2, sizeof(b2), "%.3f", scalar_ms);
+        std::snprintf(b3, sizeof(b3), "%.3f", simd_ms);
+        std::snprintf(b4, sizeof(b4), "%.2f", gfs);
+        std::snprintf(b5, sizeof(b5), "%.2fx", speedup);
+        printRow({c.name, b1, b2, b3, b4, b5,
+                  identical ? "yes" : "NO"}, 19);
+
+        char json[512];
+        std::snprintf(
+            json, sizeof(json),
+            "{\"bench\":\"micro_kernels\",\"kernel\":\"%s\","
+            "\"rows\":%lld,\"dim\":%lld,\"isa\":\"%s\",\"lanes\":%d,"
+            "\"seed_ms\":%.4f,\"scalar_ms\":%.4f,\"simd_ms\":%.4f,"
+            "\"gf_per_s\":%.3f,\"simd_speedup\":%.3f,"
+            "\"contract\":\"bitwise\",\"bit_identical\":%s}",
+            c.name, static_cast<long long>(n),
+            static_cast<long long>(d), tensor::simd::isaName(),
+            tensor::simd::vectorWidth(), seed_ms, scalar_ms, simd_ms,
+            gfs, speedup, identical ? "true" : "false");
+        log.record(json);
     }
-    state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
-}
-BENCHMARK(BM_GatherSegmentMm)->Arg(1024)->Arg(16384);
 
-void
-BM_CompactionMap(benchmark::State &state)
-{
-    graph::HeteroGraph g =
-        graph::generate(graph::datasetSpec("fb15k"), 1.0 / 64.0);
-    for (auto _ : state) {
-        graph::CompactionMap cmap(g);
-        benchmark::DoNotOptimize(cmap.numUnique());
+    // rowDot: the SIMD reduction changes the summation tree, so fast
+    // mode is gated by tolerance (|fast - seed| <= 4 eps sum|a_j b_j|),
+    // not bit identity — the documented exception.
+    {
+        tensor::Tensor seed_out({n});
+        tensor::Tensor fast_out({n});
+        configure(0);
+        const double seed_ms =
+            bestMs(reps, [&]() { tensor::rowDot(x, xs, seed_out); });
+        util::setSeedKernelMode(false);
+        tensor::simd::setSimdMode(tensor::simd::SimdMode::Fast);
+        const double fast_ms =
+            bestMs(reps, [&]() { tensor::rowDot(x, xs, fast_out); });
+
+        bool within = true;
+        double worst = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            double mag = 0.0;
+            for (std::int64_t j = 0; j < d; ++j)
+                mag += std::fabs(static_cast<double>(x.data()[i * d + j]) *
+                                 static_cast<double>(xs.data()[i * d + j]));
+            const double err = std::fabs(
+                static_cast<double>(seed_out.data()[i]) -
+                static_cast<double>(fast_out.data()[i]));
+            const double bound =
+                4.0 * 1.1920929e-7 * mag + 1e-12;
+            worst = std::max(worst, bound > 0.0 ? err / bound : 0.0);
+            within = within && err <= bound;
+        }
+        all_ok = all_ok && within;
+
+        const double flops = 2.0 * static_cast<double>(n * d);
+        const double gfs =
+            fast_ms > 0.0 ? flops / (fast_ms * 1e6) : 0.0;
+        char b1[32], b2[32], b3[32], b4[32];
+        std::snprintf(b1, sizeof(b1), "%.3f", seed_ms);
+        std::snprintf(b2, sizeof(b2), "%.3f", fast_ms);
+        std::snprintf(b3, sizeof(b3), "%.2f", gfs);
+        std::snprintf(b4, sizeof(b4), "%.2fx",
+                      fast_ms > 0.0 ? seed_ms / fast_ms : 0.0);
+        printRow({"row_dot(fast)", b1, "-", b2, b3, b4,
+                  within ? "tol-ok" : "TOL-FAIL"}, 19);
+
+        char json[512];
+        std::snprintf(
+            json, sizeof(json),
+            "{\"bench\":\"micro_kernels\",\"kernel\":\"row_dot_fast\","
+            "\"rows\":%lld,\"dim\":%lld,\"isa\":\"%s\",\"lanes\":%d,"
+            "\"seed_ms\":%.4f,\"simd_ms\":%.4f,\"gf_per_s\":%.3f,"
+            "\"contract\":\"tolerance\",\"within_tolerance\":%s,"
+            "\"worst_err_over_bound\":%.3f}",
+            static_cast<long long>(n), static_cast<long long>(d),
+            tensor::simd::isaName(), tensor::simd::vectorWidth(),
+            seed_ms, fast_ms, gfs, within ? "true" : "false", worst);
+        log.record(json);
     }
-    state.SetItemsProcessed(state.iterations() * g.numEdges());
+
+    // Compaction-map construction (no kernel modes; indices only).
+    {
+        configure(1);
+        graph::HeteroGraph g =
+            graph::generate(graph::datasetSpec("fb15k"), 1.0 / 64.0);
+        std::int64_t uniq = 0;
+        const double ms = bestMs(reps, [&]() {
+            graph::CompactionMap cmap(g);
+            uniq = cmap.numUnique();
+        });
+        char b1[32];
+        std::snprintf(b1, sizeof(b1), "%.3f", ms);
+        printRow({"compaction_map", "-", "-", b1, "-", "-", "-"}, 19);
+        char json[256];
+        std::snprintf(json, sizeof(json),
+                      "{\"bench\":\"micro_kernels\","
+                      "\"kernel\":\"compaction_map\",\"edges\":%lld,"
+                      "\"unique\":%lld,\"wall_ms\":%.4f}",
+                      static_cast<long long>(g.numEdges()),
+                      static_cast<long long>(uniq), ms);
+        log.record(json);
+    }
+
+    util::setSeedKernelMode(false);
+    tensor::simd::setSimdMode(tensor::simd::SimdMode::On);
+    util::setGlobalThreads(0);
+
+    log.write();
+
+    std::printf("\nbitwise/tolerance gates: %s\n",
+                all_ok ? "PASS" : "FAIL");
+    return all_ok ? 0 : 1;
 }
-BENCHMARK(BM_CompactionMap);
-
-} // namespace
-
-BENCHMARK_MAIN();

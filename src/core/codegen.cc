@@ -282,6 +282,32 @@ emitGemmKernel(const Program &p, const GemmInstance &gi)
 }
 
 std::string
+emitCpuGemmKernel(const GemmInstance &gi, bool backward)
+{
+    std::ostringstream os;
+    const char dir = backward ? 'b' : 'f';
+    os << "// kid=" << gi.kid << " " << gi.name
+       << ": row micro-kernel, dout=" << gi.dout << " baked.\n"
+       << "static void hector_gemm_" << dir << gi.kid
+       << "(float *__restrict y, const float *__restrict x,\n"
+       << "                          float scale,\n"
+       << "                          const float *__restrict panel,\n"
+       << "                          long long kb)\n"
+       << "{\n"
+       << "    enum { N = " << gi.dout << " };\n"
+       << "    for (long long kk = 0; kk < kb; ++kk) {\n"
+       << "        const float xv = scale * x[kk];\n"
+       << "        if (xv == 0.0f)\n"
+       << "            continue;\n"
+       << "        const float *__restrict p = panel + kk * N;\n"
+       << "        for (int j = 0; j < N; ++j)\n"
+       << "            y[j] += xv * p[j];\n"
+       << "    }\n"
+       << "}\n\n";
+    return os.str();
+}
+
+std::string
 emitTraversalKernel(const Program &p, const TraversalInstance &ti)
 {
     std::ostringstream os;
@@ -411,6 +437,33 @@ generateCode(const Program &fwd, const LoweredFunction &ffn,
     host << "// Generated host code: wrappers + registration.\n"
          << "#include <torch/extension.h>\n\n";
 
+    std::ostringstream cpu;
+    std::ostringstream cpu_table;
+    int cpu_entries = 0;
+    cpu << "// Host JIT micro-kernels generated for model '" << fwd.name
+        << "'.\n"
+        << "// Compiled by core/jit with -O3 -ffp-contract=off so each\n"
+        << "// kernel reproduces the interpreter's per-element rounding\n"
+        << "// while the constant-bound column loop vectorizes fully.\n\n"
+        << "extern \"C\" {\n\n"
+        << "typedef void (*hector_gemm_fn)(float *, const float *, "
+           "float,\n"
+        << "                               const float *, long long);\n"
+        << "struct hector_jit_entry { int backward; int kid; "
+           "hector_gemm_fn fn; };\n\n";
+
+    auto emitCpuFn = [&](const LoweredFunction &fn, bool backward) {
+        for (const auto &gi : fn.gemms) {
+            if (gi.kind != GemmKind::Linear || gi.dout <= 0)
+                continue;
+            cpu << emitCpuGemmKernel(gi, backward);
+            cpu_table << "    {" << (backward ? 1 : 0) << ", " << gi.kid
+                      << ", hector_gemm_" << (backward ? 'b' : 'f')
+                      << gi.kid << "},\n";
+            ++cpu_entries;
+        }
+    };
+
     auto emitFn = [&](const Program &p, const LoweredFunction &fn,
                       const char *tag) {
         cuda << "// ======== " << tag << " ========\n";
@@ -433,6 +486,17 @@ generateCode(const Program &fwd, const LoweredFunction &ffn,
     emitFn(fwd, ffn, "forward");
     if (bwd && bfn)
         emitFn(*bwd, *bfn, "backward");
+    emitCpuFn(ffn, false);
+    if (bfn)
+        emitCpuFn(*bfn, true);
+    // Sentinel keeps the array non-empty for kernel-less models;
+    // entry_count excludes it. `extern` is load-bearing: a const
+    // object at namespace scope has internal linkage in C++ (even
+    // inside an extern "C" block) and would be invisible to dlsym.
+    cpu << "extern const hector_jit_entry hector_jit_entries[] = {\n"
+        << cpu_table.str() << "    {-1, -1, 0},\n};\n"
+        << "extern const int hector_jit_entry_count = " << cpu_entries
+        << ";\n\n} // extern \"C\"\n";
 
     host << "TORCH_LIBRARY_FRAGMENT(hector, m)\n{\n";
     for (const auto &gi : ffn.gemms)
@@ -483,9 +547,11 @@ generateCode(const Program &fwd, const LoweredFunction &ffn,
     out.cudaSource = cuda.str();
     out.hostSource = host.str();
     out.pythonSource = py.str();
+    out.cpuSource = cpu.str();
     out.cudaLines = countLines(out.cudaSource);
     out.hostLines = countLines(out.hostSource);
     out.pythonLines = countLines(out.pythonSource);
+    out.cpuLines = countLines(out.cpuSource);
     return out;
 }
 

@@ -28,13 +28,27 @@ struct GeneratedCode
     std::string cudaSource;   ///< __global__ kernels
     std::string hostSource;   ///< host wrappers + registration
     std::string pythonSource; ///< autograd.Function subclasses
+    /** Compilable C++ micro-kernels for the host JIT backend: one
+     *  extern "C" row kernel per GEMM instance with dout baked as a
+     *  constant, plus the registration table core/jit dlopens. */
+    std::string cpuSource;
     int cudaLines = 0;
     int hostLines = 0;
     int pythonLines = 0;
+    int cpuLines = 0;
 };
 
 /** Emit the CUDA kernel for one GEMM-template instance. */
 std::string emitGemmKernel(const Program &p, const GemmInstance &gi);
+
+/**
+ * Emit the host C++ row micro-kernel for one GEMM-template instance:
+ * the inner (kk, j) loops of the blocked path with dout a constant,
+ * in the seed's kk-ascending zero-skipping accumulation order. The
+ * JIT compile line passes -ffp-contract=off, so the compiled kernel
+ * is bit-identical to the interpreter at any vector width.
+ */
+std::string emitCpuGemmKernel(const GemmInstance &gi, bool backward);
 
 /** Emit the CUDA kernel for one traversal-template instance. */
 std::string emitTraversalKernel(const Program &p,

@@ -24,6 +24,7 @@ cacheSignature(const CompileOptions &options)
     s += ";coarsen=" + std::to_string(options.sched.coarsening);
     s += ";bounds=";
     s += options.sched.launchBounds ? '1' : '0';
+    s += ";vec=" + std::to_string(options.sched.vecWidth);
     return s;
 }
 
@@ -82,6 +83,7 @@ compile(Program program, const CompileOptions &options)
 tensor::Tensor
 CompiledModel::forward(ExecutionContext &ctx) const
 {
+    ctx.jit = jit.get();
     execute(forwardProgram, forwardFn, ctx);
     return ctx.ensureTensor(forwardProgram, forwardProgram.outputVar);
 }
@@ -91,6 +93,7 @@ CompiledModel::backward(ExecutionContext &ctx) const
 {
     if (!options.training)
         throw std::runtime_error("model compiled without training support");
+    ctx.jit = jit.get();
     execute(backwardProgram, backwardFn, ctx);
 }
 

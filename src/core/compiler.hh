@@ -15,6 +15,7 @@
 #ifndef HECTOR_CORE_COMPILER_HH
 #define HECTOR_CORE_COMPILER_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -28,6 +29,11 @@
 
 namespace hector::core
 {
+
+namespace jit
+{
+class JitModule;
+}
 
 /** Optimization configuration, matching the paper's ablations. */
 struct CompileOptions
@@ -66,6 +72,16 @@ struct CompiledModel
      * behavior (including post-execution inspection of ctx.tensors).
      */
     MemoryPlan memoryPlan;
+
+    /**
+     * Optional host-JIT module holding per-(instance, shape)
+     * specialized GEMM row kernels compiled from code.cpuSource
+     * (core/jit::attach). Null when the JIT is off, unavailable or
+     * failed; the executor then runs the generic blocked path. Held
+     * shared so a plan evicted from the PlanCache dlcloses only after
+     * the last pinned user releases it.
+     */
+    std::shared_ptr<const jit::JitModule> jit;
 
     /**
      * Run forward propagation. ctx.tensors must hold the program's

@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/jit.hh"
 #include "obs/trace.hh"
 #include "tensor/block_kernels.hh"
+#include "tensor/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace hector::core
@@ -307,6 +309,14 @@ gemmComputeEff(const GemmInstance &gi)
         eff *= 1.07;
     if (gi.sched.launchBounds)
         eff *= 1.02;
+    // Host SIMD width of the micro-kernel: forcing the scalar
+    // reference forfeits the vector units; pinning an explicit wide
+    // request skips the per-call dispatch. Deterministic pricing so
+    // the tuner's vecWidth sweep selects identically on every run.
+    if (gi.sched.vecWidth == 1)
+        eff *= 0.7;
+    else if (gi.sched.vecWidth >= 8)
+        eff *= 1.03;
     return eff;
 }
 
@@ -410,6 +420,12 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
      */
     const std::int64_t kblk =
         tensor::blocked::kBlockFor(gi.sched.tileSz, gi.sched.coarsening);
+    // Specialized JIT row kernel for this (direction, instance), when
+    // the model carries a module; bit-identical to the generic path
+    // (same accumulation order, -ffp-contract=off on both sides).
+    const jit::GemmRowFn jfn =
+        ctx.jit ? ctx.jit->kernel(gi.phase == sim::Phase::Backward, gi.kid)
+                : nullptr;
     auto blockedRows = [&](Tensor &y, std::int64_t t, std::int64_t r0,
                            std::int64_t r1) {
         const float *wslice = w.data() + t * wr * wc;
@@ -426,14 +442,13 @@ execGemm(const Program &p, const GemmInstance &gi, ExecutionContext &ctx)
                     x.row(resolveIndex(ctx, gi.xAccess, gi.rows, r)) + k0;
                 const float scale = scalar ? scalar[r] : 1.0f;
                 float *yrow = y.row(r);
-                for (std::int64_t kk = 0; kk < kb; ++kk) {
-                    const float xv = scale * xrow[kk];
-                    if (xv == 0.0f)
-                        continue;
-                    const float *prow = panel + kk * dout;
-                    for (std::int64_t j = 0; j < dout; ++j)
-                        yrow[j] += xv * prow[j];
-                }
+                if (jfn)
+                    jfn(yrow, xrow, scale, panel,
+                        static_cast<long long>(kb));
+                else
+                    tensor::simd::rowPanelWith(gi.sched.vecWidth, yrow,
+                                               xrow, 1, scale, panel, kb,
+                                               dout);
             }
         }
     };

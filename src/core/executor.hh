@@ -39,6 +39,11 @@
 namespace hector::core
 {
 
+namespace jit
+{
+class JitModule;
+}
+
 /** All state one forward/backward execution reads and writes. */
 struct ExecutionContext
 {
@@ -46,6 +51,14 @@ struct ExecutionContext
     /** Required when any instance uses a UniquePairs domain. */
     const graph::CompactionMap *cmap = nullptr;
     sim::Runtime *rt = nullptr;
+
+    /**
+     * Host-JIT module of the model being executed, set by
+     * CompiledModel::forward/backward (null when no module is
+     * attached). The blocked GEMM path consults it for a specialized
+     * row kernel per (direction, instance kid).
+     */
+    const jit::JitModule *jit = nullptr;
 
     /** Parameters by name (includes composed weights once computed). */
     std::map<std::string, tensor::Tensor> *weights = nullptr;

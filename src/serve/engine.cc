@@ -6,6 +6,7 @@
 
 #include "core/autotune.hh"
 #include "core/frontend.hh"
+#include "core/jit.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/fault.hh"
@@ -305,15 +306,24 @@ PlanCompiler::compile(const PlanKey &key, const Tensor &host_features,
         effective.sched = tunedSched_;
 
     PlanCache::Compiled out;
-    out.plan = std::make_shared<core::CompiledModel>(
+    auto plan = std::make_shared<core::CompiledModel>(
         core::compile(std::move(program), effective));
+    // Per-(variant, shape-bucket) specialization: the JIT compiles the
+    // plan's generated C++ kernels (or counts a fallback) before the
+    // plan enters the cache behind pointer-to-const.
+    core::jit::attach(*plan);
+    out.plan = std::move(plan);
     out.scheduleKey = scheduleKey_;
 
     // Modeled resident cost: generated plan text + arena slots sized
-    // for a nominal maximal micro-batch + this variant's weights.
+    // for a nominal maximal micro-batch + this variant's weights,
+    // plus the dlopened JIT artifact when one is attached.
     std::size_t bytes = out.plan->code.cudaSource.size() +
                         out.plan->code.hostSource.size() +
-                        out.plan->code.pythonSource.size();
+                        out.plan->code.pythonSource.size() +
+                        out.plan->code.cpuSource.size() +
+                        (out.plan->jit ? out.plan->jit->artifactBytes()
+                                       : 0);
     const std::int64_t per_req_nodes =
         cfg_.sample.numSeeds * (1 + cfg_.sample.fanout);
     const std::int64_t nodes = std::min(

@@ -1,6 +1,7 @@
 #include "serve/plan_cache.hh"
 
 #include "core/frontend.hh"
+#include "core/jit.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -44,6 +45,7 @@ planSignature(const core::CompiledModel &plan)
     h = fnv1a(h, plan.code.cudaSource);
     h = fnv1a(h, plan.code.hostSource);
     h = fnv1a(h, plan.code.pythonSource);
+    h = fnv1a(h, plan.code.cpuSource);
     return h;
 }
 
@@ -83,8 +85,12 @@ PlanCache::get(const PlanKey &key)
         core::Program program =
             core::parseModel(key.modelSource, key.din, key.dout);
         Compiled c;
-        c.plan = std::make_shared<core::CompiledModel>(
+        auto plan = std::make_shared<core::CompiledModel>(
             core::compile(std::move(program), key.options));
+        // Attach (or count a fallback for) the host-JIT module before
+        // the plan is frozen behind pointer-to-const.
+        core::jit::attach(*plan);
+        c.plan = std::move(plan);
         return c;
     });
 }
@@ -147,7 +153,9 @@ PlanCache::get(const PlanKey &key, const CompileFn &compile)
     if (c.costBytes == 0)
         c.costBytes = plan.code.cudaSource.size() +
                       plan.code.hostSource.size() +
-                      plan.code.pythonSource.size();
+                      plan.code.pythonSource.size() +
+                      plan.code.cpuSource.size() +
+                      (plan.jit ? plan.jit->artifactBytes() : 0);
 
     Entry entry;
     entry.plan = c.plan;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/block_kernels.hh"
+#include "tensor/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace hector::tensor
@@ -94,17 +95,13 @@ gemmRowsBlocked(const float *x, const float *w, float *y, std::int64_t m,
         const std::int64_t kb = std::min(kBlockK, k - k0);
         packPanel(w, trans_w ? k : n, trans_w, k0, kb, n, panel);
         for (std::int64_t i = r0; i < r1; ++i) {
-            float *yrow = y + i * n;
-            for (std::int64_t kk = 0; kk < kb; ++kk) {
-                const float xv = alpha *
-                    (trans_x ? x[(k0 + kk) * m + i]
-                             : x[i * k + (k0 + kk)]);
-                if (xv == 0.0f)
-                    continue;
-                const float *prow = panel + kk * n;
-                for (std::int64_t j = 0; j < n; ++j)
-                    yrow[j] += xv * prow[j];
-            }
+            // The x chunk walks kk with stride 1 (row-major x) or
+            // stride m (transposed x); the SIMD micro-kernel keeps
+            // the seed's kk-ascending, zero-skipping order either way.
+            const float *xrow =
+                trans_x ? x + k0 * m + i : x + i * k + k0;
+            simd::rowPanel(y + i * n, xrow, trans_x ? m : 1, alpha,
+                           panel, kb, n);
         }
     }
 }
@@ -261,16 +258,8 @@ gatherSegRowsBlocked(const float *x, const float *wt, float *y,
         for (std::int64_t r = r0; r < r1; ++r) {
             const std::int64_t xr =
                 gather.empty() ? r : gather[static_cast<std::size_t>(r)];
-            const float *xrow = x + xr * k + k0;
-            float *yrow = y + r * n;
-            for (std::int64_t kk = 0; kk < kb; ++kk) {
-                const float xv = xrow[kk];
-                if (xv == 0.0f)
-                    continue;
-                const float *prow = panel + kk * n;
-                for (std::int64_t j = 0; j < n; ++j)
-                    yrow[j] += xv * prow[j];
-            }
+            simd::rowPanel(y + r * n, x + xr * k + k0, 1, 1.0f, panel,
+                           kb, n);
         }
     }
 }
@@ -449,13 +438,19 @@ scatterAddRows(const Tensor &x, Tensor &y,
 namespace
 {
 
-/** Elementwise map over [0, numel) with one owner per index. */
-template <typename Fn>
+/**
+ * Elementwise map over [0, numel) with one owner per index. Seed mode
+ * runs @p seed_fn — the literal scalar loop that is the bitwise
+ * oracle — over the whole range; otherwise @p fn (typically a SIMD
+ * range kernel computing identical bits per element) runs partitioned
+ * over the pool.
+ */
+template <typename Seed, typename Fn>
 void
-elementwise(std::size_t numel, Fn &&fn)
+elementwise(std::size_t numel, Seed &&seed_fn, Fn &&fn)
 {
     if (util::seedKernelMode()) {
-        fn(0, static_cast<std::int64_t>(numel));
+        seed_fn(0, static_cast<std::int64_t>(numel));
         return;
     }
     util::globalPool().parallelFor(0, static_cast<std::int64_t>(numel),
@@ -470,10 +465,15 @@ addInPlace(Tensor &y, const Tensor &x)
     checkThat(y.numel() == x.numel(), "addInPlace: size mismatch");
     float *py = y.data();
     const float *px = x.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            py[i] += px[i];
-    });
+    elementwise(
+        y.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                py[i] += px[i];
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::addRange(py + lo, px + lo, hi - lo);
+        });
 }
 
 void
@@ -482,50 +482,73 @@ mulInPlace(Tensor &y, const Tensor &x)
     checkThat(y.numel() == x.numel(), "mulInPlace: size mismatch");
     float *py = y.data();
     const float *px = x.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            py[i] *= px[i];
-    });
+    elementwise(
+        y.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                py[i] *= px[i];
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::mulRange(py + lo, px + lo, hi - lo);
+        });
 }
 
 void
 scaleInPlace(Tensor &y, float alpha)
 {
     float *py = y.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            py[i] *= alpha;
-    });
+    elementwise(
+        y.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                py[i] *= alpha;
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::scaleRange(py + lo, alpha, hi - lo);
+        });
 }
 
 void
 expInPlace(Tensor &y)
 {
+    // std::exp has no vector form with guaranteed identical rounding;
+    // both paths keep the scalar libm call per element.
     float *py = y.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    auto body = [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i)
             py[i] = std::exp(py[i]);
-    });
+    };
+    elementwise(y.numel(), body, body);
 }
 
 void
 leakyReluInPlace(Tensor &y, float slope)
 {
     float *py = y.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            py[i] = py[i] > 0.0f ? py[i] : slope * py[i];
-    });
+    elementwise(
+        y.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                py[i] = py[i] > 0.0f ? py[i] : slope * py[i];
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::leakyReluRange(py + lo, slope, hi - lo);
+        });
 }
 
 void
 reluInPlace(Tensor &y)
 {
     float *py = y.data();
-    elementwise(y.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            py[i] = py[i] > 0.0f ? py[i] : 0.0f;
-    });
+    elementwise(
+        y.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                py[i] = py[i] > 0.0f ? py[i] : 0.0f;
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::reluRange(py + lo, hi - lo);
+        });
 }
 
 void
@@ -534,10 +557,16 @@ leakyReluBackwardInPlace(Tensor &dy, const Tensor &x, float slope)
     checkThat(dy.numel() == x.numel(), "leakyReluBackward: size mismatch");
     float *pd = dy.data();
     const float *px = x.data();
-    elementwise(dy.numel(), [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i)
-            pd[i] *= px[i] > 0.0f ? 1.0f : slope;
-    });
+    elementwise(
+        dy.numel(),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                pd[i] *= px[i] > 0.0f ? 1.0f : slope;
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+            simd::leakyReluBackwardRange(pd + lo, px + lo, slope,
+                                         hi - lo);
+        });
 }
 
 void
@@ -563,6 +592,24 @@ rowDot(const Tensor &a, const Tensor &b, Tensor &out)
         run(0, a.dim(0));
         return;
     }
+    // A dot product is a reduction: vectorizing it re-associates the
+    // sum and changes the bits, so the lane-partial kernel is only
+    // reachable in HECTOR_SIMD=fast (documented tolerance, enforced
+    // in tests and the roofline bench). Default mode keeps the seed's
+    // left-to-right order.
+    if (simd::fastModeActive()) {
+        util::globalPool().parallelFor(
+            0, a.dim(0),
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i)
+                    out.data()[i] = simd::dotFast(a.data() + i * cols,
+                                                  b.data() + i * cols,
+                                                  cols);
+            },
+            std::max<std::int64_t>(
+                16, 8192 / std::max<std::int64_t>(1, cols)));
+        return;
+    }
     util::globalPool().parallelFor(
         0, a.dim(0), run,
         std::max<std::int64_t>(16,
@@ -577,21 +624,25 @@ rowAxpy(const Tensor &alpha, const Tensor &x, Tensor &y)
     checkThat(alpha.dim(0) == x.dim(0) && x.shape() == y.shape(),
               "rowAxpy: shape mismatch");
     const std::int64_t cols = x.dim(1);
-    auto run = [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
+    if (util::seedKernelMode()) {
+        for (std::int64_t i = 0; i < x.dim(0); ++i) {
             const float a = alpha.data()[i];
             const float *px = x.data() + i * cols;
             float *py = y.data() + i * cols;
             for (std::int64_t j = 0; j < cols; ++j)
                 py[j] += a * px[j];
         }
-    };
-    if (util::seedKernelMode()) {
-        run(0, x.dim(0));
         return;
     }
+    // Per-element axpy: one mul + one add rounding per element at any
+    // lane width, bit-identical to the seed loop.
     util::globalPool().parallelFor(
-        0, x.dim(0), run,
+        0, x.dim(0),
+        [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i)
+                simd::axpyRange(y.data() + i * cols, alpha.data()[i],
+                                x.data() + i * cols, cols);
+        },
         std::max<std::int64_t>(16,
                                8192 / std::max<std::int64_t>(1, cols)));
 }
